@@ -1,0 +1,20 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark prints its reproduction table to stdout and appends it
+to ``benchmarks/results/<name>.txt`` so the paper-vs-measured record in
+EXPERIMENTS.md can be regenerated at any time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a results table and persist it under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text

@@ -1,0 +1,76 @@
+"""Ablation: EPC paging overhead (§II).
+
+The paper motivates its small TCB partly with EPC pressure: "only
+128 MB … encryption protected memory is reserved[;] although virtual
+memory support is available, it incurs significant overheads in
+paging."  This bench sweeps a working set across a fixed EPC share and
+measures the cycle blow-up — the same mechanism that bends the libOS
+curves in Fig. 11.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.policy import PolicySet
+from repro.sgx import EnclaveConfig, PAGE_SIZE
+from repro.vm import CostModel
+
+from conftest import emit
+
+_SWEEP = r"""
+char arena[@BYTES@];
+int main() {
+    int pages = @PAGES@;
+    int sweep;
+    int check = 0;
+    for (sweep = 0; sweep < 3; sweep++) {
+        int p;
+        for (p = 0; p < pages; p++) {
+            arena[p * 4096] = p + sweep;
+            check += arena[p * 4096];
+        }
+    }
+    __report(1);
+    __report(check & 1073741823);
+    return check;
+}
+"""
+
+EPC_SHARE = 24          # pages available to the enclave
+WORKING_SETS = (8, 16, 24, 32, 48, 96)
+
+
+def _run(pages: int):
+    src = _SWEEP.replace("@PAGES@", str(pages)) \
+        .replace("@BYTES@", str(pages * PAGE_SIZE))
+    policies = PolicySet.p1_only()
+    boot = BootstrapEnclave(
+        policies=policies,
+        config=EnclaveConfig(heap_size=(pages + 16) * PAGE_SIZE))
+    boot.receive_binary(compile_source(src, policies).serialize())
+    unconstrained = boot.run(cost_model=CostModel())
+    constrained = boot.run(
+        cost_model=CostModel.with_epc_limit(EPC_SHARE))
+    assert constrained.reports == unconstrained.reports
+    return unconstrained.result.cycles, constrained.result.cycles
+
+
+def test_epc_paging_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: {ws: _run(ws) for ws in WORKING_SETS},
+        rounds=1, iterations=1)
+    rows = []
+    for ws, (free, paged) in results.items():
+        rows.append([ws, f"{free:,.0f}", f"{paged:,.0f}",
+                     f"{paged / free:.2f}x"])
+    emit("ablation_epc", format_table(
+        f"Ablation: EPC paging (EPC share = {EPC_SHARE} pages)",
+        ["working set (pages)", "cycles (no limit)",
+         "cycles (EPC-limited)", "blow-up"], rows))
+    # inside the EPC: no penalty; beyond it: super-linear blow-up
+    assert results[8][1] == pytest.approx(results[8][0], rel=0.02)
+    assert results[96][1] > 3 * results[96][0]
+    blowups = [results[ws][1] / results[ws][0] for ws in WORKING_SETS]
+    assert blowups == sorted(blowups)    # monotone in working set

@@ -1,0 +1,81 @@
+"""Ablation: the §VII multi-threading extension.
+
+Two questions the paper's discussion raises but does not measure:
+
+* what does the register-held (MT-safe) shadow stack cost relative to
+  the memory-cell variant? (it should be *cheaper*: fewer memory
+  operations per call);
+* how does aggregate enclave throughput scale with TCS count when
+  threads interleave on shared silicon?
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.policy import PolicySet
+from repro.sgx import EnclaveConfig, PAGE_SIZE
+
+from conftest import emit
+
+_CALL_HEAVY = """
+int leaf(int x) { return x * 3 + 1; }
+int mid(int x) { return leaf(x) + leaf(x + 1); }
+int main() {
+    char buf[8];
+    __recv(buf, 8);
+    int i;
+    int acc = buf[0];
+    for (i = 0; i < 1500; i++) acc = (acc + mid(i)) % 65536;
+    __report(1);
+    __report(acc);
+    return acc;
+}
+"""
+
+
+def _run(policies, config=None, inputs=(b"\x01",), quantum=400):
+    boot = BootstrapEnclave(policies=policies,
+                            config=config or EnclaveConfig())
+    boot.receive_binary(compile_source(_CALL_HEAVY, policies).serialize())
+    if len(inputs) == 1 and (config is None or config.num_threads == 1):
+        boot.receive_userdata(inputs[0])
+        return [boot.run()]
+    return boot.run_threads(list(inputs), quantum=quantum)
+
+
+def test_mt_shadow_stack_is_cheaper_per_call(benchmark):
+    st = benchmark.pedantic(
+        lambda: _run(PolicySet.p1_p5())[0], rounds=1, iterations=1)
+    mt = _run(PolicySet.multithreaded())[0]
+    baseline = _run(PolicySet.p1_p2())[0]
+    st_over = st.result.cycles / baseline.result.cycles - 1
+    mt_over = mt.result.cycles / baseline.result.cycles - 1
+    rows = [["P1+P2 (no CFI)", f"{baseline.result.cycles:,.0f}", "--"],
+            ["P1-P5 (memory cell)", f"{st.result.cycles:,.0f}",
+             f"+{100 * st_over:.1f}%"],
+            ["P1-P5-MT (register R13)", f"{mt.result.cycles:,.0f}",
+             f"+{100 * mt_over:.1f}%"]]
+    emit("ablation_mt_shadow", format_table(
+        "Ablation: shadow-stack variants on a call-heavy kernel",
+        ["contract", "cycles", "CFI overhead"], rows))
+    assert st.reports == mt.reports == baseline.reports
+    assert mt.result.cycles < st.result.cycles     # fewer memory ops
+    assert mt_over > 0
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4, 8])
+def test_mt_thread_scaling(benchmark, threads):
+    config = EnclaveConfig(num_threads=threads,
+                           stack_size=32 * PAGE_SIZE)
+    inputs = [bytes([i + 1]) for i in range(threads)]
+    outcomes = benchmark.pedantic(
+        lambda: _run(PolicySet.multithreaded(), config, inputs),
+        rounds=1, iterations=1)
+    assert all(o.ok for o in outcomes)
+    assert all(o.reports[0] == 1 for o in outcomes)
+    # the interleaved threads each complete their full work
+    total = sum(o.result.steps for o in outcomes)
+    single = _run(PolicySet.multithreaded())[0].result.steps
+    assert total == pytest.approx(single * threads, rel=0.01)

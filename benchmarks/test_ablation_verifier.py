@@ -1,0 +1,96 @@
+"""Ablation: in-enclave verification cost ("quick turnaround", §III-B).
+
+The paper's design goal is a fast compliance check at load time; this
+bench measures wall-clock verification throughput against binary size
+and the annotation density added by each policy level.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.compiler import compile_source
+from repro.core.verifier import PolicyVerifier
+from repro.policy import PolicySet
+
+from conftest import emit
+
+
+def _program(functions: int) -> str:
+    parts = []
+    for i in range(functions):
+        parts.append(f"""
+int f{i}(int x) {{
+    int arr[8];
+    int j;
+    for (j = 0; j < 8; j++) arr[j] = x * j + {i};
+    return arr[7] + arr[x % 8];
+}}""")
+    calls = " + ".join(f"f{i}(i)" for i in range(functions))
+    parts.append(f"""
+int main() {{
+    int i;
+    int acc = 0;
+    for (i = 0; i < 4; i++) acc += {calls};
+    __report(acc);
+    return acc;
+}}""")
+    return "\n".join(parts)
+
+
+def _verify_once(obj, policies):
+    verifier = PolicyVerifier(policies)
+    entry = obj.symbols[obj.entry].offset
+    targets = [obj.symbols[n].offset for n in obj.branch_targets]
+    return verifier.verify(obj.text, entry, targets)
+
+
+def test_verifier_scales_with_binary_size(benchmark):
+    policies = PolicySet.full()
+    rows = []
+    objs = {}
+    for functions in (4, 16, 64):
+        objs[functions] = compile_source(_program(functions), policies)
+    result = benchmark.pedantic(
+        lambda: _verify_once(objs[64], policies), rounds=3, iterations=1)
+    for functions, obj in objs.items():
+        start = time.perf_counter()
+        verified = _verify_once(obj, policies)
+        elapsed = time.perf_counter() - start
+        rows.append([functions, len(obj.text),
+                     verified.instruction_count,
+                     sum(verified.annotation_counts.values()),
+                     f"{elapsed * 1000:.1f}",
+                     f"{len(obj.text) / elapsed / 1e6:.2f}"])
+    table = format_table(
+        "Ablation: verification cost vs binary size (full policies)",
+        ["functions", "text bytes", "instructions", "annotations",
+         "ms", "MB/s"], rows)
+    emit("ablation_verifier", table)
+    assert result.instruction_count > 0
+
+
+def test_annotation_density_by_policy(benchmark):
+    src = _program(8)
+    rows = []
+
+    def build_all():
+        out = {}
+        for setting in ("baseline", "P1", "P1+P2", "P1-P5", "P1-P6"):
+            policies = PolicySet.parse(setting)
+            obj = compile_source(src, policies)
+            verified = _verify_once(obj, policies)
+            out[setting] = (len(obj.text),
+                            sum(verified.annotation_counts.values()))
+        return out
+
+    sizes = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    base = sizes["baseline"][0]
+    for setting, (text, anns) in sizes.items():
+        rows.append([setting, text, f"{text / base:.2f}x", anns])
+    table = format_table(
+        "Ablation: text growth and annotation count by policy level",
+        ["setting", "text bytes", "vs baseline", "annotations"], rows)
+    emit("ablation_annotations", table)
+    assert sizes["P1-P6"][0] > sizes["P1"][0] > sizes["baseline"][0]

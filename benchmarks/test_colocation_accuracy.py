@@ -1,0 +1,44 @@
+"""§IV-C accuracy experiment: co-location test false positives (alpha)
+on the paper's four processors (25.6M unit tests there; scaled here,
+with the exact binomial value alongside the Monte-Carlo estimate).
+"""
+
+import math
+
+import pytest
+
+from repro.bench import format_table
+from repro.hyperrace import CoLocationTester, PROCESSORS, analytic_alpha
+from repro.hyperrace.colocation import analytic_beta
+
+from conftest import emit
+
+UNIT_TESTS = 1_024_000   # paper: 25,600,000
+
+
+def test_colocation_alpha_table(benchmark):
+    def measure():
+        rows = {}
+        for name, cpu in PROCESSORS.items():
+            tester = CoLocationTester(cpu)
+            rows[name] = (analytic_alpha(cpu),
+                          tester.estimate_alpha(UNIT_TESTS),
+                          analytic_beta(cpu))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        f"Co-location test accuracy ({UNIT_TESTS:,} unit tests/CPU)",
+        ["Processor", "alpha (exact)", "alpha (measured)",
+         "beta (exact)"],
+        [[name, f"{a:.2e}", f"{m:.2e}", f"{b:.2e}"]
+         for name, (a, m, b) in rows.items()])
+    emit("colocation_accuracy", table)
+
+    alphas = [a for a, _, _ in rows.values()]
+    # "results are on the same order of magnitude" and usable in practice
+    assert max(alphas) < 1e-3
+    spread = math.log10(max(alphas)) - math.log10(min(alphas))
+    assert spread < 2.5
+    for _, measured, _ in rows.values():
+        assert measured < 5e-3

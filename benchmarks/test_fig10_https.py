@@ -1,0 +1,62 @@
+"""Fig. 10: HTTPS server response time and throughput vs concurrency.
+
+Paper: instrumented ~= baseline below 75 connections, degrades somewhat
+at 100, response time grows significantly past 150; P1-P6 averages
+14.1% on response time, <10% on throughput between 75 and 200.
+"""
+
+import pytest
+
+from repro.bench import format_series
+from repro.policy import PolicySet
+from repro.service import HttpsServerSim, LoadGenerator
+
+from conftest import emit
+
+CONCURRENCY = (25, 50, 75, 100, 150, 200)
+
+
+@pytest.fixture(scope="module")
+def sims():
+    return (HttpsServerSim(PolicySet.none()),
+            HttpsServerSim(PolicySet.full()))
+
+
+def _sweep(sim):
+    rows = []
+    for c in CONCURRENCY:
+        gen = LoadGenerator(sim.service_time_us, workers=96)
+        rows.append(gen.run(c, max_requests=2500))
+    return rows
+
+
+def test_fig10_https_load(benchmark, sims):
+    base_sim, full_sim = sims
+    base = _sweep(base_sim)
+    full = benchmark.pedantic(lambda: _sweep(full_sim),
+                              rounds=1, iterations=1)
+    text = format_series(
+        "Fig 10: HTTPS response time (ms) and throughput (req/s), "
+        "baseline vs P1-P6",
+        "conns", CONCURRENCY, {
+            "base rt": [f"{r.mean_response_ms:.3f}" for r in base],
+            "P1-P6 rt": [f"{r.mean_response_ms:.3f}" for r in full],
+            "base thr": [f"{r.throughput_rps:.0f}" for r in base],
+            "P1-P6 thr": [f"{r.throughput_rps:.0f}" for r in full],
+        })
+    rt_overheads = [f.mean_response_ms / b.mean_response_ms - 1
+                    for b, f in zip(base, full)]
+    avg_rt = 100 * sum(rt_overheads) / len(rt_overheads)
+    text += (f"\n\nmean response-time overhead: {avg_rt:.1f}% "
+             f"(paper: 14.1%)")
+    emit("fig10_https", text)
+
+    # shape: flat latency through 75, knee by 150
+    assert full[2].mean_response_ms == pytest.approx(
+        full[0].mean_response_ms, rel=0.3)
+    assert full[4].mean_response_ms > full[2].mean_response_ms * 1.3
+    # throughput overhead moderate in the 75..200 range
+    for b, f in zip(base[2:], full[2:]):
+        overhead = (b.throughput_rps - f.throughput_rps) / b.throughput_rps
+        assert overhead < 0.25
+    assert 0 < avg_rt < 35

@@ -1,0 +1,48 @@
+"""Fig. 11: HTTPS transfer rate vs file size across shielding runtimes.
+
+Paper: unprotected Graphene-SGX leads on small files; as size grows
+DEFLECTION overtakes both Graphene and Occlum, reaching ~77% of native
+Linux — while being the only runtime enforcing P0-P5.
+"""
+
+import pytest
+
+from repro.bench import format_series
+from repro.runtimes import (
+    GRAPHENE, NATIVE, OCCLUM, deflection_runtime_model,
+)
+from repro.tcb import consumer_inventory
+
+from conftest import emit
+
+SIZES = tuple(1 << k for k in range(10, 21, 2))  # 1KB .. 1MB
+
+
+def test_fig11_transfer_rates(benchmark):
+    ours = deflection_runtime_model(
+        consumer_inventory()["Loader/Verifier"].kloc)
+    models = (NATIVE, GRAPHENE, OCCLUM, ours)
+
+    def sweep():
+        return {m.name: [m.transfer_rate_mbps(s) for s in SIZES]
+                for m in models}
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_series(
+        "Fig 11: transfer rate (MB/s) by file size",
+        "bytes", SIZES,
+        {name: [f"{r:.1f}" for r in series]
+         for name, series in rates.items()})
+    big = SIZES[-1]
+    ratio = ours.relative_to(NATIVE, big)
+    text += (f"\n\nDEFLECTION at {big} B: "
+             f"{100 * ratio:.1f}% of native (paper: 77%)")
+    emit("fig11_runtimes", text)
+
+    # small files: Graphene leads the enclave runtimes
+    assert rates["Graphene-SGX"][0] > rates["DEFLECTION"][0]
+    assert rates["Graphene-SGX"][0] > rates["Occlum"][0]
+    # large files: DEFLECTION overtakes both
+    assert rates["DEFLECTION"][-1] > rates["Graphene-SGX"][-1]
+    assert rates["DEFLECTION"][-1] > rates["Occlum"][-1]
+    assert 0.70 < ratio < 0.85

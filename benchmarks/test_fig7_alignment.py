@@ -1,0 +1,46 @@
+"""Fig. 7: sequence alignment runtime vs input length.
+
+Paper: overall overhead <=20% for small inputs (P1 alone <=10%); at
+larger inputs P1+P2 ~19.7%, P1-P5 ~22.2% over baseline.
+"""
+
+import pytest
+
+from repro.bench import PAPER_SETTINGS, format_series, overhead_matrix, percent
+
+from conftest import emit
+
+SIZES = (32, 64, 128, 224)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return {n: overhead_matrix("sequence_alignment", n) for n in SIZES}
+
+
+def test_fig7_alignment_runtime(benchmark, fig7):
+    benchmark.pedantic(
+        lambda: overhead_matrix("sequence_alignment", SIZES[0],
+                                settings=("baseline", "P1")),
+        rounds=1, iterations=1)
+    series = {}
+    for setting in PAPER_SETTINGS:
+        series[setting] = [
+            f"{fig7[n][setting].cycles / 1e3:.0f}k"
+            + ("" if setting == "baseline"
+               else f" ({percent(fig7[n][setting].overhead_pct)})")
+            for n in SIZES]
+    text = format_series(
+        "Fig 7: Needleman-Wunsch cycles by input length "
+        "(overhead vs baseline)",
+        "bases", SIZES, series)
+    emit("fig7_alignment", text)
+
+    for n in SIZES:
+        matrix = fig7[n]
+        assert matrix["baseline"].reports[0] == 1
+        assert matrix["P1"].overhead_pct < 25
+        assert matrix["P1-P5"].overhead_pct < 45
+    # quadratic scaling in input length
+    assert fig7[SIZES[-1]]["baseline"].cycles > \
+        20 * fig7[SIZES[0]]["baseline"].cycles

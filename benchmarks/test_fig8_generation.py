@@ -1,0 +1,49 @@
+"""Fig. 8: sequence generation runtime vs output length.
+
+Paper: P1 alone 5.1%-6.9% (1K-100K nucleotides); <20% at 200K even for
+P1-P5; ~25% with side-channel mitigation.  Output lengths scaled down
+(the shape is linear in output size).
+"""
+
+import pytest
+
+from repro.bench import PAPER_SETTINGS, format_series, overhead_matrix, percent
+
+from conftest import emit
+
+SIZES = (1_000, 4_000, 16_000, 48_000)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return {n: overhead_matrix("sequence_generation", n) for n in SIZES}
+
+
+def test_fig8_generation_runtime(benchmark, fig8):
+    benchmark.pedantic(
+        lambda: overhead_matrix("sequence_generation", SIZES[0],
+                                settings=("baseline", "P1")),
+        rounds=1, iterations=1)
+    series = {}
+    for setting in PAPER_SETTINGS:
+        series[setting] = [
+            f"{fig8[n][setting].cycles / 1e3:.0f}k"
+            + ("" if setting == "baseline"
+               else f" ({percent(fig8[n][setting].overhead_pct)})")
+            for n in SIZES]
+    text = format_series(
+        "Fig 8: sequence generation cycles by output length "
+        "(overhead vs baseline)",
+        "nucleotides", SIZES, series)
+    emit("fig8_generation", text)
+
+    for n in SIZES:
+        matrix = fig8[n]
+        assert matrix["baseline"].reports[0] == 1
+        assert matrix["P1"].overhead_pct < 20
+        assert matrix["P1-P6"].overhead_pct < 50
+    # linear scaling in output size (excluding OCall constant): 48x the
+    # output is roughly 48x the work
+    ratio = fig8[SIZES[-1]]["baseline"].cycles / \
+        fig8[SIZES[0]]["baseline"].cycles
+    assert 20 < ratio < 60

@@ -1,0 +1,51 @@
+"""Fig. 9: credit scoring (BP network) runtime vs number of records.
+
+Paper: P1-P5 ~15% at 1K-10K records, <20% beyond 50K; P1-P6 <10% at
+100K records (the per-record work dwarfs the per-block marker checks as
+the batch grows).  Record counts scaled down.
+"""
+
+import pytest
+
+from repro.bench import PAPER_SETTINGS, format_series, overhead_matrix, percent
+
+from conftest import emit
+
+RECORDS = (100, 300, 1000, 2500)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return {n: overhead_matrix("credit_scoring", n) for n in RECORDS}
+
+
+def test_fig9_credit_scoring(benchmark, fig9):
+    benchmark.pedantic(
+        lambda: overhead_matrix("credit_scoring", RECORDS[0],
+                                settings=("baseline", "P1")),
+        rounds=1, iterations=1)
+    series = {}
+    for setting in PAPER_SETTINGS:
+        series[setting] = [
+            f"{fig9[n][setting].cycles / 1e3:.0f}k"
+            + ("" if setting == "baseline"
+               else f" ({percent(fig9[n][setting].overhead_pct)})")
+            for n in RECORDS]
+    text = format_series(
+        "Fig 9: credit scoring cycles by record count "
+        "(overhead vs baseline)",
+        "records", RECORDS, series)
+    emit("fig9_credit", text)
+
+    for n in RECORDS:
+        matrix = fig9[n]
+        assert matrix["baseline"].reports[0] == 1   # beats chance
+        assert matrix["P1-P5"].overhead_pct < 40
+    # scoring cost is linear in records on top of the fixed training
+    # cost: the marginal cycles/record are constant across the sweep
+    def marginal(a, b):
+        return (fig9[b]["baseline"].cycles -
+                fig9[a]["baseline"].cycles) / (b - a)
+
+    assert marginal(1000, 2500) == pytest.approx(
+        marginal(300, 1000), rel=0.25)

@@ -1,0 +1,80 @@
+"""Table II: nBench overheads under P1, P1+P2, P1-P5, P1-P6.
+
+Runs each of the ten kernels through the full pipeline at all five
+settings and reports cycle-account overhead vs the pure-loader baseline,
+next to the paper's numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import PAPER_SETTINGS, format_table, overhead_matrix, percent
+from repro.workloads.nbench import NBENCH_ORDER
+
+from conftest import emit
+
+#: Table II as published (percent overhead).
+PAPER_TABLE2 = {
+    "numeric_sort": (5.18, 6.05, 6.79, 12.0),
+    "string_sort": (8.05, 10.2, 12.4, 18.4),
+    "bitfield": (6.11, 11.3, 15.5, 17.9),
+    "fp_emulation": (0.20, 0.27, 0.33, 5.36),
+    "fourier": (2.48, 2.72, 2.89, 7.45),
+    "assignment": (6.73, 15.6, 25.0, 39.8),
+    "idea": (2.34, 2.66, 3.13, 12.1),
+    "huffman": (15.5, 16.6, 18.1, 21.3),
+    "neural_net": (13.8, 19.4, 20.2, 23.1),
+    "lu_decomposition": (4.30, 7.03, 9.67, 22.6),
+}
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return {name: overhead_matrix(name) for name in NBENCH_ORDER}
+
+
+@pytest.mark.parametrize("name", NBENCH_ORDER)
+def test_nbench_kernel(benchmark, table2, name):
+    matrix = table2[name]
+    benchmark.pedantic(
+        lambda: overhead_matrix(name, settings=("baseline", "P1")),
+        rounds=1, iterations=1)
+    # shape assertions: monotone in policy strength; everything correct
+    assert matrix["baseline"].reports[0] == 1
+    assert 0 < matrix["P1"].overhead_pct
+    assert matrix["P1"].overhead_pct <= matrix["P1+P2"].overhead_pct + 1
+    assert matrix["P1+P2"].overhead_pct < matrix["P1-P5"].overhead_pct
+    assert matrix["P1-P5"].overhead_pct < matrix["P1-P6"].overhead_pct
+
+
+def test_table2_summary(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in NBENCH_ORDER:
+        matrix = table2[name]
+        paper = PAPER_TABLE2[name]
+        cells = [name]
+        for i, setting in enumerate(PAPER_SETTINGS[1:]):
+            cells.append(f"{percent(matrix[setting].overhead_pct)} "
+                         f"({paper[i]:.2f})")
+        rows.append(cells)
+
+    def geomean(index):
+        vals = [1 + table2[n][PAPER_SETTINGS[1:][index]].overhead_pct
+                / 100 for n in NBENCH_ORDER]
+        return 100 * (math.prod(vals) ** (1 / len(vals)) - 1)
+
+    text = format_table(
+        "Table II: nBench overhead, measured (paper) in %",
+        ["Program", "P1", "P1+P2", "P1-P5", "P1-P6"], rows)
+    text += (f"\n\ngeomean P1-P5: {geomean(2):.1f}% (paper ~10%)"
+             f"\ngeomean P1-P6: {geomean(3):.1f}% (paper ~20%)")
+    emit("table2_nbench", text)
+
+    # headline shape: ASSIGNMENT worst under full policies,
+    # FP EMULATION cheapest
+    full = {n: table2[n]["P1-P6"].overhead_pct for n in NBENCH_ORDER}
+    assert max(full, key=full.get) == "assignment"
+    assert min(full, key=full.get) == "fp_emulation"
+    assert geomean(3) < 60.0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Attack demonstration: each policy is load-bearing.
+
+For four attack classes this script runs the same malicious binary
+twice — once with the defending policy enabled (the annotation traps it)
+and once without (the attack visibly succeeds: data leaves the enclave,
+code gets injected, control flow is hijacked).
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.policy import PolicySet
+from repro.policy.magic import VIOLATION_NAMES
+from repro.vm.interrupts import AexSchedule
+
+LEAK = """
+int main() {
+    int *p = 0x100000;        // untrusted memory, outside ELRANGE
+    *p = 0x5EC2E75;           // the secret
+    return 0;
+}
+"""
+
+CODE_INJECTION = """
+int victim() { return 7; }
+int main() {
+    int *p = &victim;
+    p[0] = 0x902;             // TRAP 9 machine code
+    return victim();
+}
+"""
+
+ROP = """
+int evil(int x) { __report(666); while (1) { x++; } return x; }
+int victim() {
+    int buf[2];
+    buf[3] = &evil;           // smash the return address
+    return buf[0];
+}
+int main() { victim(); __report(1); return 0; }
+"""
+
+BUSY = """
+int main() {
+    int i; int acc = 0;
+    for (i = 0; i < 20000; i++) acc += i;
+    __report(acc);
+    return 0;
+}
+"""
+
+
+def run(source, setting, aex=None, threshold=10):
+    policies = PolicySet.parse(setting)
+    boot = BootstrapEnclave(policies=policies, aex_threshold=threshold)
+    boot.receive_binary(compile_source(source, policies).serialize())
+    outcome = boot.run(aex_schedule=aex, max_steps=2_000_000)
+    return boot, outcome
+
+
+def banner(title):
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main():
+    banner("1. data exfiltration by direct store (P1)")
+    boot, outcome = run(LEAK, "P1")
+    print(f"  P1 on : {outcome.status} — "
+          f"{VIOLATION_NAMES[outcome.violation_code]}")
+    boot, outcome = run(LEAK, "baseline")
+    leaked = boot.enclave.space.load_u64(0x100000)
+    print(f"  P1 off: {outcome.status} — secret {leaked:#x} now in "
+          f"untrusted memory ({len(boot.enclave.space.untrusted_writes)}"
+          f" outside writes)")
+
+    banner("2. runtime code injection (P4 / software DEP)")
+    _, outcome = run(CODE_INJECTION, "P1-P5")
+    print(f"  P4 on : {outcome.status} — "
+          f"{VIOLATION_NAMES[outcome.violation_code]}")
+    _, outcome = run(CODE_INJECTION, "P1")
+    print(f"  P4 off: injected instruction executed "
+          f"(trap code {outcome.violation_code} came from the "
+          f"attacker's bytes)")
+
+    banner("3. ROP via return-address overwrite (P5 shadow stack)")
+    _, outcome = run(ROP, "P1-P5")
+    print(f"  P5 on : {outcome.status} — "
+          f"{VIOLATION_NAMES[outcome.violation_code]}; attacker code "
+          f"never ran (reports={outcome.reports})")
+    _, outcome = run(ROP, "P1")
+    print(f"  P5 off: control flow diverted — attacker reported "
+          f"{outcome.reports}")
+
+    banner("4. AEX interrupt storm (P6 / HyperRace)")
+    _, outcome = run(BUSY, "P1-P6", aex=AexSchedule.attack())
+    print(f"  P6 on : {outcome.status} — "
+          f"{VIOLATION_NAMES[outcome.violation_code]} after "
+          f"{outcome.result.aex_events} AEXes")
+    _, outcome = run(BUSY, "P1-P5", aex=AexSchedule.attack())
+    print(f"  P6 off: {outcome.status} — {outcome.result.aex_events} "
+          f"AEXes went unnoticed (side channel open)")
+
+    print("\nevery defense shown above is an *in-binary annotation*")
+    print("verified by the bootstrap enclave before execution.")
+
+
+if __name__ == "__main__":
+    main()

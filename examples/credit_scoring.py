@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Privacy-preserving credit evaluation with policy-level cost sweep.
+
+The paper's motivating example: a customer's transactions are exposed
+only to an enclave running credit-evaluation code in compliance with
+public privacy rules.  This example scores a batch of applicants under
+every policy setting of the evaluation and prints the Fig 9-style
+overhead readout.
+
+Run:  python examples/credit_scoring.py
+"""
+
+from repro.bench import PAPER_SETTINGS, overhead_matrix, percent
+from repro.workloads import get_workload
+
+RECORDS = 400
+
+
+def main():
+    workload = get_workload("credit_scoring")
+    print(f"scoring {RECORDS} applicant records "
+          f"({workload.description})\n")
+    matrix = overhead_matrix(workload, RECORDS)
+
+    print(f"{'setting':10s} {'cycles':>12s} {'overhead':>9s} "
+          f"{'approved':>9s} {'checksum':>11s}")
+    for setting in PAPER_SETTINGS:
+        result = matrix[setting]
+        overhead = ("--" if setting == "baseline"
+                    else percent(result.overhead_pct))
+        print(f"{setting:10s} {result.cycles:12,.0f} {overhead:>9s} "
+              f"{result.reports[1]:>9d} {result.reports[2]:>11d}")
+
+    base = matrix["baseline"]
+    print(f"\nall settings agree on every output "
+          f"(differential check): {base.reports}")
+    print(f"model beats chance: self-check = {base.reports[0]}")
+    print("\nreading guide: P1 adds store guards; +P2 stack-pointer "
+          "checks; P1-P5 adds CFI + shadow stack; P1-P6 adds the "
+          "HyperRace AEX markers (side-channel mitigation).")
+
+
+if __name__ == "__main__":
+    main()

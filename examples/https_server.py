@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""In-enclave HTTPS server under load (Fig 10) and the runtime
+comparison (Fig 11).
+
+The request handler really runs in the VM (compiled + verified under
+the chosen policies); its measured cycle account drives a closed-loop
+load simulation in the style of the paper's Siege runs.
+
+Run:  python examples/https_server.py
+"""
+
+from repro.policy import PolicySet
+from repro.runtimes import GRAPHENE, NATIVE, OCCLUM, \
+    deflection_runtime_model
+from repro.service import HttpsServerSim, LoadGenerator
+
+
+def main():
+    print("calibrating in-enclave handler (real VM runs)...")
+    base = HttpsServerSim(PolicySet.none())
+    full = HttpsServerSim(PolicySet.full())
+    print(f"  baseline: {base.cycles_fixed:,.0f} cycles/request + "
+          f"{base.cycles_per_byte:.2f} cycles/byte")
+    print(f"  P1-P6:    {full.cycles_fixed:,.0f} cycles/request + "
+          f"{full.cycles_per_byte:.2f} cycles/byte")
+
+    print("\nFig 10: response time / throughput vs concurrency "
+          "(4 KB responses)")
+    print(f"{'conns':>6s} {'base ms':>9s} {'P1-P6 ms':>9s} "
+          f"{'base rps':>10s} {'P1-P6 rps':>10s}")
+    for conns in (25, 50, 75, 100, 150, 200):
+        rb = LoadGenerator(base.service_time_us, workers=96).run(
+            conns, max_requests=2000)
+        rf = LoadGenerator(full.service_time_us, workers=96).run(
+            conns, max_requests=2000)
+        print(f"{conns:6d} {rb.mean_response_ms:9.3f} "
+              f"{rf.mean_response_ms:9.3f} {rb.throughput_rps:10,.0f} "
+              f"{rf.throughput_rps:10,.0f}")
+
+    print("\nFig 11: transfer rate (MB/s) vs file size")
+    ours = deflection_runtime_model()
+    models = (NATIVE, GRAPHENE, OCCLUM, ours)
+    header = "".join(f"{m.name:>14s}" for m in models)
+    print(f"{'size':>8s}{header}")
+    for size in (1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20):
+        row = "".join(f"{m.transfer_rate_mbps(size):14.1f}"
+                      for m in models)
+        print(f"{size:8d}{row}")
+    ratio = ours.relative_to(NATIVE, 1 << 20)
+    print(f"\nDEFLECTION reaches {100 * ratio:.0f}% of native on 1 MB "
+          f"files (paper: 77%) while enforcing P0-P5; the libOS "
+          f"runtimes enforce none of the policies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Multi-threaded enclave service (the paper's §VII extension).
+
+Four TCS slots serve four clients concurrently inside one enclave.
+The shadow-stack pointer lives in the reserved R13 register — the
+paper's own sketch for making CFI metadata TOCTOU-safe across threads
+("make all CFI metadata to be kept in the register") — and each thread
+gets a private stack and shadow-stack slice.
+
+The demo also shows blast-radius containment: one thread turning
+malicious is trapped by its annotations while the other three finish
+their work normally.
+
+Run:  python examples/multithreaded_service.py
+"""
+
+import struct
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.policy import PolicySet
+from repro.sgx import EnclaveConfig, PAGE_SIZE
+
+SERVICE = """
+int score(int value) {
+    int acc = 0;
+    int i;
+    for (i = 1; i <= value % 50 + 10; i++) acc += i * i % 97;
+    return acc;
+}
+
+int main() {
+    // stack-local request buffer: each thread's stack slice is private,
+    // so concurrent requests cannot race (globals are shared across
+    // threads — the paper's per-thread memory isolation policy is
+    // future work, so services must keep per-request state local)
+    char req[16];
+    __recv(req, 16);
+    int client = req[0];
+    int amount = 0;
+    int i;
+    for (i = 8; i >= 1; i--) amount = amount * 256 + req[i];
+    if (client == 13) {
+        // the rogue client's request triggers a data-exfiltration bug
+        int *p = 0x100000;
+        *p = amount;
+    }
+    __report(client);
+    __report(score(amount));
+    return 0;
+}
+"""
+
+
+def request(client: int, amount: int) -> bytes:
+    return bytes([client]) + struct.pack("<Q", amount)[:8] + b"\x00" * 7
+
+
+def main():
+    policies = PolicySet.multithreaded()
+    print(f"policy contract: {policies.describe()} "
+          f"(shadow-stack pointer in R13)")
+    config = EnclaveConfig(num_threads=4, stack_size=16 * PAGE_SIZE)
+    boot = BootstrapEnclave(policies=policies, config=config)
+    boot.receive_binary(compile_source(SERVICE, policies).serialize())
+    print(f"enclave has {config.num_threads} TCS slots; binary verified "
+          f"({sum(boot.verified.annotation_counts.values())} annotations)")
+
+    print("\n== four clients, one of them malicious ==")
+    requests = [request(1, 4200), request(2, 77), request(13, 0xDEAD),
+                request(4, 990)]
+    outcomes = boot.run_threads(requests, quantum=200)
+    for tid, outcome in enumerate(outcomes):
+        if outcome.ok:
+            print(f"  thread {tid}: ok    — client {outcome.reports[0]} "
+                  f"scored {outcome.reports[1]} "
+                  f"({outcome.result.steps} instructions)")
+        else:
+            print(f"  thread {tid}: {outcome.status} — "
+                  f"{outcome.violation_name or outcome.detail}")
+    assert outcomes[2].status == "violation"
+    assert all(outcomes[i].ok for i in (0, 1, 3))
+    assert boot.enclave.space.untrusted_writes == []
+    print("\nrogue thread trapped mid-flight; nothing left the enclave;"
+          "\nthe other three clients were served normally.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""DEFLECTION reproduction: in-enclave verification of privacy compliance.
+
+A from-scratch Python reproduction of Liu et al., "Practical and
+Efficient in-Enclave Verification of Privacy Compliance" (DSN 2021).
+See README.md for the tour, DESIGN.md for the architecture and
+substitution table, EXPERIMENTS.md for paper-vs-measured results.
+
+Most callers need only::
+
+    from repro.compiler import CodeGenerator     # untrusted producer
+    from repro.core import BootstrapEnclave      # trusted consumer
+    from repro.policy import PolicySet           # the contract
+"""
+
+__version__ = "1.0.0"
+__paper__ = ("Practical and Efficient in-Enclave Verification of "
+             "Privacy Compliance, DSN 2021")

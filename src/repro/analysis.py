@@ -1,0 +1,152 @@
+"""Static analysis reports over relocatable objects.
+
+Complements the verifier with *descriptive* output: instruction mix,
+annotation inventory and overhead, control-flow summary, per-function
+sizes.  Used by ``python -m repro objdump --stats`` and by tests that
+pin structural properties of producer output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .bench.tables import format_table
+from .compiler.objfile import ObjectFile, SEC_TEXT
+from .core.rdd import recursive_descent
+from .core.verifier import PolicyVerifier
+from .isa.instructions import (
+    COND_JUMPS, NO_FALLTHROUGH_OPS, Op, SPECS,
+    is_indirect_branch, is_store,
+)
+from .policy.policies import PolicySet
+
+
+@dataclass
+class BinaryReport:
+    """Everything the analyzer derives from one object."""
+
+    text_bytes: int = 0
+    reachable_instructions: int = 0
+    reachable_bytes: int = 0
+    dead_bytes: int = 0
+    opcode_histogram: Dict[str, int] = field(default_factory=dict)
+    stores: int = 0
+    calls: int = 0
+    indirect_branches: int = 0
+    basic_blocks: int = 0
+    functions: Dict[str, int] = field(default_factory=dict)  # name->size
+    annotation_counts: Dict[str, int] = field(default_factory=dict)
+    annotation_bytes: int = 0
+
+    @property
+    def annotation_fraction(self) -> float:
+        """Share of reachable bytes spent on security annotations."""
+        if not self.reachable_bytes:
+            return 0.0
+        return self.annotation_bytes / self.reachable_bytes
+
+    def render(self) -> str:
+        rows = [
+            ["text bytes", self.text_bytes],
+            ["reachable instructions", self.reachable_instructions],
+            ["reachable bytes", self.reachable_bytes],
+            ["dead (unreachable) bytes", self.dead_bytes],
+            ["basic blocks", self.basic_blocks],
+            ["stores", self.stores],
+            ["calls", self.calls],
+            ["indirect branches", self.indirect_branches],
+            ["annotations", sum(self.annotation_counts.values())],
+            ["annotation bytes",
+             f"{self.annotation_bytes} "
+             f"({100 * self.annotation_fraction:.1f}%)"],
+        ]
+        out = [format_table("binary statistics", ["metric", "value"],
+                            rows)]
+        top = Counter(self.opcode_histogram).most_common(10)
+        out.append(format_table("top opcodes (reachable)",
+                                ["mnemonic", "count"], top))
+        funcs = sorted(self.functions.items(), key=lambda kv: -kv[1])
+        out.append(format_table("functions by size",
+                                ["symbol", "bytes"], funcs[:15]))
+        if self.annotation_counts:
+            out.append(format_table(
+                "annotations", ["kind", "count"],
+                sorted(self.annotation_counts.items())))
+        return "\n\n".join(out)
+
+
+def analyze_object(obj: ObjectFile,
+                   policies: Optional[PolicySet] = None,
+                   custom=()) -> BinaryReport:
+    """Analyze ``obj``; with ``policies`` the annotation inventory is
+    produced by actually running the verifier."""
+    report = BinaryReport(text_bytes=len(obj.text))
+    entry = obj.symbols[obj.entry].offset
+    targets = [obj.symbols[name].offset for name in obj.branch_targets]
+    code = recursive_descent(obj.text, entry, targets)
+
+    histogram: Counter = Counter()
+    reachable_bytes = 0
+    leaders = {entry} | set(targets)
+    for offset, ins in code.stream:
+        histogram[SPECS[ins.op].name] += 1
+        reachable_bytes += ins.length
+        if is_store(ins):
+            report.stores += 1
+        if ins.op == Op.CALL:
+            report.calls += 1
+            leaders.add(offset + ins.length + ins.operands[0])
+        if is_indirect_branch(ins):
+            report.indirect_branches += 1
+        if ins.op == Op.JMP or ins.op in COND_JUMPS:
+            leaders.add(offset + ins.length + ins.operands[0])
+            if ins.op in COND_JUMPS:
+                leaders.add(offset + ins.length)
+    report.opcode_histogram = dict(histogram)
+    report.reachable_instructions = len(code.stream)
+    report.reachable_bytes = reachable_bytes
+    report.dead_bytes = len(obj.text) - reachable_bytes
+    report.basic_blocks = sum(1 for leader in leaders
+                              if leader in code.index_of)
+
+    # per-function sizes: distance to the next text symbol
+    text_symbols = sorted(
+        (sym.offset, name) for name, sym in obj.symbols.items()
+        if sym.section == SEC_TEXT)
+    for (off, name), (nxt, _) in zip(
+            text_symbols, text_symbols[1:] + [(len(obj.text), "")]):
+        report.functions[name] = nxt - off
+
+    if policies is not None:
+        verifier = PolicyVerifier(policies, custom=custom)
+        verified = verifier.verify(obj.text, entry, targets)
+        report.annotation_counts = dict(verified.annotation_counts)
+        report.annotation_bytes = _annotation_bytes(
+            verified, policies, custom)
+    return report
+
+
+def _annotation_bytes(verified, policies: PolicySet, custom) -> int:
+    from .policy.templates import (
+        indirect_branch_pattern, p6_guard_pattern, pattern_length,
+        rsp_guard_pattern, shadow_epilogue_pattern,
+        shadow_prologue_pattern, store_guard_pattern,
+    )
+    from .policy.templates import AnnotationKind as K
+    sizes = {
+        K.STORE_GUARD: pattern_length(store_guard_pattern(policies)),
+        K.RSP_GUARD: pattern_length(rsp_guard_pattern()),
+        K.INDIRECT: pattern_length(indirect_branch_pattern()),
+        K.PROLOGUE: pattern_length(
+            shadow_prologue_pattern(policies.mt_safe)),
+        K.EPILOGUE: pattern_length(
+            shadow_epilogue_pattern(policies.mt_safe)),
+        K.P6_GUARD: pattern_length(p6_guard_pattern()),
+    }
+    for policy in custom:
+        sizes[f"custom:{policy.name}"] = pattern_length(
+            policy.guard_pattern())
+    return sum(sizes.get(kind, 0) * count
+               for kind, count in verified.annotation_counts.items())

@@ -1,0 +1,137 @@
+"""Run-matrix helpers shared by the test suite and the benchmarks.
+
+``run_workload`` executes one workload under one policy setting through
+the *full* pipeline — compile, instrument, link, serialize, parse, load,
+RDD, verify, rewrite, execute — and returns the deterministic cycle
+account.  ``overhead_matrix`` sweeps the paper's five policy settings
+and computes overhead percentages relative to the baseline (the pure
+loader, as in §VI-B).
+
+Compiled objects are memoised: the same (source, policies) pair is
+compiled once per process.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..compiler.frontend import compile_source
+from ..core.bootstrap import BootstrapEnclave, RunOutcome
+from ..policy.policies import PolicySet
+from ..sgx.layout import EnclaveConfig
+from ..vm.costmodel import CostModel
+from ..vm.interrupts import AexSchedule
+from ..workloads import Workload, get_workload
+
+#: The evaluation columns of Table II / Figs 7-9.
+PAPER_SETTINGS = ("baseline", "P1", "P1+P2", "P1-P5", "P1-P6")
+
+
+@dataclass
+class BenchResult:
+    """One cell of a run matrix."""
+
+    workload: str
+    setting: str
+    param: int
+    steps: int
+    cycles: float
+    reports: List[int] = field(default_factory=list)
+    aex_events: int = 0
+    text_bytes: int = 0
+    status: str = "ok"
+
+    def overhead_vs(self, baseline: "BenchResult") -> float:
+        """Relative overhead in percent (cycle account)."""
+        return 100.0 * (self.cycles - baseline.cycles) / baseline.cycles
+
+
+@functools.lru_cache(maxsize=256)
+def _compile_cached(source: str, label: str) -> bytes:
+    return compile_source(source, PolicySet.parse(label)).serialize()
+
+
+def compile_workload(workload: Union[str, Workload], setting: str,
+                     param: Optional[int] = None) -> bytes:
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    return _compile_cached(workload.source(param), setting)
+
+
+def run_workload(workload: Union[str, Workload], setting: str,
+                 param: Optional[int] = None,
+                 aex_schedule: Optional[AexSchedule] = None,
+                 cost_model: Optional[CostModel] = None,
+                 config: Optional[EnclaveConfig] = None,
+                 max_steps: int = 100_000_000,
+                 aex_threshold: int = 1000) -> BenchResult:
+    """Full-pipeline execution of one workload under one setting."""
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    policies = PolicySet.parse(setting)
+    blob = compile_workload(workload, setting, param)
+    boot = BootstrapEnclave(policies=policies, config=config,
+                            aex_threshold=aex_threshold)
+    boot.receive_binary(blob)
+    input_bytes = workload.input_bytes(param)
+    if input_bytes:
+        boot.receive_userdata(input_bytes)
+    outcome: RunOutcome = boot.run(aex_schedule=aex_schedule,
+                                   cost_model=cost_model,
+                                   max_steps=max_steps)
+    result = BenchResult(
+        workload=workload.name, setting=setting,
+        param=param if param is not None else workload.default_param,
+        steps=outcome.result.steps if outcome.result else 0,
+        cycles=outcome.result.cycles if outcome.result else 0.0,
+        reports=list(outcome.reports),
+        aex_events=outcome.result.aex_events if outcome.result else 0,
+        text_bytes=boot.loaded.code_len,
+        status=outcome.status)
+    if outcome.status != "ok":
+        raise RuntimeError(
+            f"{workload.name}/{setting}: {outcome.status} "
+            f"({outcome.detail})")
+    if result.reports and result.reports[0] != 1:
+        raise RuntimeError(
+            f"{workload.name}/{setting}: self-check failed "
+            f"(reports={result.reports})")
+    return result
+
+
+def overhead_matrix(workload: Union[str, Workload],
+                    param: Optional[int] = None,
+                    settings=PAPER_SETTINGS,
+                    aex_mean_interval: int = 400_000,
+                    **kwargs) -> Dict[str, BenchResult]:
+    """Run ``workload`` under every setting; attach ``.overhead_pct``.
+
+    The P1-P6 setting runs under a benign AEX schedule (OS timer ticks),
+    so the marker path and the AEX accounting are actually exercised.
+    The default threshold is sized for benign profiles of the largest
+    benchmark runs, as §IV-C prescribes ("set by profiling the enclave
+    program in benign environments").  All settings must report
+    identical values (differential check).
+    """
+    results: Dict[str, BenchResult] = {}
+    for setting in settings:
+        aex = None
+        if PolicySet.parse(setting).p6 and aex_mean_interval:
+            aex = AexSchedule(aex_mean_interval)
+        results[setting] = run_workload(workload, setting, param,
+                                        aex_schedule=aex, **kwargs)
+    baseline = results.get("baseline")
+    reports0 = None
+    for setting, result in results.items():
+        if reports0 is None:
+            reports0 = result.reports
+        elif result.reports != reports0:
+            raise RuntimeError(
+                f"{result.workload}: reports diverge between settings "
+                f"({setting}: {result.reports} vs {reports0})")
+        result.overhead_pct = (result.overhead_vs(baseline)
+                               if baseline and setting != "baseline"
+                               else 0.0)
+    return results

@@ -1,0 +1,40 @@
+"""Plain-text table/figure rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def percent(value: float, signed: bool = True) -> str:
+    sign = "+" if signed and value >= 0 else ""
+    return f"{sign}{value:.1f}%"
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table with a title rule."""
+    rendered: List[List[str]] = [[str(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i]
+                           for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: Sequence[object],
+                  series: dict) -> str:
+    """Render figure-style data: one row per x, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(title, headers, rows)

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Developer-facing tooling around the library:
+
+* ``compile`` — run the untrusted producer on a MiniC file;
+* ``objdump`` — inspect a relocatable object (headers, symbols,
+  relocations, branch-target list, disassembly);
+* ``verify``  — run the in-enclave verifier standalone and report the
+  annotation inventory or the rejection reason;
+* ``run``     — full pipeline: load, verify, rewrite, execute;
+* ``tcb``     — print the measured TCB inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bench.tables import format_table
+from .compiler import CodeGenerator, ObjectFile
+from .core import BootstrapEnclave
+from .core.verifier import PolicyVerifier
+from .errors import ReproError
+from .isa.disassembler import disassemble_linear, format_instruction
+from .policy import PolicySet
+from .vm.interrupts import AexSchedule
+
+
+def _policies(label: str) -> PolicySet:
+    return PolicySet.parse(label)
+
+
+def cmd_compile(args) -> int:
+    source = Path(args.source).read_text()
+    generator = CodeGenerator(_policies(args.policies),
+                              include_prelude=not args.no_prelude)
+    obj = generator.compile(source, entry=args.entry)
+    blob = obj.serialize()
+    out = Path(args.output or (Path(args.source).stem + ".dfob"))
+    out.write_bytes(blob)
+    print(f"{out}: {len(blob)} bytes "
+          f"(text {len(obj.text)}, data {len(obj.data)}, "
+          f"bss {obj.bss_size}), policies {obj.policies_label}, "
+          f"{len(obj.symbols)} symbols, "
+          f"{len(obj.branch_targets)} indirect targets")
+    return 0
+
+
+def cmd_objdump(args) -> int:
+    obj = ObjectFile.parse(Path(args.object).read_bytes())
+    show_all = not (args.symbols or args.relocs or args.disasm
+                    or args.stats)
+    if show_all or args.headers:
+        print(f"entry:     {obj.entry}")
+        print(f"policies:  {obj.policies_label}")
+        print(f"text:      {len(obj.text)} bytes")
+        print(f"data:      {len(obj.data)} bytes")
+        print(f"bss:       {obj.bss_size} bytes")
+        print(f"hash:      {obj.measurement().hex()}")
+    if show_all or args.symbols:
+        rows = [[name, sym.section_name, f"{sym.offset:#x}",
+                 "func" if sym.kind == 0 else "object",
+                 "*" if name in obj.branch_targets else ""]
+                for name, sym in sorted(obj.symbols.items())]
+        print(format_table("symbols (* = indirect-branch target)",
+                           ["name", "section", "offset", "kind", "ib"],
+                           rows))
+    if show_all or args.relocs:
+        rows = [[f"{r.offset:#x}", r.symbol, f"{r.addend:+d}"]
+                for r in obj.relocations]
+        print(format_table("relocations (ABS64)",
+                           ["text offset", "symbol", "addend"], rows))
+    if args.stats:
+        from .analysis import analyze_object
+        policies = _policies(args.policies) if args.policies else None
+        print(analyze_object(obj, policies).render())
+    if args.disasm:
+        by_offset = {}
+        for name, sym in obj.symbols.items():
+            if sym.section_name == "text":
+                by_offset.setdefault(sym.offset, []).append(name)
+        for off, ins in disassemble_linear(obj.text):
+            for name in by_offset.get(off, []):
+                print(f"\n{name}:")
+            print(f"  {off:6x}:  {format_instruction(ins)}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    obj = ObjectFile.parse(Path(args.object).read_bytes())
+    verifier = PolicyVerifier(_policies(args.policies))
+    entry = obj.symbols[obj.entry].offset
+    targets = [obj.symbols[n].offset for n in obj.branch_targets]
+    try:
+        verified = verifier.verify(obj.text, entry, targets)
+    except ReproError as exc:
+        print(f"REJECTED: {exc}")
+        return 1
+    print(f"VERIFIED under {args.policies}: "
+          f"{verified.instruction_count} reachable instructions, "
+          f"{sum(verified.annotation_counts.values())} annotations, "
+          f"{len(verified.magic_slots)} rewriter slots")
+    for kind, count in sorted(verified.annotation_counts.items()):
+        print(f"  {kind:18s} {count}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    blob = Path(args.object).read_bytes()
+    boot = BootstrapEnclave(policies=_policies(args.policies),
+                            aex_threshold=args.aex_threshold)
+    try:
+        boot.receive_binary(blob)
+    except ReproError as exc:
+        print(f"REJECTED: {exc}")
+        return 1
+    if args.input:
+        boot.receive_userdata(Path(args.input).read_bytes())
+    if args.trace:
+        outcome, trace = boot.run_traced(max_instructions=args.trace)
+        for line in trace:
+            print(line)
+    else:
+        schedule = {"none": None,
+                    "benign": AexSchedule.benign(),
+                    "attack": AexSchedule.attack()}[args.aex]
+        outcome = boot.run(aex_schedule=schedule,
+                           max_steps=args.max_steps)
+    print(f"status:  {outcome.status}"
+          + (f" ({outcome.violation_name})"
+             if outcome.status == "violation" else ""))
+    if outcome.result:
+        print(f"steps:   {outcome.result.steps:,}")
+        print(f"cycles:  {outcome.result.cycles:,.0f}")
+        print(f"aex:     {outcome.result.aex_events}")
+        print(f"return:  {outcome.result.return_value}")
+    if outcome.reports:
+        print(f"reports: {outcome.reports}")
+    for i, data in enumerate(outcome.sent_plaintext):
+        print(f"send[{i}]: {data[:64]!r}"
+              + (" ..." if len(data) > 64 else ""))
+    if outcome.ok or outcome.status == "truncated":
+        return 0
+    return 2
+
+
+def cmd_tcb(args) -> int:
+    from .tcb import consumer_inventory, verifier_core_loc
+    rows = [[c.name, c.loc, f"{c.kloc:.2f}"]
+            for c in consumer_inventory().values()]
+    print(format_table("measured DEFLECTION TCB",
+                       ["component", "LoC", "kLoC"], rows))
+    core = verifier_core_loc()
+    print(f"\nloader+rewriter: {core['loader']} LoC (paper: <600)")
+    print(f"verifier+RDD:    {core['verifier']} LoC (paper: <700)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DEFLECTION reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile+instrument MiniC")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.add_argument("--policies", default="P1-P6")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--no-prelude", action="store_true")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("objdump", help="inspect a relocatable object")
+    p.add_argument("object")
+    p.add_argument("--headers", action="store_true")
+    p.add_argument("--symbols", action="store_true")
+    p.add_argument("--relocs", action="store_true")
+    p.add_argument("--disasm", action="store_true")
+    p.add_argument("--stats", action="store_true")
+    p.add_argument("--policies", default=None,
+                   help="include the annotation inventory for this "
+                        "policy level")
+    p.set_defaults(func=cmd_objdump)
+
+    p = sub.add_parser("verify", help="run the in-enclave verifier")
+    p.add_argument("object")
+    p.add_argument("--policies", default="P1-P6")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("run", help="load, verify and execute")
+    p.add_argument("object")
+    p.add_argument("--policies", default="P1-P6")
+    p.add_argument("--input")
+    p.add_argument("--aex", choices=["none", "benign", "attack"],
+                   default="none")
+    p.add_argument("--aex-threshold", type=int, default=1000)
+    p.add_argument("--max-steps", type=int, default=100_000_000)
+    p.add_argument("--trace", type=int, default=0, metavar="N",
+                   help="single-step and print the first N instructions")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("tcb", help="measured TCB inventory")
+    p.set_defaults(func=cmd_tcb)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        return 0  # output piped into head etc.
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""The untrusted code producer (the paper's LLVM-based code generator).
+
+Compiles MiniC — a C subset rich enough for the paper's workloads
+(nBench-style kernels, Needleman-Wunsch, a BP neural network, request
+handlers) — down to DX86 machine code, runs the policy instrumentation
+passes over the assembly, and links everything (program + shim-libc
+prelude) into a single relocatable object carrying symbols, relocations
+and the indirect-branch-target list, ready for in-enclave loading.
+
+Pipeline: lexer -> parser -> sema -> codegen -> passes -> linker.
+"""
+
+from .frontend import CodeGenerator, compile_source
+from .objfile import ObjectFile, Symbol, ObjRelocation
+
+__all__ = ["CodeGenerator", "compile_source", "ObjectFile", "Symbol",
+           "ObjRelocation"]

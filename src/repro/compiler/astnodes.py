@@ -1,0 +1,184 @@
+"""MiniC abstract syntax tree.
+
+Sema annotates expression nodes in place: ``node.ctype`` (the decayed
+expression type) and, where relevant, resolution info (local slot,
+global symbol, function reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, compare=False)
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Node):
+    data: bytes = b""
+    symbol: str = ""          # interned data symbol (sema)
+
+
+@dataclass
+class Ident(Node):
+    name: str = ""
+    # sema resolution: 'local' | 'param' | 'global' | 'func'
+    binding: str = ""
+    slot: int = 0             # local/param frame index
+    symbol: str = ""          # global/function symbol name
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""              # '-', '!', '~', '*', '&'
+    operand: Node = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    lhs: Node = None
+    rhs: Node = None
+
+
+@dataclass
+class Assign(Node):
+    op: str = "="             # '=', '+=', ...
+    target: Node = None
+    value: Node = None
+
+
+@dataclass
+class IncDec(Node):
+    op: str = "++"
+    prefix: bool = True
+    target: Node = None
+
+
+@dataclass
+class Call(Node):
+    callee: Node = None
+    args: List[Node] = field(default_factory=list)
+    direct_symbol: str = ""   # set by sema when calling a function by name
+
+
+@dataclass
+class Index(Node):
+    base: Node = None
+    index: Node = None
+
+
+@dataclass
+class Ternary(Node):
+    cond: Node = None
+    then: Node = None
+    other: Node = None
+
+
+@dataclass
+class SizeofType(Node):
+    size: int = 0
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Block(Node):
+    statements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class If(Node):
+    cond: Node = None
+    then: Node = None
+    other: Optional[Node] = None
+
+
+@dataclass
+class While(Node):
+    cond: Node = None
+    body: Node = None
+
+
+@dataclass
+class For(Node):
+    init: Optional[Node] = None
+    cond: Optional[Node] = None
+    step: Optional[Node] = None
+    body: Node = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Node = None
+
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    ctype: object = None
+    init: Optional[Node] = None
+    slot: int = 0             # assigned by sema
+
+
+@dataclass
+class DeclGroup(Node):
+    """``int i, j;`` — declarations sharing the *enclosing* scope
+    (unlike a Block, which opens a new one)."""
+
+    decls: List[Node] = field(default_factory=list)
+
+
+# -- top level -----------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ctype: object = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    ret: object = None
+    params: List[Param] = field(default_factory=list)
+    body: Block = None
+    frame_slots: int = 0      # filled by sema: total 8-byte local slots
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    ctype: object = None
+    init_values: Optional[List[int]] = None   # scalar/array initializer
+    init_string: Optional[bytes] = None       # char arr[] = "..."
+
+
+@dataclass
+class Program(Node):
+    decls: List[Node] = field(default_factory=list)

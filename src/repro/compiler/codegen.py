@@ -1,0 +1,617 @@
+"""MiniC code generation: typed AST -> DX86 assembly items.
+
+Conventions (documented in DESIGN.md):
+
+* all arguments on the stack, pushed right to left; caller pops
+  (``ADD RSP, 8n`` — an explicit RSP write that P2 later annotates);
+* return value in RAX;
+* frame: ``PUSH RBP; MOV RBP, RSP; SUB RSP, frame`` — locals below RBP;
+* expression temporaries from a register pool (RAX..R12 except RSP/RBP);
+  R13-R15 are never allocated — they belong to the security annotations;
+* ``char`` is unsigned; local scalar ``char`` variables live in 8-byte
+  slots and are truncated on store;
+* builtins ``__send``/``__recv``/``__report`` lower to SVC instructions
+  with arguments in RDI/RSI (the bootstrap's OCall stubs implement them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompileError
+from ..isa.instructions import Instruction, Label, LabelDef, Mem, Op, SymbolRef
+from ..isa.registers import (
+    ALLOCATABLE_REGS, RAX, RBP, RDI, RSI, RSP,
+)
+from . import astnodes as ast
+from .ctypes import CHAR, INT, VOID, Array, CType, FuncType, Pointer
+from .sema import BUILTINS, SemaResult
+
+#: SVC numbers for the builtins (must match the bootstrap's stub table).
+SVC_SEND = 1
+SVC_RECV = 2
+SVC_REPORT = 3
+
+_BUILTIN_SVC = {"__send": SVC_SEND, "__recv": SVC_RECV,
+                "__report": SVC_REPORT}
+
+_BINOPS = {
+    "+": (Op.ADD_RR, Op.ADD_RI), "-": (Op.SUB_RR, Op.SUB_RI),
+    "*": (Op.IMUL_RR, Op.IMUL_RI), "/": (Op.DIV_RR, Op.DIV_RI),
+    "%": (Op.MOD_RR, Op.MOD_RI), "&": (Op.AND_RR, Op.AND_RI),
+    "|": (Op.OR_RR, Op.OR_RI), "^": (Op.XOR_RR, Op.XOR_RI),
+    "<<": (Op.SHL_RR, Op.SHL_RI), ">>": (Op.SAR_RR, Op.SAR_RI),
+}
+
+_CMP_JCC = {"==": Op.JE, "!=": Op.JNE, "<": Op.JL, "<=": Op.JLE,
+            ">": Op.JG, ">=": Op.JGE}
+_CMP_NEG = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=",
+            ">=": "<"}
+
+_I32_MIN, _I32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def _fits_i32(value: int) -> bool:
+    return _I32_MIN <= value <= _I32_MAX
+
+
+@dataclass
+class FuncCode:
+    """One compiled unit of assembly items."""
+
+    name: str
+    items: List[object]
+    no_shadow: bool = False      # entry stub: no shadow prologue/epilogue
+    no_instrument: bool = False  # trap pads: never instrumented
+
+
+@dataclass
+class _Address:
+    """A resolved lvalue: memory operand + temps to release afterwards."""
+
+    mem: Mem
+    temps: List[int] = field(default_factory=list)
+    ctype: CType = INT
+
+
+class FunctionCodegen:
+    def __init__(self, func: ast.FuncDef, sema: SemaResult):
+        self.func = func
+        self.sema = sema
+        self.items: List[object] = []
+        self._free = list(reversed(ALLOCATABLE_REGS))
+        self._live: List[int] = []
+        self._labels = 0
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+        self.epilogue_label = f".{func.name}.epilogue"
+
+    # -- infrastructure ------------------------------------------------------
+
+    def emit(self, op: int, *operands) -> None:
+        self.items.append(Instruction(op, *operands))
+
+    def label(self, name: str) -> None:
+        self.items.append(LabelDef(name))
+
+    def new_label(self, tag: str) -> str:
+        self._labels += 1
+        return f".{self.func.name}.{tag}{self._labels}"
+
+    def acquire(self, exclude: Tuple[int, ...] = ()) -> int:
+        for idx in range(len(self._free) - 1, -1, -1):
+            reg = self._free[idx]
+            if reg not in exclude:
+                self._free.pop(idx)
+                self._live.append(reg)
+                return reg
+        raise CompileError(
+            f"expression too complex in {self.func.name!r}",
+            self.func.line)
+
+    def take(self, reg: int) -> None:
+        """Acquire a specific register (must be free)."""
+        self._free.remove(reg)
+        self._live.append(reg)
+
+    def release(self, reg: int) -> None:
+        self._live.remove(reg)
+        self._free.append(reg)
+
+    def release_addr(self, addr: _Address) -> None:
+        for reg in addr.temps:
+            self.release(reg)
+
+    # -- function shell --------------------------------------------------------
+
+    def generate(self) -> FuncCode:
+        func = self.func
+        self.label(func.name)
+        self.emit(Op.PUSH_R, RBP)
+        self.emit(Op.MOV_RR, RBP, RSP)
+        frame = 8 * func.frame_slots
+        if frame:
+            self.emit(Op.SUB_RI, RSP, frame)
+        self.gen_block(func.body)
+        self.emit(Op.MOV_RI, RAX, 0)   # implicit `return 0`
+        self.label(self.epilogue_label)
+        self.emit(Op.MOV_RR, RSP, RBP)
+        self.emit(Op.POP_R, RBP)
+        self.emit(Op.RET)
+        if self._live:  # pragma: no cover - internal invariant
+            raise CompileError(
+                f"temp leak in {func.name!r}: {self._live}", func.line)
+        return FuncCode(func.name, self.items)
+
+    # -- addresses ----------------------------------------------------------------
+
+    def local_mem(self, node) -> Mem:
+        if isinstance(node, ast.Ident):
+            binding, slot = node.binding, node.slot
+        else:
+            binding, slot = "local", node.slot
+        if binding == "param":
+            return Mem(RBP, disp=16 + 8 * slot)
+        return Mem(RBP, disp=-slot)
+
+    def gen_addr(self, node) -> _Address:
+        """Compute the address of an lvalue (or array designator)."""
+        if isinstance(node, ast.Ident):
+            if node.binding in ("local", "param"):
+                return _Address(self.local_mem(node), [],
+                                node.decl_type)
+            if node.binding == "global":
+                reg = self.acquire()
+                self.emit(Op.MOV_RI, reg, SymbolRef(node.symbol))
+                return _Address(Mem(reg), [reg], node.decl_type)
+            raise CompileError(
+                f"cannot address {node.name!r}", node.line)
+        if isinstance(node, ast.Unary) and node.op == "*":
+            reg = self.gen_expr(node.operand)
+            elem = node.operand.ctype.elem
+            return _Address(Mem(reg), [reg], elem)
+        if isinstance(node, ast.Index):
+            return self._index_addr(node)
+        raise CompileError("expression is not addressable", node.line)
+
+    def _index_addr(self, node: ast.Index) -> _Address:
+        base = self.gen_expr(node.base)
+        elem_size = node.elem_size
+        elem = node.base.ctype.elem
+        if isinstance(node.index, ast.IntLit):
+            disp = node.index.value * elem_size
+            if _fits_i32(disp):
+                return _Address(Mem(base, disp=disp), [base], elem)
+        index = self.gen_expr(node.index)
+        if elem_size in (1, 2, 4, 8):
+            return _Address(Mem(base, index, elem_size), [base, index],
+                            elem)
+        self.emit(Op.IMUL_RI, index, elem_size)
+        return _Address(Mem(base, index, 1), [base, index], elem)
+
+    # -- loads and stores -------------------------------------------------------
+
+    def load_from(self, addr: _Address) -> int:
+        """Load the value at ``addr`` into a fresh temp (or take the
+        address itself for aggregates, which decay)."""
+        if isinstance(addr.ctype, (Array, FuncType)):
+            reg = self.acquire()
+            self.emit(Op.LEA, reg, addr.mem)
+            self.release_addr(addr)
+            return reg
+        reg = self.acquire()
+        if addr.ctype == CHAR:
+            self.emit(Op.LDB, reg, addr.mem)
+        else:
+            self.emit(Op.MOV_RM, reg, addr.mem)
+        self.release_addr(addr)
+        return reg
+
+    def store_to(self, addr: _Address, value_reg: int,
+                 keep_addr: bool = False) -> None:
+        if addr.ctype == CHAR and addr.mem.base == RBP and \
+                addr.mem.index is None:
+            # local char scalar in an 8-byte slot: truncate, wide store
+            self.emit(Op.AND_RI, value_reg, 0xFF)
+            self.emit(Op.MOV_MR, addr.mem, value_reg)
+        elif addr.ctype == CHAR:
+            self.emit(Op.STB, addr.mem, value_reg)
+        else:
+            self.emit(Op.MOV_MR, addr.mem, value_reg)
+        if not keep_addr:
+            self.release_addr(addr)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def gen_expr(self, node) -> int:
+        """Evaluate ``node`` into a freshly acquired register."""
+        if isinstance(node, ast.IntLit):
+            reg = self.acquire()
+            self.emit(Op.MOV_RI, reg, node.value & ((1 << 64) - 1))
+            return reg
+        if isinstance(node, ast.SizeofType):
+            reg = self.acquire()
+            self.emit(Op.MOV_RI, reg, node.size)
+            return reg
+        if isinstance(node, ast.StrLit):
+            reg = self.acquire()
+            self.emit(Op.MOV_RI, reg, SymbolRef(node.symbol))
+            return reg
+        if isinstance(node, ast.Ident):
+            return self._gen_ident(node)
+        if isinstance(node, ast.Unary):
+            return self._gen_unary(node)
+        if isinstance(node, ast.Binary):
+            return self._gen_binary(node)
+        if isinstance(node, ast.Assign):
+            return self._gen_assign(node, want_result=True)
+        if isinstance(node, ast.IncDec):
+            return self._gen_incdec(node, want_result=True)
+        if isinstance(node, ast.Index):
+            return self.load_from(self.gen_addr(node))
+        if isinstance(node, ast.Call):
+            return self.gen_call(node, want_result=True)
+        if isinstance(node, ast.Ternary):
+            return self._gen_ternary(node)
+        raise CompileError(f"unhandled expression {type(node).__name__}",
+                           node.line)
+
+    def _gen_ident(self, node: ast.Ident) -> int:
+        if node.binding in ("func", "builtin"):
+            if node.binding == "builtin":
+                raise CompileError(
+                    f"cannot take the address of builtin {node.name!r}",
+                    node.line)
+            reg = self.acquire()
+            self.emit(Op.MOV_RI, reg, SymbolRef(node.symbol))
+            return reg
+        return self.load_from(self.gen_addr(node))
+
+    def _gen_unary(self, node: ast.Unary) -> int:
+        if node.op == "&":
+            inner = node.operand
+            if isinstance(inner, ast.Ident) and inner.binding == "func":
+                reg = self.acquire()
+                self.emit(Op.MOV_RI, reg, SymbolRef(inner.symbol))
+                return reg
+            addr = self.gen_addr(inner)
+            reg = self.acquire()
+            self.emit(Op.LEA, reg, addr.mem)
+            self.release_addr(addr)
+            return reg
+        if node.op == "*":
+            return self.load_from(self.gen_addr(node))
+        if node.op == "!":
+            reg = self.gen_expr(node.operand)
+            self.emit(Op.CMP_RI, reg, 0)
+            self.emit(Op.MOV_RI, reg, 1)
+            skip = self.new_label("not")
+            self.emit(Op.JE, Label(skip))
+            self.emit(Op.MOV_RI, reg, 0)
+            self.label(skip)
+            return reg
+        reg = self.gen_expr(node.operand)
+        if node.op == "-":
+            self.emit(Op.NEG, reg)
+        elif node.op == "~":
+            self.emit(Op.NOT, reg)
+        else:  # pragma: no cover - parser restricts unary ops
+            raise CompileError(f"unhandled unary {node.op!r}", node.line)
+        return reg
+
+    def _gen_binary(self, node: ast.Binary) -> int:
+        if node.op in _CMP_JCC:
+            return self._materialize_bool(node)
+        if node.op in ("&&", "||"):
+            return self._materialize_bool(node)
+        if node.op in ("+", "-") and getattr(node, "scale_side", "") \
+                == "lhs":
+            # int + pointer: normalize to pointer + int
+            node.lhs, node.rhs = node.rhs, node.lhs
+            node.scale_side = "rhs"
+        op_rr, op_ri = _BINOPS[node.op]
+        scale = getattr(node, "ptr_scale", 1)
+        lhs = self.gen_expr(node.lhs)
+        if isinstance(node.rhs, ast.IntLit):
+            imm = node.rhs.value * scale
+            if _fits_i32(imm):
+                self.emit(op_ri, lhs, imm)
+                return self._after_ptr_diff(node, lhs)
+        rhs = self.gen_expr(node.rhs)
+        if scale != 1 and getattr(node, "scale_side", "rhs") == "rhs":
+            self.emit(Op.IMUL_RI, rhs, scale)
+        self.emit(op_rr, lhs, rhs)
+        self.release(rhs)
+        return self._after_ptr_diff(node, lhs)
+
+    def _after_ptr_diff(self, node: ast.Binary, reg: int) -> int:
+        diff_size = getattr(node, "ptr_diff_size", 1)
+        if diff_size > 1:
+            if diff_size & (diff_size - 1) == 0:
+                self.emit(Op.SAR_RI, reg, diff_size.bit_length() - 1)
+            else:
+                self.emit(Op.DIV_RI, reg, diff_size)
+        return reg
+
+    def _materialize_bool(self, node) -> int:
+        true_label = self.new_label("btrue")
+        end_label = self.new_label("bend")
+        reg = self.acquire()
+        self.gen_branch(node, true_label, jump_if_true=True,
+                        scratch_exclude=(reg,))
+        self.emit(Op.MOV_RI, reg, 0)
+        self.emit(Op.JMP, Label(end_label))
+        self.label(true_label)
+        self.emit(Op.MOV_RI, reg, 1)
+        self.label(end_label)
+        return reg
+
+    def _gen_ternary(self, node: ast.Ternary) -> int:
+        else_label = self.new_label("telse")
+        end_label = self.new_label("tend")
+        self.gen_branch(node.cond, else_label, jump_if_true=False)
+        reg = self.gen_expr(node.then)
+        self.emit(Op.JMP, Label(end_label))
+        self.label(else_label)
+        # evaluate the other arm into the same register
+        self.release(reg)
+        other = self.gen_expr(node.other)
+        if other != reg:
+            self.emit(Op.MOV_RR, reg, other)
+            self.release(other)
+            self.take(reg)
+        self.label(end_label)
+        return reg
+
+    def _gen_assign(self, node: ast.Assign, want_result: bool) -> int:
+        addr = self.gen_addr(node.target)
+        if node.op == "=":
+            value = self.gen_expr(node.value)
+        else:
+            base_op = node.op[:-1]
+            op_rr, op_ri = _BINOPS[base_op]
+            value = self.load_from(
+                _Address(addr.mem, [], addr.ctype))
+            scale = getattr(node, "ptr_scale", 1)
+            if isinstance(node.value, ast.IntLit) and \
+                    _fits_i32(node.value.value * scale):
+                self.emit(op_ri, value, node.value.value * scale)
+            else:
+                rhs = self.gen_expr(node.value)
+                if scale != 1:
+                    self.emit(Op.IMUL_RI, rhs, scale)
+                self.emit(op_rr, value, rhs)
+                self.release(rhs)
+        self.store_to(addr, value)
+        if want_result:
+            return value
+        self.release(value)
+        return -1
+
+    def _gen_incdec(self, node: ast.IncDec, want_result: bool) -> int:
+        addr = self.gen_addr(node.target)
+        scale = getattr(node, "ptr_scale", 1)
+        delta = scale if node.op == "++" else -scale
+        value = self.load_from(_Address(addr.mem, [], addr.ctype))
+        old = -1
+        if want_result and not node.prefix:
+            old = self.acquire()
+            self.emit(Op.MOV_RR, old, value)
+        self.emit(Op.ADD_RI, value, delta)
+        self.store_to(addr, value)
+        if want_result:
+            if node.prefix:
+                return value
+            self.release(value)
+            return old
+        self.release(value)
+        return -1
+
+    # -- calls --------------------------------------------------------------------
+
+    def gen_call(self, node: ast.Call, want_result: bool) -> int:
+        if getattr(node, "builtin", False):
+            return self._gen_builtin_call(node, want_result)
+        saved = list(self._live)
+        for reg in saved:
+            self.emit(Op.PUSH_R, reg)
+            self.release(reg)
+
+        callee_temp = -1
+        if not node.direct_symbol:
+            callee_temp = self.gen_expr(node.callee)
+        for arg in reversed(node.args):
+            reg = self.gen_expr(arg)
+            self.emit(Op.PUSH_R, reg)
+            self.release(reg)
+        if node.direct_symbol:
+            self.emit(Op.CALL, Label(node.direct_symbol))
+        else:
+            self.emit(Op.CALL_R, callee_temp)
+            self.release(callee_temp)
+        if node.args:
+            self.emit(Op.ADD_RI, RSP, 8 * len(node.args))
+
+        result = -1
+        if want_result:
+            result = self.acquire(exclude=tuple(saved))
+            if result != RAX:
+                self.emit(Op.MOV_RR, result, RAX)
+        for reg in reversed(saved):
+            self.emit(Op.POP_R, reg)
+            self.take(reg)
+        return result
+
+    def _gen_builtin_call(self, node: ast.Call, want_result: bool) -> int:
+        svc = _BUILTIN_SVC[node.direct_symbol]
+        saved = list(self._live)
+        for reg in saved:
+            self.emit(Op.PUSH_R, reg)
+            self.release(reg)
+        for arg in node.args:
+            reg = self.gen_expr(arg)
+            self.emit(Op.PUSH_R, reg)
+            self.release(reg)
+        arg_regs = [RDI, RSI][:len(node.args)]
+        for reg in reversed(arg_regs):
+            self.take(reg)
+            self.emit(Op.POP_R, reg)
+        self.emit(Op.SVC, svc)
+        for reg in arg_regs:
+            self.release(reg)
+        result = -1
+        if want_result:
+            result = self.acquire(exclude=tuple(saved))
+            if result != RAX:
+                self.emit(Op.MOV_RR, result, RAX)
+        for reg in reversed(saved):
+            self.emit(Op.POP_R, reg)
+            self.take(reg)
+        return result
+
+    # -- conditionals ------------------------------------------------------------
+
+    def gen_branch(self, node, target: str, jump_if_true: bool,
+                   scratch_exclude: Tuple[int, ...] = ()) -> None:
+        """Emit a branch to ``target`` taken iff ``node`` is
+        truthy == ``jump_if_true``."""
+        if isinstance(node, ast.IntLit):
+            if bool(node.value) == jump_if_true:
+                self.emit(Op.JMP, Label(target))
+            return
+        if isinstance(node, ast.Unary) and node.op == "!":
+            self.gen_branch(node.operand, target, not jump_if_true,
+                            scratch_exclude)
+            return
+        if isinstance(node, ast.Binary) and node.op in _CMP_JCC:
+            cmp_op = node.op if jump_if_true else _CMP_NEG[node.op]
+            lhs = self.gen_expr(node.lhs)
+            if isinstance(node.rhs, ast.IntLit) and \
+                    _fits_i32(node.rhs.value):
+                self.emit(Op.CMP_RI, lhs, node.rhs.value)
+            else:
+                rhs = self.gen_expr(node.rhs)
+                self.emit(Op.CMP_RR, lhs, rhs)
+                self.release(rhs)
+            self.release(lhs)
+            self.emit(_CMP_JCC[cmp_op], Label(target))
+            return
+        if isinstance(node, ast.Binary) and node.op == "&&":
+            if jump_if_true:
+                skip = self.new_label("and")
+                self.gen_branch(node.lhs, skip, False, scratch_exclude)
+                self.gen_branch(node.rhs, target, True, scratch_exclude)
+                self.label(skip)
+            else:
+                self.gen_branch(node.lhs, target, False, scratch_exclude)
+                self.gen_branch(node.rhs, target, False, scratch_exclude)
+            return
+        if isinstance(node, ast.Binary) and node.op == "||":
+            if jump_if_true:
+                self.gen_branch(node.lhs, target, True, scratch_exclude)
+                self.gen_branch(node.rhs, target, True, scratch_exclude)
+            else:
+                skip = self.new_label("or")
+                self.gen_branch(node.lhs, skip, True, scratch_exclude)
+                self.gen_branch(node.rhs, target, False, scratch_exclude)
+                self.label(skip)
+            return
+        reg = self.gen_expr(node)
+        self.emit(Op.CMP_RI, reg, 0)
+        self.release(reg)
+        self.emit(Op.JNE if jump_if_true else Op.JE, Label(target))
+
+    # -- statements ----------------------------------------------------------------
+
+    def gen_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self.gen_stmt(decl)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                value = self.gen_expr(stmt.init)
+                addr = _Address(self.local_mem(stmt), [], stmt.ctype)
+                self.store_to(addr, value)
+                self.release(value)
+        elif isinstance(stmt, ast.If):
+            else_label = self.new_label("else")
+            self.gen_branch(stmt.cond, else_label, jump_if_true=False)
+            self.gen_stmt(stmt.then)
+            if stmt.other is not None:
+                end_label = self.new_label("endif")
+                self.emit(Op.JMP, Label(end_label))
+                self.label(else_label)
+                self.gen_stmt(stmt.other)
+                self.label(end_label)
+            else:
+                self.label(else_label)
+        elif isinstance(stmt, ast.While):
+            start = self.new_label("while")
+            end = self.new_label("wend")
+            self.label(start)
+            self.gen_branch(stmt.cond, end, jump_if_true=False)
+            self._loop_stack.append((start, end))
+            self.gen_stmt(stmt.body)
+            self._loop_stack.pop()
+            self.emit(Op.JMP, Label(start))
+            self.label(end)
+        elif isinstance(stmt, ast.For):
+            start = self.new_label("for")
+            cont = self.new_label("fcont")
+            end = self.new_label("fend")
+            if stmt.init is not None:
+                self.gen_stmt(stmt.init)
+            self.label(start)
+            if stmt.cond is not None:
+                self.gen_branch(stmt.cond, end, jump_if_true=False)
+            self._loop_stack.append((cont, end))
+            self.gen_stmt(stmt.body)
+            self._loop_stack.pop()
+            self.label(cont)
+            if stmt.step is not None:
+                self.gen_stmt(stmt.step)
+            self.emit(Op.JMP, Label(start))
+            self.label(end)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self.gen_expr(stmt.value)
+                if reg != RAX:
+                    self.emit(Op.MOV_RR, RAX, reg)
+                self.release(reg)
+            self.emit(Op.JMP, Label(self.epilogue_label))
+        elif isinstance(stmt, ast.Break):
+            self.emit(Op.JMP, Label(self._loop_stack[-1][1]))
+        elif isinstance(stmt, ast.Continue):
+            self.emit(Op.JMP, Label(self._loop_stack[-1][0]))
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr_stmt(stmt.expr)
+        else:
+            raise CompileError(
+                f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _gen_expr_stmt(self, expr) -> None:
+        if isinstance(expr, ast.Assign):
+            self._gen_assign(expr, want_result=False)
+        elif isinstance(expr, ast.IncDec):
+            self._gen_incdec(expr, want_result=False)
+        elif isinstance(expr, ast.Call):
+            want = expr.ctype != VOID
+            reg = self.gen_call(expr, want_result=False)
+            if want and reg >= 0:  # pragma: no cover
+                self.release(reg)
+        else:
+            self.release(self.gen_expr(expr))
+
+
+def generate_functions(sema: SemaResult) -> Dict[str, FuncCode]:
+    """Compile every defined function to assembly items."""
+    out: Dict[str, FuncCode] = {}
+    for func in sema.functions:
+        out[func.name] = FunctionCodegen(func, sema).generate()
+    return out

@@ -1,0 +1,131 @@
+"""MiniC type system.
+
+Types: 64-bit ``int``, 8-bit ``char`` (storage type; it widens to int in
+expressions), pointers, fixed-size arrays (which decay to pointers in
+expressions), ``void`` and function types (whose designators decay to
+function pointers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class CType:
+    """Base class; concrete types are singletons or frozen dataclasses."""
+
+    size = 8
+
+    def __repr__(self):
+        return self.show()
+
+    def show(self) -> str:  # pragma: no cover - overridden
+        return self.__class__.__name__
+
+
+class IntType(CType):
+    size = 8
+
+    def show(self):
+        return "int"
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash("int")
+
+
+class CharType(CType):
+    size = 1
+
+    def show(self):
+        return "char"
+
+    def __eq__(self, other):
+        return isinstance(other, CharType)
+
+    def __hash__(self):
+        return hash("char")
+
+
+class VoidType(CType):
+    size = 0
+
+    def show(self):
+        return "void"
+
+    def __eq__(self, other):
+        return isinstance(other, VoidType)
+
+    def __hash__(self):
+        return hash("void")
+
+
+@dataclass(frozen=True)
+class Pointer(CType):
+    elem: CType
+
+    @property
+    def size(self):
+        return 8
+
+    def show(self):
+        return f"{self.elem.show()}*"
+
+
+@dataclass(frozen=True)
+class Array(CType):
+    elem: CType
+    count: int
+
+    @property
+    def size(self):
+        return self.elem.size * self.count
+
+    def show(self):
+        return f"{self.elem.show()}[{self.count}]"
+
+
+@dataclass(frozen=True)
+class FuncType(CType):
+    ret: CType
+    params: Tuple[CType, ...]
+
+    @property
+    def size(self):
+        return 8
+
+    def show(self):
+        args = ", ".join(p.show() for p in self.params)
+        return f"{self.ret.show()}({args})"
+
+
+INT = IntType()
+CHAR = CharType()
+VOID = VoidType()
+
+
+def is_integer(t: CType) -> bool:
+    return isinstance(t, (IntType, CharType))
+
+
+def is_pointerish(t: CType) -> bool:
+    return isinstance(t, (Pointer, Array, FuncType))
+
+
+def decay(t: CType) -> CType:
+    """Array-to-pointer and function-to-pointer decay."""
+    if isinstance(t, Array):
+        return Pointer(t.elem)
+    if isinstance(t, FuncType):
+        return Pointer(t)
+    return t
+
+
+def pointee_size(t: CType) -> int:
+    """Element size for pointer arithmetic on decayed type ``t``."""
+    if isinstance(t, Pointer):
+        return max(1, t.elem.size)
+    raise TypeError(f"not a pointer: {t.show()}")

@@ -1,0 +1,49 @@
+"""The untrusted code producer's public entry point.
+
+``CodeGenerator`` is the paper's out-of-enclave generator: it compiles
+MiniC source (plus the shim-libc prelude), runs the instrumentation
+passes selected by a :class:`~repro.policy.policies.PolicySet`, and
+links a relocatable object ready for delivery to the bootstrap enclave.
+"""
+
+from __future__ import annotations
+
+from ..policy.policies import PolicySet
+from .codegen import generate_functions
+from .linker import link
+from .objfile import ObjectFile
+from .parser import parse
+from .prelude import PRELUDE_SOURCE
+from .sema import analyze
+
+
+class CodeGenerator:
+    """Compile-and-instrument pipeline (untrusted, outside the enclave)."""
+
+    def __init__(self, policies: PolicySet = None,
+                 include_prelude: bool = True, custom=()):
+        self.policies = policies if policies is not None \
+            else PolicySet.full()
+        self.include_prelude = include_prelude
+        #: developer-defined policies (repro.policy.custom, §V-A API)
+        self.custom = tuple(custom)
+
+    def compile(self, source: str, entry: str = "main") -> ObjectFile:
+        """Compile MiniC ``source`` into an instrumented relocatable
+        object whose execution starts at ``entry``."""
+        if self.include_prelude:
+            source = PRELUDE_SOURCE + "\n" + source
+        program = parse(source)
+        sema = analyze(program)
+        units = generate_functions(sema)
+        return link(units, sema, self.policies, entry_fn=entry,
+                    custom=self.custom)
+
+
+def compile_source(source: str, policies: PolicySet = None,
+                   entry: str = "main",
+                   include_prelude: bool = True,
+                   custom=()) -> ObjectFile:
+    """One-shot convenience wrapper around :class:`CodeGenerator`."""
+    return CodeGenerator(policies, include_prelude,
+                         custom=custom).compile(source, entry)

@@ -1,0 +1,160 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import CompileError
+
+KEYWORDS = {
+    "int", "char", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "sizeof",
+}
+
+# Multi-character operators, longest first.
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'int', 'ident', 'string', 'op', 'kw', 'eof'
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r})"
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(message, self.line, self.col)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self.pos):
+                end = src.find("*/", self.pos + 2)
+                if end < 0:
+                    raise self._error("unterminated block comment")
+                self._advance(end + 2 - self.pos)
+            else:
+                return
+
+    def _char_escape(self) -> int:
+        src = self.source
+        ch = src[self.pos]
+        if ch != "\\":
+            self._advance()
+            return ord(ch)
+        self._advance()
+        if self.pos >= len(src):
+            raise self._error("unterminated escape")
+        esc = src[self.pos]
+        if esc == "x":
+            self._advance()
+            digits = ""
+            while self.pos < len(src) and src[self.pos] in "0123456789abcdefABCDEF":
+                digits += src[self.pos]
+                self._advance()
+            if not digits:
+                raise self._error("bad hex escape")
+            return int(digits, 16) & 0xFF
+        if esc not in _ESCAPES:
+            raise self._error(f"unknown escape \\{esc}")
+        self._advance()
+        return _ESCAPES[esc]
+
+    def tokens(self) -> Iterator[Token]:
+        src = self.source
+        while True:
+            self._skip_trivia()
+            line, col = self.line, self.col
+            if self.pos >= len(src):
+                yield Token("eof", None, line, col)
+                return
+            ch = src[self.pos]
+            if ch.isdigit():
+                start = self.pos
+                if src.startswith("0x", self.pos) or \
+                        src.startswith("0X", self.pos):
+                    self._advance(2)
+                    while self.pos < len(src) and \
+                            src[self.pos] in "0123456789abcdefABCDEF":
+                        self._advance()
+                    yield Token("int", int(src[start:self.pos], 16),
+                                line, col)
+                else:
+                    while self.pos < len(src) and src[self.pos].isdigit():
+                        self._advance()
+                    yield Token("int", int(src[start:self.pos]), line, col)
+            elif ch.isalpha() or ch == "_":
+                start = self.pos
+                while self.pos < len(src) and \
+                        (src[self.pos].isalnum() or src[self.pos] == "_"):
+                    self._advance()
+                word = src[start:self.pos]
+                yield Token("kw" if word in KEYWORDS else "ident",
+                            word, line, col)
+            elif ch == "'":
+                self._advance()
+                if self.pos >= len(src):
+                    raise self._error("unterminated char literal")
+                value = self._char_escape()
+                if self.pos >= len(src) or src[self.pos] != "'":
+                    raise self._error("unterminated char literal")
+                self._advance()
+                yield Token("int", value, line, col)
+            elif ch == '"':
+                self._advance()
+                data: List[int] = []
+                while True:
+                    if self.pos >= len(src):
+                        raise self._error("unterminated string literal")
+                    if src[self.pos] == '"':
+                        self._advance()
+                        break
+                    data.append(self._char_escape())
+                yield Token("string", bytes(data), line, col)
+            else:
+                for op in _OPERATORS:
+                    if src.startswith(op, self.pos):
+                        self._advance(len(op))
+                        yield Token("op", op, line, col)
+                        break
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    return list(Lexer(source).tokens())

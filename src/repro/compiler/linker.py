@@ -1,0 +1,106 @@
+"""Static linker: instrumented functions -> one relocatable object.
+
+Mirrors §IV-C "Code loading support": all functions (program + shim-libc
+prelude) are laid out into a single text image with an entry stub and the
+trap pads; all symbols and relocation entries are kept in relocatable
+form for the in-enclave loader; the indirect-branch-target list is the
+set of *address-taken* functions (functions referenced through 64-bit
+immediates rather than direct calls).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import AssemblerError
+from ..isa.assembler import assemble
+from ..isa.instructions import Instruction, Label, LabelDef, Op
+from ..policy.magic import ALL_VIOLATION_CODES, trap_label
+from ..policy.policies import PolicySet
+from .codegen import FuncCode
+from .objfile import (
+    KIND_FUNC, KIND_OBJECT, ObjectFile, ObjRelocation,
+    SEC_BSS, SEC_DATA, SEC_TEXT,
+)
+from .passes import PassPipeline
+from .sema import SemaResult
+
+ENTRY_SYMBOL = "__start"
+
+
+def _entry_stub(entry_fn: str) -> FuncCode:
+    items = [
+        LabelDef(ENTRY_SYMBOL),
+        Instruction(Op.CALL, Label(entry_fn)),
+        Instruction(Op.HLT),
+    ]
+    return FuncCode(ENTRY_SYMBOL, items, no_shadow=True)
+
+
+def _trap_pads(extra_codes=()) -> FuncCode:
+    items: List[object] = []
+    for code in tuple(ALL_VIOLATION_CODES) + tuple(extra_codes):
+        items.append(LabelDef(trap_label(code)))
+        items.append(Instruction(Op.TRAP, code))
+    return FuncCode("__deflection_traps", items, no_instrument=True)
+
+
+def _align8(value: int) -> int:
+    return (value + 7) & ~7
+
+
+def link(units: Dict[str, FuncCode], sema: SemaResult,
+         policies: PolicySet, entry_fn: str = "main",
+         custom=()) -> ObjectFile:
+    if entry_fn not in units:
+        raise AssemblerError(f"entry function {entry_fn!r} not defined")
+    obj = ObjectFile(policies_label=policies.describe())
+    obj.entry = ENTRY_SYMBOL
+
+    # -- data/bss layout ----------------------------------------------------
+    data = bytearray()
+    bss_cursor = 0
+    for info in sema.globals:
+        if info.is_bss:
+            bss_cursor = _align8(bss_cursor)
+            obj.add_symbol(info.name, SEC_BSS, bss_cursor, KIND_OBJECT)
+            bss_cursor += info.size
+        else:
+            offset = _align8(len(data))
+            data += b"\x00" * (offset - len(data))
+            obj.add_symbol(info.name, SEC_DATA, offset, KIND_OBJECT)
+            payload = info.init[:info.size]
+            data += payload + b"\x00" * (info.size - len(payload))
+    obj.data = bytes(data)
+    obj.bss_size = _align8(bss_cursor)
+
+    # -- instrumentation ------------------------------------------------------
+    pipeline = PassPipeline(policies, custom=custom)
+    custom_codes = [policy.violation_code for policy in custom]
+    ordered = [_entry_stub(entry_fn), _trap_pads(custom_codes)] + \
+        [units[name] for name in sorted(units)]
+    items: List[object] = []
+    for unit in ordered:
+        items.extend(pipeline.run(unit).items)
+
+    # -- assembly ---------------------------------------------------------------
+    assembled = assemble(items)
+    obj.text = assembled.code
+    function_names = {ENTRY_SYMBOL} | set(units)
+    for name in function_names:
+        obj.add_symbol(name, SEC_TEXT, assembled.labels[name], KIND_FUNC)
+    for code in tuple(ALL_VIOLATION_CODES) + tuple(custom_codes):
+        obj.add_symbol(trap_label(code), SEC_TEXT,
+                       assembled.labels[trap_label(code)], KIND_FUNC)
+
+    # -- relocations + indirect-branch list ------------------------------------
+    address_taken = set()
+    for reloc in assembled.relocations:
+        if reloc.symbol not in obj.symbols:
+            raise AssemblerError(f"undefined symbol {reloc.symbol!r}")
+        obj.relocations.append(
+            ObjRelocation(reloc.offset, reloc.symbol, reloc.addend))
+        if obj.symbols[reloc.symbol].kind == KIND_FUNC:
+            address_taken.add(reloc.symbol)
+    obj.branch_targets = sorted(address_taken)
+    return obj

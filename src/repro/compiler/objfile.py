@@ -1,0 +1,194 @@
+"""The relocatable object format delivered to the bootstrap enclave.
+
+A single self-contained binary blob (magic ``DFOB``) holding the text
+and data images, a symbol table, ABS64 relocations, the indirect-branch
+target list (symbol names, as §IV-D describes) and the entry symbol.
+The in-enclave dynamic loader parses this format, rebases the symbols
+and builds the valid-target byte map from the target list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ObjectFormatError
+
+MAGIC = b"DFOB"
+VERSION = 1
+
+SEC_TEXT = 0
+SEC_DATA = 1
+SEC_BSS = 2
+
+KIND_FUNC = 0
+KIND_OBJECT = 1
+
+_SECTION_NAMES = {SEC_TEXT: "text", SEC_DATA: "data", SEC_BSS: "bss"}
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str
+    section: int
+    offset: int
+    kind: int
+
+    @property
+    def section_name(self) -> str:
+        return _SECTION_NAMES[self.section]
+
+
+@dataclass(frozen=True)
+class ObjRelocation:
+    """ABS64: patch text[offset:offset+8] = address_of(symbol) + addend."""
+
+    offset: int
+    symbol: str
+    addend: int = 0
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode()
+    if len(raw) > 0xFFFF:
+        raise ObjectFormatError("string too long")
+    return struct.pack("<H", len(raw)) + raw
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise ObjectFormatError("truncated object file")
+        out = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self.take(8))[0]
+
+    def string(self) -> str:
+        raw = self.take(self.u16())
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as exc:
+            raise ObjectFormatError(f"malformed string field: {exc}") \
+                from exc
+
+
+@dataclass
+class ObjectFile:
+    text: bytes = b""
+    data: bytes = b""
+    bss_size: int = 0
+    entry: str = "__start"
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    relocations: List[ObjRelocation] = field(default_factory=list)
+    branch_targets: List[str] = field(default_factory=list)
+    policies_label: str = "baseline"
+
+    # -- convenience -----------------------------------------------------
+
+    def add_symbol(self, name: str, section: int, offset: int,
+                   kind: int) -> None:
+        if name in self.symbols:
+            raise ObjectFormatError(f"duplicate symbol {name!r}")
+        self.symbols[name] = Symbol(name, section, offset, kind)
+
+    def symbol(self, name: str) -> Symbol:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise ObjectFormatError(f"undefined symbol {name!r}") from None
+
+    def measurement(self) -> bytes:
+        """SHA-256 over the serialized object — the service-code hash the
+        bootstrap reports to the data owner (§III-A)."""
+        return hashlib.sha256(self.serialize()).digest()
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack("<H", VERSION)
+        out += _pack_str(self.entry)
+        out += _pack_str(self.policies_label)
+        out += struct.pack("<IIQ", len(self.text), len(self.data),
+                           self.bss_size)
+        out += struct.pack("<III", len(self.symbols),
+                           len(self.relocations), len(self.branch_targets))
+        out += self.text
+        out += self.data
+        for name in sorted(self.symbols):
+            sym = self.symbols[name]
+            out += _pack_str(sym.name)
+            out += struct.pack("<BQB", sym.section, sym.offset, sym.kind)
+        for reloc in self.relocations:
+            out += struct.pack("<Q", reloc.offset)
+            out += _pack_str(reloc.symbol)
+            out += struct.pack("<q", reloc.addend)
+        for name in self.branch_targets:
+            out += _pack_str(name)
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, blob: bytes) -> "ObjectFile":
+        reader = _Reader(blob)
+        if reader.take(4) != MAGIC:
+            raise ObjectFormatError("bad magic (not a DFOB object)")
+        version = reader.u16()
+        if version != VERSION:
+            raise ObjectFormatError(f"unsupported version {version}")
+        obj = cls()
+        obj.entry = reader.string()
+        obj.policies_label = reader.string()
+        text_len = reader.u32()
+        data_len = reader.u32()
+        obj.bss_size = reader.u64()
+        nsyms = reader.u32()
+        nrelocs = reader.u32()
+        ntargets = reader.u32()
+        obj.text = reader.take(text_len)
+        obj.data = reader.take(data_len)
+        for _ in range(nsyms):
+            name = reader.string()
+            section, offset, kind = struct.unpack("<BQB", reader.take(10))
+            if section not in _SECTION_NAMES:
+                raise ObjectFormatError(f"bad section {section}")
+            obj.symbols[name] = Symbol(name, section, offset, kind)
+        for _ in range(nrelocs):
+            offset = reader.u64()
+            symbol = reader.string()
+            addend = reader.i64()
+            if offset + 8 > len(obj.text):
+                raise ObjectFormatError("relocation outside text")
+            obj.relocations.append(ObjRelocation(offset, symbol, addend))
+        for _ in range(ntargets):
+            obj.branch_targets.append(reader.string())
+        if reader.pos != len(blob):
+            raise ObjectFormatError("trailing bytes in object file")
+        for name in obj.branch_targets:
+            if name not in obj.symbols:
+                raise ObjectFormatError(
+                    f"branch target {name!r} has no symbol")
+        if obj.entry not in obj.symbols:
+            raise ObjectFormatError("entry symbol missing")
+        return obj

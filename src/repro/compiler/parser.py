@@ -1,0 +1,424 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import CompileError
+from . import astnodes as ast
+from .ctypes import CHAR, INT, VOID, Array, CType, FuncType, Pointer
+from .lexer import Token, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _error(self, message: str) -> CompileError:
+        tok = self.tok
+        return CompileError(message, tok.line, tok.col)
+
+    def advance(self) -> Token:
+        tok = self.tok
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, value=None) -> bool:
+        tok = self.tok
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None) -> Token:
+        if not self.check(kind, value):
+            want = value if value is not None else kind
+            raise self._error(f"expected {want!r}, got {self.tok.value!r}")
+        return self.advance()
+
+    # -- types --------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.tok.kind == "kw" and self.tok.value in ("int", "char",
+                                                            "void")
+
+    def parse_base_type(self) -> CType:
+        tok = self.expect("kw")
+        base = {"int": INT, "char": CHAR, "void": VOID}.get(tok.value)
+        if base is None:
+            raise self._error(f"expected a type, got {tok.value!r}")
+        while self.accept("op", "*"):
+            base = Pointer(base)
+        return base
+
+    def _parse_param_types(self) -> List["ast.Param"]:
+        params: List[ast.Param] = []
+        self.expect("op", "(")
+        if self.accept("op", ")"):
+            return params
+        if self.check("kw", "void") and \
+                self.tokens[self.pos + 1].value == ")":
+            self.advance()
+            self.expect("op", ")")
+            return params
+        while True:
+            ptype, name = self.parse_declarator(allow_unnamed=True)
+            if isinstance(ptype, Array):
+                ptype = Pointer(ptype.elem)
+            params.append(ast.Param(line=self.tok.line, name=name,
+                                    ctype=ptype))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return params
+
+    def parse_declarator(self, allow_unnamed: bool = False):
+        """Parse ``type declarator``: plain names, arrays, and the
+        function-pointer form ``ret (*name)(params)``."""
+        base = self.parse_base_type()
+        if self.check("op", "(") and \
+                self.tokens[self.pos + 1].value == "*":
+            self.advance()              # '('
+            self.expect("op", "*")
+            name = self.expect("ident").value
+            self.expect("op", ")")
+            params = self._parse_param_types()
+            ftype = FuncType(base, tuple(p.ctype for p in params))
+            return Pointer(ftype), name
+        if allow_unnamed and not self.check("ident"):
+            dims: List[int] = []
+            while self.accept("op", "["):
+                dims.append(self._const_int())
+                self.expect("op", "]")
+            ctype = base
+            for dim in reversed(dims):
+                ctype = Array(ctype, dim)
+            return ctype, ""
+        name = self.expect("ident").value
+        dims: List[int] = []
+        while self.accept("op", "["):
+            if self.check("op", "]"):
+                dims.append(-1)         # unsized: parameter-style
+            else:
+                dims.append(self._const_int())
+            self.expect("op", "]")
+        ctype = base
+        for dim in reversed(dims):
+            if dim < 0:
+                ctype = Pointer(ctype)
+            else:
+                ctype = Array(ctype, dim)
+        return ctype, name
+
+    def _const_int(self) -> int:
+        """Constant expression: literals with + - * / %, (), unary -."""
+        return self._const_addsub()
+
+    def _const_addsub(self) -> int:
+        value = self._const_muldiv()
+        while self.tok.kind == "op" and self.tok.value in ("+", "-"):
+            op = self.advance().value
+            rhs = self._const_muldiv()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _const_muldiv(self) -> int:
+        value = self._const_atom()
+        while self.tok.kind == "op" and self.tok.value in ("*", "/", "%"):
+            op = self.advance().value
+            rhs = self._const_atom()
+            if op == "*":
+                value *= rhs
+            elif op == "/":
+                value = int(value / rhs)
+            else:
+                value -= rhs * int(value / rhs)
+        return value
+
+    def _const_atom(self) -> int:
+        if self.accept("op", "-"):
+            return -self._const_atom()
+        if self.accept("op", "("):
+            value = self._const_addsub()
+            self.expect("op", ")")
+            return value
+        return self.expect("int").value
+
+    # -- top level --------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Node] = []
+        while not self.check("eof"):
+            decls.append(self.parse_decl())
+        return ast.Program(line=1, decls=decls)
+
+    def parse_decl(self) -> ast.Node:
+        line = self.tok.line
+        ctype, name = self.parse_declarator()
+        if self.check("op", "("):
+            params = self._parse_param_types()
+            if self.accept("op", ";"):      # prototype
+                return ast.FuncDef(line=line, name=name, ret=ctype,
+                                   params=params, body=None)
+            body = self.parse_block()
+            return ast.FuncDef(line=line, name=name, ret=ctype,
+                               params=params, body=body)
+        init_values = None
+        init_string = None
+        if self.accept("op", "="):
+            if self.check("string"):
+                init_string = self.advance().value + b"\x00"
+                # `char s[] = "…"` and `char *s = "…"` both become
+                # array storage (no data relocations in the object format)
+                if isinstance(ctype, Pointer):
+                    ctype = Array(ctype.elem, len(init_string))
+                elif isinstance(ctype, Array) and \
+                        ctype.count < len(init_string):
+                    ctype = Array(ctype.elem, len(init_string))
+            elif self.accept("op", "{"):
+                init_values = []
+                while not self.check("op", "}"):
+                    init_values.append(self._const_int())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", "}")
+            else:
+                init_values = [self._const_int()]
+        self.expect("op", ";")
+        return ast.GlobalDecl(line=line, name=name, ctype=ctype,
+                              init_values=init_values,
+                              init_string=init_string)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("op", "{")
+        statements: List[ast.Node] = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(line=line, statements=statements)
+
+    def parse_statement(self) -> ast.Node:
+        tok = self.tok
+        if self.check("op", "{"):
+            return self.parse_block()
+        if self.check("kw", "if"):
+            self.advance()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            then = self.parse_statement()
+            other = None
+            if self.accept("kw", "else"):
+                other = self.parse_statement()
+            return ast.If(line=tok.line, cond=cond, then=then, other=other)
+        if self.check("kw", "while"):
+            self.advance()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            return ast.While(line=tok.line, cond=cond,
+                             body=self.parse_statement())
+        if self.check("kw", "for"):
+            self.advance()
+            self.expect("op", "(")
+            init = None
+            if not self.check("op", ";"):
+                init = (self._parse_vardecl_stmt() if self.at_type()
+                        else ast.ExprStmt(line=tok.line,
+                                          expr=self.parse_expr()))
+                self.expect("op", ";")
+            else:
+                self.advance()
+            cond = None
+            if not self.check("op", ";"):
+                cond = self.parse_expr()
+            self.expect("op", ";")
+            step = None
+            if not self.check("op", ")"):
+                step = ast.ExprStmt(line=tok.line, expr=self.parse_expr())
+            self.expect("op", ")")
+            return ast.For(line=tok.line, init=init, cond=cond, step=step,
+                           body=self.parse_statement())
+        if self.check("kw", "return"):
+            self.advance()
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(line=tok.line, value=value)
+        if self.check("kw", "break"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Break(line=tok.line)
+        if self.check("kw", "continue"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Continue(line=tok.line)
+        if self.at_type():
+            decl = self._parse_vardecl_stmt()
+            self.expect("op", ";")
+            return decl
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def _parse_vardecl_stmt(self) -> ast.Node:
+        """One or more comma-separated local declarations."""
+        line = self.tok.line
+        decls: List[ast.Node] = []
+        ctype, name = self.parse_declarator()
+        decls.append(self._finish_vardecl(line, ctype, name))
+        base_line = line
+        while self.accept("op", ","):
+            # subsequent declarators share the base type token sequence;
+            # re-parse pointer stars per declarator is not supported, so
+            # plain names/arrays only
+            name = self.expect("ident").value
+            dims = []
+            while self.accept("op", "["):
+                dims.append(self._const_int())
+                self.expect("op", "]")
+            dtype = _strip_to_base(ctype)
+            for dim in reversed(dims):
+                dtype = Array(dtype, dim)
+            decls.append(self._finish_vardecl(base_line, dtype, name))
+        if len(decls) == 1:
+            return decls[0]
+        return ast.DeclGroup(line=line, decls=decls)
+
+    def _finish_vardecl(self, line: int, ctype: CType,
+                        name: str) -> ast.VarDecl:
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_assignment()
+        return ast.VarDecl(line=line, name=name, ctype=ctype, init=init)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Node:
+        node = self.parse_assignment()
+        return node
+
+    def parse_assignment(self) -> ast.Node:
+        node = self.parse_ternary()
+        tok = self.tok
+        if tok.kind == "op" and tok.value in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(line=tok.line, op=tok.value, target=node,
+                              value=value)
+        return node
+
+    def parse_ternary(self) -> ast.Node:
+        cond = self._parse_binary(0)
+        if self.accept("op", "?"):
+            then = self.parse_expr()
+            self.expect("op", ":")
+            other = self.parse_ternary()
+            return ast.Ternary(line=cond.line, cond=cond, then=then,
+                               other=other)
+        return cond
+
+    _LEVELS = [
+        ["||"], ["&&"], ["|"], ["^"], ["&"],
+        ["==", "!="], ["<", ">", "<=", ">="],
+        ["<<", ">>"], ["+", "-"], ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Node:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        node = self._parse_binary(level + 1)
+        ops = self._LEVELS[level]
+        while self.tok.kind == "op" and self.tok.value in ops:
+            tok = self.advance()
+            rhs = self._parse_binary(level + 1)
+            node = ast.Binary(line=tok.line, op=tok.value, lhs=node,
+                              rhs=rhs)
+        return node
+
+    def parse_unary(self) -> ast.Node:
+        tok = self.tok
+        if tok.kind == "op" and tok.value in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(line=tok.line, op=tok.value, operand=operand)
+        if tok.kind == "op" and tok.value in ("++", "--"):
+            self.advance()
+            target = self.parse_unary()
+            return ast.IncDec(line=tok.line, op=tok.value, prefix=True,
+                              target=target)
+        if self.check("kw", "sizeof"):
+            self.advance()
+            self.expect("op", "(")
+            ctype, _ = self.parse_declarator(allow_unnamed=True)
+            self.expect("op", ")")
+            return ast.SizeofType(line=tok.line, size=max(1, ctype.size))
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Node:
+        node = self.parse_primary()
+        while True:
+            tok = self.tok
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                node = ast.Index(line=tok.line, base=node, index=index)
+            elif self.accept("op", "("):
+                args: List[ast.Node] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                node = ast.Call(line=tok.line, callee=node, args=args)
+            elif tok.kind == "op" and tok.value in ("++", "--"):
+                self.advance()
+                node = ast.IncDec(line=tok.line, op=tok.value, prefix=False,
+                                  target=node)
+            else:
+                return node
+
+    def parse_primary(self) -> ast.Node:
+        tok = self.tok
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "string":
+            self.advance()
+            return ast.StrLit(line=tok.line, data=tok.value + b"\x00")
+        if tok.kind == "ident":
+            self.advance()
+            return ast.Ident(line=tok.line, name=tok.value)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token {tok.value!r}")
+
+
+def _strip_to_base(ctype: CType) -> CType:
+    while isinstance(ctype, Array):
+        ctype = ctype.elem
+    return ctype
+
+
+def parse(source: str) -> ast.Program:
+    return Parser(tokenize(source)).parse_program()

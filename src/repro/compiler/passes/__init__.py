@@ -1,0 +1,12 @@
+"""Assembly-level instrumentation passes (the paper's backend passes).
+
+Each pass rewrites a function's assembly-item stream, inserting security
+annotations from :mod:`repro.policy.templates`.  A shared
+:class:`~repro.compiler.passes.pipeline.InstrumentationContext` records
+which emitted instructions belong to annotations, so later passes (and
+the P6 leader analysis) never confuse annotation code with program code.
+"""
+
+from .pipeline import InstrumentationContext, PassPipeline
+
+__all__ = ["InstrumentationContext", "PassPipeline"]

@@ -1,0 +1,32 @@
+"""Instrumentation pass for developer-defined policies (§V-A API)."""
+
+from __future__ import annotations
+
+from ...isa.instructions import Instruction
+from ...policy.custom import CustomPolicy
+from ...policy.templates import emit_pattern
+from ..codegen import FuncCode
+from .pipeline import InstrumentationContext
+
+
+class CustomGuardPass:
+    """Insert one custom policy's guard before each of its anchors."""
+
+    def __init__(self, context: InstrumentationContext,
+                 policy: CustomPolicy):
+        self.context = context
+        self.policy = policy
+
+    def run(self, unit: FuncCode) -> FuncCode:
+        out = []
+        for item in unit.items:
+            if isinstance(item, Instruction) and \
+                    self.policy.anchor(item) and \
+                    not self.context.is_annotation(item):
+                guard = emit_pattern(self.policy.guard_pattern(),
+                                     self.context.label_alloc,
+                                     anchor_instr=item)
+                out.extend(self.context.mark(guard))
+            out.append(item)
+        unit.items = out
+        return unit

@@ -1,0 +1,36 @@
+"""Store-guard instrumentation (policies P1, P3, P4).
+
+Inserts the composite bounds/exclusion annotation of
+:func:`repro.policy.templates.store_guard_pattern` before every explicit
+memory-store instruction of the program — the paper's
+``MachineInstr::mayStore()`` walk (§IV-C, "Enforcing P1/P3/P4").
+Annotation-internal stores (shadow-stack pushes, SSA marker refreshes)
+are exempt: they are part of verified annotation code.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Instruction, is_store
+from ...policy.templates import emit_pattern, store_guard_pattern
+from ..codegen import FuncCode
+from .pipeline import InstrumentationContext
+
+
+class StoreGuardPass:
+    def __init__(self, context: InstrumentationContext):
+        self.context = context
+        self.pattern = store_guard_pattern(context.policies)
+
+    def run(self, unit: FuncCode) -> FuncCode:
+        out = []
+        for item in unit.items:
+            if isinstance(item, Instruction) and is_store(item) and \
+                    not self.context.is_annotation(item):
+                mem = item.operands[0]
+                guard = emit_pattern(self.pattern,
+                                     self.context.label_alloc,
+                                     anchor_mem=mem)
+                out.extend(self.context.mark(guard))
+            out.append(item)
+        unit.items = out
+        return unit

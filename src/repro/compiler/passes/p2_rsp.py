@@ -1,0 +1,34 @@
+"""RSP-validity instrumentation (policy P2).
+
+After every instruction that *explicitly* writes the stack pointer
+(frame setup/teardown, argument-area pops, or anything an adversarial
+producer might emit), insert the range check of
+:func:`repro.policy.templates.rsp_guard_pattern`.  Implicit RSP motion
+(PUSH/POP/CALL/RET) is covered by the loader's guard pages, per §IV-C.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Instruction, writes_rsp_explicitly
+from ...policy.templates import emit_pattern, rsp_guard_pattern
+from ..codegen import FuncCode
+from .pipeline import InstrumentationContext
+
+
+class RspGuardPass:
+    def __init__(self, context: InstrumentationContext):
+        self.context = context
+        self.pattern = rsp_guard_pattern()
+
+    def run(self, unit: FuncCode) -> FuncCode:
+        out = []
+        for item in unit.items:
+            out.append(item)
+            if isinstance(item, Instruction) and \
+                    writes_rsp_explicitly(item) and \
+                    not self.context.is_annotation(item):
+                guard = emit_pattern(self.pattern,
+                                     self.context.label_alloc)
+                out.extend(self.context.mark(guard))
+        unit.items = out
+        return unit

@@ -1,0 +1,34 @@
+"""Forward-edge CFI instrumentation (policy P5).
+
+Before every indirect call/jump, insert the target check of
+:func:`repro.policy.templates.indirect_branch_pattern`: the register
+target must fall inside the loaded code and be flagged in the loader's
+valid-target byte map (built from the object file's indirect-branch
+symbol list).
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Instruction, is_indirect_branch
+from ...policy.templates import emit_pattern, indirect_branch_pattern
+from ..codegen import FuncCode
+from .pipeline import InstrumentationContext
+
+
+class IndirectBranchPass:
+    def __init__(self, context: InstrumentationContext):
+        self.context = context
+        self.pattern = indirect_branch_pattern()
+
+    def run(self, unit: FuncCode) -> FuncCode:
+        out = []
+        for item in unit.items:
+            if isinstance(item, Instruction) and is_indirect_branch(item) \
+                    and not self.context.is_annotation(item):
+                guard = emit_pattern(self.pattern,
+                                     self.context.label_alloc,
+                                     target_reg=item.operands[0])
+                out.extend(self.context.mark(guard))
+            out.append(item)
+        unit.items = out
+        return unit

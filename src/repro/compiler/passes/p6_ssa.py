@@ -1,0 +1,77 @@
+"""SSA-marker instrumentation (policy P6, HyperRace AEX detection).
+
+Instruments every basic-block entry with the marker-inspection
+annotation of :func:`repro.policy.templates.p6_guard_pattern` (§IV-C,
+"Enforcing P6 with SSA inspection").  Basic-block leaders are:
+
+* the unit's first instruction (function entry / program entry),
+* the target of every *program* direct jump or conditional jump,
+* the fall-through successor of every program conditional jump.
+
+Annotation-internal jumps (to local labels and trap pads) do not create
+leaders — the verifier's leader analysis makes the same exclusion after
+matching annotations.  Calls do not end basic blocks (as in LLVM).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ...isa.instructions import (
+    Instruction, Label, LabelDef, Op, is_cond_jump,
+)
+from ...policy.templates import emit_pattern, p6_guard_pattern
+from ..codegen import FuncCode
+from .pipeline import InstrumentationContext
+
+
+class SsaMarkerPass:
+    def __init__(self, context: InstrumentationContext):
+        self.context = context
+        self.pattern = p6_guard_pattern()
+
+    def run(self, unit: FuncCode) -> FuncCode:
+        items = unit.items
+        targeted = self._targeted_labels(items)
+        leaders = self._leader_indices(items, targeted)
+        for index in sorted(leaders, reverse=True):
+            guard = emit_pattern(self.pattern, self.context.label_alloc)
+            items[index:index] = self.context.mark(guard)
+        unit.items = items
+        return unit
+
+    def _targeted_labels(self, items) -> Set[str]:
+        targeted: Set[str] = set()
+        for item in items:
+            if isinstance(item, Instruction) and \
+                    not self.context.is_annotation(item) and \
+                    (item.op == Op.JMP or is_cond_jump(item)):
+                operand = item.operands[0]
+                if isinstance(operand, Label):
+                    targeted.add(operand.name)
+        return targeted
+
+    def _leader_indices(self, items, targeted: Set[str]) -> Set[int]:
+        def next_instr(start: int) -> int:
+            pos = start
+            while pos < len(items) and not isinstance(items[pos],
+                                                      Instruction):
+                pos += 1
+            return pos if pos < len(items) else -1
+
+        leaders: Set[int] = set()
+        first = next_instr(0)
+        if first >= 0:
+            leaders.add(first)
+        for index, item in enumerate(items):
+            if isinstance(item, LabelDef) and item.name in targeted:
+                pos = next_instr(index + 1)
+                if pos >= 0:
+                    leaders.add(pos)
+            elif isinstance(item, Instruction) and \
+                    is_cond_jump(item) and \
+                    not self.context.is_annotation(item):
+                pos = next_instr(index + 1)
+                if pos >= 0:
+                    leaders.add(pos)
+        return leaders

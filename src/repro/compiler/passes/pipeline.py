@@ -1,0 +1,79 @@
+"""Instrumentation pass pipeline and shared context."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from ...isa.assembler import local_label_allocator
+from ...policy.policies import PolicySet
+from ..codegen import FuncCode
+
+
+class InstrumentationContext:
+    """State shared by all passes over one linked program.
+
+    ``annotation_ids`` holds ``id()`` of every instruction object emitted
+    by an instrumentation pass; passes use it to skip annotation code when
+    scanning for program anchors, and the P6 pass uses it to exclude
+    annotation-internal jumps from the basic-block leader analysis.
+    """
+
+    def __init__(self, policies: PolicySet):
+        self.policies = policies
+        self.annotation_ids: Set[int] = set()
+        self._alloc = local_label_allocator("A")
+
+    def label_alloc(self, tag: str = "") -> str:
+        return self._alloc(tag)
+
+    def mark(self, items: Iterable) -> List:
+        """Register emitted annotation items and return them as a list."""
+        items = list(items)
+        for item in items:
+            self.annotation_ids.add(id(item))
+        return items
+
+    def is_annotation(self, item) -> bool:
+        return id(item) in self.annotation_ids
+
+
+class PassPipeline:
+    """Runs the enabled passes in the canonical order.
+
+    Order matters: the shadow-stack pass must see the raw prologue (it
+    reads the return address before ``PUSH RBP``); the store pass must run
+    after the CFI passes so it does not guard annotation-internal stores
+    (it skips marked items anyway, but ordering keeps offsets stable); the
+    P6 pass runs last so every leader — including ones created by earlier
+    passes' anchors — is final.
+    """
+
+    def __init__(self, policies: PolicySet, custom=()):
+        self.policies = policies
+        self.custom = tuple(custom)
+        self.context = InstrumentationContext(policies)
+
+    def run(self, unit: FuncCode) -> FuncCode:
+        from .shadow_stack import ShadowStackPass
+        from .p5_cfi import IndirectBranchPass
+        from .p1_store import StoreGuardPass
+        from .p2_rsp import RspGuardPass
+        from .p6_ssa import SsaMarkerPass
+        from .custom_guard import CustomGuardPass
+
+        if unit.no_instrument:
+            return unit
+        policies = self.policies
+        if policies.p5 and not unit.no_shadow:
+            unit = ShadowStackPass(self.context).run(unit)
+        if policies.p5:
+            unit = IndirectBranchPass(self.context).run(unit)
+        if policies.any_store_guard:
+            unit = StoreGuardPass(self.context).run(unit)
+        for policy in self.custom:
+            unit = CustomGuardPass(self.context, policy).run(unit)
+        if policies.p2:
+            unit = RspGuardPass(self.context).run(unit)
+        if policies.p6:
+            unit = SsaMarkerPass(self.context).run(unit)
+        return unit

@@ -1,0 +1,44 @@
+"""Shadow-stack instrumentation (policy P5, backward edge).
+
+Injects annotations "after entry into and before return from every
+function call" (§IV-C): the prologue pushes the just-pushed return
+address onto the loader-reserved shadow stack; the epilogue pops it and
+compares against the live return address immediately before RET.
+
+The prologue is placed at the very top of the function — before
+``PUSH RBP`` — so ``[RSP]`` is still the return address; the epilogue is
+inserted directly before RET, after frame teardown, for the same reason.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Instruction, LabelDef, Op
+from ...policy.templates import (
+    emit_pattern, shadow_epilogue_pattern, shadow_prologue_pattern,
+)
+from ..codegen import FuncCode
+from .pipeline import InstrumentationContext
+
+
+class ShadowStackPass:
+    def __init__(self, context: InstrumentationContext):
+        self.context = context
+        mt = context.policies.mt_safe
+        self.prologue = shadow_prologue_pattern(mt)
+        self.epilogue = shadow_epilogue_pattern(mt)
+
+    def run(self, unit: FuncCode) -> FuncCode:
+        out = []
+        entered = False
+        for item in unit.items:
+            if not entered and isinstance(item, Instruction):
+                out.extend(self.context.mark(
+                    emit_pattern(self.prologue, self.context.label_alloc)))
+                entered = True
+            if isinstance(item, Instruction) and item.op == Op.RET and \
+                    not self.context.is_annotation(item):
+                out.extend(self.context.mark(
+                    emit_pattern(self.epilogue, self.context.label_alloc)))
+            out.append(item)
+        unit.items = out
+        return unit

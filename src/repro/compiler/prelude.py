@@ -1,0 +1,59 @@
+"""Shim libc: the MiniC runtime routines linked into every target binary.
+
+The paper statically links a shim libc into the relocatable target (the
+2.6 MB "self-contained enclave binary with a shim libc" of §VI-A); this
+is our equivalent, compiled and instrumented exactly like user code.
+"""
+
+PRELUDE_SOURCE = r"""
+// ---- deflection shim libc (MiniC) ----
+
+int memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = src[i];
+    return n;
+}
+
+int memset(char *dst, int value, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = value;
+    return n;
+}
+
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+int strcpy(char *dst, char *src) {
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+    return i;
+}
+
+int abs(int x) {
+    if (x < 0) return -x;
+    return x;
+}
+
+int min(int a, int b) { if (a < b) return a; return b; }
+int max(int a, int b) { if (a > b) return a; return b; }
+
+// Deterministic PRNG (same constants as glibc rand_r).
+int __rand_state = 12345;
+
+int srand(int seed) { __rand_state = seed; return 0; }
+
+int rand() {
+    __rand_state = (__rand_state * 1103515245 + 12345) & 2147483647;
+    return __rand_state;
+}
+"""

@@ -1,0 +1,421 @@
+"""MiniC semantic analysis.
+
+Resolves identifiers (locals, params, globals, functions), assigns stack
+frame offsets, checks and annotates expression types (with array/function
+decay and pointer-arithmetic scaling), interns string literals into data
+symbols, and collects the global/function inventory the code generator
+and linker consume.
+
+Annotations written onto AST nodes: ``ctype`` (decayed expression type),
+``lvalue`` (bool), ``ptr_scale`` (pointer arithmetic multiplier),
+``elem_size`` (Index element width), plus resolution fields declared in
+:mod:`astnodes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CompileError
+from . import astnodes as ast
+from .ctypes import (
+    CHAR, INT, VOID, Array, CType, FuncType, Pointer,
+    decay, is_integer,
+)
+
+#: Service-call builtins lowered by codegen to SVC instructions.
+BUILTINS: Dict[str, FuncType] = {
+    "__send": FuncType(INT, (Pointer(CHAR), INT)),
+    "__recv": FuncType(INT, (Pointer(CHAR), INT)),
+    "__report": FuncType(VOID, (INT,)),
+}
+
+
+@dataclass
+class GlobalInfo:
+    name: str
+    ctype: CType
+    init: bytes          # initialized prefix ('' -> all-zero bss)
+
+    @property
+    def size(self) -> int:
+        return max(1, self.ctype.size)
+
+    @property
+    def is_bss(self) -> bool:
+        return not self.init
+
+
+@dataclass
+class SemaResult:
+    functions: List[ast.FuncDef] = field(default_factory=list)
+    globals: List[GlobalInfo] = field(default_factory=list)
+    func_types: Dict[str, FuncType] = field(default_factory=dict)
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, ast.Node] = {}
+
+    def define(self, name: str, node: ast.Node, line: int) -> None:
+        if name in self.names:
+            raise CompileError(f"redefinition of {name!r}", line)
+        self.names[name] = node
+
+    def lookup(self, name: str):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Sema:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.result = SemaResult()
+        self.global_types: Dict[str, CType] = {}
+        self.strings: Dict[bytes, str] = {}
+        self._frame_offset = 0
+        self._max_frame = 0
+        self._current_ret: CType = INT
+        self._loop_depth = 0
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> SemaResult:
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                if decl.name in BUILTINS:
+                    raise CompileError(
+                        f"{decl.name!r} is a builtin", decl.line)
+                ftype = FuncType(decl.ret,
+                                 tuple(p.ctype for p in decl.params))
+                known = self.result.func_types.get(decl.name)
+                if known is not None and known != ftype:
+                    raise CompileError(
+                        f"conflicting declarations of {decl.name!r}",
+                        decl.line)
+                self.result.func_types[decl.name] = ftype
+            elif isinstance(decl, ast.GlobalDecl):
+                self._collect_global(decl)
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef) and decl.body is not None:
+                self._check_function(decl)
+                self.result.functions.append(decl)
+        defined = {f.name for f in self.result.functions}
+        for name in self.result.func_types:
+            if name not in defined:
+                raise CompileError(f"function {name!r} declared but "
+                                   f"never defined")
+        return self.result
+
+    # -- globals ---------------------------------------------------------------
+
+    def _collect_global(self, decl: ast.GlobalDecl) -> None:
+        if decl.name in self.global_types:
+            raise CompileError(f"redefinition of global {decl.name!r}",
+                               decl.line)
+        ctype = decl.ctype
+        init = b""
+        if decl.init_string is not None:
+            init = decl.init_string
+        elif decl.init_values is not None:
+            if isinstance(ctype, Array):
+                if len(decl.init_values) > ctype.count:
+                    raise CompileError(
+                        f"too many initializers for {decl.name!r}",
+                        decl.line)
+                width = max(1, ctype.elem.size)
+            else:
+                if len(decl.init_values) != 1:
+                    raise CompileError(
+                        f"scalar {decl.name!r} needs one initializer",
+                        decl.line)
+                width = max(1, ctype.size)
+            chunks = []
+            for value in decl.init_values:
+                chunks.append((value & ((1 << (8 * width)) - 1))
+                              .to_bytes(width, "little"))
+            init = b"".join(chunks)
+        self.global_types[decl.name] = ctype
+        self.result.globals.append(GlobalInfo(decl.name, ctype, init))
+
+    def _intern_string(self, data: bytes) -> str:
+        symbol = self.strings.get(data)
+        if symbol is None:
+            symbol = f"__str_{len(self.strings)}"
+            self.strings[data] = symbol
+            self.result.globals.append(
+                GlobalInfo(symbol, Array(CHAR, len(data)), data))
+        return symbol
+
+    # -- functions ---------------------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDef) -> None:
+        self._frame_offset = 0
+        self._max_frame = 0
+        self._current_ret = func.ret
+        scope = _Scope()
+        for index, param in enumerate(func.params):
+            if not param.name:
+                raise CompileError(
+                    f"unnamed parameter in definition of {func.name!r}",
+                    func.line)
+            if isinstance(param.ctype, Array):
+                param.ctype = Pointer(param.ctype.elem)
+            param.slot = index
+            scope.define(param.name, param, param.line)
+        self._check_block(func.body, _Scope(scope))
+        func.frame_slots = (self._max_frame + 7) // 8
+
+    def _alloc_local(self, decl: ast.VarDecl) -> None:
+        size = max(1, decl.ctype.size)
+        size = (size + 7) & ~7
+        self._frame_offset += size
+        decl.slot = self._frame_offset          # byte offset below RBP
+        self._max_frame = max(self._max_frame, self._frame_offset)
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        saved_offset = self._frame_offset
+        for stmt in block.statements:
+            self._check_stmt(stmt, scope)
+        self._frame_offset = saved_offset
+
+    def _check_stmt(self, stmt: ast.Node, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, _Scope(scope))
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._check_stmt(decl, scope)
+        elif isinstance(stmt, ast.VarDecl):
+            self._alloc_local(stmt)
+            scope.define(stmt.name, stmt, stmt.line)
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+                if isinstance(stmt.ctype, Array):
+                    raise CompileError(
+                        f"cannot initialize array {stmt.name!r} with "
+                        f"an expression", stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scope)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            saved_offset = self._frame_offset
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self._loop_depth -= 1
+            self._frame_offset = saved_offset
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+            elif self._current_ret != VOID:
+                raise CompileError("return without a value", stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if not self._loop_depth:
+                raise CompileError("break/continue outside a loop",
+                                   stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}",
+                               stmt.line)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _check_expr(self, node: ast.Node, scope: _Scope) -> CType:
+        ctype = self._expr_type(node, scope)
+        node.ctype = ctype
+        return ctype
+
+    def _expr_type(self, node: ast.Node, scope: _Scope) -> CType:
+        node.lvalue = False
+        if isinstance(node, ast.IntLit):
+            return INT
+        if isinstance(node, ast.SizeofType):
+            return INT
+        if isinstance(node, ast.StrLit):
+            node.symbol = self._intern_string(node.data)
+            return Pointer(CHAR)
+        if isinstance(node, ast.Ident):
+            return self._ident_type(node, scope)
+        if isinstance(node, ast.Unary):
+            return self._unary_type(node, scope)
+        if isinstance(node, ast.Binary):
+            return self._binary_type(node, scope)
+        if isinstance(node, ast.Assign):
+            return self._assign_type(node, scope)
+        if isinstance(node, ast.IncDec):
+            target = self._check_expr(node.target, scope)
+            if not node.target.lvalue:
+                raise CompileError("++/-- needs an lvalue", node.line)
+            node.ptr_scale = (target.elem.size if isinstance(target, Pointer)
+                              else 1)
+            return target
+        if isinstance(node, ast.Index):
+            base = self._check_expr(node.base, scope)
+            self._check_expr(node.index, scope)
+            if not isinstance(base, Pointer):
+                raise CompileError("indexing a non-pointer", node.line)
+            elem = base.elem
+            node.elem_size = max(1, elem.size)
+            node.lvalue = not isinstance(elem, Array)
+            return decay(elem)
+        if isinstance(node, ast.Call):
+            return self._call_type(node, scope)
+        if isinstance(node, ast.Ternary):
+            self._check_expr(node.cond, scope)
+            then = self._check_expr(node.then, scope)
+            self._check_expr(node.other, scope)
+            return then
+        raise CompileError(f"unhandled expression {type(node).__name__}",
+                           node.line)
+
+    def _ident_type(self, node: ast.Ident, scope: _Scope) -> CType:
+        found = scope.lookup(node.name)
+        if isinstance(found, ast.VarDecl):
+            node.binding = "local"
+            node.slot = found.slot
+            node.decl_type = found.ctype
+        elif isinstance(found, ast.Param):
+            node.binding = "param"
+            node.slot = found.slot
+            node.decl_type = found.ctype
+        elif node.name in self.global_types:
+            node.binding = "global"
+            node.symbol = node.name
+            node.decl_type = self.global_types[node.name]
+        elif node.name in self.result.func_types:
+            node.binding = "func"
+            node.symbol = node.name
+            node.decl_type = self.result.func_types[node.name]
+        elif node.name in BUILTINS:
+            node.binding = "builtin"
+            node.symbol = node.name
+            node.decl_type = BUILTINS[node.name]
+        else:
+            raise CompileError(f"undefined identifier {node.name!r}",
+                               node.line)
+        declared = node.decl_type
+        node.lvalue = (node.binding in ("local", "param", "global")
+                       and not isinstance(declared, Array))
+        return decay(declared)
+
+    def _unary_type(self, node: ast.Unary, scope: _Scope) -> CType:
+        operand = self._check_expr(node.operand, scope)
+        if node.op in ("-", "~", "!"):
+            if not (is_integer(operand) or isinstance(operand, Pointer)):
+                raise CompileError(f"bad operand for {node.op!r}", node.line)
+            return INT
+        if node.op == "*":
+            if not isinstance(operand, Pointer):
+                raise CompileError("dereferencing a non-pointer", node.line)
+            elem = operand.elem
+            node.lvalue = not isinstance(elem, (Array, FuncType))
+            return decay(elem)
+        if node.op == "&":
+            inner = node.operand
+            if isinstance(inner, ast.Ident) and inner.binding in (
+                    "func", "builtin"):
+                return decay(inner.decl_type)
+            if not inner.lvalue and not (
+                    isinstance(inner, ast.Ident)
+                    and isinstance(inner.decl_type, Array)):
+                raise CompileError("& needs an lvalue", node.line)
+            declared = getattr(inner, "decl_type", None)
+            if isinstance(inner, ast.Ident) and declared is not None:
+                if isinstance(declared, Array):
+                    return Pointer(declared.elem)
+                return Pointer(declared)
+            if isinstance(inner, ast.Index):
+                return Pointer(_undecay_elem(inner))
+            if isinstance(inner, ast.Unary) and inner.op == "*":
+                return inner.operand.ctype
+            raise CompileError("cannot take this address", node.line)
+        raise CompileError(f"unhandled unary {node.op!r}", node.line)
+
+    def _binary_type(self, node: ast.Binary, scope: _Scope) -> CType:
+        lhs = self._check_expr(node.lhs, scope)
+        rhs = self._check_expr(node.rhs, scope)
+        node.ptr_scale = 1
+        if node.op in ("+", "-"):
+            if isinstance(lhs, Pointer) and is_integer(rhs):
+                node.ptr_scale = max(1, lhs.elem.size)
+                node.scale_side = "rhs"
+                return lhs
+            if node.op == "+" and is_integer(lhs) and isinstance(rhs,
+                                                                 Pointer):
+                node.ptr_scale = max(1, rhs.elem.size)
+                node.scale_side = "lhs"
+                return rhs
+            if node.op == "-" and isinstance(lhs, Pointer) and \
+                    isinstance(rhs, Pointer):
+                node.ptr_diff_size = max(1, lhs.elem.size)
+                return INT
+        return INT
+
+    def _assign_type(self, node: ast.Assign, scope: _Scope) -> CType:
+        target = self._check_expr(node.target, scope)
+        self._check_expr(node.value, scope)
+        if not node.target.lvalue:
+            raise CompileError("assignment target is not an lvalue",
+                               node.line)
+        node.ptr_scale = 1
+        if node.op in ("+=", "-=") and isinstance(target, Pointer):
+            node.ptr_scale = max(1, target.elem.size)
+        return target
+
+    def _call_type(self, node: ast.Call, scope: _Scope) -> CType:
+        callee = node.callee
+        if isinstance(callee, ast.Ident):
+            self._check_expr(callee, scope)
+            if callee.binding in ("func", "builtin"):
+                ftype = callee.decl_type
+                node.direct_symbol = callee.symbol
+                node.builtin = callee.binding == "builtin"
+                self._check_args(node, ftype, scope)
+                return decay(ftype.ret)
+        ctype = self._check_expr(callee, scope)
+        if isinstance(ctype, Pointer) and isinstance(ctype.elem, FuncType):
+            ftype = ctype.elem
+            node.builtin = False
+            self._check_args(node, ftype, scope)
+            return decay(ftype.ret)
+        raise CompileError("calling a non-function", node.line)
+
+    def _check_args(self, node: ast.Call, ftype: FuncType,
+                    scope: _Scope) -> None:
+        if len(node.args) != len(ftype.params):
+            raise CompileError(
+                f"call expects {len(ftype.params)} arguments, got "
+                f"{len(node.args)}", node.line)
+        for arg in node.args:
+            self._check_expr(arg, scope)
+
+
+def _undecay_elem(index_node: ast.Index) -> CType:
+    base = index_node.base.ctype
+    if isinstance(base, Pointer):
+        return base.elem
+    raise CompileError("cannot take this address", index_node.line)
+
+
+def analyze(program: ast.Program) -> SemaResult:
+    return Sema(program).run()

@@ -1,0 +1,31 @@
+"""The code consumer: everything inside the bootstrap enclave's TCB.
+
+This package is the paper's contribution — deliberately small (the
+paper: loader < 600 LoC, verifier < 700 LoC; `repro.tcb`
+measures ours):
+
+* :mod:`rdd` — the clipped recursive-descent disassembler (the role
+  Capstone's stripped core plays in the paper);
+* :mod:`loader` — dynamic loading/relocation onto RWX pages, guard
+  pages, shadow stack and valid-target byte map setup;
+* :mod:`verifier` — the just-enough policy-compliance verifier that
+  pattern-checks every security annotation;
+* :mod:`rewriter` — the immediate-operand rewriter that patches magic
+  placeholders with real enclave addresses;
+* :mod:`bootstrap` — the bootstrap enclave tying it all together:
+  attestation, delivery ECalls, P0 OCall wrappers, execution.
+"""
+
+from .rdd import DisassembledCode, recursive_descent
+from .loader import DynamicLoader, LoadedBinary
+from .verifier import PolicyVerifier, VerifiedBinary
+from .rewriter import ImmRewriter, build_value_map
+from .bootstrap import BootstrapEnclave, RunOutcome
+
+__all__ = [
+    "DisassembledCode", "recursive_descent",
+    "DynamicLoader", "LoadedBinary",
+    "PolicyVerifier", "VerifiedBinary",
+    "ImmRewriter", "build_value_map",
+    "BootstrapEnclave", "RunOutcome",
+]

@@ -1,0 +1,87 @@
+"""Tamper-evident audit log for the bootstrap enclave.
+
+Every security-relevant event — session establishment, binary delivery
+and its verification verdict, data upload, every run and its outcome —
+is appended to a hash chain.  The chain head can be embedded in a quote
+(report data), giving remote parties *attestation evidence* that the
+history they were told matches what the measured bootstrap actually
+did.  This materializes the §III-A trust story: the data owner can
+audit, after the fact, that her data only ever met verified binaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+_GENESIS = b"deflection-audit-genesis"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One link of the chain."""
+
+    sequence: int
+    kind: str
+    detail: dict
+    chain: bytes          # H(prev_chain || canonical(event))
+
+    def canonical(self) -> bytes:
+        return json.dumps({"sequence": self.sequence, "kind": self.kind,
+                           "detail": self.detail},
+                          sort_keys=True).encode()
+
+
+class AuditLog:
+    """Append-only hash chain of bootstrap events."""
+
+    def __init__(self):
+        self._events: List[AuditEvent] = []
+        self._head = hashlib.sha256(_GENESIS).digest()
+
+    def record(self, kind: str, **detail) -> AuditEvent:
+        body = json.dumps({"sequence": len(self._events), "kind": kind,
+                           "detail": detail}, sort_keys=True).encode()
+        chain = hashlib.sha256(self._head + body).digest()
+        event = AuditEvent(len(self._events), kind, detail, chain)
+        self._events.append(event)
+        self._head = chain
+        return event
+
+    @property
+    def events(self) -> List[AuditEvent]:
+        return list(self._events)
+
+    @property
+    def head(self) -> bytes:
+        """Current chain head — suitable for quote report data."""
+        return self._head
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def verify_chain(self) -> bool:
+        """Recompute the chain; True iff no event was altered/removed."""
+        head = hashlib.sha256(_GENESIS).digest()
+        for index, event in enumerate(self._events):
+            if event.sequence != index:
+                return False
+            head = hashlib.sha256(head + event.canonical()).digest()
+            if head != event.chain:
+                return False
+        return head == self._head
+
+    def filter(self, kind: str) -> List[AuditEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def render(self) -> str:
+        lines = []
+        for event in self._events:
+            detail = ", ".join(f"{k}={v}" for k, v in
+                               sorted(event.detail.items()))
+            lines.append(f"[{event.sequence:3d}] {event.kind:20s} "
+                         f"{detail}")
+        lines.append(f"chain head: {self._head.hex()}")
+        return "\n".join(lines)

@@ -1,0 +1,448 @@
+"""The bootstrap enclave (§III-A, §V-B).
+
+Public, measured, attested code that receives the target binary and the
+user data, runs the load -> disassemble -> verify -> rewrite pipeline,
+and executes the target under the P0 OCall wrappers:
+
+* ``__send`` (SVC 1): output is encrypted on the session channel and
+  padded to fixed-size records; total output is capped by the entropy
+  budget;
+* ``__recv`` (SVC 2): reads from the decrypted user-data buffer;
+* ``__report`` (SVC 3): a 64-bit result value, also charged against the
+  output budget.
+
+The bootstrap's measured image is the actual source of this package —
+"its code is public and initial state is measured by hardware".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..compiler.objfile import ObjectFile
+from ..crypto.channel import SecureChannel
+from ..errors import (
+    CpuFault, EnclaveError, MemoryFault, PolicyViolation, ProtocolError,
+    VerificationError,
+)
+from ..policy.magic import MARKER_VALUE, VIOL_P0, VIOLATION_NAMES
+from ..policy.policies import PolicySet
+from ..sgx.enclave import Enclave
+from ..sgx.layout import EnclaveConfig
+from ..sgx.quote import PlatformKey, Quote
+from ..vm.costmodel import CostModel
+from ..vm.cpu import CPU, ExecResult
+from ..vm.interrupts import AexSchedule
+from .audit import AuditLog
+from .loader import DynamicLoader, LoadedBinary
+from .rewriter import ImmRewriter, build_value_map
+from .verifier import DEFAULT_ALLOWED_SVCS, PolicyVerifier, VerifiedBinary
+
+SVC_SEND = 1
+SVC_RECV = 2
+SVC_REPORT = 3
+
+_RDI, _RSI = 7, 6
+
+
+def consumer_image() -> bytes:
+    """The public bootstrap implementation image that gets measured.
+
+    Concatenates the source files of the code consumer (this package and
+    the annotation contract), so two bootstraps running identical
+    consumer code have identical MRENCLAVE.
+    """
+    roots = [Path(__file__).parent,
+             Path(__file__).parent.parent / "policy"]
+    chunks = []
+    for root in roots:
+        for path in sorted(root.glob("*.py")):
+            chunks.append(path.name.encode() + b"\x00" +
+                          path.read_bytes())
+    return b"\x00".join(chunks)
+
+
+@dataclass
+class P0Config:
+    """Interface-control knobs (the EDL manifest + wrappers)."""
+
+    max_output_bytes: int = 1 << 20   # entropy budget for send+report
+    record_size: int = 256            # fixed ciphertext record payload
+    allowed_svcs: tuple = tuple(sorted(DEFAULT_ALLOWED_SVCS))
+    #: §VII extension — "on-demand aligning/blurring processing time":
+    #: when nonzero, the bootstrap busy-pads every run so the host
+    #: observes a cycle count rounded up to a multiple of this quantum,
+    #: closing the processing-time covert channel.  0 disables padding.
+    pad_cycles_quantum: int = 0
+
+
+@dataclass
+class RunOutcome:
+    """Result of executing the provisioned target binary."""
+
+    status: str                        # 'ok' | 'violation' | 'fault'
+    result: Optional[ExecResult] = None
+    reports: List[int] = field(default_factory=list)
+    sent_plaintext: List[bytes] = field(default_factory=list)
+    sent_wire: List[bytes] = field(default_factory=list)
+    violation_code: int = 0
+    detail: str = ""
+    #: Cycle count as observed by the untrusted host: the true count
+    #: rounded up to the padding quantum when time blurring is on.
+    observable_cycles: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def violation_name(self) -> str:
+        return VIOLATION_NAMES.get(self.violation_code, "")
+
+
+@dataclass
+class _ThreadIO:
+    """Per-thread OCall-wrapper state: staged input and the outcome
+    record the wrappers write into."""
+
+    input: bytes
+    cursor: int
+    outcome: RunOutcome
+
+
+class BootstrapEnclave:
+    """Code consumer + P0 wrappers, hosted in a simulated enclave."""
+
+    def __init__(self, policies: PolicySet = None,
+                 config: EnclaveConfig = None,
+                 platform: PlatformKey = None,
+                 p0: P0Config = None,
+                 aex_threshold: int = 10,
+                 custom=()):
+        self.policies = policies if policies is not None \
+            else PolicySet.full()
+        self.p0 = p0 or P0Config()
+        self.aex_threshold = aex_threshold
+        self.enclave = Enclave(config, platform)
+        self.enclave.load_bootstrap_image(consumer_image())
+        self.enclave.einit()
+        self.loader = DynamicLoader(self.enclave)
+        self.custom = tuple(custom)
+        self.verifier = PolicyVerifier(self.policies,
+                                       self.p0.allowed_svcs,
+                                       custom=self.custom)
+        self.loaded: Optional[LoadedBinary] = None
+        self.verified: Optional[VerifiedBinary] = None
+        #: Tamper-evident event chain (attestation evidence).
+        self.audit = AuditLog()
+        self.audit.record("enclave_initialized",
+                          mrenclave=self.enclave.mrenclave.hex(),
+                          policies=self.policies.describe())
+        #: Session channels by role: 'owner' (data owner) and 'provider'
+        #: (code provider) — the two parties of §III-A.
+        self.channels = {}
+        self._input: bytes = b""
+        self._input_cursor = 0
+        self.enclave.register_ecall("ecall_receive_binary",
+                                    self.receive_binary)
+        self.enclave.register_ecall("ecall_receive_userdata",
+                                    self.receive_userdata)
+        self.enclave.register_ecall("ecall_run", self.run)
+
+    # -- attestation ----------------------------------------------------------
+
+    @property
+    def mrenclave(self) -> bytes:
+        return self.enclave.mrenclave
+
+    def quote(self, report_data: bytes = b"") -> Quote:
+        return self.enclave.get_quote(report_data)
+
+    def quote_with_audit(self) -> Quote:
+        """Quote whose report data pins the audit-chain head, so a
+        remote party can check the claimed history is the real one."""
+        return self.enclave.get_quote(self.audit.head)
+
+    def attach_channel(self, channel: SecureChannel,
+                       role: str = "owner") -> None:
+        """Bind an established RA-TLS session channel for ``role``
+        ('owner' or 'provider')."""
+        if role not in ("owner", "provider"):
+            raise ProtocolError(f"unknown role {role!r}")
+        self.channels[role] = channel
+        self.audit.record("channel_attached", role=role)
+
+    @property
+    def channel(self) -> Optional[SecureChannel]:
+        """The data-owner channel (P0 output goes to the data owner)."""
+        return self.channels.get("owner")
+
+    # -- delivery ECalls ---------------------------------------------------------
+
+    def receive_binary(self, blob: bytes,
+                       encrypted: bool = False) -> bytes:
+        """``ecall_receive_binary``: parse, load, verify, rewrite.
+
+        Returns the measurement (hash) of the received service binary,
+        which the bootstrap forwards to the data owner (§III-A).
+        Raises :class:`VerificationError` when the binary is rejected.
+        """
+        if encrypted:
+            provider = self.channels.get("provider")
+            if provider is None:
+                raise ProtocolError("no provider channel established")
+            blob = provider.open(blob)
+        blob_hash = hashlib.sha256(blob).hexdigest()
+        try:
+            obj = ObjectFile.parse(blob)
+            loaded = self.loader.load(obj)
+            text = self.enclave.space.read_raw(loaded.code_base,
+                                               loaded.code_len)
+            entry_off = loaded.entry_addr - loaded.code_base
+            target_offs = [addr - loaded.code_base
+                           for addr in loaded.branch_target_addrs]
+            verified = self.verifier.verify(text, entry_off, target_offs)
+        except Exception as exc:
+            self.audit.record("binary_rejected", hash=blob_hash,
+                              reason=str(exc))
+            raise
+        rewriter = ImmRewriter(build_value_map(
+            self.enclave.layout, loaded, self.aex_threshold,
+            policies=self.policies))
+        rewriter.apply(self.enclave.space, loaded.code_base,
+                       verified.magic_slots)
+        self.loaded = loaded
+        self.verified = verified
+        self.audit.record(
+            "binary_verified", hash=blob_hash,
+            annotations=sum(verified.annotation_counts.values()),
+            instructions=verified.instruction_count)
+        return hashlib.sha256(blob).digest()
+
+    def receive_userdata(self, data: bytes,
+                         encrypted: bool = False) -> int:
+        """``ecall_receive_userdata``: stage decrypted input for
+        ``__recv``."""
+        if encrypted:
+            owner = self.channels.get("owner")
+            if owner is None:
+                raise ProtocolError("no owner channel established")
+            data = owner.open(data)
+        self._input = bytes(data)
+        self._input_cursor = 0
+        self.audit.record("userdata_received", nbytes=len(self._input),
+                          encrypted=encrypted)
+        return len(self._input)
+
+    # -- execution -----------------------------------------------------------------
+
+    def _reset_runtime_cells(self) -> None:
+        layout = self.enclave.layout
+        space = self.enclave.space
+        space.write_raw(layout.ssp_cell,
+                        layout.ss_base.to_bytes(8, "little"))
+        space.write_raw(layout.ssa_marker_addr,
+                        MARKER_VALUE.to_bytes(8, "little"))
+        space.write_raw(layout.aex_count_cell, b"\x00" * 8)
+
+    def _make_cpu(self, tid: int, io: "_ThreadIO",
+                  aex_schedule: AexSchedule,
+                  cost_model: CostModel) -> CPU:
+        layout = self.enclave.layout
+        cpu = CPU(self.enclave.space, self.loaded.entry_addr,
+                  cost_model=cost_model,
+                  aex_schedule=aex_schedule,
+                  svc_handler=lambda c, num: self._svc(c, num, io),
+                  initial_rsp=layout.initial_rsp_of(tid),
+                  ssa_addr=layout.ssa_addr_of(tid),
+                  hot_range=(layout.crit_lo, layout.crit_hi))
+        if self.policies.mt_safe:
+            # §VII: the shadow-stack pointer lives in R13, per thread
+            cpu.regs[13] = layout.shadow_slice_base(tid)
+        return cpu
+
+    def run(self, aex_schedule: AexSchedule = None,
+            cost_model: CostModel = None,
+            max_steps: int = 200_000_000) -> RunOutcome:
+        """``ecall_run``: execute the verified target binary."""
+        if self.loaded is None or self.verified is None:
+            raise EnclaveError("no verified binary provisioned")
+        self._reset_runtime_cells()
+        outcome = RunOutcome(status="ok")
+        io = _ThreadIO(self._input, 0, outcome)
+        self._budget = self.p0.max_output_bytes
+        cpu = self._make_cpu(0, io, aex_schedule, cost_model)
+        try:
+            outcome.result = cpu.run(max_steps=max_steps)
+            self.enclave.hw_aex_count += cpu.aex_events
+        except PolicyViolation as exc:
+            outcome.status = "violation"
+            outcome.violation_code = exc.code
+            outcome.detail = str(exc)
+            outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
+                                        cpu.aex_events, cpu.regs[0])
+        except (MemoryFault, CpuFault) as exc:
+            outcome.status = "fault"
+            outcome.detail = str(exc)
+            outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
+                                        cpu.aex_events, cpu.regs[0])
+        outcome.observable_cycles = self._pad_time(
+            outcome.result.cycles if outcome.result else 0.0)
+        self.audit.record(
+            "run_completed", status=outcome.status,
+            violation=outcome.violation_name,
+            steps=outcome.result.steps,
+            observable_cycles=int(outcome.observable_cycles),
+            outputs=len(outcome.sent_wire) + len(outcome.reports))
+        return outcome
+
+    def run_traced(self, max_instructions: int = 200,
+                   cost_model: CostModel = None):
+        """Single-step the target, returning ``(outcome, trace)``.
+
+        ``trace`` is a list of disassembly lines (``addr: mnemonic``)
+        for the first ``max_instructions`` executed — a developer aid
+        (the hot path has no tracing hooks; this uses slice stepping).
+        """
+        from ..isa.disassembler import format_instruction
+        from ..isa.encoding import decode_instruction
+        if self.loaded is None or self.verified is None:
+            raise EnclaveError("no verified binary provisioned")
+        self._reset_runtime_cells()
+        outcome = RunOutcome(status="ok")
+        io = _ThreadIO(self._input, 0, outcome)
+        self._budget = self.p0.max_output_bytes
+        cpu = self._make_cpu(0, io, None, cost_model)
+        trace: List[str] = []
+        space = self.enclave.space
+        try:
+            while len(trace) < max_instructions and not cpu.halted:
+                try:
+                    ins, _ = decode_instruction(
+                        space.enclave_view(),
+                        cpu.rip - space.enclave_base)
+                    trace.append(f"{cpu.rip:#x}: "
+                                 f"{format_instruction(ins)}")
+                except Exception:
+                    trace.append(f"{cpu.rip:#x}: <undecodable>")
+                cpu.run(slice_steps=1)
+            if not cpu.halted:
+                trace.append("... (truncated)")
+                outcome.status = "truncated"
+        except PolicyViolation as exc:
+            outcome.status = "violation"
+            outcome.violation_code = exc.code
+            outcome.detail = str(exc)
+        except (MemoryFault, CpuFault) as exc:
+            outcome.status = "fault"
+            outcome.detail = str(exc)
+        outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
+                                    cpu.aex_events, cpu.regs[0])
+        return outcome, trace
+
+    def run_threads(self, inputs, quantum: int = 500,
+                    cost_model: CostModel = None,
+                    max_steps: int = 50_000_000) -> List[RunOutcome]:
+        """``ecall_run`` over N TCS slots (§VII multi-threading).
+
+        Every thread executes the verified entry with its own stack
+        slice, SSA frame and staged input; threads interleave in
+        deterministic instruction quanta over the shared address space.
+        Requires the layout to have enough TCS slots and — when P5 is
+        on — the MT-safe contract (register-held shadow-stack pointer):
+        the memory-cell variant would race across threads, the exact
+        TOCTOU hazard the paper warns about.
+        """
+        from ..vm.smt import RoundRobinScheduler
+        if self.loaded is None or self.verified is None:
+            raise EnclaveError("no verified binary provisioned")
+        layout = self.enclave.layout
+        if len(inputs) > layout.num_threads:
+            raise EnclaveError(
+                f"{len(inputs)} threads but only {layout.num_threads} "
+                f"TCS slots")
+        if self.policies.p5 and not self.policies.mt_safe and \
+                len(inputs) > 1:
+            raise EnclaveError(
+                "P5's memory-held shadow stack is not thread-safe; "
+                "use the MT-safe policy variant (PolicySet.multithreaded)")
+        self._reset_runtime_cells()
+        self._budget = self.p0.max_output_bytes
+        outcomes = []
+        cpus = []
+        for tid, data in enumerate(inputs):
+            outcome = RunOutcome(status="ok")
+            io = _ThreadIO(bytes(data), 0, outcome)
+            cpus.append(self._make_cpu(tid, io, None, cost_model))
+            outcomes.append(outcome)
+        threads = RoundRobinScheduler(cpus, quantum=quantum).run(
+            max_steps_per_thread=max_steps)
+        for thread, outcome in zip(threads, outcomes):
+            cpu = thread.cpu
+            outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
+                                        cpu.aex_events, cpu.regs[0])
+            if thread.status != "halted":
+                outcome.status = thread.status
+                outcome.detail = thread.detail
+                outcome.violation_code = getattr(thread,
+                                                 "violation_code", 0)
+            outcome.observable_cycles = self._pad_time(
+                outcome.result.cycles)
+        self.audit.record(
+            "threads_completed", threads=len(outcomes),
+            statuses=",".join(o.status for o in outcomes))
+        return outcomes
+
+    def _pad_time(self, cycles: float) -> float:
+        """§VII time blurring: the host only ever observes quantum-
+        aligned completion times."""
+        quantum = self.p0.pad_cycles_quantum
+        if quantum <= 0:
+            return cycles
+        blocks = int(cycles // quantum) + (1 if cycles % quantum else 0)
+        return float(max(1, blocks) * quantum)
+
+    # -- P0 OCall wrappers --------------------------------------------------------
+
+    def _charge_budget(self, nbytes: int) -> None:
+        self._budget -= nbytes
+        if self._budget < 0:
+            raise PolicyViolation(
+                VIOL_P0, 0, "P0: output entropy budget exhausted")
+
+    def _svc(self, cpu: CPU, num: int, io: "_ThreadIO") -> None:
+        outcome = io.outcome
+        if num == SVC_SEND:
+            ptr, length = cpu.regs[_RDI], cpu.regs[_RSI]
+            if length > self.enclave.layout.size:
+                raise PolicyViolation(VIOL_P0, cpu.rip,
+                                      "P0: absurd send length")
+            self._charge_budget(length)
+            data = self.enclave.space.read_raw(ptr, length)
+            outcome.sent_plaintext.append(data)
+            if self.channel is not None:
+                wire = self.channel.seal(data)
+            else:
+                # no session: still pad to fixed records (covert-channel
+                # control), just unencrypted
+                pad = self.p0.record_size
+                padded = max(pad, (len(data) + pad - 1) // pad * pad)
+                wire = data + b"\x00" * (padded - len(data))
+            outcome.sent_wire.append(wire)
+            cpu.regs[0] = length
+        elif num == SVC_RECV:
+            ptr, length = cpu.regs[_RDI], cpu.regs[_RSI]
+            chunk = io.input[io.cursor:io.cursor + length]
+            self.enclave.space.write_raw(ptr, chunk)
+            io.cursor += len(chunk)
+            cpu.regs[0] = len(chunk)
+        elif num == SVC_REPORT:
+            self._charge_budget(8)
+            outcome.reports.append(cpu.regs[_RDI])
+            cpu.regs[0] = 0
+        else:
+            raise PolicyViolation(VIOL_P0, cpu.rip,
+                                  f"P0: OCall {num} not in manifest")

@@ -1,0 +1,117 @@
+"""Dynamic loader: relocate the target binary inside the enclave.
+
+Implements §IV-D's loading procedure: parse the relocatable object,
+place text on the RWX code pages and data/bss on the heap, rebase all
+symbols, apply ABS64 relocations, translate the indirect-branch list
+into the valid-target byte map, and initialize the shadow-stack pointer
+cell and the HyperRace marker/counter cells.  Guard pages around the
+stack (for P2's implicit-overflow half) come from the enclave layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..compiler.objfile import ObjectFile, SEC_BSS, SEC_DATA, SEC_TEXT
+from ..errors import LoaderError
+from ..policy.magic import MARKER_VALUE
+from ..sgx.enclave import Enclave
+
+
+@dataclass
+class LoadedBinary:
+    """Addresses of a relocated target binary."""
+
+    obj: ObjectFile
+    code_base: int = 0
+    code_len: int = 0
+    data_base: int = 0
+    bss_base: int = 0
+    entry_addr: int = 0
+    heap_free: int = 0          # first free heap byte after data+bss
+    symbol_addrs: Dict[str, int] = field(default_factory=dict)
+    branch_target_addrs: List[int] = field(default_factory=list)
+
+
+class DynamicLoader:
+    """In-enclave loader (trusted; runs before verification)."""
+
+    def __init__(self, enclave: Enclave):
+        self.enclave = enclave
+
+    def load(self, obj: ObjectFile) -> LoadedBinary:
+        layout = self.enclave.layout
+        space = self.enclave.space
+        code = layout.regions["code"]
+        heap = layout.regions["heap"]
+        if len(obj.text) > code.size:
+            raise LoaderError(
+                f"text ({len(obj.text)} B) exceeds code region "
+                f"({code.size} B)")
+        data_base = heap.start
+        bss_base = data_base + _align8(len(obj.data))
+        heap_free = bss_base + _align8(obj.bss_size)
+        if heap_free > heap.end:
+            raise LoaderError("data+bss exceed the heap region")
+
+        loaded = LoadedBinary(obj, code_base=code.start,
+                              code_len=len(obj.text),
+                              data_base=data_base, bss_base=bss_base,
+                              heap_free=heap_free)
+
+        # -- rebase symbols -------------------------------------------------
+        for name, sym in obj.symbols.items():
+            if sym.section == SEC_TEXT:
+                base = code.start
+            elif sym.section == SEC_DATA:
+                base = data_base
+            elif sym.section == SEC_BSS:
+                base = bss_base
+            else:  # pragma: no cover - parse() validates sections
+                raise LoaderError(f"bad section for {name!r}")
+            if sym.section == SEC_TEXT and sym.offset >= len(obj.text):
+                raise LoaderError(f"symbol {name!r} outside text")
+            loaded.symbol_addrs[name] = base + sym.offset
+
+        # -- place images -----------------------------------------------------
+        text = bytearray(obj.text)
+        for reloc in obj.relocations:
+            target = loaded.symbol_addrs.get(reloc.symbol)
+            if target is None:
+                raise LoaderError(f"undefined symbol {reloc.symbol!r}")
+            value = (target + reloc.addend) & ((1 << 64) - 1)
+            text[reloc.offset:reloc.offset + 8] = \
+                value.to_bytes(8, "little")
+        space.write_raw(code.start, bytes(text))
+        space.write_raw(data_base, obj.data)
+        space.write_raw(bss_base, b"\x00" * obj.bss_size)
+
+        # -- valid-target byte map ("indirect branch list translated to
+        #    in-enclave addresses", §IV-D) ------------------------------------
+        brmap = layout.regions["branch_map"]
+        space.write_raw(brmap.start, b"\x00" * len(obj.text))
+        for name in obj.branch_targets:
+            sym = obj.symbol(name)
+            if sym.section != SEC_TEXT:
+                raise LoaderError(
+                    f"indirect target {name!r} is not code")
+            space.write_raw(brmap.start + sym.offset, b"\x01")
+            loaded.branch_target_addrs.append(code.start + sym.offset)
+
+        # -- runtime cells ------------------------------------------------------
+        space.write_raw(layout.ssp_cell,
+                        layout.ss_base.to_bytes(8, "little"))
+        space.write_raw(layout.ssa_marker_addr,
+                        MARKER_VALUE.to_bytes(8, "little"))
+        space.write_raw(layout.aex_count_cell, b"\x00" * 8)
+
+        entry = obj.symbols.get(obj.entry)
+        if entry is None or entry.section != SEC_TEXT:
+            raise LoaderError("bad entry symbol")
+        loaded.entry_addr = code.start + entry.offset
+        return loaded
+
+
+def _align8(value: int) -> int:
+    return (value + 7) & ~7

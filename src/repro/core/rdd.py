@@ -1,0 +1,85 @@
+"""Clipped recursive-descent disassembler (§IV-D, §V-B).
+
+Starts from the program entry, follows direct control flow, defers
+branch targets onto a worklist, and uses the legitimate indirect-branch
+target list to seed functions only reachable indirectly — exactly the
+paper's algorithm.  Overlapping instructions (two decoded instructions
+sharing bytes at different starts) are rejected: on a fixed-per-opcode
+encoding every reachable byte has exactly one interpretation or the
+binary is refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import EncodingError, VerificationError
+from ..isa.encoding import decode_instruction
+from ..isa.instructions import (
+    COND_JUMPS, Instruction, NO_FALLTHROUGH_OPS, Op,
+)
+
+
+@dataclass
+class DisassembledCode:
+    """RDD result: the reachable instruction stream in address order."""
+
+    stream: List[Tuple[int, Instruction]] = field(default_factory=list)
+    index_of: Dict[int, int] = field(default_factory=dict)
+
+    def at_offset(self, offset: int) -> Instruction:
+        return self.stream[self.index_of[offset]][1]
+
+    @property
+    def offsets(self) -> Iterable[int]:
+        return self.index_of.keys()
+
+
+def recursive_descent(text: bytes, entry: int,
+                      roots: Iterable[int] = ()) -> DisassembledCode:
+    """Disassemble ``text`` from ``entry`` plus extra ``roots``.
+
+    Raises :class:`VerificationError` on undecodable reachable bytes,
+    control flow escaping the text section, or overlapping decodings.
+    """
+    visited: Dict[int, int] = {}      # offset -> length
+    worklist: List[int] = [entry]
+    for root in roots:
+        worklist.append(root)
+    decoded: Dict[int, Instruction] = {}
+
+    while worklist:
+        pos = worklist.pop()
+        while pos not in visited:
+            if not 0 <= pos < len(text):
+                raise VerificationError(
+                    "control flow escapes the text section", pos)
+            try:
+                instr, length = decode_instruction(text, pos)
+            except EncodingError as exc:
+                raise VerificationError(f"undecodable: {exc}", pos) \
+                    from exc
+            visited[pos] = length
+            decoded[pos] = instr
+            op = instr.op
+            if op == Op.JMP or op == Op.CALL or op in COND_JUMPS:
+                target = pos + length + instr.operands[0]
+                if not 0 <= target < len(text):
+                    raise VerificationError(
+                        f"branch target {target:#x} outside text", pos)
+                worklist.append(target)
+            if op in NO_FALLTHROUGH_OPS:
+                break
+            pos += length
+
+    result = DisassembledCode()
+    last_end = 0
+    for offset in sorted(visited):
+        if offset < last_end:
+            raise VerificationError(
+                "overlapping instruction decodings", offset)
+        last_end = offset + visited[offset]
+        result.index_of[offset] = len(result.stream)
+        result.stream.append((offset, decoded[offset]))
+    return result

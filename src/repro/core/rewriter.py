@@ -1,0 +1,82 @@
+"""Immediate-operand rewriter (§V-B, "Imm rewriter").
+
+After verification succeeds, every magic placeholder recorded by the
+verifier is patched with the concrete enclave address or value: store
+bounds, shadow-stack cells, the branch byte-map base, the SSA marker
+cell and the AEX threshold.  Only verified annotation slots are written
+— the rewriter never scans or modifies program bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import LoaderError
+from ..policy.magic import MAGIC
+from ..sgx.layout import EnclaveLayout
+from .loader import LoadedBinary
+
+
+def build_value_map(layout: EnclaveLayout, loaded: LoadedBinary,
+                    aex_threshold: int,
+                    policies=None) -> Dict[str, int]:
+    """Concrete value for every magic placeholder name.
+
+    The store-guard bounds implement P1/P3/P4 with one range check by
+    tightening the lower bound (§IV-C: P3/P4 "reuse" the P1 annotation
+    via different boundaries): P3 excludes the critical band (SSA/TCS/
+    TLS, shadow stack, branch map) that sits directly below the code
+    pages; P4 additionally excludes the code pages themselves.
+    """
+    code = layout.regions["code"]
+    stack = layout.regions["stack"]
+    store_lo = layout.el_lo
+    if policies is not None and policies.p3:
+        store_lo = code.start          # everything below code excluded
+    if policies is not None and policies.p4:
+        store_lo = code.end
+    return {
+        "p1_lo": store_lo,
+        "p1_hi": layout.el_hi,
+        "crit_lo": layout.crit_lo,
+        "crit_hi": layout.crit_hi,
+        "code_lo": code.start,
+        "code_hi": code.end,
+        "stack_lo": stack.start,
+        "stack_hi": stack.end,
+        "ss_cell": layout.ssp_cell,
+        "ss_base": layout.ss_base,
+        "ss_top": layout.ss_top,
+        "code_base": loaded.code_base,
+        "code_len": loaded.code_len,
+        "brmap_base": layout.regions["branch_map"].start,
+        "ssa_marker": layout.ssa_marker_addr,
+        "aex_cnt": layout.aex_count_cell,
+        "aex_threshold": aex_threshold,
+    }
+
+
+class ImmRewriter:
+    """Patches verified magic slots in the relocated text image."""
+
+    def __init__(self, values: Dict[str, int]):
+        unknown = set(values) - set(MAGIC)
+        if unknown:
+            raise LoaderError(f"unknown magic names {sorted(unknown)}")
+        self.values = values
+
+    def apply(self, space, code_base: int,
+              slots: Iterable[Tuple[int, str]]) -> int:
+        """Write concrete values into ``slots`` (text offset, name).
+
+        Returns the number of slots patched.
+        """
+        count = 0
+        for offset, name in slots:
+            value = self.values.get(name)
+            if value is None:
+                raise LoaderError(f"no value for magic {name!r}")
+            space.write_raw(code_base + offset,
+                            (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+            count += 1
+        return count

@@ -1,0 +1,76 @@
+"""ChaCha20 stream cipher (RFC 8439 core, from scratch)."""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state, a, b, c, d):
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def _block(key_words, counter: int, nonce_words) -> bytes:
+    state = list(_CONSTANTS) + list(key_words) + [counter & _MASK32] + \
+        list(nonce_words)
+    working = state[:]
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    out = [(w + s) & _MASK32 for w, s in zip(working, state)]
+    return struct.pack("<16I", *out)
+
+
+class ChaCha20:
+    """ChaCha20 keystream generator/cipher.
+
+    ``key`` is 32 bytes, ``nonce`` is 12 bytes, ``counter`` the initial
+    64-byte block counter.  Encryption and decryption are the same
+    operation (XOR with the keystream).
+    """
+
+    def __init__(self, key: bytes, nonce: bytes, counter: int = 0):
+        if len(key) != 32:
+            raise ValueError("ChaCha20 key must be 32 bytes")
+        if len(nonce) != 12:
+            raise ValueError("ChaCha20 nonce must be 12 bytes")
+        self._key_words = struct.unpack("<8I", key)
+        self._nonce_words = struct.unpack("<3I", nonce)
+        self._counter = counter
+
+    def keystream(self, length: int) -> bytes:
+        out = bytearray()
+        while len(out) < length:
+            out += _block(self._key_words, self._counter, self._nonce_words)
+            self._counter += 1
+        return bytes(out[:length])
+
+    def process(self, data: bytes) -> bytes:
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes,
+                 counter: int = 0) -> bytes:
+    """One-shot encrypt/decrypt."""
+    return ChaCha20(key, nonce, counter).process(data)

@@ -1,0 +1,124 @@
+"""Authenticated secure channel with P0-style traffic shaping.
+
+The channel models the RA-TLS session between the bootstrap enclave and a
+remote party: ChaCha20 encryption, HMAC-SHA256 authentication
+(encrypt-then-MAC), strictly increasing sequence numbers (replay
+protection), and **fixed-length record padding** — the paper's covert-
+channel countermeasure: an observer of the wire sees only the number of
+equal-sized records, never the plaintext length.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+from typing import Tuple
+
+from ..errors import ProtocolError
+from .chacha import chacha20_xor
+from .hkdf import hkdf
+
+_MAC_LEN = 32
+_LEN_HDR = 4
+
+
+def derive_channel_keys(shared_secret: bytes, transcript: bytes,
+                        role: str) -> Tuple[bytes, bytes, bytes, bytes]:
+    """Derive (send_key, send_mac, recv_key, recv_mac) for ``role``.
+
+    ``role`` is ``"client"`` or ``"server"``; the two sides derive
+    mirrored key sets from the DH secret and the handshake transcript.
+    """
+    if role not in ("client", "server"):
+        raise ProtocolError(f"bad role {role!r}")
+    okm = hkdf(shared_secret, hashlib.sha256(transcript).digest(),
+               b"deflection-channel-v1", 128)
+    c2s_key, c2s_mac = okm[0:32], okm[32:64]
+    s2c_key, s2c_mac = okm[64:96], okm[96:128]
+    if role == "client":
+        return c2s_key, c2s_mac, s2c_key, s2c_mac
+    return s2c_key, s2c_mac, c2s_key, c2s_mac
+
+
+class SecureChannel:
+    """One endpoint of an established channel.
+
+    ``record_size`` is the fixed plaintext capacity per record; messages
+    are split and zero-padded so every ciphertext record has identical
+    length (P0 entropy control).
+    """
+
+    def __init__(self, send_key: bytes, send_mac: bytes,
+                 recv_key: bytes, recv_mac: bytes,
+                 record_size: int = 1024):
+        if record_size <= 0:
+            raise ProtocolError("record_size must be positive")
+        self._send_key = send_key
+        self._send_mac = send_mac
+        self._recv_key = recv_key
+        self._recv_mac = recv_mac
+        self._send_seq = 0
+        self._recv_seq = 0
+        self.record_size = record_size
+
+    @classmethod
+    def pair(cls, shared_secret: bytes, transcript: bytes = b"",
+             record_size: int = 1024) -> Tuple["SecureChannel",
+                                               "SecureChannel"]:
+        """Build a connected (client, server) endpoint pair — test helper."""
+        ck = derive_channel_keys(shared_secret, transcript, "client")
+        sk = derive_channel_keys(shared_secret, transcript, "server")
+        return cls(*ck, record_size=record_size), \
+            cls(*sk, record_size=record_size)
+
+    # -- records ---------------------------------------------------------
+
+    def _nonce(self, seq: int) -> bytes:
+        return struct.pack("<Q", seq) + b"\x00" * 4
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext`` into one or more fixed-size records."""
+        records = []
+        chunks = [plaintext[i:i + self.record_size - _LEN_HDR]
+                  for i in range(0, len(plaintext),
+                                 self.record_size - _LEN_HDR)] or [b""]
+        for chunk in chunks:
+            body = struct.pack("<I", len(chunk)) + chunk
+            body += b"\x00" * (self.record_size - len(body))
+            seq = self._send_seq
+            self._send_seq += 1
+            ct = chacha20_xor(self._send_key, self._nonce(seq), body)
+            tag = hmac.new(self._send_mac, struct.pack("<Q", seq) + ct,
+                           hashlib.sha256).digest()
+            records.append(ct + tag)
+        return b"".join(records)
+
+    def open(self, wire: bytes) -> bytes:
+        """Decrypt and authenticate records produced by the peer."""
+        record_len = self.record_size + _MAC_LEN
+        if len(wire) % record_len:
+            raise ProtocolError("truncated record stream")
+        out = bytearray()
+        for off in range(0, len(wire), record_len):
+            ct = wire[off:off + self.record_size]
+            tag = wire[off + self.record_size:off + record_len]
+            seq = self._recv_seq
+            expected = hmac.new(self._recv_mac,
+                                struct.pack("<Q", seq) + ct,
+                                hashlib.sha256).digest()
+            if not hmac.compare_digest(expected, tag):
+                raise ProtocolError(f"record {seq}: bad MAC")
+            self._recv_seq += 1
+            body = chacha20_xor(self._recv_key, self._nonce(seq), ct)
+            (length,) = struct.unpack_from("<I", body)
+            if length > self.record_size - _LEN_HDR:
+                raise ProtocolError(f"record {seq}: bad length")
+            out += body[_LEN_HDR:_LEN_HDR + length]
+        return bytes(out)
+
+    def wire_length(self, plaintext_len: int) -> int:
+        """Bytes on the wire for a message — depends only on record count."""
+        payload = self.record_size - _LEN_HDR
+        records = max(1, -(-plaintext_len // payload))
+        return records * (self.record_size + _MAC_LEN)

@@ -1,0 +1,34 @@
+"""HKDF-SHA256 (RFC 5869) key derivation."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract step: PRK = HMAC(salt, input keying material)."""
+    return hmac.new(salt or b"\x00" * _HASH_LEN, ikm, hashlib.sha256) \
+        .digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand step: derive ``length`` bytes bound to ``info``."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            prk, previous + info + bytes([counter]), hashlib.sha256).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes, info: bytes, length: int) -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

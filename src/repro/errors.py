@@ -1,0 +1,84 @@
+"""Exception hierarchy for the DEFLECTION reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the CCaaS boundary.  Verification and
+runtime-policy failures are kept distinct because the paper treats them
+differently: a verification failure rejects the binary before it runs, a
+policy violation aborts the computation at runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class EncodingError(ReproError):
+    """Malformed instruction operands or undecodable bytes."""
+
+
+class AssemblerError(ReproError):
+    """Unresolved label, duplicate label, or out-of-range fixup."""
+
+
+class ObjectFormatError(ReproError):
+    """Corrupt or ill-formed relocatable object file."""
+
+
+class CompileError(ReproError):
+    """MiniC front-end or code-generation failure."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+
+
+class MemoryFault(ReproError):
+    """Hardware-level memory fault (page permissions, unmapped page)."""
+
+    def __init__(self, message: str, address: int = 0):
+        self.address = address
+        super().__init__(message)
+
+
+class CpuFault(ReproError):
+    """Fetch/decode/execute fault inside the VM."""
+
+
+class PolicyViolation(ReproError):
+    """A security annotation trapped at runtime (TRAP instruction)."""
+
+    def __init__(self, code: int, rip: int = 0, message: str = ""):
+        self.code = code
+        self.rip = rip
+        super().__init__(message or f"policy violation code={code} rip={rip:#x}")
+
+
+class VerificationError(ReproError):
+    """The in-enclave verifier rejected the target binary."""
+
+    def __init__(self, message: str, offset: int = -1):
+        self.offset = offset
+        if offset >= 0:
+            message = f"text+{offset:#x}: {message}"
+        super().__init__(message)
+
+
+class LoaderError(ReproError):
+    """Dynamic loader failure (layout overflow, bad relocation...)."""
+
+
+class AttestationError(ReproError):
+    """Quote or report failed verification."""
+
+
+class ProtocolError(ReproError):
+    """CCaaS protocol misuse (wrong message, bad MAC, replay...)."""
+
+
+class EnclaveError(ReproError):
+    """Enclave lifecycle misuse (ECall before EINIT etc.)."""

@@ -1,0 +1,17 @@
+"""HyperRace-style co-location testing (policy P6's companion check).
+
+When the P6 annotation detects an AEX, HyperRace [40] runs a data-race
+probe between the protected thread and its shadow hyperthread: if the
+two still share a physical core, contrived data races land with high
+probability; if the OS separated them (to mount an L1/L2 cache attack),
+the race probability collapses.  This package models the probe and
+reproduces the paper's false-positive (α) accuracy experiment on four
+processor models.
+"""
+
+from .colocation import (
+    PROCESSORS, ProcessorModel, CoLocationTester, analytic_alpha,
+)
+
+__all__ = ["PROCESSORS", "ProcessorModel", "CoLocationTester",
+           "analytic_alpha"]

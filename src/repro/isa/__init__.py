@@ -1,0 +1,43 @@
+"""DX86: the simulated 64-bit ISA used throughout the reproduction.
+
+DX86 stands in for x86-64 (see DESIGN.md §2).  It keeps the properties the
+DEFLECTION mechanism depends on:
+
+* a binary, byte-addressed encoding (annotations are verified on bytes);
+* x86-like registers including ``RSP``/``RBP`` with push/pop semantics;
+* ``[base + index*scale + disp]`` memory operands;
+* direct and *indirect* calls/jumps, conditional branches on flags;
+* 64-bit immediates in ``MOV r, imm64`` — the slots the in-enclave
+  immediate rewriter patches.
+
+Unlike x86 the encoding is fixed-length *per opcode*, which keeps the
+clipped disassembler small — the same motivation the paper cites for
+stripping Capstone down ("diet mode").
+"""
+
+from .registers import (
+    RAX, RBX, RCX, RDX, RSI, RDI, RSP, RBP,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    REG_NAMES, REG_COUNT, RESERVED_REGS, reg_name,
+)
+from .instructions import (
+    Op, Instruction, Mem, Label, LabelDef, SymbolRef,
+    SPECS, instr_length, is_store, is_load, writes_rsp_explicitly,
+    is_indirect_branch, is_cond_jump, COND_JUMPS,
+)
+from .encoding import encode_instruction, decode_instruction
+from .assembler import assemble, AssembledCode, Relocation
+from .disassembler import disassemble_linear, format_instruction
+
+__all__ = [
+    "RAX", "RBX", "RCX", "RDX", "RSI", "RDI", "RSP", "RBP",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+    "REG_NAMES", "REG_COUNT", "RESERVED_REGS", "reg_name",
+    "Op", "Instruction", "Mem", "Label", "LabelDef", "SymbolRef",
+    "SPECS", "instr_length", "is_store", "is_load",
+    "writes_rsp_explicitly", "is_indirect_branch", "is_cond_jump",
+    "COND_JUMPS",
+    "encode_instruction", "decode_instruction",
+    "assemble", "AssembledCode", "Relocation",
+    "disassemble_linear", "format_instruction",
+]

@@ -1,0 +1,103 @@
+"""Two-pass assembler: symbolic instruction streams -> machine code.
+
+The assembler resolves :class:`Label` branch targets to rel32
+displacements and turns :class:`SymbolRef` 64-bit immediates into
+ABS64 relocation entries (patched later by the linker/loader), exactly
+the information the paper's "relocatable file" carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Union
+
+from ..errors import AssemblerError
+from .encoding import MOV_RI_IMM_OFFSET, encode_instruction
+from .instructions import Instruction, Label, LabelDef, SymbolRef, SPECS, Op
+
+_I32_MIN, _I32_MAX = -(1 << 31), (1 << 31) - 1
+
+AsmItem = Union[Instruction, LabelDef]
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """An ABS64 relocation: write ``address_of(symbol) + addend`` into the
+    8 bytes at ``offset`` of the text section."""
+
+    offset: int
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class AssembledCode:
+    """Result of assembling one instruction stream."""
+
+    code: bytes
+    labels: Dict[str, int]
+    relocations: List[Relocation]
+    instr_offsets: List[int]
+
+
+def assemble(items: Iterable[AsmItem]) -> AssembledCode:
+    """Assemble ``items`` into machine code.
+
+    Raises :class:`AssemblerError` on duplicate or undefined labels and on
+    branch displacements that do not fit in rel32.
+    """
+    items = list(items)
+    labels: Dict[str, int] = {}
+    offsets: List[int] = []
+    pos = 0
+    for item in items:
+        if isinstance(item, LabelDef):
+            if item.name in labels:
+                raise AssemblerError(f"duplicate label {item.name!r}")
+            labels[item.name] = pos
+        elif isinstance(item, Instruction):
+            offsets.append(pos)
+            pos += SPECS[item.op].length
+        else:
+            raise AssemblerError(f"bad assembly item {item!r}")
+
+    out = bytearray()
+    relocations: List[Relocation] = []
+    instr_offsets: List[int] = []
+    for item in items:
+        if isinstance(item, LabelDef):
+            continue
+        off = len(out)
+        instr_offsets.append(off)
+        instr = item
+        spec = SPECS[instr.op]
+        if spec.sig == "rel32" and isinstance(instr.operands[0], Label):
+            target = instr.operands[0].name
+            if target not in labels:
+                raise AssemblerError(f"undefined label {target!r}")
+            disp = labels[target] - (off + spec.length)
+            if not _I32_MIN <= disp <= _I32_MAX:
+                raise AssemblerError(f"branch to {target!r} out of range")
+            instr = Instruction(instr.op, disp)
+        elif spec.sig == "ri64" and isinstance(instr.operands[1], SymbolRef):
+            ref = instr.operands[1]
+            relocations.append(
+                Relocation(off + MOV_RI_IMM_OFFSET, ref.name, ref.addend))
+            instr = Instruction(instr.op, instr.operands[0], 0)
+        out += encode_instruction(instr)
+    return AssembledCode(bytes(out), labels, relocations, instr_offsets)
+
+
+def local_label_allocator(prefix: str):
+    """Return a callable producing unique local label names.
+
+    Instrumentation passes need fresh labels per annotation; a shared
+    counter keeps them unique within one function's stream.
+    """
+    counter = [0]
+
+    def make(tag: str = "") -> str:
+        counter[0] += 1
+        return f".{prefix}.{tag}{counter[0]}"
+
+    return make

@@ -1,0 +1,75 @@
+"""Linear disassembly and instruction formatting helpers.
+
+The *recursive descent* disassembler — the one inside the TCB — lives in
+``repro.core.rdd``; this module provides the shared low-level pieces: a
+straight-line decoder and an AT&T-flavoured formatter used in error
+messages, dumps and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from .encoding import decode_instruction
+from .instructions import Instruction, Mem, Label, SymbolRef, SPECS
+from .registers import reg_name
+
+
+def disassemble_linear(code, start: int = 0,
+                       end: int = None) -> Iterator[Tuple[int, Instruction]]:
+    """Yield ``(offset, instruction)`` pairs, decoding sequentially.
+
+    Stops at ``end`` (default: end of buffer).  Raises
+    :class:`~repro.errors.EncodingError` on undecodable bytes.
+    """
+    pos = start
+    limit = len(code) if end is None else end
+    while pos < limit:
+        instr, length = decode_instruction(code, pos)
+        yield pos, instr
+        pos += length
+
+
+def _format_mem(mem: Mem) -> str:
+    parts = []
+    if mem.base is not None:
+        parts.append(f"%{reg_name(mem.base)}")
+    if mem.index is not None:
+        parts.append(f"%{reg_name(mem.index)}*{mem.scale}")
+    inner = " + ".join(parts) if parts else ""
+    if mem.disp or not inner:
+        sign = "+" if mem.disp >= 0 and inner else ""
+        inner = f"{inner} {sign} {mem.disp:#x}".strip() if inner \
+            else f"{mem.disp:#x}"
+    return f"[{inner}]"
+
+
+def _format_operand(operand) -> str:
+    if isinstance(operand, Mem):
+        return _format_mem(operand)
+    if isinstance(operand, Label):
+        return operand.name
+    if isinstance(operand, SymbolRef):
+        suffix = f"+{operand.addend:#x}" if operand.addend else ""
+        return f"${operand.name}{suffix}"
+    if isinstance(operand, int):
+        return f"{operand:#x}"
+    return repr(operand)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render an instruction as readable assembly text."""
+    spec = SPECS[instr.op]
+    if not instr.operands:
+        return spec.name
+    sig = spec.sig
+    rendered = []
+    for i, operand in enumerate(instr.operands):
+        if isinstance(operand, int) and sig in ("r", "rr") or \
+                (isinstance(operand, int) and sig in ("ri64", "ri32", "rm")
+                 and i == 0) or \
+                (isinstance(operand, int) and sig == "mr" and i == 1):
+            rendered.append(f"%{reg_name(operand)}")
+        else:
+            rendered.append(_format_operand(operand))
+    return f"{spec.name} " + ", ".join(rendered)

@@ -1,0 +1,175 @@
+"""Binary encoder/decoder for DX86 instructions.
+
+The encoding is deliberately simple — fixed length per opcode — but it is
+a real byte-level format: relocations and the in-enclave immediate
+rewriter patch bytes inside encoded instructions, and the verifier
+pattern-matches decoded bytes, mirroring how DEFLECTION works on x86
+machine code.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ..errors import EncodingError
+from .instructions import Instruction, Mem, SPECS
+from .registers import REG_COUNT
+
+_U64_MASK = (1 << 64) - 1
+_I32_MIN, _I32_MAX = -(1 << 31), (1 << 31) - 1
+
+#: Byte offset of the 64-bit immediate inside an encoded ``MOV r, imm64``
+#: (opcode byte + register byte).  Used by relocation application and the
+#: in-enclave immediate rewriter.
+MOV_RI_IMM_OFFSET = 2
+
+_NONE_REG = 0xFF
+
+
+def _check_reg(value, what: str) -> int:
+    if not isinstance(value, int) or not 0 <= value < REG_COUNT:
+        raise EncodingError(f"bad {what} register operand: {value!r}")
+    return value
+
+
+def _encode_mem(mem) -> bytes:
+    if not isinstance(mem, Mem):
+        raise EncodingError(f"expected memory operand, got {mem!r}")
+    base = _NONE_REG if mem.base is None else _check_reg(mem.base, "base")
+    index = _NONE_REG if mem.index is None else _check_reg(mem.index, "index")
+    if not _I32_MIN <= mem.disp <= _I32_MAX:
+        raise EncodingError(f"displacement out of range: {mem.disp:#x}")
+    return struct.pack("<BBBi", base, index, mem.scale, mem.disp)
+
+
+def _decode_mem(buf, pos: int) -> Mem:
+    base, index, scale, disp = struct.unpack_from("<BBBi", buf, pos)
+    if scale not in (1, 2, 4, 8):
+        raise EncodingError(f"bad scale {scale} at {pos:#x}")
+    base_r = None if base == _NONE_REG else base
+    index_r = None if index == _NONE_REG else index
+    if base_r is not None and base_r >= REG_COUNT:
+        raise EncodingError(f"bad base register {base} at {pos:#x}")
+    if index_r is not None and index_r >= REG_COUNT:
+        raise EncodingError(f"bad index register {index} at {pos:#x}")
+    return Mem(base_r, index_r, scale, disp)
+
+
+def _i32(value, what: str) -> bytes:
+    if not isinstance(value, int) or not _I32_MIN <= value <= _I32_MAX:
+        raise EncodingError(f"{what} out of signed 32-bit range: {value!r}")
+    return struct.pack("<i", value)
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode one instruction; all operands must be concrete.
+
+    Raises :class:`EncodingError` on symbolic operands (labels/symbols
+    must be resolved by the assembler first) or out-of-range values.
+    """
+    spec = SPECS.get(instr.op)
+    if spec is None:
+        raise EncodingError(f"unknown opcode {instr.op:#x}")
+    sig = spec.sig
+    ops = instr.operands
+    out = bytearray([instr.op])
+    try:
+        if sig == "":
+            pass
+        elif sig == "r":
+            out.append(_check_reg(ops[0], "dst"))
+        elif sig == "rr":
+            out.append(_check_reg(ops[0], "dst"))
+            out.append(_check_reg(ops[1], "src"))
+        elif sig == "ri64":
+            out.append(_check_reg(ops[0], "dst"))
+            imm = ops[1]
+            if not isinstance(imm, int):
+                raise EncodingError(f"unresolved imm64 operand: {imm!r}")
+            out += struct.pack("<Q", imm & _U64_MASK)
+        elif sig == "ri32":
+            out.append(_check_reg(ops[0], "dst"))
+            out += _i32(ops[1], "imm32")
+        elif sig == "rm":
+            out.append(_check_reg(ops[0], "dst"))
+            out += _encode_mem(ops[1])
+        elif sig == "mr":
+            out += _encode_mem(ops[0])
+            out.append(_check_reg(ops[1], "src"))
+        elif sig == "mi32":
+            out += _encode_mem(ops[0])
+            out += _i32(ops[1], "imm32")
+        elif sig == "rel32":
+            out += _i32(ops[0], "rel32")
+        elif sig == "i8":
+            val = ops[0]
+            if not isinstance(val, int) or not 0 <= val <= 0xFF:
+                raise EncodingError(f"imm8 out of range: {val!r}")
+            out.append(val)
+        elif sig == "i16":
+            val = ops[0]
+            if not isinstance(val, int) or not 0 <= val <= 0xFFFF:
+                raise EncodingError(f"imm16 out of range: {val!r}")
+            out += struct.pack("<H", val)
+        elif sig == "i32":
+            out += _i32(ops[0], "imm32")
+        else:  # pragma: no cover - table is closed
+            raise EncodingError(f"unhandled signature {sig!r}")
+    except IndexError:
+        raise EncodingError(
+            f"{spec.name}: expected operands for signature {sig!r}, "
+            f"got {ops!r}") from None
+    if len(out) != spec.length:
+        raise EncodingError(
+            f"{spec.name}: encoded {len(out)} bytes, spec says {spec.length}")
+    return bytes(out)
+
+
+def decode_instruction(buf, pos: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction at ``buf[pos:]``.
+
+    Returns ``(instruction, length)``.  Raises :class:`EncodingError` on an
+    unknown opcode or truncated/ill-formed bytes — the condition the
+    verifier treats as "undecodable, reject".
+    """
+    if pos >= len(buf):
+        raise EncodingError(f"decode past end of buffer at {pos:#x}")
+    op = buf[pos]
+    spec = SPECS.get(op)
+    if spec is None:
+        raise EncodingError(f"unknown opcode {op:#x} at {pos:#x}")
+    if pos + spec.length > len(buf):
+        raise EncodingError(f"truncated {spec.name} at {pos:#x}")
+    sig = spec.sig
+    p = pos + 1
+    if sig == "":
+        operands = ()
+    elif sig == "r":
+        operands = (_check_reg(buf[p], "reg"),)
+    elif sig == "rr":
+        operands = (_check_reg(buf[p], "dst"), _check_reg(buf[p + 1], "src"))
+    elif sig == "ri64":
+        operands = (_check_reg(buf[p], "dst"),
+                    struct.unpack_from("<Q", buf, p + 1)[0])
+    elif sig == "ri32":
+        operands = (_check_reg(buf[p], "dst"),
+                    struct.unpack_from("<i", buf, p + 1)[0])
+    elif sig == "rm":
+        operands = (_check_reg(buf[p], "dst"), _decode_mem(buf, p + 1))
+    elif sig == "mr":
+        operands = (_decode_mem(buf, p), _check_reg(buf[p + 7], "src"))
+    elif sig == "mi32":
+        operands = (_decode_mem(buf, p),
+                    struct.unpack_from("<i", buf, p + 7)[0])
+    elif sig == "rel32":
+        operands = (struct.unpack_from("<i", buf, p)[0],)
+    elif sig == "i8":
+        operands = (buf[p],)
+    elif sig == "i16":
+        operands = (struct.unpack_from("<H", buf, p)[0],)
+    elif sig == "i32":
+        operands = (struct.unpack_from("<i", buf, p)[0],)
+    else:  # pragma: no cover - table is closed
+        raise EncodingError(f"unhandled signature {sig!r}")
+    return Instruction(op, *operands), spec.length

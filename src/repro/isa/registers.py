@@ -1,0 +1,47 @@
+"""Register file definition for DX86.
+
+Sixteen 64-bit general-purpose registers with x86-64 numbering.  R13, R14
+and R15 are *reserved for security annotations*: the MiniC compiler never
+allocates them, so annotation code can use them as scratch without the
+save/restore push/pop pair of the paper's Fig. 5 (see DESIGN.md §2 for why
+this variant is used).
+"""
+
+from __future__ import annotations
+
+RAX = 0
+RCX = 1
+RDX = 2
+RBX = 3
+RSP = 4
+RBP = 5
+RSI = 6
+RDI = 7
+R8 = 8
+R9 = 9
+R10 = 10
+R11 = 11
+R12 = 12
+R13 = 13
+R14 = 14
+R15 = 15
+
+REG_COUNT = 16
+
+REG_NAMES = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+#: Registers the compiler must never allocate: annotation scratch space.
+RESERVED_REGS = frozenset({R13, R14, R15})
+
+#: Registers usable as expression temporaries by the code generator.
+ALLOCATABLE_REGS = (RAX, RCX, RDX, RBX, RSI, RDI, R8, R9, R10, R11, R12)
+
+
+def reg_name(index: int) -> str:
+    """Return the assembly name of register ``index``."""
+    if not 0 <= index < REG_COUNT:
+        raise ValueError(f"bad register index {index}")
+    return REG_NAMES[index]

@@ -1,0 +1,39 @@
+"""The security-policy contract between code producer and code consumer.
+
+The paper's producer instruments the target binary with *security
+annotations* — short, rigidly-shaped instruction sequences — and the
+consumer's verifier pattern-checks them instruction by instruction
+(§IV-C/§IV-D).  Both sides must agree on the exact shapes: this package
+defines them once as parametric templates, from which the compiler
+instantiates concrete code and against which the verifier matches
+decoded bytes.  The placeholder immediates (Fig. 5's
+``0x3FFFFFFFFFFFFFFF``/``0x4FFFFFFFFFFFFFFF``) live here too; the
+in-enclave rewriter replaces them with real enclave addresses after
+verification succeeds.
+"""
+
+from .policies import PolicySet
+from .magic import (
+    MAGIC, MAGIC_NAMES, MARKER_VALUE, is_magic, magic_name,
+    VIOL_P1, VIOL_P2, VIOL_P3, VIOL_P4,
+    VIOL_P5_TARGET, VIOL_P5_RET, VIOL_P5_SHADOW, VIOL_P6,
+    VIOLATION_NAMES, trap_label,
+)
+from .templates import (
+    AnnotationKind, Pattern,
+    store_guard_pattern, rsp_guard_pattern, indirect_branch_pattern,
+    shadow_prologue_pattern, shadow_epilogue_pattern, p6_guard_pattern,
+    emit_pattern, match_pattern, MatchResult,
+)
+
+__all__ = [
+    "PolicySet",
+    "MAGIC", "MAGIC_NAMES", "MARKER_VALUE", "is_magic", "magic_name",
+    "VIOL_P1", "VIOL_P2", "VIOL_P3", "VIOL_P4",
+    "VIOL_P5_TARGET", "VIOL_P5_RET", "VIOL_P5_SHADOW", "VIOL_P6",
+    "VIOLATION_NAMES", "trap_label",
+    "AnnotationKind", "Pattern",
+    "store_guard_pattern", "rsp_guard_pattern", "indirect_branch_pattern",
+    "shadow_prologue_pattern", "shadow_epilogue_pattern",
+    "p6_guard_pattern", "emit_pattern", "match_pattern", "MatchResult",
+]

@@ -1,0 +1,103 @@
+"""Developer-defined policies (§V-A's plug-in API, §III's quick patch).
+
+The paper stresses that DEFLECTION is *flexible*: "assembling new
+policies into [the] current design can be very straightforward" and
+"we provide high-level APIs that allow the developers to implement
+their instrumentation and validation passes and plug them into the
+loader".  A :class:`CustomPolicy` is exactly that: an anchor predicate
+(which instructions need a guard), a parametric guard pattern built
+from the same atom DSL as the built-in annotations, and a violation
+code.  The producer's pass emits the guard before every anchor; the
+verifier demands and pattern-checks it; the loader's trap pads include
+the custom code.
+
+Every custom pattern must open with ``MOV R14, <marker>`` where the
+marker comes from :func:`marker_value` — a distinctive imm64 in a band
+disjoint from the built-in magic placeholders, giving the verifier an
+unambiguous dispatch byte sequence (markers are plain constants, not
+rewriter slots).
+
+Shipped example: :func:`div_by_zero_guard`, the §III "emergency quick
+fix" scenario — a service provider learns its binary can fault on a
+division and pushes a policy that traps the condition cleanly, without
+touching the service source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..isa.instructions import Instruction, Op
+from ..isa.registers import R14
+from .templates import (
+    AnchorReg, ImmAtom, Pattern, PatternInstr, TrapTo,
+)
+
+#: Custom violation codes live in [16, 32); built-ins use [1, 9].
+CUSTOM_CODE_MIN = 16
+CUSTOM_CODE_MAX = 31
+
+_MARKER_BAND = 0x6FFFFFFFFFFF0000
+
+
+def marker_value(name: str) -> int:
+    """Deterministic, distinctive imm64 marker for policy ``name``."""
+    tag = int.from_bytes(hashlib.sha256(name.encode()).digest()[:2],
+                         "big")
+    return _MARKER_BAND | tag
+
+
+@dataclass(frozen=True)
+class CustomPolicy:
+    """One pluggable instrumentation + validation pass."""
+
+    name: str
+    violation_code: int
+    anchor: Callable[[Instruction], bool]
+    pattern: Tuple[PatternInstr, ...]
+
+    def __post_init__(self):
+        if not CUSTOM_CODE_MIN <= self.violation_code <= CUSTOM_CODE_MAX:
+            raise ValueError(
+                f"custom violation codes must be in "
+                f"[{CUSTOM_CODE_MIN}, {CUSTOM_CODE_MAX}]")
+        first = self.pattern[0]
+        if first.op != Op.MOV_RI or first.atoms[0] != R14 or \
+                not isinstance(first.atoms[1], ImmAtom) or \
+                first.atoms[1].value != self.marker:
+            raise ValueError(
+                "custom patterns must open with MOV R14, marker_value("
+                "name) so the verifier can dispatch on them")
+
+    @property
+    def marker(self) -> int:
+        return marker_value(self.name)
+
+    def guard_pattern(self) -> Pattern:
+        return list(self.pattern)
+
+
+def _p(op: int, *atoms) -> PatternInstr:
+    return PatternInstr(op, atoms)
+
+
+def div_by_zero_guard(violation_code: int = 16) -> CustomPolicy:
+    """Trap division/modulo by zero before the hardware faults.
+
+    Guards every register-divisor DIV/MOD: if the divisor is zero the
+    binary exits through a trap pad with a dedicated code instead of
+    taking an uncontrolled #DE-style fault inside the enclave.
+    """
+    name = "div_by_zero_guard"
+
+    def is_reg_division(ins: Instruction) -> bool:
+        return ins.op in (Op.DIV_RR, Op.MOD_RR)
+
+    pattern = (
+        _p(Op.MOV_RI, R14, ImmAtom(marker_value(name))),
+        _p(Op.CMP_RI, AnchorReg(1), ImmAtom(0)),
+        _p(Op.JE, TrapTo(violation_code)),
+    )
+    return CustomPolicy(name, violation_code, is_reg_division, pattern)

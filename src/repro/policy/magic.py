@@ -1,0 +1,86 @@
+"""Placeholder immediates and violation codes.
+
+The code generator does not know where the loader will place anything,
+so annotations are emitted with *magic* 64-bit immediates.  The paper
+uses ``0x3FFFFFFFFFFFFFFF`` / ``0x4FFFFFFFFFFFFFFF`` for the store-guard
+bounds (Fig. 5); we keep that flavour and extend it to a family —
+``0x3FFF…FF00|k`` for lower bounds, ``0x4FFF…FF00|k`` for upper bounds,
+``0x5FFF…FF00|k`` for non-bound values — one per quantity the in-enclave
+immediate rewriter must resolve.
+"""
+
+from __future__ import annotations
+
+_LO = 0x3FFFFFFFFFFFFF00
+_HI = 0x4FFFFFFFFFFFFF00
+_VAL = 0x5FFFFFFFFFFFFF00
+
+#: name -> placeholder value.  The rewriter maps each name to a concrete
+#: address/value derived from the enclave layout and the loaded binary.
+MAGIC = {
+    "p1_lo": _LO | 0x1,          # ELRANGE lower bound (P1)
+    "p1_hi": _HI | 0x1,          # ELRANGE upper bound (P1)
+    "crit_lo": _LO | 0x3,        # SSA/TCS/TLS+loader-metadata lower (P3)
+    "crit_hi": _HI | 0x3,
+    "code_lo": _LO | 0x4,        # target code pages lower (P4, DEP)
+    "code_hi": _HI | 0x4,
+    "stack_lo": _LO | 0x2,       # legal RSP range (P2)
+    "stack_hi": _HI | 0x2,
+    "ss_cell": _VAL | 0x5,       # shadow-stack pointer cell address
+    "ss_base": _VAL | 0x6,       # first shadow slot
+    "ss_top": _VAL | 0x7,        # shadow limit (overflow check)
+    "code_base": _VAL | 0x8,     # loaded code base (P5 target check)
+    "code_len": _VAL | 0x9,      # loaded code length (P5 target check)
+    "brmap_base": _VAL | 0xA,    # valid-branch-target byte map base
+    "ssa_marker": _VAL | 0xB,    # HyperRace marker cell address (P6)
+    "aex_cnt": _VAL | 0xC,       # software AEX counter cell (P6)
+    "aex_threshold": _VAL | 0xD,  # AEX abort threshold value (P6)
+}
+
+MAGIC_NAMES = {value: name for name, value in MAGIC.items()}
+
+#: The HyperRace SSA marker constant (fits a positive imm32).
+MARKER_VALUE = 0x5A5AD5D5
+
+
+def is_magic(value: int) -> bool:
+    return value in MAGIC_NAMES
+
+
+def magic_name(value: int) -> str:
+    return MAGIC_NAMES[value]
+
+
+# -- runtime violation codes (TRAP operands) --------------------------------
+
+VIOL_P1 = 1          # store outside ELRANGE
+VIOL_P2 = 2          # RSP escaped the stack region
+VIOL_P3 = 3          # store into security-critical region
+VIOL_P4 = 4          # store into code pages (self-modification)
+VIOL_P5_TARGET = 5   # indirect branch to unlisted target
+VIOL_P5_RET = 6      # return-address mismatch with shadow stack
+VIOL_P5_SHADOW = 7   # shadow-stack overflow/underflow
+VIOL_P6 = 8          # AEX frequency above threshold
+VIOL_P0 = 9          # interface abuse (output budget, bad OCall args);
+                     # enforced by the bootstrap wrappers, no trap pad
+
+VIOLATION_NAMES = {
+    VIOL_P0: "P0: interface/entropy constraint",
+    VIOL_P1: "P1: out-of-enclave store",
+    VIOL_P2: "P2: stack-pointer escape",
+    VIOL_P3: "P3: critical-data overwrite",
+    VIOL_P4: "P4: code-page write (DEP)",
+    VIOL_P5_TARGET: "P5: illegal indirect-branch target",
+    VIOL_P5_RET: "P5: corrupted return address",
+    VIOL_P5_SHADOW: "P5: shadow-stack bounds",
+    VIOL_P6: "P6: AEX threshold exceeded",
+}
+
+#: Codes that get in-binary trap pads (P0 is bootstrap-enforced).
+ALL_VIOLATION_CODES = tuple(code for code in sorted(VIOLATION_NAMES)
+                            if code != VIOL_P0)
+
+
+def trap_label(code: int) -> str:
+    """Label of the global trap pad for violation ``code``."""
+    return f"__deflection_viol_{code}"

@@ -1,0 +1,21 @@
+"""Shielding-runtime comparators.
+
+Encodes the TCB inventories of Table I (Ryoan, SCONE, Graphene-SGX,
+Occlum) and analytic performance models for the HTTPS transfer-rate
+comparison of Fig. 11.  DEFLECTION's own row is *measured* from this
+repository (``repro.tcb`` counts the consumer's LoC) and its
+per-request costs come from actually executing the instrumented handler
+in the VM.
+"""
+
+from .model import RuntimeModel, TcbComponent
+from .catalog import (
+    RYOAN, SCONE, GRAPHENE, OCCLUM, NATIVE, deflection_runtime_model,
+    ALL_BASELINES,
+)
+
+__all__ = [
+    "RuntimeModel", "TcbComponent",
+    "RYOAN", "SCONE", "GRAPHENE", "OCCLUM", "NATIVE",
+    "deflection_runtime_model", "ALL_BASELINES",
+]

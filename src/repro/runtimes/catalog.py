@@ -1,0 +1,101 @@
+"""Concrete runtime models.
+
+TCB inventories are taken verbatim from Table I of the paper; the
+performance parameters are calibrated so the Fig. 11 relationships hold:
+Graphene-SGX leads on small files, DEFLECTION overtakes as file size
+grows and lands at ~77% of native Linux on large transfers, and the
+libOS runtimes pay heavier per-byte shielding costs.
+"""
+
+from __future__ import annotations
+
+from .model import RuntimeModel, TcbComponent
+
+NATIVE = RuntimeModel(
+    name="native",
+    tcb=[],
+    tcb_size_mb=0.0,
+    fixed_us=60.0,
+    per_kb_us=2.0,
+    epc_share_mb=1 << 20,      # no EPC constraint outside an enclave
+    paging_us_per_kb=0.0,
+)
+
+RYOAN = RuntimeModel(
+    name="Ryoan",
+    tcb=[TcbComponent("Eglibc", 892.0),
+         TcbComponent("NaCl sandbox", 216.0),
+         TcbComponent("Naclports", 460.0)],
+    tcb_size_mb=19.0,
+    tcb_size_is_lower_bound=True,
+    fixed_us=260.0,            # sandboxed syscall trampolines
+    per_kb_us=4.4,             # NaCl SFI on the data path (~100% overhead
+    epc_share_mb=24.0,         # on gene data per §VIII)
+    paging_us_per_kb=12.0,
+)
+
+SCONE = RuntimeModel(
+    name="SCONE",
+    tcb=[TcbComponent("OS Shield and shim libc", 187.0),
+         TcbComponent("Glibc", 1200.0)],
+    tcb_size_mb=16.0,
+    tcb_size_is_lower_bound=True,
+    fixed_us=110.0,            # asynchronous syscalls help the fixed cost
+    per_kb_us=3.4,
+    epc_share_mb=28.0,
+    paging_us_per_kb=10.0,
+)
+
+GRAPHENE = RuntimeModel(
+    name="Graphene-SGX",
+    tcb=[TcbComponent("LibPAL", 22.0),
+         TcbComponent("Graphene LibOS", 34.0)],
+    tcb_size_mb=58.5,
+    tcb_size_is_lower_bound=True,
+    fixed_us=75.0,             # exitless calls: best small-file latency
+    per_kb_us=3.2,             # double buffering through the LibOS
+    epc_share_mb=32.0,
+    paging_us_per_kb=10.0,
+)
+
+OCCLUM = RuntimeModel(
+    name="Occlum",
+    tcb=[TcbComponent("Occlum shim libc", 93.0),
+         TcbComponent("Occlum Verifier", 0.0),       # N/A in Table I
+         TcbComponent("Occlum LibOS and PAL", 24.5)],
+    tcb_size_mb=8.6,
+    tcb_size_is_lower_bound=True,
+    fixed_us=140.0,
+    per_kb_us=2.9,
+    epc_share_mb=48.0,
+    paging_us_per_kb=9.0,
+)
+
+ALL_BASELINES = (RYOAN, SCONE, GRAPHENE, OCCLUM)
+
+
+def deflection_runtime_model(measured_consumer_kloc: float = None) -> \
+        RuntimeModel:
+    """DEFLECTION's own row.
+
+    Component sizes follow Table I's DEFLECTION row; when
+    ``measured_consumer_kloc`` (from ``repro.tcb``) is supplied
+    it replaces the paper's Loader/Verifier figure with the size of
+    *this* repository's consumer.
+    """
+    loader_verifier = (measured_consumer_kloc
+                       if measured_consumer_kloc is not None else 1.3)
+    return RuntimeModel(
+        name="DEFLECTION",
+        tcb=[TcbComponent("Loader/Verifier", loader_verifier),
+             TcbComponent("RA/Encryption", 0.2),
+             TcbComponent("Shim libc", 33.0),
+             TcbComponent("Capstone base", 9.1),
+             TcbComponent("Other dependencies", 23.0)],
+        tcb_size_mb=3.5,
+        fixed_us=160.0,        # in-enclave session crypto + padding
+        per_kb_us=2.55,        # instrumented copies: annotation tax only
+        epc_share_mb=80.0,     # small TCB leaves most EPC to data
+        paging_us_per_kb=8.0,
+        enforces_policies=True,
+    )

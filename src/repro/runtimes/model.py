@@ -1,0 +1,66 @@
+"""Analytic shielding-runtime model.
+
+Serving one HTTPS request for a file of ``s`` bytes costs::
+
+    t(s) = fixed + s * per_byte + paging_penalty(s)
+
+* ``fixed``     — per-request overhead: enclave transitions for the
+  accept/read/write syscalls, libOS scheduling, TLS record setup;
+* ``per_byte``  — data-path cost: TLS crypto plus however many copies
+  the runtime's shielding layers make (libOSes double-buffer across
+  their syscall shield; DEFLECTION's instrumented handler pays the
+  annotation tax instead);
+* ``paging_penalty`` — once the working set exceeds the EPC share, EPC
+  paging costs per page beyond the limit.
+
+Transfer *rate* is then ``s / t(s)`` — the quantity Fig. 11 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TcbComponent:
+    """One Table-I row entry: a component and its size."""
+
+    name: str
+    kloc: float
+
+
+@dataclass
+class RuntimeModel:
+    name: str
+    tcb: List[TcbComponent] = field(default_factory=list)
+    tcb_size_mb: float = 0.0
+    tcb_size_is_lower_bound: bool = False
+    fixed_us: float = 100.0
+    per_kb_us: float = 3.0
+    epc_share_mb: float = 64.0
+    paging_us_per_kb: float = 8.0
+    #: set for runtimes that enforce the paper's policies (only ours)
+    enforces_policies: bool = False
+
+    @property
+    def tcb_kloc(self) -> float:
+        return sum(component.kloc for component in self.tcb)
+
+    def request_time_us(self, size_bytes: int) -> float:
+        size_kb = size_bytes / 1024.0
+        time = self.fixed_us + size_kb * self.per_kb_us
+        limit_kb = self.epc_share_mb * 1024.0
+        if size_kb > limit_kb:
+            time += (size_kb - limit_kb) * self.paging_us_per_kb
+        return time
+
+    def transfer_rate_mbps(self, size_bytes: int) -> float:
+        """Steady-state transfer rate in MB/s for files of this size."""
+        seconds = self.request_time_us(size_bytes) / 1e6
+        return (size_bytes / (1024.0 * 1024.0)) / seconds
+
+    def relative_to(self, other: "RuntimeModel",
+                    size_bytes: int) -> float:
+        return self.transfer_rate_mbps(size_bytes) / \
+            other.transfer_rate_mbps(size_bytes)

@@ -1,0 +1,139 @@
+"""HTTPS server simulation (Fig. 10).
+
+The *data path* is real: the in-enclave request handler
+(``workloads.https_app``) is compiled, verified and executed in the VM,
+and its deterministic cycle account is measured at two response sizes to
+fit a per-request/per-byte service-time line — separately for the
+baseline and the instrumented (P1-P6) server, so the instrumentation
+overhead in the figure comes from actual annotated execution.
+
+The *concurrency* dimension is a closed-loop discrete-event simulation
+in the style of the paper's Siege run: C clients with zero think time, a
+bounded in-enclave worker pool (SGX enclaves have a fixed TCS budget),
+FIFO queueing.  Response time stays flat while C is below the pool size
+and grows linearly past it — the knee Fig. 10 shows between 75 and 150
+connections.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.bootstrap import BootstrapEnclave
+from ..policy.policies import PolicySet
+from ..workloads.https_app import request_bytes
+from ..workloads.registry import get_workload
+from ..bench.harness import compile_workload
+
+
+@dataclass
+class HttpsLoadResult:
+    concurrency: int
+    completed: int
+    throughput_rps: float
+    mean_response_ms: float
+    p95_response_ms: float
+
+
+class HttpsServerSim:
+    """Measured service-time model for the in-enclave HTTPS server."""
+
+    #: calibration sizes for the linear fit
+    _FIT_SIZES = (512, 4096)
+
+    def __init__(self, policies: PolicySet = None,
+                 cpu_ghz: float = 3.7,
+                 session_fixed_us: float = 120.0,
+                 buf_size: int = 8192):
+        self.policies = policies if policies is not None \
+            else PolicySet.full()
+        self.cpu_ghz = cpu_ghz
+        self.session_fixed_us = session_fixed_us
+        self.buf_size = buf_size
+        workload = get_workload("https_handler")
+        blob = compile_workload(workload, self.policies.label, buf_size)
+        self._boot = BootstrapEnclave(policies=self.policies)
+        self._boot.receive_binary(blob)
+        c_small = self._measure_cycles(self._FIT_SIZES[0])
+        c_large = self._measure_cycles(self._FIT_SIZES[1])
+        self.cycles_per_byte = (c_large - c_small) / \
+            (self._FIT_SIZES[1] - self._FIT_SIZES[0])
+        self.cycles_fixed = c_small - \
+            self.cycles_per_byte * self._FIT_SIZES[0]
+
+    def _measure_cycles(self, size: int) -> float:
+        self._boot.receive_userdata(request_bytes(size))
+        outcome = self._boot.run()
+        if not outcome.ok or outcome.reports[0] != 1:
+            raise RuntimeError(f"handler failed: {outcome.detail}")
+        return outcome.result.cycles
+
+    def service_time_us(self, size: int) -> float:
+        """Per-request service time for a ``size``-byte response."""
+        cycles = self.cycles_fixed + self.cycles_per_byte * size
+        return self.session_fixed_us + cycles / (self.cpu_ghz * 1000.0)
+
+
+class LoadGenerator:
+    """Closed-loop load generator + bounded-worker server queue."""
+
+    def __init__(self, service_time_us: Callable[[int], float],
+                 workers: int = 96, seed: int = 2021,
+                 jitter: float = 0.05):
+        self.service_time_us = service_time_us
+        self.workers = workers
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def run(self, concurrency: int, response_size: int = 4096,
+            max_requests: int = 4000) -> HttpsLoadResult:
+        """Simulate ``concurrency`` clients until ``max_requests``
+        responses complete; returns aggregate latency/throughput."""
+        base_us = self.service_time_us(response_size)
+        busy = 0
+        queue = []          # arrival times of queued requests
+        events = []         # (time_us, kind); kind: completion arrival
+        latencies = []
+        completed = 0
+        now = 0.0
+
+        def service() -> float:
+            spread = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+            return base_us * spread
+
+        # all clients fire at t=0 (staggered by microseconds)
+        for i in range(concurrency):
+            heapq.heappush(events, (i * 1.0, "arrival", i * 1.0))
+        while events and completed < max_requests:
+            now, kind, stamp = heapq.heappop(events)
+            if kind == "arrival":
+                if busy < self.workers:
+                    busy += 1
+                    heapq.heappush(events,
+                                   (now + service(), "done", stamp))
+                else:
+                    queue.append(stamp)
+            else:  # completion
+                latencies.append(now - stamp)
+                completed += 1
+                # the client immediately issues its next request
+                heapq.heappush(events, (now, "arrival", now))
+                if queue:
+                    next_stamp = queue.pop(0)
+                    heapq.heappush(events,
+                                   (now + service(), "done", next_stamp))
+                else:
+                    busy -= 1
+        duration_s = now / 1e6 if now else 1.0
+        latencies.sort()
+        mean_ms = sum(latencies) / len(latencies) / 1000.0
+        p95_ms = latencies[int(0.95 * (len(latencies) - 1))] / 1000.0
+        return HttpsLoadResult(
+            concurrency=concurrency,
+            completed=completed,
+            throughput_rps=completed / duration_s,
+            mean_response_ms=mean_ms,
+            p95_response_ms=p95_ms)

@@ -1,0 +1,94 @@
+"""RA-TLS style session establishment (§III-A, §V-B).
+
+The remote party and the bootstrap enclave run a Diffie-Hellman exchange;
+the enclave binds its ephemeral public key into the quote's report data;
+the party validates the quote through the attestation service and pins
+the bootstrap's MRENCLAVE.  Both sides then derive mirrored channel keys
+from the shared secret and the handshake transcript.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.bootstrap import BootstrapEnclave
+from ..crypto.channel import SecureChannel, derive_channel_keys
+from ..crypto.dh import DHKeyPair
+from ..errors import AttestationError
+from ..sgx.attestation import (
+    AttestationService, check_attestation_report,
+)
+
+
+@dataclass
+class CCaaSHost:
+    """The untrusted platform hosting the bootstrap enclave.
+
+    It relays messages and can observe every byte on the wire — which is
+    exactly why everything it relays is encrypted and padded.
+    """
+
+    bootstrap: BootstrapEnclave
+    attestation_service: AttestationService
+
+    def __post_init__(self):
+        platform = self.bootstrap.enclave.platform
+        self.attestation_service.provision_platform(
+            platform.platform_id, platform.verifying_key)
+
+    # ECall relays -- the only ways into the enclave (P0).
+    def ecall_receive_binary(self, blob: bytes, encrypted: bool = True):
+        return self.bootstrap.enclave.ecall(
+            "ecall_receive_binary", blob, encrypted=encrypted)
+
+    def ecall_receive_userdata(self, data: bytes,
+                               encrypted: bool = True):
+        return self.bootstrap.enclave.ecall(
+            "ecall_receive_userdata", data, encrypted=encrypted)
+
+    def ecall_run(self, **kwargs):
+        return self.bootstrap.enclave.ecall("ecall_run", **kwargs)
+
+
+def establish_session(host: CCaaSHost, role: str,
+                      expected_mrenclave: bytes,
+                      party_seed: Optional[bytes] = None,
+                      record_size: int = 256) -> SecureChannel:
+    """Run the full attested key agreement for ``role``.
+
+    Returns the *party-side* channel endpoint; the mirrored enclave-side
+    endpoint is attached to the bootstrap under ``role``.  Raises
+    :class:`AttestationError` if the quote, the IAS report or the
+    MRENCLAVE pin fails.
+    """
+    party_kp = DHKeyPair(party_seed)
+
+    # Enclave side: fresh key pair, quoted with the channel binding.
+    enclave_kp = DHKeyPair((party_seed or b"") + b"enclave-side")
+    binding = hashlib.sha256(
+        enclave_kp.public_bytes() + party_kp.public_bytes()).digest()
+    quote = host.bootstrap.quote(binding.ljust(64, b"\x00"))
+
+    # Party side: verify quote through the attestation service.
+    report = host.attestation_service.verify_quote(quote.serialize())
+    check_attestation_report(
+        report, host.attestation_service.verifying_key,
+        expected_mrenclave)
+    if report.report_data[:32] != binding:
+        raise AttestationError("channel binding mismatch in report data")
+
+    transcript = enclave_kp.public_bytes() + party_kp.public_bytes() + \
+        role.encode()
+    party_secret = party_kp.shared_secret(enclave_kp.public)
+    enclave_secret = enclave_kp.shared_secret(party_kp.public)
+
+    party_channel = SecureChannel(
+        *derive_channel_keys(party_secret, transcript, "client"),
+        record_size=record_size)
+    enclave_channel = SecureChannel(
+        *derive_channel_keys(enclave_secret, transcript, "server"),
+        record_size=record_size)
+    host.bootstrap.attach_channel(enclave_channel, role)
+    return party_channel

@@ -1,0 +1,28 @@
+"""Simulated Intel SGX substrate.
+
+Models the pieces of SGX that DEFLECTION's design depends on:
+
+* an ELRANGE with per-page R/W/X permissions that are *sealed* at EINIT
+  (SGXv1 cannot change page permissions at runtime — the reason target
+  code must live on RWX pages and software DEP is needed);
+* memory **outside** ELRANGE that enclave code can freely read and write
+  (SGX does not stop an enclave writing out — that is the leak P1 exists
+  to prevent) but never execute;
+* AEX events that dump the register file into the SSA, destroying any
+  marker the HyperRace instrumentation placed there;
+* enclave measurement (MRENCLAVE), local reports and remote-attestation
+  quotes verified through a simulated attestation service.
+"""
+
+from .memory import PAGE_SIZE, PERM_R, PERM_W, PERM_X, AddressSpace
+from .layout import EnclaveConfig, EnclaveLayout, Region
+from .enclave import Enclave
+from .quote import Report, Quote, PlatformKey
+from .attestation import AttestationService, AttestationReport
+
+__all__ = [
+    "PAGE_SIZE", "PERM_R", "PERM_W", "PERM_X", "AddressSpace",
+    "EnclaveConfig", "EnclaveLayout", "Region", "Enclave",
+    "Report", "Quote", "PlatformKey",
+    "AttestationService", "AttestationReport",
+]

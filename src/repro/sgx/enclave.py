@@ -1,0 +1,125 @@
+"""Enclave lifecycle: build, measure, initialize, ECall/OCall gates.
+
+The measurement protocol mirrors SGX: an ECREATE record, an EADD record
+per page-aligned region (address offset + permissions), and EEXTEND
+records for measured content.  The bootstrap enclave extends its own
+(public) implementation image, so two enclaves running the same consumer
+code and layout produce the same MRENCLAVE — which is what the data
+owner's attestation check pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Callable, Dict, Iterable
+
+from ..errors import EnclaveError
+from .layout import EnclaveConfig, EnclaveLayout
+from .memory import AddressSpace
+from .quote import PlatformKey, Quote, Report
+
+_STATE_BUILDING = "building"
+_STATE_INITIALIZED = "initialized"
+
+
+class Enclave:
+    """One simulated enclave instance on one simulated platform."""
+
+    def __init__(self, config: EnclaveConfig = None,
+                 platform: PlatformKey = None):
+        self.config = config or EnclaveConfig()
+        self.platform = platform or PlatformKey(b"default-platform")
+        self.layout = EnclaveLayout.build(self.config)
+        self.space = AddressSpace(self.layout.base, self.layout.size)
+        self.layout.apply(self.space)
+        self._state = _STATE_BUILDING
+        self._measurement = hashlib.sha256()
+        self._measurement.update(
+            b"ECREATE" + struct.pack("<QQ", self.layout.base,
+                                     self.layout.size))
+        for region in self.layout.regions.values():
+            self._measurement.update(
+                b"EADD" + struct.pack(
+                    "<QQB", region.start - self.layout.base,
+                    region.size, region.perms))
+        self._mrenclave = b""
+        self._ecalls: Dict[str, Callable] = {}
+        self._ocalls: Dict[str, Callable] = {}
+        #: Hardware AEX event counter (incremented by the VM).
+        self.hw_aex_count = 0
+
+    # -- build phase ------------------------------------------------------
+
+    def extend(self, data: bytes) -> None:
+        """EEXTEND: fold measured content into MRENCLAVE."""
+        if self._state != _STATE_BUILDING:
+            raise EnclaveError("extend after EINIT")
+        self._measurement.update(b"EEXTEND" + hashlib.sha256(data).digest())
+
+    def load_bootstrap_image(self, image: bytes) -> None:
+        """Place and measure the public bootstrap implementation image."""
+        region = self.layout.regions["bootstrap"]
+        if len(image) > region.size:
+            raise EnclaveError("bootstrap image exceeds its region")
+        self.space.write_raw(region.start, image)
+        self.extend(image)
+
+    def einit(self) -> None:
+        """Finalize measurement and seal page permissions (SGXv1)."""
+        if self._state != _STATE_BUILDING:
+            raise EnclaveError("EINIT twice")
+        self._mrenclave = self._measurement.digest()
+        self.space.seal()
+        self._state = _STATE_INITIALIZED
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def mrenclave(self) -> bytes:
+        if self._state != _STATE_INITIALIZED:
+            raise EnclaveError("enclave not initialized")
+        return self._mrenclave
+
+    def create_report(self, report_data: bytes = b"") -> Report:
+        data = report_data.ljust(64, b"\x00")
+        if len(data) != 64:
+            raise EnclaveError("report_data longer than 64 bytes")
+        return Report(self.mrenclave, report_data=data)
+
+    def get_quote(self, report_data: bytes = b"") -> Quote:
+        return self.platform.quote(self.create_report(report_data))
+
+    # -- ECall / OCall gates -------------------------------------------------
+
+    def register_ecall(self, name: str, handler: Callable) -> None:
+        """Define one entry in the EDL-style ECall table."""
+        self._ecalls[name] = handler
+
+    def register_ocall(self, name: str, handler: Callable) -> None:
+        """Define one allowed OCall with its (wrapped) host handler."""
+        self._ocalls[name] = handler
+
+    @property
+    def ecall_names(self) -> Iterable[str]:
+        return tuple(sorted(self._ecalls))
+
+    @property
+    def ocall_names(self) -> Iterable[str]:
+        return tuple(sorted(self._ocalls))
+
+    def ecall(self, name: str, *args, **kwargs):
+        """Enter the enclave through a defined ECall (P0 gate)."""
+        if self._state != _STATE_INITIALIZED:
+            raise EnclaveError("ECall before EINIT")
+        handler = self._ecalls.get(name)
+        if handler is None:
+            raise EnclaveError(f"undefined ECall {name!r} (P0)")
+        return handler(*args, **kwargs)
+
+    def ocall(self, name: str, *args, **kwargs):
+        """Leave the enclave through a defined OCall (P0 gate)."""
+        handler = self._ocalls.get(name)
+        if handler is None:
+            raise EnclaveError(f"OCall {name!r} not allowed by manifest (P0)")
+        return handler(*args, **kwargs)

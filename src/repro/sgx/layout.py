@@ -1,0 +1,251 @@
+"""Enclave memory layout used by the bootstrap enclave's loader.
+
+Mirrors §V-B of the paper: a reserved shadow-stack area, an indirect-
+branch-target area (here a byte map, one byte per code byte), RWX pages
+for the dynamically loaded service binary (an SGXv1 constraint), guard
+pages around every stack, and the SSA/TCS/TLS critical region that policy
+P3 protects.
+
+Region order (low to high addresses)::
+
+    bootstrap | TCS/SSA/TLS | # | shadow stack | # | branch map |
+    code (RWX) | # | stack | # | heap
+
+``#`` are no-permission guard pages.  The *critical range* checked by the
+P3 annotation spans from the TCS page up to the start of the code pages,
+so it also covers the shadow stack and the branch map — loader-owned
+structures that target code must never write (annotation code, which is
+verified, is exempt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import LoaderError
+from .memory import PAGE_SIZE, PERM_R, PERM_W, PERM_X, AddressSpace
+
+#: Default ELRANGE base, far from null and from typical host addresses.
+DEFAULT_ENCLAVE_BASE = 0x0000_7000_0000_0000
+
+
+def _page_round(n: int) -> int:
+    return (n + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+@dataclass(frozen=True)
+class EnclaveConfig:
+    """Sizes (bytes) of the loader-managed enclave regions.
+
+    Defaults are deliberately small — the simulator is exercised with
+    kilobyte-scale binaries; benchmarks scale them up as needed.  The
+    paper's defaults (96 MB enclave: 1 MB shadow stack, 1 MB branch
+    targets, 28 MB code, 64 MB data) are available via
+    :meth:`paper_scale`.
+    """
+
+    bootstrap_size: int = 48 * PAGE_SIZE
+    code_size: int = 64 * PAGE_SIZE
+    stack_size: int = 16 * PAGE_SIZE
+    heap_size: int = 256 * PAGE_SIZE
+    shadow_size: int = 16 * PAGE_SIZE
+    base: int = DEFAULT_ENCLAVE_BASE
+    #: TCS count: hardware threads the enclave admits (§VII extension).
+    #: Each thread gets its own TCS/SSA/TLS pages, a stack slice and a
+    #: shadow-stack slice.
+    num_threads: int = 1
+
+    @classmethod
+    def paper_scale(cls) -> "EnclaveConfig":
+        mb = 1024 * 1024
+        return cls(bootstrap_size=2 * mb, code_size=28 * mb,
+                   stack_size=4 * mb, heap_size=64 * mb, shadow_size=1 * mb)
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous, page-aligned enclave region."""
+
+    name: str
+    start: int
+    size: int
+    perms: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+@dataclass
+class EnclaveLayout:
+    """Computed addresses of every region and special cell.
+
+    The zero-argument properties address thread 0 (the single-threaded
+    case); the ``*_of(tid)`` methods address any TCS slot.
+    """
+
+    base: int
+    size: int
+    regions: Dict[str, Region] = field(default_factory=dict)
+    num_threads: int = 1
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, config: EnclaveConfig) -> "EnclaveLayout":
+        for name in ("bootstrap_size", "code_size", "stack_size",
+                     "heap_size", "shadow_size"):
+            value = getattr(config, name)
+            if value <= 0 or value % PAGE_SIZE:
+                raise LoaderError(f"{name} must be a positive page multiple")
+        layout = cls(base=config.base, size=0,
+                     num_threads=config.num_threads)
+        cursor = config.base
+
+        def add(name: str, size: int, perms: int) -> Region:
+            nonlocal cursor
+            region = Region(name, cursor, _page_round(size), perms)
+            layout.regions[name] = region
+            cursor = region.end
+            return region
+
+        if config.num_threads < 1:
+            raise LoaderError("num_threads must be >= 1")
+        if config.stack_size // config.num_threads < 2 * PAGE_SIZE:
+            raise LoaderError("stack region too small for thread count")
+        rw = PERM_R | PERM_W
+        add("bootstrap", config.bootstrap_size, PERM_R | PERM_X)
+        # per-thread TCS, SSA, TLS pages
+        add("critical", 3 * PAGE_SIZE * config.num_threads, rw)
+        add("guard0", PAGE_SIZE, 0)
+        add("shadow", config.shadow_size, rw)
+        add("guard1", PAGE_SIZE, 0)
+        add("branch_map", config.code_size, rw)
+        add("code", config.code_size, PERM_R | PERM_W | PERM_X)
+        add("guard2", PAGE_SIZE, 0)
+        add("stack", config.stack_size, rw)
+        add("guard3", PAGE_SIZE, 0)
+        add("heap", config.heap_size, rw)
+        layout.size = cursor - config.base
+        return layout
+
+    # -- named accessors -------------------------------------------------
+
+    def __getattr__(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    @property
+    def el_lo(self) -> int:
+        return self.base
+
+    @property
+    def el_hi(self) -> int:
+        return self.base + self.size
+
+    def tcs_addr_of(self, tid: int) -> int:
+        self._check_tid(tid)
+        return self.regions["critical"].start + tid * 3 * PAGE_SIZE
+
+    def ssa_addr_of(self, tid: int) -> int:
+        return self.tcs_addr_of(tid) + PAGE_SIZE
+
+    def tls_addr_of(self, tid: int) -> int:
+        return self.tcs_addr_of(tid) + 2 * PAGE_SIZE
+
+    def _check_tid(self, tid: int) -> None:
+        if not 0 <= tid < self.num_threads:
+            raise LoaderError(f"bad thread id {tid}")
+
+    @property
+    def tcs_addr(self) -> int:
+        return self.tcs_addr_of(0)
+
+    @property
+    def ssa_addr(self) -> int:
+        return self.ssa_addr_of(0)
+
+    @property
+    def tls_addr(self) -> int:
+        return self.tls_addr_of(0)
+
+    @property
+    def ssa_marker_addr(self) -> int:
+        """The HyperRace marker cell: the RAX slot of the SSA GPR dump,
+        so any AEX register dump clobbers it."""
+        return self.ssa_addr
+
+    @property
+    def aex_count_cell(self) -> int:
+        """Software AEX counter maintained by the P6 annotation."""
+        return self.tls_addr + 0x100
+
+    @property
+    def ssp_cell(self) -> int:
+        """Cell holding the current shadow-stack pointer."""
+        return self.regions["shadow"].start
+
+    @property
+    def ss_base(self) -> int:
+        """First usable shadow-stack entry slot."""
+        return self.regions["shadow"].start + 8
+
+    @property
+    def ss_top(self) -> int:
+        return self.regions["shadow"].end
+
+    # -- per-thread slices (§VII multi-threading extension) ---------------
+
+    def stack_slice(self, tid: int):
+        """Per-thread stack slice [lo, hi); RSP starts at hi."""
+        self._check_tid(tid)
+        stack = self.regions["stack"]
+        slice_size = stack.size // self.num_threads
+        lo = stack.start + tid * slice_size
+        return lo, lo + slice_size
+
+    def initial_rsp_of(self, tid: int) -> int:
+        return self.stack_slice(tid)[1]
+
+    def shadow_slice_base(self, tid: int) -> int:
+        """Initial register-held shadow-stack pointer for thread ``tid``
+        (the MT-safe P5 variant keeps the pointer in R13)."""
+        self._check_tid(tid)
+        shadow = self.regions["shadow"]
+        usable = shadow.size - 8
+        slice_size = (usable // self.num_threads) & ~7
+        return shadow.start + 8 + tid * slice_size
+
+    @property
+    def crit_lo(self) -> int:
+        """P3 exclusion range: critical region through the branch map."""
+        return self.regions["critical"].start
+
+    @property
+    def crit_hi(self) -> int:
+        return self.regions["code"].start
+
+    @property
+    def initial_rsp(self) -> int:
+        return self.regions["stack"].end
+
+    # -- application -----------------------------------------------------
+
+    def apply(self, space: AddressSpace) -> None:
+        """Program every region's page permissions into ``space``."""
+        for region in self.regions.values():
+            space.set_page_perms(region.start, region.size, region.perms)
+        space.watch_code_range(self.regions["code"].start,
+                               self.regions["code"].size)
+
+    def region_of(self, addr: int) -> str:
+        for region in self.regions.values():
+            if region.contains(addr):
+                return region.name
+        return "outside"

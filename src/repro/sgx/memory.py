@@ -1,0 +1,196 @@
+"""Paged address space: ELRANGE plus untrusted outside memory.
+
+The enclave's protected range is backed by one flat bytearray with a
+permission byte per 4 KiB page.  Memory outside ELRANGE is demand-
+allocated per page and is always readable and writable from enclave code
+— but never executable while in enclave mode, matching SGX.
+
+Every write that lands outside ELRANGE is logged in
+:attr:`AddressSpace.untrusted_writes`; the attack-corpus tests use this
+log to demonstrate that data actually leaks when P1 is switched off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import MemoryFault
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+PERM_R = 1
+PERM_W = 2
+PERM_X = 4
+
+_U64_MASK = (1 << 64) - 1
+
+
+def perm_string(perms: int) -> str:
+    return ("r" if perms & PERM_R else "-") + \
+           ("w" if perms & PERM_W else "-") + \
+           ("x" if perms & PERM_X else "-")
+
+
+class AddressSpace:
+    """Flat 64-bit address space with an SGX-style protected range."""
+
+    def __init__(self, enclave_base: int, enclave_size: int):
+        if enclave_base % PAGE_SIZE or enclave_size % PAGE_SIZE:
+            raise ValueError("ELRANGE must be page aligned")
+        self.enclave_base = enclave_base
+        self.enclave_size = enclave_size
+        self.enclave_end = enclave_base + enclave_size
+        self._mem = bytearray(enclave_size)
+        self._perms: List[int] = [0] * (enclave_size >> PAGE_SHIFT)
+        self._sealed = False
+        self._outside: Dict[int, bytearray] = {}
+        #: (address, length) log of every store outside ELRANGE.
+        self.untrusted_writes: List[Tuple[int, int]] = []
+        #: Bumped whenever a store hits the watched code range, so the
+        #: VM can invalidate its decoded-instruction cache.
+        self.code_version = 0
+        self._code_watch = (0, 0)
+
+    # -- configuration -------------------------------------------------
+
+    def in_enclave(self, addr: int, size: int = 1) -> bool:
+        return self.enclave_base <= addr and \
+            addr + size <= self.enclave_end
+
+    def set_page_perms(self, addr: int, size: int, perms: int) -> None:
+        """Set permissions on enclave pages (only before :meth:`seal`)."""
+        if self._sealed:
+            raise MemoryFault("page permissions are sealed (SGXv1)", addr)
+        if not self.in_enclave(addr, max(size, 1)):
+            raise MemoryFault("perms outside ELRANGE", addr)
+        if addr % PAGE_SIZE or size % PAGE_SIZE:
+            raise MemoryFault("perms must be page aligned", addr)
+        first = (addr - self.enclave_base) >> PAGE_SHIFT
+        for i in range(first, first + (size >> PAGE_SHIFT)):
+            self._perms[i] = perms
+
+    def seal(self) -> None:
+        """Freeze page permissions — models EINIT under SGXv1."""
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def page_perms(self, addr: int) -> int:
+        if self.in_enclave(addr):
+            return self._perms[(addr - self.enclave_base) >> PAGE_SHIFT]
+        return PERM_R | PERM_W  # untrusted memory: RW, never X in enclave
+
+    def watch_code_range(self, start: int, size: int) -> None:
+        """Invalidate the VM's icache when stores hit [start, start+size)."""
+        self._code_watch = (start, start + size)
+
+    # -- raw access (loader / bootstrap use; no permission checks) -----
+
+    def write_raw(self, addr: int, data: bytes) -> None:
+        """Privileged write used by the loader before the enclave runs."""
+        if self.in_enclave(addr, len(data)):
+            off = addr - self.enclave_base
+            self._mem[off:off + len(data)] = data
+        else:
+            for i, b in enumerate(data):
+                self._store_outside_u8(addr + i, b)
+
+    def read_raw(self, addr: int, size: int) -> bytes:
+        if self.in_enclave(addr, size):
+            off = addr - self.enclave_base
+            return bytes(self._mem[off:off + size])
+        return bytes(self._load_outside_u8(addr + i) for i in range(size))
+
+    # -- untrusted page helpers ----------------------------------------
+
+    def _outside_page(self, addr: int) -> bytearray:
+        page_addr = addr & ~(PAGE_SIZE - 1)
+        page = self._outside.get(page_addr)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._outside[page_addr] = page
+        return page
+
+    def _load_outside_u8(self, addr: int) -> int:
+        return self._outside_page(addr)[addr & (PAGE_SIZE - 1)]
+
+    def _store_outside_u8(self, addr: int, value: int) -> None:
+        self._outside_page(addr)[addr & (PAGE_SIZE - 1)] = value & 0xFF
+
+    # -- checked access (the VM's data path) ----------------------------
+
+    def _check(self, addr: int, size: int, perm: int, what: str) -> None:
+        if addr < self.enclave_base or addr + size > self.enclave_end:
+            # straddling the boundary is a fault; fully outside is RW
+            if addr + size > self.enclave_base and addr < self.enclave_end:
+                raise MemoryFault(f"{what} straddles ELRANGE boundary", addr)
+            if perm & PERM_X:
+                raise MemoryFault(
+                    f"{what}: execute outside ELRANGE in enclave mode", addr)
+            return
+        first = (addr - self.enclave_base) >> PAGE_SHIFT
+        last = (addr + size - 1 - self.enclave_base) >> PAGE_SHIFT
+        for i in range(first, last + 1):
+            if self._perms[i] & perm != perm:
+                raise MemoryFault(
+                    f"{what} at {addr:#x}: page perms "
+                    f"{perm_string(self._perms[i])}", addr)
+
+    def load(self, addr: int, size: int) -> int:
+        """Load ``size`` bytes little-endian with R permission check."""
+        self._check(addr, size, PERM_R, "load")
+        if self.in_enclave(addr, size):
+            off = addr - self.enclave_base
+            return int.from_bytes(self._mem[off:off + size], "little")
+        value = 0
+        for i in range(size):
+            value |= self._load_outside_u8(addr + i) << (8 * i)
+        return value
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        """Store ``size`` bytes little-endian with W permission check."""
+        self._check(addr, size, PERM_W, "store")
+        if self.in_enclave(addr, size):
+            off = addr - self.enclave_base
+            self._mem[off:off + size] = (value & ((1 << (8 * size)) - 1)) \
+                .to_bytes(size, "little")
+            lo, hi = self._code_watch
+            if lo < addr + size and addr < hi:
+                self.code_version += 1
+        else:
+            self.untrusted_writes.append((addr, size))
+            for i in range(size):
+                self._store_outside_u8(addr + i, (value >> (8 * i)) & 0xFF)
+
+    def load_u64(self, addr: int) -> int:
+        return self.load(addr, 8)
+
+    def store_u64(self, addr: int, value: int) -> None:
+        self.store(addr, value & _U64_MASK, 8)
+
+    def load_u8(self, addr: int) -> int:
+        return self.load(addr, 1)
+
+    def store_u8(self, addr: int, value: int) -> None:
+        self.store(addr, value & 0xFF, 1)
+
+    def fetch(self, addr: int, size: int) -> memoryview:
+        """Instruction fetch: X permission required, enclave only."""
+        self._check(addr, size, PERM_X, "fetch")
+        off = addr - self.enclave_base
+        return memoryview(self._mem)[off:off + size]
+
+    def check_exec(self, addr: int, size: int) -> None:
+        """Raise unless all of [addr, addr+size) is executable."""
+        self._check(addr, size, PERM_X, "fetch")
+
+    def enclave_view(self) -> memoryview:
+        """Zero-copy view of the whole ELRANGE backing store.
+
+        The VM decodes instructions straight out of this view (after
+        permission checks) so fetch does not copy bytes per instruction.
+        """
+        return memoryview(self._mem)

@@ -1,0 +1,100 @@
+"""Enclave reports and attestation quotes.
+
+A :class:`Report` binds the enclave measurement (MRENCLAVE) to 64 bytes
+of user data — the bootstrap enclave puts the hash of its ephemeral DH
+public key there, binding the secure channel to the attested code, as
+RA-TLS does.  A :class:`Quote` is a report signed by the platform's
+attestation key (the role of the quoting enclave + EPID key on real SGX).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from ..errors import AttestationError
+from ..crypto.sig import SigningKey, VerifyingKey
+
+_MR_LEN = 32
+_DATA_LEN = 64
+_ATTR_LEN = 16
+
+
+@dataclass(frozen=True)
+class Report:
+    """EREPORT-style structure."""
+
+    mrenclave: bytes
+    attributes: bytes = b"\x00" * _ATTR_LEN
+    report_data: bytes = b"\x00" * _DATA_LEN
+
+    def __post_init__(self):
+        if len(self.mrenclave) != _MR_LEN:
+            raise AttestationError("mrenclave must be 32 bytes")
+        if len(self.attributes) != _ATTR_LEN:
+            raise AttestationError("attributes must be 16 bytes")
+        if len(self.report_data) != _DATA_LEN:
+            raise AttestationError("report_data must be 64 bytes")
+
+    def serialize(self) -> bytes:
+        return b"RPRT" + self.mrenclave + self.attributes + self.report_data
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Report":
+        if len(data) != 4 + _MR_LEN + _ATTR_LEN + _DATA_LEN or \
+                data[:4] != b"RPRT":
+            raise AttestationError("malformed report")
+        pos = 4
+        mr = data[pos:pos + _MR_LEN]
+        pos += _MR_LEN
+        attrs = data[pos:pos + _ATTR_LEN]
+        pos += _ATTR_LEN
+        return cls(mr, attrs, data[pos:])
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A report signed by a platform attestation key."""
+
+    report: Report
+    platform_id: bytes
+    signature: bytes
+
+    def serialize(self) -> bytes:
+        body = self.report.serialize()
+        return b"QUOT" + struct.pack("<H", len(self.platform_id)) + \
+            self.platform_id + struct.pack("<I", len(self.signature)) + \
+            self.signature + body
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Quote":
+        if data[:4] != b"QUOT":
+            raise AttestationError("malformed quote")
+        pos = 4
+        (pid_len,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        platform_id = data[pos:pos + pid_len]
+        pos += pid_len
+        (sig_len,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        signature = data[pos:pos + sig_len]
+        pos += sig_len
+        return cls(Report.parse(data[pos:]), platform_id, signature)
+
+
+class PlatformKey:
+    """The per-platform attestation key, provisioned to the AS."""
+
+    def __init__(self, seed: bytes = None):
+        self._key = SigningKey(seed)
+        self.platform_id = hashlib.sha256(
+            b"platform" + self._key.verifying_key.to_bytes()).digest()[:16]
+
+    @property
+    def verifying_key(self) -> VerifyingKey:
+        return self._key.verifying_key
+
+    def quote(self, report: Report) -> Quote:
+        signature = self._key.sign(report.serialize())
+        return Quote(report, self.platform_id, signature)

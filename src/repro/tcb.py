@@ -1,0 +1,95 @@
+"""TCB accounting: measure this repository's code-consumer size.
+
+The paper's headline TCB claim (§VI-A) is that the in-enclave consumer
+is ~2 kLoC (loader < 600 LoC, verifier < 700 LoC) plus a clipped
+disassembler, vastly smaller than libOS runtimes.  This module counts
+the equivalent components of this repository so Table I can carry
+*measured* numbers for the DEFLECTION row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+_PKG = Path(__file__).parent
+
+
+def count_loc(paths: Iterable[Path]) -> int:
+    """Count non-blank, non-comment source lines."""
+    total = 0
+    for path in paths:
+        in_docstring = False
+        for line in path.read_text().splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if in_docstring:
+                if stripped.endswith('"""') or stripped.endswith("'''"):
+                    in_docstring = False
+                continue
+            if stripped.startswith(('"""', "'''")):
+                quote = stripped[:3]
+                body = stripped[3:]
+                if not (body.endswith(quote) and len(body) >= 3) and \
+                        not (len(stripped) > 3 and
+                             stripped.endswith(quote)):
+                    in_docstring = True
+                continue
+            if stripped.startswith("#"):
+                continue
+            total += 1
+    return total
+
+
+@dataclass(frozen=True)
+class TcbComponentMeasurement:
+    name: str
+    files: tuple
+    loc: int
+
+    @property
+    def kloc(self) -> float:
+        return self.loc / 1000.0
+
+
+def _files(*relative: str) -> List[Path]:
+    return [_PKG / rel for rel in relative]
+
+
+def consumer_inventory() -> Dict[str, TcbComponentMeasurement]:
+    """Measured DEFLECTION TCB components of this repository,
+    mirroring the paper's Table I row structure."""
+    groups = {
+        "Loader/Verifier": _files(
+            "core/loader.py", "core/rewriter.py", "core/verifier.py",
+            "core/rdd.py", "core/bootstrap.py",
+            "policy/templates.py", "policy/magic.py",
+            "policy/policies.py"),
+        "RA/Encryption": _files(
+            "crypto/chacha.py", "crypto/dh.py", "crypto/hkdf.py",
+            "crypto/sig.py", "crypto/channel.py",
+            "sgx/quote.py", "sgx/attestation.py"),
+        "Disassembler base": _files(
+            "isa/encoding.py", "isa/instructions.py",
+            "isa/disassembler.py", "isa/registers.py"),
+        "Shim libc": _files("compiler/prelude.py"),
+        "Other dependencies": _files(
+            "sgx/memory.py", "sgx/layout.py", "sgx/enclave.py",
+            "vm/cpu.py", "vm/costmodel.py", "vm/interrupts.py"),
+    }
+    out = {}
+    for name, files in groups.items():
+        out[name] = TcbComponentMeasurement(
+            name, tuple(str(f.relative_to(_PKG)) for f in files),
+            count_loc(files))
+    return out
+
+
+def verifier_core_loc() -> Dict[str, int]:
+    """The paper's fine-grained claim: loader <600 LoC, verifier <700."""
+    return {
+        "loader": count_loc(_files("core/loader.py", "core/rewriter.py")),
+        "verifier": count_loc(_files("core/verifier.py", "core/rdd.py")),
+    }

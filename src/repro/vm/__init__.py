@@ -1,0 +1,16 @@
+"""DX86 virtual machine.
+
+Executes encoded DX86 against an :class:`~repro.sgx.memory.AddressSpace`
+with page-permission enforcement, injects AEX events on a configurable
+schedule (dumping the register file into the SSA, as SGX hardware does),
+and accounts cycles through a calibrated cost model so instrumentation
+overhead is deterministic and reproducible.
+"""
+
+from .costmodel import CostModel
+from .interrupts import AexSchedule
+from .cpu import CPU, ExecResult
+from .smt import RoundRobinScheduler, ThreadState
+
+__all__ = ["CostModel", "AexSchedule", "CPU", "ExecResult",
+           "RoundRobinScheduler", "ThreadState"]

@@ -1,0 +1,510 @@
+"""The DX86 interpreter.
+
+Fetch goes through the enclave page table (execute permission), data
+accesses go through load/store permission checks, and an optional AEX
+schedule interrupts execution — dumping the register file into the SSA
+exactly like the hardware the HyperRace instrumentation (P6) relies on.
+
+Decoded instructions are cached per address; any store into the watched
+code range bumps ``AddressSpace.code_version`` and flushes the cache, so
+self-modifying code (what P4 forbids) behaves architecturally.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import CpuFault, PolicyViolation
+from ..isa.encoding import decode_instruction
+from ..isa.instructions import Op
+from ..sgx.memory import AddressSpace
+from .costmodel import CostModel
+from .interrupts import AexSchedule
+
+_U64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+RDI_ARG, RSI_ARG, RDX_ARG, RCX_ARG = 7, 6, 2, 1  # SVC argument registers
+
+
+def to_signed(value: int) -> int:
+    return value - (1 << 64) if value & _SIGN else value
+
+
+@dataclass
+class ExecResult:
+    """Outcome of a completed (halted) execution."""
+
+    steps: int
+    cycles: float
+    rip: int
+    aex_events: int
+    return_value: int
+
+
+class CPU:
+    """One hardware thread executing inside the enclave."""
+
+    def __init__(self, space: AddressSpace, entry: int,
+                 cost_model: CostModel = None,
+                 aex_schedule: AexSchedule = None,
+                 svc_handler=None,
+                 initial_rsp: int = 0,
+                 ssa_addr: int = 0,
+                 hot_range=(0, 0)):
+        self.space = space
+        self.regs = [0] * 16
+        self.rip = entry
+        self.regs[4] = initial_rsp  # RSP
+        self.f_eq = False
+        self.f_lt_s = False
+        self.f_lt_u = False
+        self.cost_model = cost_model or CostModel()
+        self.aex_schedule = aex_schedule or AexSchedule.disabled()
+        self.svc_handler = svc_handler
+        self.ssa_addr = ssa_addr
+        #: [lo, hi) of the loader's hot cells (shadow stack, marker,
+        #: branch map): memory ops there cost ``hot_mem_cost``.
+        self.hot_range = hot_range
+        self.steps = 0
+        self.cycles = 0.0
+        self.aex_events = 0
+        #: EPC paging-model state (see CostModel.epc_pages)
+        self.epc_faults = 0
+        self._epc_resident = None
+        self._epc_ever = None
+        if self.cost_model.epc_pages:
+            from collections import OrderedDict
+            self._epc_resident = OrderedDict()
+            self._epc_ever = set()
+        self._halted = False
+        self._icache = {}
+        self._icache_version = space.code_version
+        self._aex_countdown = (self.aex_schedule.next_interval()
+                               if self.aex_schedule.enabled else 0)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _mem_addr(self, mem) -> int:
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.regs[mem.base]
+        if mem.index is not None:
+            addr += self.regs[mem.index] * mem.scale
+        return addr & _U64
+
+    def push(self, value: int) -> None:
+        rsp = (self.regs[4] - 8) & _U64
+        self.regs[4] = rsp
+        self.space.store_u64(rsp, value)
+
+    def pop(self) -> int:
+        rsp = self.regs[4]
+        value = self.space.load_u64(rsp)
+        self.regs[4] = (rsp + 8) & _U64
+        return value
+
+    def _do_aex(self) -> None:
+        """Asynchronous exit: dump thread context into the SSA.
+
+        Uses the privileged write path — hardware is not subject to page
+        permissions — and clobbers whatever software (the P6 marker!)
+        stored there.
+        """
+        if self.ssa_addr:
+            frame = struct.pack("<16Q", *self.regs) + \
+                struct.pack("<QQ", self.rip,
+                            (self.f_eq << 0) | (self.f_lt_s << 1) |
+                            (self.f_lt_u << 2))
+            self.space.write_raw(self.ssa_addr, frame)
+        self.aex_events += 1
+        self.cycles += self.cost_model.aex_cost
+        self._aex_countdown = self.aex_schedule.next_interval()
+
+    # -- decode ------------------------------------------------------------
+
+    def _decode(self, rip: int):
+        if not self.space.in_enclave(rip):
+            raise CpuFault(f"fetch outside ELRANGE at {rip:#x}")
+        view = self.space.enclave_view()
+        try:
+            instr, length = decode_instruction(
+                view, rip - self.space.enclave_base)
+        except Exception as exc:
+            raise CpuFault(f"undecodable at {rip:#x}: {exc}") from exc
+        self.space.check_exec(rip, length)
+        entry = (instr.op, instr.operands, length,
+                 self.cost_model.cost_of(instr.op))
+        self._icache[rip] = entry
+        return entry
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_steps: int = 200_000_000,
+            slice_steps: int = None) -> ExecResult:
+        """Run until HLT.  Raises on faults and policy traps.
+
+        ``slice_steps`` bounds *this call*: execution pauses (without
+        error) after that many instructions so a scheduler can
+        interleave threads; check :attr:`halted` to see whether the
+        thread finished or merely yielded.
+
+        The loop keeps the hottest state (registers, decoded-instruction
+        cache, accumulators) in locals and writes it back around every
+        escape point (SVC, AEX, fault), trading repetition for
+        interpreter throughput.
+        """
+        regs = self.regs
+        space = self.space
+        load_u64 = space.load_u64
+        store_u64 = space.store_u64
+        load_u8 = space.load_u8
+        store_u8 = space.store_u8
+        aex_enabled = self.aex_schedule.enabled
+        hot_lo, hot_hi = self.hot_range
+        hot_cost = self.cost_model.hot_mem_cost
+        epc_resident = self._epc_resident
+        epc_pages = self.cost_model.epc_pages
+        epc_cost = self.cost_model.epc_paging_cost
+
+        epc_ever = self._epc_ever
+
+        def epc_touch(address):
+            nonlocal cycles
+            page = address >> 12
+            if page in epc_resident:
+                epc_resident.move_to_end(page)
+                return
+            if len(epc_resident) >= epc_pages:
+                epc_resident.popitem(last=False)   # evict LRU (EWB)
+            epc_resident[page] = None
+            if page in epc_ever:
+                cycles += epc_cost                 # reload (ELDU)
+                self.epc_faults += 1
+            else:
+                epc_ever.add(page)                 # first touch: EADD'd
+                                                   # at load, free here
+        icache = self._icache
+        steps = self.steps
+        cycles = self.cycles
+        rip = self.rip
+        f_eq = self.f_eq
+        f_lt_s = self.f_lt_s
+        f_lt_u = self.f_lt_u
+        self._halted = False
+        slice_limit = None if slice_steps is None else steps + slice_steps
+
+        try:
+            while True:
+                if steps >= max_steps:
+                    raise CpuFault(f"step limit {max_steps} exceeded "
+                                   f"at rip={rip:#x}")
+                if slice_limit is not None and steps >= slice_limit:
+                    break
+                if aex_enabled:
+                    self._aex_countdown -= 1
+                    if self._aex_countdown <= 0:
+                        self.rip = rip
+                        self.cycles = cycles
+                        self.f_eq, self.f_lt_s, self.f_lt_u = \
+                            f_eq, f_lt_s, f_lt_u
+                        self._do_aex()
+                        cycles = self.cycles
+                if space.code_version != self._icache_version:
+                    icache.clear()
+                    self._icache_version = space.code_version
+                entry = icache.get(rip)
+                if entry is None:
+                    entry = self._decode(rip)
+                op, ops, length, cost = entry
+                steps += 1
+                cycles += cost
+                next_rip = rip + length
+
+                if op == Op.MOV_RM:
+                    mem = ops[1]
+                    addr = mem.disp
+                    if mem.base is not None:
+                        addr += regs[mem.base]
+                    if mem.index is not None:
+                        addr += regs[mem.index] * mem.scale
+                    addr &= _U64
+                    if hot_lo <= addr < hot_hi:
+                        cycles += hot_cost - cost
+                    elif epc_resident is not None:
+                        epc_touch(addr)
+                    regs[ops[0]] = load_u64(addr)
+                elif op == Op.MOV_MR:
+                    mem = ops[0]
+                    addr = mem.disp
+                    if mem.base is not None:
+                        addr += regs[mem.base]
+                    if mem.index is not None:
+                        addr += regs[mem.index] * mem.scale
+                    addr &= _U64
+                    if hot_lo <= addr < hot_hi:
+                        cycles += hot_cost - cost
+                    elif epc_resident is not None:
+                        epc_touch(addr)
+                    store_u64(addr, regs[ops[1]])
+                elif op == Op.MOV_RR:
+                    regs[ops[0]] = regs[ops[1]]
+                elif op == Op.MOV_RI:
+                    regs[ops[0]] = ops[1]
+                elif op == Op.MOV_MI:
+                    mem = ops[0]
+                    addr = mem.disp
+                    if mem.base is not None:
+                        addr += regs[mem.base]
+                    if mem.index is not None:
+                        addr += regs[mem.index] * mem.scale
+                    addr &= _U64
+                    if hot_lo <= addr < hot_hi:
+                        cycles += hot_cost - cost
+                    elif epc_resident is not None:
+                        epc_touch(addr)
+                    store_u64(addr, ops[1] & _U64)
+                elif op == Op.LEA:
+                    mem = ops[1]
+                    addr = mem.disp
+                    if mem.base is not None:
+                        addr += regs[mem.base]
+                    if mem.index is not None:
+                        addr += regs[mem.index] * mem.scale
+                    regs[ops[0]] = addr & _U64
+                elif op == Op.LDB:
+                    mem = ops[1]
+                    addr = mem.disp
+                    if mem.base is not None:
+                        addr += regs[mem.base]
+                    if mem.index is not None:
+                        addr += regs[mem.index] * mem.scale
+                    addr &= _U64
+                    if hot_lo <= addr < hot_hi:
+                        cycles += hot_cost - cost
+                    elif epc_resident is not None:
+                        epc_touch(addr)
+                    regs[ops[0]] = load_u8(addr)
+                elif op == Op.STB:
+                    mem = ops[0]
+                    addr = mem.disp
+                    if mem.base is not None:
+                        addr += regs[mem.base]
+                    if mem.index is not None:
+                        addr += regs[mem.index] * mem.scale
+                    addr &= _U64
+                    if hot_lo <= addr < hot_hi:
+                        cycles += hot_cost - cost
+                    elif epc_resident is not None:
+                        epc_touch(addr)
+                    store_u8(addr, regs[ops[1]])
+                elif op == Op.ADD_RR:
+                    regs[ops[0]] = (regs[ops[0]] + regs[ops[1]]) & _U64
+                elif op == Op.ADD_RI:
+                    regs[ops[0]] = (regs[ops[0]] + ops[1]) & _U64
+                elif op == Op.SUB_RR:
+                    regs[ops[0]] = (regs[ops[0]] - regs[ops[1]]) & _U64
+                elif op == Op.SUB_RI:
+                    regs[ops[0]] = (regs[ops[0]] - ops[1]) & _U64
+                elif op == Op.IMUL_RR:
+                    a = regs[ops[0]]
+                    b = regs[ops[1]]
+                    if a & _SIGN:
+                        a -= 1 << 64
+                    if b & _SIGN:
+                        b -= 1 << 64
+                    regs[ops[0]] = (a * b) & _U64
+                elif op == Op.IMUL_RI:
+                    a = regs[ops[0]]
+                    if a & _SIGN:
+                        a -= 1 << 64
+                    regs[ops[0]] = (a * ops[1]) & _U64
+                elif op == Op.AND_RR:
+                    regs[ops[0]] &= regs[ops[1]]
+                elif op == Op.AND_RI:
+                    regs[ops[0]] &= ops[1] & _U64
+                elif op == Op.OR_RR:
+                    regs[ops[0]] |= regs[ops[1]]
+                elif op == Op.OR_RI:
+                    regs[ops[0]] |= ops[1] & _U64
+                elif op == Op.XOR_RR:
+                    regs[ops[0]] ^= regs[ops[1]]
+                elif op == Op.XOR_RI:
+                    regs[ops[0]] ^= ops[1] & _U64
+                elif op == Op.SHL_RR:
+                    regs[ops[0]] = (regs[ops[0]]
+                                    << (regs[ops[1]] & 63)) & _U64
+                elif op == Op.SHL_RI:
+                    regs[ops[0]] = (regs[ops[0]] << (ops[1] & 63)) & _U64
+                elif op == Op.SHR_RR:
+                    regs[ops[0]] >>= (regs[ops[1]] & 63)
+                elif op == Op.SHR_RI:
+                    regs[ops[0]] >>= (ops[1] & 63)
+                elif op == Op.SAR_RR:
+                    a = regs[ops[0]]
+                    if a & _SIGN:
+                        a -= 1 << 64
+                    regs[ops[0]] = (a >> (regs[ops[1]] & 63)) & _U64
+                elif op == Op.SAR_RI:
+                    a = regs[ops[0]]
+                    if a & _SIGN:
+                        a -= 1 << 64
+                    regs[ops[0]] = (a >> (ops[1] & 63)) & _U64
+                elif op == Op.DIV_RR or op == Op.DIV_RI or \
+                        op == Op.MOD_RR or op == Op.MOD_RI:
+                    a = regs[ops[0]]
+                    if a & _SIGN:
+                        a -= 1 << 64
+                    if op == Op.DIV_RR or op == Op.MOD_RR:
+                        b = regs[ops[1]]
+                        if b & _SIGN:
+                            b -= 1 << 64
+                    else:
+                        b = ops[1]
+                    if b == 0:
+                        raise CpuFault(f"division by zero at {rip:#x}")
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    if op == Op.DIV_RR or op == Op.DIV_RI:
+                        regs[ops[0]] = q & _U64
+                    else:
+                        regs[ops[0]] = (a - q * b) & _U64
+                elif op == Op.NEG:
+                    regs[ops[0]] = (-regs[ops[0]]) & _U64
+                elif op == Op.NOT:
+                    regs[ops[0]] = (~regs[ops[0]]) & _U64
+                elif op == Op.CMP_RR:
+                    a = regs[ops[0]]
+                    b = regs[ops[1]]
+                    f_eq = a == b
+                    f_lt_u = a < b
+                    if a & _SIGN:
+                        a -= 1 << 64
+                    if b & _SIGN:
+                        b -= 1 << 64
+                    f_lt_s = a < b
+                elif op == Op.CMP_RI:
+                    a = regs[ops[0]]
+                    b = ops[1]
+                    bu = b & _U64
+                    f_eq = a == bu
+                    f_lt_u = a < bu
+                    if a & _SIGN:
+                        a -= 1 << 64
+                    f_lt_s = a < b
+                elif op == Op.TEST_RR:
+                    masked = regs[ops[0]] & regs[ops[1]]
+                    f_eq = masked == 0
+                    f_lt_s = bool(masked & _SIGN)
+                    f_lt_u = False
+                elif op == Op.JMP:
+                    next_rip += ops[0]
+                elif op == Op.JMP_R:
+                    next_rip = regs[ops[0]]
+                elif op == Op.JE:
+                    if f_eq:
+                        next_rip += ops[0]
+                elif op == Op.JNE:
+                    if not f_eq:
+                        next_rip += ops[0]
+                elif op == Op.JL:
+                    if f_lt_s:
+                        next_rip += ops[0]
+                elif op == Op.JLE:
+                    if f_lt_s or f_eq:
+                        next_rip += ops[0]
+                elif op == Op.JG:
+                    if not (f_lt_s or f_eq):
+                        next_rip += ops[0]
+                elif op == Op.JGE:
+                    if not f_lt_s:
+                        next_rip += ops[0]
+                elif op == Op.JB:
+                    if f_lt_u:
+                        next_rip += ops[0]
+                elif op == Op.JBE:
+                    if f_lt_u or f_eq:
+                        next_rip += ops[0]
+                elif op == Op.JA:
+                    if not (f_lt_u or f_eq):
+                        next_rip += ops[0]
+                elif op == Op.JAE:
+                    if not f_lt_u:
+                        next_rip += ops[0]
+                elif op == Op.CALL:
+                    rsp = (regs[4] - 8) & _U64
+                    regs[4] = rsp
+                    if epc_resident is not None:
+                        epc_touch(rsp)
+                    store_u64(rsp, next_rip)
+                    next_rip += ops[0]
+                elif op == Op.CALL_R:
+                    rsp = (regs[4] - 8) & _U64
+                    regs[4] = rsp
+                    if epc_resident is not None:
+                        epc_touch(rsp)
+                    store_u64(rsp, next_rip)
+                    next_rip = regs[ops[0]]
+                elif op == Op.RET:
+                    rsp = regs[4]
+                    if epc_resident is not None:
+                        epc_touch(rsp)
+                    next_rip = load_u64(rsp)
+                    regs[4] = (rsp + 8) & _U64
+                elif op == Op.PUSH_R:
+                    rsp = (regs[4] - 8) & _U64
+                    regs[4] = rsp
+                    if epc_resident is not None:
+                        epc_touch(rsp)
+                    store_u64(rsp, regs[ops[0]])
+                elif op == Op.PUSH_I:
+                    rsp = (regs[4] - 8) & _U64
+                    regs[4] = rsp
+                    if epc_resident is not None:
+                        epc_touch(rsp)
+                    store_u64(rsp, ops[0] & _U64)
+                elif op == Op.POP_R:
+                    rsp = regs[4]
+                    if epc_resident is not None:
+                        epc_touch(rsp)
+                    regs[ops[0]] = load_u64(rsp)
+                    regs[4] = (rsp + 8) & _U64
+                elif op == Op.SVC:
+                    if self.svc_handler is None:
+                        raise CpuFault(f"SVC {ops[0]:#x} with no handler "
+                                       f"at {rip:#x}")
+                    # expose architectural state to the handler
+                    self.rip = next_rip
+                    self.steps = steps
+                    self.cycles = cycles
+                    self.f_eq, self.f_lt_s, self.f_lt_u = f_eq, f_lt_s, f_lt_u
+                    self.svc_handler(self, ops[0])
+                    next_rip = self.rip
+                    cycles = self.cycles
+                    f_eq, f_lt_s, f_lt_u = self.f_eq, self.f_lt_s, self.f_lt_u
+                elif op == Op.NOP:
+                    pass
+                elif op == Op.HLT:
+                    rip = next_rip
+                    self._halted = True
+                    break
+                elif op == Op.TRAP:
+                    raise PolicyViolation(ops[0], rip)
+                else:  # pragma: no cover - decode guarantees known opcodes
+                    raise CpuFault(f"unimplemented opcode {op:#x}")
+
+                rip = next_rip & _U64
+        finally:
+            self.rip = rip
+            self.steps = steps
+            self.cycles = cycles
+            self.f_eq, self.f_lt_s, self.f_lt_u = f_eq, f_lt_s, f_lt_u
+
+        return ExecResult(steps, cycles, rip, self.aex_events,
+                          regs[0])

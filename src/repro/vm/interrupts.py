@@ -1,0 +1,56 @@
+"""AEX (asynchronous exit) injection schedules.
+
+Real enclaves suffer AEXes from timer interrupts, IPIs and page faults;
+a controlled-channel attacker *induces* them at high frequency.  The
+schedule abstracts both: a benign environment produces sparse AEXes, an
+attack scenario produces dense ones, and P6's threshold separates the
+two (§IV-B, P6).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class AexSchedule:
+    """Yields instruction counts between consecutive AEX events.
+
+    ``mean_interval`` is the average number of executed instructions
+    between AEXes; ``jitter`` (0..1) adds seeded uniform noise so tests
+    stay deterministic.  ``mean_interval=0`` disables AEX injection.
+    """
+
+    def __init__(self, mean_interval: int, jitter: float = 0.3,
+                 seed: int = 2021):
+        if mean_interval < 0:
+            raise ValueError("mean_interval must be >= 0")
+        self.mean_interval = mean_interval
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def disabled(cls) -> "AexSchedule":
+        return cls(0)
+
+    @classmethod
+    def benign(cls, seed: int = 2021) -> "AexSchedule":
+        """OS timer ticks: an AEX every ~400k instructions."""
+        return cls(400_000, seed=seed)
+
+    @classmethod
+    def attack(cls, seed: int = 2021) -> "AexSchedule":
+        """Controlled-channel style interrupt storm."""
+        return cls(2_000, seed=seed)
+
+    @property
+    def enabled(self) -> bool:
+        return self.mean_interval > 0
+
+    def next_interval(self) -> int:
+        if not self.mean_interval:
+            return 0
+        if not self.jitter:
+            return self.mean_interval
+        spread = int(self.mean_interval * self.jitter)
+        return max(1, self.mean_interval +
+                   self._rng.randint(-spread, spread))

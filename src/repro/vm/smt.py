@@ -1,0 +1,83 @@
+"""Round-robin thread scheduler for multi-threaded enclaves (§VII).
+
+SGX admits as many hardware threads as the enclave has TCS pages; this
+scheduler interleaves N :class:`~repro.vm.cpu.CPU` contexts over the
+shared address space in fixed instruction quanta — a deterministic
+stand-in for SMT/preemptive scheduling that still exhibits the hazards
+the paper discusses (shared memory, per-thread stacks, TOCTOU on any
+CFI metadata kept in memory rather than registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ReproError
+from .cpu import CPU
+
+
+@dataclass
+class ThreadState:
+    """Scheduler-visible state of one thread."""
+
+    tid: int
+    cpu: CPU
+    status: str = "runnable"     # runnable | halted | violation | fault
+    detail: str = ""
+
+    @property
+    def done(self) -> bool:
+        return self.status != "runnable"
+
+
+class RoundRobinScheduler:
+    """Deterministic instruction-quantum round robin."""
+
+    def __init__(self, cpus: List[CPU], quantum: int = 500):
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.threads = [ThreadState(tid, cpu)
+                        for tid, cpu in enumerate(cpus)]
+        self.quantum = quantum
+
+    def run(self, max_steps_per_thread: int = 50_000_000) -> \
+            List[ThreadState]:
+        """Interleave all threads until each halts or dies.
+
+        A fault or policy violation stops only the offending thread
+        (the bootstrap decides what to do about the others); every
+        other thread keeps running.
+        """
+        remaining = sum(1 for t in self.threads if not t.done)
+        while remaining:
+            progressed = False
+            for thread in self.threads:
+                if thread.done:
+                    continue
+                progressed = True
+                try:
+                    thread.cpu.run(max_steps=max_steps_per_thread,
+                                   slice_steps=self.quantum)
+                except ReproError as exc:
+                    from ..errors import PolicyViolation
+                    thread.status = ("violation"
+                                     if isinstance(exc, PolicyViolation)
+                                     else "fault")
+                    thread.detail = str(exc)
+                    thread.violation_code = getattr(exc, "code", 0)
+                else:
+                    if thread.cpu.halted:
+                        thread.status = "halted"
+            remaining = sum(1 for t in self.threads if not t.done)
+            if not progressed:  # pragma: no cover - defensive
+                break
+        return self.threads
+
+    @property
+    def total_steps(self) -> int:
+        return sum(t.cpu.steps for t in self.threads)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(t.cpu.cycles for t in self.threads)

@@ -1,0 +1,20 @@
+"""MiniC workloads for every experiment in the paper.
+
+* :mod:`nbench`   — the ten nBench-suite kernels of Table II;
+* :mod:`genomics` — Needleman-Wunsch alignment (Fig 7) and sequence
+  generation (Fig 8) on synthetic FASTA data;
+* :mod:`credit`   — the BP-neural-network credit scorer (Fig 9);
+* :mod:`https_app` — the in-enclave HTTPS request handler (Fig 10/11);
+* :mod:`imaging`  — the intro's image-editing service (extension).
+
+Each workload is MiniC source compiled by the untrusted producer; every
+kernel self-checks its result and reports ``1`` as its first
+``__report`` value, so a policy setting that broke semantics is caught
+immediately, and all settings must report identical values
+(differential checking across instrumentation levels).
+"""
+
+from .registry import Workload, WORKLOADS, get_workload
+from . import nbench, genomics, credit, https_app, imaging  # noqa: F401
+
+__all__ = ["Workload", "WORKLOADS", "get_workload"]

@@ -1,0 +1,111 @@
+"""Personal credit-score analysis (Fig. 9).
+
+A BP-neural-network credit scorer in the spirit of [51]: an 8-6-1
+fixed-point MLP is trained on a small synthetic transaction history,
+then scores N applicant records (the paper's x-axis is the number of
+records scored, 1000..100K on their testbed; scaled down here).  The
+self-check verifies that training separates the synthetic classes
+better than chance.
+"""
+
+from __future__ import annotations
+
+from .registry import Workload, register
+
+_CREDIT = r"""
+int w1[8 * 6];
+int w2[6];
+int hid[6];
+int feat[8];
+
+int clampq(int x) {
+    if (x > 16 * 4096) return 16 * 4096;
+    if (x < -16 * 4096) return -16 * 4096;
+    return x;
+}
+
+int sigmoid(int x) {
+    x = clampq(x);
+    if (x <= -4 * 4096) return 0;
+    if (x >= 4 * 4096) return 4096;
+    return 2048 + x / 8;
+}
+
+// synthetic applicant: 8 features in Q12 from a per-record seed
+int make_features(int seed) {
+    int k;
+    int s = seed;
+    for (k = 0; k < 8; k++) {
+        s = (s * 1103515245 + 12345) & 2147483647;
+        feat[k] = (s % 4096) - 2048;
+    }
+    // ground truth: creditworthy iff weighted feature sum positive
+    int truth = feat[0] * 3 + feat[1] * 2 - feat[2] * 2 + feat[3]
+        - feat[4] + feat[5] - feat[6] + feat[7];
+    if (truth > 0) return 1;
+    return 0;
+}
+
+int score(int seed) {
+    int label = make_features(seed);
+    int j, k;
+    for (j = 0; j < 6; j++) {
+        int acc = 0;
+        for (k = 0; k < 8; k++) acc += (feat[k] * w1[k * 6 + j]) / 4096;
+        hid[j] = sigmoid(acc);
+    }
+    int acc = 0;
+    for (k = 0; k < 6; k++) acc += (hid[k] * w2[k]) / 4096;
+    // returns confidence in Q12 plus the ground truth in bit 16
+    return sigmoid(acc) + label * 65536;
+}
+
+int main() {
+    int records = @N@;
+    int i, j, k, e;
+    srand(90210);
+    for (i = 0; i < 48; i++) w1[i] = rand() % 2048 - 1024;
+    for (i = 0; i < 6; i++) w2[i] = rand() % 2048 - 1024;
+    // train on 32 labelled records, 30 epochs of backprop deltas
+    for (e = 0; e < 30; e++) {
+        for (i = 0; i < 32; i++) {
+            int both = score(i * 7919);
+            int label = both / 65536;
+            int conf = both % 65536;
+            int err = label * 4096 - conf;
+            for (k = 0; k < 6; k++)
+                w2[k] = clampq(w2[k] + (hid[k] * err) / 8192);
+            for (k = 0; k < 8; k++)
+                for (j = 0; j < 6; j++) {
+                    int dh = ((err * w2[j]) / 4096) / 4;
+                    w1[k * 6 + j] = clampq(
+                        w1[k * 6 + j] + (feat[k] * dh) / 32768);
+                }
+        }
+    }
+    // score the applicant records
+    int approved = 0;
+    int correct = 0;
+    int check = 0;
+    for (i = 0; i < records; i++) {
+        int both = score(1000000 + i * 104729);
+        int label = both / 65536;
+        int conf = both % 65536;
+        int decision = conf > 2048;
+        approved += decision;
+        if (decision == label) correct++;
+        check = (check * 33 + conf) & 1073741823;
+    }
+    // self-check: the trained model must beat chance clearly
+    __report(correct * 2 > records);
+    __report(approved);
+    __report(check);
+    return approved;
+}
+"""
+
+register(Workload(
+    "credit_scoring",
+    lambda n: _CREDIT.replace("@N@", str(n)),
+    500,
+    description="BP-network credit scoring of N applicant records"))

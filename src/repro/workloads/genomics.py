@@ -1,0 +1,110 @@
+"""Sensitive genome-data analysis workloads (Fig. 7 and Fig. 8).
+
+* ``sequence_alignment`` — Needleman-Wunsch global alignment with a
+  rolling two-row DP (time O(N^2), memory O(N)); the sequences arrive
+  through ``__recv`` exactly as user data enters the paper's enclave.
+* ``sequence_generation`` — produces N nucleotides of synthetic FASTA
+  sequence and streams them out through the padded ``__send`` wrapper.
+
+The FASTA inputs are synthetic stand-ins for the paper's 1000 Genomes
+sequences — alignment cost depends only on sequence length.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .registry import Workload, register
+
+_ALIGNMENT = r"""
+char seqa[@N@];
+char seqb[@N@];
+int prev[@N@ + 1];
+int curr[@N@ + 1];
+
+int main() {
+    int n = @N@;
+    int i, j;
+    int got = __recv(seqa, n);
+    got += __recv(seqb, n);
+    int gap = -2;
+    int match = 1;
+    int mismatch = -1;
+    for (j = 0; j <= n; j++) prev[j] = j * gap;
+    for (i = 1; i <= n; i++) {
+        curr[0] = i * gap;
+        for (j = 1; j <= n; j++) {
+            int m;
+            if (seqa[i - 1] == seqb[j - 1]) m = prev[j - 1] + match;
+            else m = prev[j - 1] + mismatch;
+            int up = prev[j] + gap;
+            int lf = curr[j - 1] + gap;
+            if (up > m) m = up;
+            if (lf > m) m = lf;
+            curr[j] = m;
+        }
+        for (j = 0; j <= n; j++) prev[j] = curr[j];
+    }
+    int score = prev[n];
+    int ok = 1;
+    if (got != 2 * n) ok = 0;
+    if (score > n * match) ok = 0;
+    if (score < 2 * n * gap) ok = 0;
+    __report(ok);
+    __report(score & 1073741823);
+    return score;
+}
+"""
+
+
+def _alignment_input(n: int) -> bytes:
+    rng = random.Random(0xDA7A ^ n)
+    alphabet = b"ACGT"
+    return bytes(rng.choice(alphabet) for _ in range(2 * n))
+
+
+register(Workload(
+    "sequence_alignment",
+    lambda n: _ALIGNMENT.replace("@N@", str(n)),
+    128,
+    make_input=_alignment_input,
+    description="Needleman-Wunsch alignment of two N-base sequences"))
+
+
+_GENERATION = r"""
+char buf[1024];
+
+int main() {
+    int total = @N@;
+    int chunk = 1024;
+    srand(77);
+    int produced = 0;
+    int gc = 0;
+    while (produced < total) {
+        int m = chunk;
+        if (total - produced < m) m = total - produced;
+        int i;
+        for (i = 0; i < m; i++) {
+            int r = rand() % 4;
+            int c;
+            if (r == 0) c = 65;
+            else if (r == 1) c = 67;
+            else if (r == 2) c = 71;
+            else c = 84;
+            if (c == 67 || c == 71) gc++;
+            buf[i] = c;
+        }
+        __send(buf, m);
+        produced += m;
+    }
+    __report(produced == total);
+    __report(gc);
+    return gc;
+}
+"""
+
+register(Workload(
+    "sequence_generation",
+    lambda n: _GENERATION.replace("@N@", str(n)),
+    4096,
+    description="generate and stream N synthetic nucleotides"))

@@ -1,0 +1,94 @@
+"""Privacy-preserving image editing (the intro's motivating service).
+
+A proprietary filter pipeline over a user's private image: 3x3 box
+blur, mean thresholding and a histogram reduction.  The image enters
+through ``__recv`` and the processed image leaves through the padded
+``__send`` wrapper.  Self-check: the histogram masses and the binarized
+pixel counts must be conserved.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .registry import Workload, register
+
+_IMAGE_FILTER = r"""
+char img[@N@ * @N@];
+char blur[@N@ * @N@];
+int hist[16];
+
+int main() {
+    int n = @N@;
+    int i, j;
+    int got = __recv(img, n * n);
+    // 3x3 box blur (clamped borders)
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            int acc = 0;
+            int cnt = 0;
+            int di;
+            for (di = -1; di <= 1; di++) {
+                int dj;
+                for (dj = -1; dj <= 1; dj++) {
+                    int y = i + di;
+                    int x = j + dj;
+                    if (y >= 0 && y < n && x >= 0 && x < n) {
+                        acc += img[y * n + x];
+                        cnt++;
+                    }
+                }
+            }
+            blur[i * n + j] = acc / cnt;
+        }
+    }
+    // histogram of the blurred image (16 bins)
+    for (i = 0; i < 16; i++) hist[i] = 0;
+    int total = 0;
+    for (i = 0; i < n * n; i++) {
+        hist[blur[i] / 16]++;
+        total += blur[i];
+    }
+    int mean = total / (n * n);
+    // threshold at the mean
+    int white = 0;
+    for (i = 0; i < n * n; i++) {
+        if (blur[i] >= mean) { blur[i] = 255; white++; }
+        else blur[i] = 0;
+    }
+    int mass = 0;
+    for (i = 0; i < 16; i++) mass += hist[i];
+    int ok = 1;
+    if (got != n * n) ok = 0;
+    if (mass != n * n) ok = 0;
+    if (white < 0 || white > n * n) ok = 0;
+    __send(blur, n * n);
+    __report(ok);
+    __report(white);
+    int check = 0;
+    for (i = 0; i < 16; i++) check = (check * 31 + hist[i]) & 1073741823;
+    __report(check);
+    return white;
+}
+"""
+
+
+def _image_input(n: int) -> bytes:
+    rng = random.Random(0x1BA6E ^ n)
+    # blobby synthetic image: two bright squares on a dark background
+    pixels = bytearray(rng.randrange(0, 60) for _ in range(n * n))
+    for cy, cx in ((n // 4, n // 4), (2 * n // 3, 2 * n // 3)):
+        for dy in range(-n // 6, n // 6):
+            for dx in range(-n // 6, n // 6):
+                y, x = cy + dy, cx + dx
+                if 0 <= y < n and 0 <= x < n:
+                    pixels[y * n + x] = 180 + rng.randrange(0, 60)
+    return bytes(pixels)
+
+
+register(Workload(
+    "image_filter",
+    lambda n: _IMAGE_FILTER.replace("@N@", str(n)),
+    24,
+    make_input=_image_input,
+    description="blur + threshold + histogram over an NxN private image"))

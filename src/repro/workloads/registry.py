@@ -1,0 +1,52 @@
+"""Workload registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One runnable MiniC program with its input recipe.
+
+    ``make_source`` builds the source for a parameter value (most
+    kernels bake the size in as a constant global); ``make_input``
+    produces the bytes staged for ``__recv``.  The first ``__report``
+    value is 1 iff the kernel's internal self-check passed.
+    """
+
+    name: str
+    make_source: Callable[[int], str]
+    default_param: int
+    make_input: Optional[Callable[[int], bytes]] = None
+    description: str = ""
+
+    def source(self, param: Optional[int] = None) -> str:
+        return self.make_source(param if param is not None
+                                else self.default_param)
+
+    def input_bytes(self, param: Optional[int] = None) -> bytes:
+        if self.make_input is None:
+            return b""
+        return self.make_input(param if param is not None
+                               else self.default_param)
+
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in WORKLOADS:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") \
+            from None

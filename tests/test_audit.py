@@ -1,0 +1,88 @@
+"""Audit hash chain: recording, tamper evidence, quote binding."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.core.audit import AuditLog
+from repro.errors import VerificationError
+from repro.policy import PolicySet
+
+
+def test_chain_verifies_and_detects_tampering():
+    log = AuditLog()
+    log.record("a", x=1)
+    log.record("b", y="two")
+    log.record("c")
+    assert len(log) == 3
+    assert log.verify_chain()
+    # tamper with an event's detail
+    forged = dataclasses.replace(log._events[1],
+                                 detail={"y": "TWO"})
+    log._events[1] = forged
+    assert not log.verify_chain()
+
+
+def test_removal_detected():
+    log = AuditLog()
+    for i in range(5):
+        log.record("event", i=i)
+    log._events.pop(2)
+    assert not log.verify_chain()
+
+
+def test_heads_differ_per_history():
+    a = AuditLog()
+    b = AuditLog()
+    assert a.head == b.head      # same genesis
+    a.record("x")
+    b.record("y")
+    assert a.head != b.head
+
+
+def test_bootstrap_records_lifecycle():
+    policies = PolicySet.p1_only()
+    boot = BootstrapEnclave(policies=policies)
+    blob = compile_source("int main() { __report(9); return 0; }",
+                          policies).serialize()
+    boot.receive_binary(blob)
+    boot.receive_userdata(b"zz")
+    boot.run()
+    kinds = [event.kind for event in boot.audit.events]
+    assert kinds == ["enclave_initialized", "binary_verified",
+                     "userdata_received", "run_completed"]
+    assert boot.audit.verify_chain()
+    run_event = boot.audit.filter("run_completed")[0]
+    assert run_event.detail["status"] == "ok"
+
+
+def test_bootstrap_records_rejections():
+    boot = BootstrapEnclave(policies=PolicySet.full())
+    bare = compile_source("int main() { return 0; }",
+                          PolicySet.none()).serialize()
+    with pytest.raises(VerificationError):
+        boot.receive_binary(bare)
+    rejected = boot.audit.filter("binary_rejected")
+    assert len(rejected) == 1
+    assert "guard" in rejected[0].detail["reason"]
+    assert boot.audit.verify_chain()
+
+
+def test_quote_pins_audit_head():
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    quote = boot.quote_with_audit()
+    assert quote.report.report_data[:32] == boot.audit.head
+    boot.receive_userdata(b"x")
+    quote2 = boot.quote_with_audit()
+    assert quote2.report.report_data[:32] != quote.report.report_data[:32]
+
+
+def test_render_is_readable():
+    log = AuditLog()
+    log.record("binary_verified", hash="abc123", annotations=7)
+    text = log.render()
+    assert "binary_verified" in text
+    assert "annotations=7" in text
+    assert "chain head" in text

@@ -1,0 +1,62 @@
+"""Benchmark harness: matrices, differential enforcement, tables."""
+
+import pytest
+
+from repro.bench import (
+    format_table, overhead_matrix, percent, run_workload,
+)
+from repro.bench.tables import format_series
+
+
+def test_run_workload_full_pipeline():
+    result = run_workload("numeric_sort", "P1", 40)
+    assert result.status == "ok"
+    assert result.steps > 0
+    assert result.cycles > 0
+    assert result.reports[0] == 1
+
+
+def test_overhead_matrix_orders_settings():
+    matrix = overhead_matrix("numeric_sort", 40)
+    assert matrix["baseline"].overhead_pct == 0.0
+    assert 0 < matrix["P1"].overhead_pct \
+        <= matrix["P1-P5"].overhead_pct \
+        <= matrix["P1-P6"].overhead_pct
+
+
+def test_matrix_runs_p6_under_benign_aex():
+    matrix = overhead_matrix("numeric_sort", 150,
+                             aex_mean_interval=20_000)
+    assert matrix["P1-P6"].aex_events > 0
+    assert matrix["P1"].aex_events == 0
+
+
+def test_workload_failure_is_loud():
+    with pytest.raises(RuntimeError, match="self-check|violation|fault"):
+        # absurd step cap forces a failure surface
+        run_workload("numeric_sort", "P1", 40, max_steps=10)
+
+
+def test_compilation_cache_reused():
+    from repro.bench.harness import _compile_cached
+    _compile_cached.cache_clear()
+    run_workload("numeric_sort", "P1", 40)
+    run_workload("numeric_sort", "P1", 40)
+    info = _compile_cached.cache_info()
+    assert info.hits >= 1
+    assert info.misses == 1
+
+
+def test_percent_and_table_formatting():
+    assert percent(12.345) == "+12.3%"
+    assert percent(-3.21) == "-3.2%"
+    table = format_table("Title", ["a", "bb"], [[1, 2], [33, 4]])
+    assert "Title" in table and "33" in table
+    lines = table.splitlines()
+    assert len(lines) == 6
+
+
+def test_format_series():
+    out = format_series("Fig", "x", [1, 2],
+                        {"s1": ["a", "b"], "s2": ["c", "d"]})
+    assert "s1" in out and "d" in out

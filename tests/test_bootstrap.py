@@ -1,0 +1,159 @@
+"""Bootstrap enclave specifics: measurement, P0 wrappers, time
+blurring, state isolation between runs."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.core.bootstrap import P0Config, consumer_image
+from repro.errors import EnclaveError, ProtocolError
+from repro.policy import PolicySet
+
+
+def _boot(src, setting="P1", **kwargs):
+    policies = PolicySet.parse(setting)
+    boot = BootstrapEnclave(policies=policies, **kwargs)
+    boot.receive_binary(compile_source(src, policies).serialize())
+    return boot
+
+
+def test_consumer_image_is_stable_and_nontrivial():
+    image = consumer_image()
+    assert image == consumer_image()
+    assert len(image) > 20_000
+    assert b"PolicyVerifier" in image      # the verifier source is public
+
+
+def test_two_bootstraps_share_mrenclave():
+    a = BootstrapEnclave(policies=PolicySet.full())
+    b = BootstrapEnclave(policies=PolicySet.full())
+    assert a.mrenclave == b.mrenclave
+
+
+def test_run_without_binary_rejected():
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    with pytest.raises(EnclaveError, match="no verified binary"):
+        boot.run()
+
+
+def test_binary_hash_returned_matches_blob():
+    import hashlib
+    blob = compile_source("int main() { return 3; }",
+                          PolicySet.p1_only()).serialize()
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    assert boot.receive_binary(blob) == hashlib.sha256(blob).digest()
+
+
+def test_recv_cursor_resets_between_runs():
+    src = """
+    char buf[8];
+    int main() {
+        int n = __recv(buf, 4);
+        __report(buf[0]);
+        __report(n);
+        return 0;
+    }
+    """
+    boot = _boot(src)
+    boot.receive_userdata(b"abcdef")
+    first = boot.run()
+    second = boot.run()          # cursor must rewind, not continue
+    assert first.reports == second.reports == [ord("a"), 4]
+
+
+def test_recv_drains_input_across_calls_within_one_run():
+    src = """
+    char buf[8];
+    int main() {
+        __recv(buf, 3);
+        __report(buf[0]);
+        int n = __recv(buf, 8);
+        __report(buf[0]);
+        __report(n);
+        int m = __recv(buf, 8);
+        __report(m);
+        return 0;
+    }
+    """
+    boot = _boot(src)
+    boot.receive_userdata(b"XYZAB")
+    outcome = boot.run()
+    assert outcome.reports == [ord("X"), ord("A"), 2, 0]
+
+
+def test_report_budget_counts():
+    src = """
+    int main() {
+        int i;
+        for (i = 0; i < 10; i++) __report(i);
+        return 0;
+    }
+    """
+    boot = _boot(src, p0=P0Config(max_output_bytes=40))  # 5 reports
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert len(outcome.reports) == 5
+
+
+def test_absurd_send_length_rejected():
+    src = """
+    char b[8];
+    int main() { __send(b, 1073741824); return 0; }
+    """
+    boot = _boot(src)
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert "absurd" in outcome.detail
+
+
+def test_time_blurring_quantizes_observable_cycles():
+    src_fast = "int main() { return 1; }"
+    src_slow = """
+    int main() {
+        int i; int a = 0;
+        for (i = 0; i < 3000; i++) a += i;
+        return a;
+    }
+    """
+    quantum = 1_000_000
+    fast = _boot(src_fast, p0=P0Config(pad_cycles_quantum=quantum)).run()
+    slow = _boot(src_slow, p0=P0Config(pad_cycles_quantum=quantum)).run()
+    assert fast.result.cycles != slow.result.cycles
+    assert fast.observable_cycles == slow.observable_cycles == quantum
+    assert fast.observable_cycles % quantum == 0
+
+
+def test_time_blurring_off_by_default():
+    outcome = _boot("int main() { return 1; }").run()
+    assert outcome.observable_cycles == outcome.result.cycles
+
+
+def test_encrypted_paths_require_channels():
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    with pytest.raises(ProtocolError, match="provider channel"):
+        boot.receive_binary(b"x", encrypted=True)
+    with pytest.raises(ProtocolError, match="owner channel"):
+        boot.receive_userdata(b"x", encrypted=True)
+    with pytest.raises(ProtocolError, match="unknown role"):
+        boot.attach_channel(None, role="eavesdropper")
+
+
+def test_ecall_table_is_exactly_the_p0_interface():
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    assert boot.enclave.ecall_names == (
+        "ecall_receive_binary", "ecall_receive_userdata", "ecall_run")
+
+
+def test_hw_aex_counter_accumulates():
+    from repro.vm.interrupts import AexSchedule
+    src = """
+    int main() {
+        int i; int a = 0;
+        for (i = 0; i < 5000; i++) a += i;
+        return a;
+    }
+    """
+    boot = _boot(src)
+    boot.run(aex_schedule=AexSchedule(2_000, jitter=0))
+    boot.run(aex_schedule=AexSchedule(2_000, jitter=0))
+    assert boot.enclave.hw_aex_count >= 10

@@ -1,0 +1,107 @@
+"""CLI toolkit tests."""
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+char buf[16];
+int main() {
+    int n = __recv(buf, 16);
+    __report(n * 10);
+    return n;
+}
+"""
+
+
+@pytest.fixture
+def obj_path(tmp_path):
+    src = tmp_path / "svc.c"
+    src.write_text(SRC)
+    out = tmp_path / "svc.dfob"
+    assert main(["compile", str(src), "-o", str(out),
+                 "--policies", "P1-P6"]) == 0
+    return out
+
+
+def test_compile_reports_layout(tmp_path, capsys):
+    src = tmp_path / "a.c"
+    src.write_text("int main() { return 1; }")
+    assert main(["compile", str(src), "-o",
+                 str(tmp_path / "a.dfob")]) == 0
+    out = capsys.readouterr().out
+    assert "bytes" in out and "P6" in out
+
+
+def test_compile_error_is_clean(tmp_path, capsys):
+    src = tmp_path / "bad.c"
+    src.write_text("int main( { }")
+    assert main(["compile", str(src)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_objdump_sections(obj_path, capsys):
+    assert main(["objdump", str(obj_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entry:     __start" in out
+    assert "main" in out
+    assert "relocations" in out
+
+
+def test_objdump_disasm(obj_path, capsys):
+    assert main(["objdump", str(obj_path), "--disasm"]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out
+    assert "ret" in out
+    assert "svc" in out
+
+
+def test_verify_accepts_and_counts(obj_path, capsys):
+    assert main(["verify", str(obj_path), "--policies", "P1-P6"]) == 0
+    out = capsys.readouterr().out
+    assert "VERIFIED" in out
+    assert "store_guard" in out
+
+
+def test_verify_rejects_mismatched_policies(tmp_path, capsys):
+    src = tmp_path / "svc.c"
+    src.write_text(SRC)
+    out = tmp_path / "weak.dfob"
+    main(["compile", str(src), "-o", str(out), "--policies", "P1"])
+    assert main(["verify", str(out), "--policies", "P1-P6"]) == 1
+    assert "REJECTED" in capsys.readouterr().out
+
+
+def test_run_executes_with_input(obj_path, tmp_path, capsys):
+    data = tmp_path / "input.bin"
+    data.write_bytes(b"abcd")
+    assert main(["run", str(obj_path), "--input", str(data)]) == 0
+    out = capsys.readouterr().out
+    assert "status:  ok" in out
+    assert "reports: [40]" in out
+
+
+def test_run_reports_violation_exit_code(tmp_path, capsys):
+    src = tmp_path / "leak.c"
+    src.write_text("int main() { int *p = 4096; *p = 1; return 0; }")
+    out = tmp_path / "leak.dfob"
+    main(["compile", str(src), "-o", str(out), "--policies", "P1"])
+    assert main(["run", str(out), "--policies", "P1"]) == 2
+    assert "out-of-enclave store" in capsys.readouterr().out
+
+
+def test_run_rejects_bad_object(tmp_path, capsys):
+    bad = tmp_path / "junk.dfob"
+    bad.write_bytes(b"DFOBgarbage")
+    assert main(["run", str(bad)]) == 1
+
+
+def test_tcb_table(capsys):
+    assert main(["tcb"]) == 0
+    out = capsys.readouterr().out
+    assert "Loader/Verifier" in out
+    assert "paper: <600" in out
+
+
+def test_missing_file_handled(capsys):
+    assert main(["objdump", "/nonexistent.dfob"]) == 1

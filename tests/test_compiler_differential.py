@@ -1,0 +1,182 @@
+"""Differential compiler fuzzing.
+
+Hypothesis generates random MiniC expression trees; each program is
+compiled, *verified under the full policy set*, executed in the VM, and
+compared against a Python reference evaluation of the same tree.  This
+pins the whole stack at once: parser, sema, codegen, instrumentation,
+assembler, loader, verifier, rewriter and the CPU's 64-bit semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import build_and_run
+
+_U64 = (1 << 64) - 1
+
+
+def _to_signed(v):
+    v &= _U64
+    return v - (1 << 64) if v & (1 << 63) else v
+
+
+class Expr:
+    """Random expression tree with dual rendering: MiniC and Python."""
+
+    def __init__(self, text, value):
+        self.text = text
+        self.value = value          # Python-evaluated signed value
+
+
+def _lit(n):
+    return Expr(str(n), n)
+
+
+def _binop(op, a, b):
+    av, bv = a.value, b.value
+    if op == "+":
+        v = av + bv
+    elif op == "-":
+        v = av - bv
+    elif op == "*":
+        v = av * bv
+    elif op == "/":
+        if bv == 0:
+            return None
+        q = abs(av) // abs(bv)
+        v = -q if (av < 0) != (bv < 0) else q
+    elif op == "%":
+        if bv == 0:
+            return None
+        q = abs(av) // abs(bv)
+        q = -q if (av < 0) != (bv < 0) else q
+        v = av - q * bv
+    elif op == "&":
+        v = (av & _U64) & (bv & _U64)
+    elif op == "|":
+        v = (av & _U64) | (bv & _U64)
+    elif op == "^":
+        v = (av & _U64) ^ (bv & _U64)
+    elif op == "<<":
+        v = (av & _U64) << ((bv & _U64) & 63)
+    elif op == ">>":
+        v = _to_signed(av) >> ((bv & _U64) & 63)
+    elif op == "<":
+        v = 1 if _to_signed(av) < _to_signed(bv) else 0
+    elif op == "==":
+        v = 1 if (av & _U64) == (bv & _U64) else 0
+    else:  # pragma: no cover
+        raise AssertionError(op)
+    return Expr(f"({a.text} {op} {b.text})", _to_signed(v))
+
+
+def _unop(op, a):
+    if op == "-":
+        v = -a.value
+    elif op == "~":
+        v = ~a.value
+    else:
+        v = 0 if a.value else 1
+    return Expr(f"({op} {a.text})", _to_signed(v))
+
+
+_SMALL = st.integers(min_value=-1000, max_value=1000)
+_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "=="]
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return _lit(draw(_SMALL))
+    kind = draw(st.sampled_from(["bin", "un"]))
+    if kind == "un":
+        return _unop(draw(st.sampled_from(["-", "~", "!"])),
+                     draw(expr_trees(depth=depth - 1)))
+    while True:
+        node = _binop(draw(st.sampled_from(_OPS)),
+                      draw(expr_trees(depth=depth - 1)),
+                      draw(expr_trees(depth=depth - 1)))
+        if node is not None:
+            return node
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=expr_trees())
+def test_expression_matches_python_reference(tree):
+    src = f"int main() {{ __report({tree.text}); return 0; }}"
+    outcome = build_and_run(src, "P1-P5", include_prelude=False)
+    assert outcome.ok, outcome.detail
+    assert outcome.reports == [tree.value & _U64]
+
+
+@settings(max_examples=15, deadline=None)
+@given(values=st.lists(_SMALL, min_size=1, max_size=8),
+       updates=st.lists(st.tuples(st.integers(0, 7), _SMALL),
+                        min_size=0, max_size=6))
+def test_array_state_machine_matches_reference(values, updates):
+    n = len(values)
+    ref = list(values)
+    lines = [f"int a[{n}];", "int main() {"]
+    for i, v in enumerate(values):
+        lines.append(f"  a[{i}] = {v};")
+    for idx, delta in updates:
+        idx %= n
+        ref[idx] = _to_signed(ref[idx] + delta)
+        lines.append(f"  a[{idx}] += {delta};")
+    checksum = 0
+    for i, v in enumerate(ref):
+        checksum = _to_signed(checksum * 31 + v)
+    lines.append("  int c = 0; int i;")
+    lines.append(f"  for (i = 0; i < {n}; i++) c = c * 31 + a[i];")
+    lines.append("  __report(c); return 0; }")
+    outcome = build_and_run("\n".join(lines), "P1-P6",
+                            include_prelude=False)
+    assert outcome.ok, outcome.detail
+    assert outcome.reports == [checksum & _U64]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2 ** 31 - 1), rounds=st.integers(1, 30))
+def test_lcg_loop_matches_reference(seed, rounds):
+    # loops, compound assignment and masking across the full pipeline
+    src = f"""
+    int main() {{
+        int s = {seed};
+        int i;
+        for (i = 0; i < {rounds}; i++)
+            s = (s * 1103515245 + 12345) & 2147483647;
+        __report(s);
+        return 0;
+    }}
+    """
+    expected = seed
+    for _ in range(rounds):
+        expected = (expected * 1103515245 + 12345) & 2147483647
+    outcome = build_and_run(src, "P1", include_prelude=False)
+    assert outcome.reports == [expected]
+
+
+@settings(max_examples=8, deadline=None)
+@given(text=st.binary(min_size=0, max_size=40).map(
+    lambda b: bytes(c % 26 + 97 for c in b)))
+def test_prelude_string_functions_match_python(text):
+    src = """
+    char buf[64];
+    char copy[64];
+    int main() {
+        int n = __recv(buf, 64);
+        buf[n] = 0;
+        __report(strlen(buf));
+        strcpy(copy, buf);
+        __report(strcmp(copy, buf));
+        if (n > 0) copy[0] = 'z';
+        __report(strcmp(copy, buf) != 0);
+        return 0;
+    }
+    """
+    outcome = build_and_run(src, "P1-P5", input_bytes=text)
+    assert outcome.ok
+    expected_diff = 1 if (len(text) > 0 and text[0] != ord("z")) else 0
+    assert outcome.reports == [len(text), 0, expected_diff]

@@ -1,0 +1,357 @@
+"""Execution-based compiler tests: every language feature compiled,
+verified under full policies, and run to a checked result."""
+
+import pytest
+
+from tests.conftest import build_and_run
+
+
+def reports(source, setting="baseline", **kwargs):
+    outcome = build_and_run(source, setting, **kwargs)
+    assert outcome.ok, outcome.detail
+    return outcome.reports
+
+
+@pytest.mark.parametrize("setting", ["baseline", "P1-P6"])
+def test_arithmetic_and_precedence(setting):
+    src = """
+    int main() {
+        __report(2 + 3 * 4);          // 14
+        __report((2 + 3) * 4);        // 20
+        __report(7 / 2);              // 3
+        __report(-7 / 2);             // -3 (masked)
+        __report(7 % 3);              // 1
+        __report(1 << 10);            // 1024
+        __report(-16 >> 2);           // arithmetic shift
+        __report(0x0F & 0x3C | 0x40); // 0x4C
+        __report(~0 & 255);           // 255
+        return 0;
+    }
+    """
+    out = reports(src, setting)
+    assert out[0:3] == [14, 20, 3]
+    assert out[3] == (-3) & ((1 << 64) - 1)
+    assert out[4] == 1
+    assert out[5] == 1024
+    assert out[6] == (-4) & ((1 << 64) - 1)
+    assert out[7] == 0x4C
+    assert out[8] == 255
+
+
+def test_comparisons_and_logic():
+    src = """
+    int main() {
+        __report(3 < 5);
+        __report(5 <= 5);
+        __report(5 == 4);
+        __report(5 != 4);
+        __report(-1 < 0);
+        __report(1 && 0);
+        __report(1 || 0);
+        __report(!0);
+        __report(!7);
+        return 0;
+    }
+    """
+    assert reports(src) == [1, 1, 0, 1, 1, 0, 1, 1, 0]
+
+
+def test_short_circuit_evaluation():
+    src = """
+    int calls = 0;
+    int bump() { calls++; return 1; }
+    int main() {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        __report(calls);      // neither side effect ran
+        int c = 1 && bump();
+        __report(calls);      // exactly one
+        __report(a + b * 2 + c * 4);
+        return 0;
+    }
+    """
+    assert reports(src) == [0, 1, 6]
+
+
+def test_control_flow_statements():
+    src = """
+    int main() {
+        int total = 0;
+        int i;
+        for (i = 0; i < 10; i++) {
+            if (i == 3) continue;
+            if (i == 8) break;
+            total += i;
+        }
+        __report(total);       // 0+1+2+4+5+6+7 = 25
+        int n = 0;
+        while (n < 100) { n = n * 2 + 1; }
+        __report(n);           // 127
+        int k = 10;
+        int sign;
+        if (k > 5) sign = 1; else sign = -1;
+        __report(sign);
+        __report(k > 5 ? 111 : 222);
+        return 0;
+    }
+    """
+    assert reports(src) == [25, 127, 1, 111]
+
+
+def test_recursion_and_nested_calls():
+    src = """
+    int ack(int m, int n) {
+        if (m == 0) return n + 1;
+        if (n == 0) return ack(m - 1, 1);
+        return ack(m - 1, ack(m, n - 1));
+    }
+    int main() { __report(ack(2, 3)); return 0; }
+    """
+    assert reports(src) == [9]
+
+
+def test_recursion_under_full_policies_uses_shadow_stack():
+    src = """
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { __report(fib(15)); return 0; }
+    """
+    assert reports(src, "P1-P6") == [610]
+
+
+def test_arrays_and_pointers():
+    src = """
+    int g[8];
+    int sum(int *p, int n) {
+        int acc = 0;
+        int i;
+        for (i = 0; i < n; i++) acc += p[i];
+        return acc;
+    }
+    int main() {
+        int loc[4];
+        int i;
+        for (i = 0; i < 8; i++) g[i] = i * i;
+        for (i = 0; i < 4; i++) loc[i] = i + 1;
+        __report(sum(g, 8));         // 140
+        __report(sum(loc, 4));       // 10
+        __report(*(g + 3));          // 9
+        int *p = &g[2];
+        p++;
+        __report(*p);                // 9
+        p += 2;
+        __report(*p);                // 25
+        __report(p - g);             // 5
+        __report(&g[7] - &g[2]);     // 5
+        return 0;
+    }
+    """
+    assert reports(src) == [140, 10, 9, 9, 25, 5, 5]
+
+
+def test_address_of_local_and_write_through_pointer():
+    src = """
+    int set41(int *p) { *p = 41; return 0; }
+    int main() {
+        int x = 0;
+        set41(&x);
+        __report(x + 1);
+        return 0;
+    }
+    """
+    assert reports(src) == [42]
+
+
+def test_char_arrays_and_strings():
+    src = """
+    char greeting[] = "hello";
+    int main() {
+        __report(strlen(greeting));
+        __report(greeting[0]);
+        __report(strcmp(greeting, "hello"));
+        __report(strcmp(greeting, "hellp") < 0);
+        char buf[16];
+        strcpy(buf, greeting);
+        buf[0] = 'H';
+        __report(buf[0]);
+        __report(strcmp(buf, "Hello"));
+        return 0;
+    }
+    """
+    assert reports(src) == [5, ord("h"), 0, 1, ord("H"), 0]
+
+
+def test_char_local_truncates_on_store():
+    src = """
+    int main() {
+        char c = 300;
+        __report(c);          // 300 & 0xFF = 44
+        c = c + 220;          // 264 -> 8
+        __report(c);
+        return 0;
+    }
+    """
+    assert reports(src) == [44, 8]
+
+
+def test_multidimensional_array():
+    src = """
+    int m[3][4];
+    int main() {
+        int i, j;
+        for (i = 0; i < 3; i++)
+            for (j = 0; j < 4; j++)
+                m[i][j] = i * 10 + j;
+        __report(m[2][3]);
+        __report(m[0][1] + m[1][0]);
+        return 0;
+    }
+    """
+    assert reports(src) == [23, 11]
+
+
+def test_function_pointers():
+    src = """
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+    int main() {
+        int (*f)(int, int) = &add;
+        __report(f(3, 4));
+        f = &mul;
+        __report(f(3, 4));
+        __report(apply(&add, 10, 20));
+        __report(apply(f, 10, 20));
+        return 0;
+    }
+    """
+    assert reports(src) == [7, 12, 30, 200]
+
+
+def test_function_pointers_under_cfi():
+    src = """
+    int add(int a, int b) { return a + b; }
+    int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+    int main() { __report(apply(&add, 20, 22)); return 0; }
+    """
+    assert reports(src, "P1-P5") == [42]
+
+
+def test_compound_assignment_and_incdec():
+    src = """
+    int main() {
+        int x = 10;
+        x += 5; __report(x);
+        x -= 3; __report(x);
+        x *= 2; __report(x);
+        x /= 4; __report(x);
+        x %= 4; __report(x);
+        x <<= 4; __report(x);
+        x >>= 2; __report(x);
+        x |= 1; __report(x);
+        x ^= 3; __report(x);
+        x &= 6; __report(x);
+        int i = 5;
+        __report(i++);
+        __report(i);
+        __report(++i);
+        __report(i--);
+        __report(--i);
+        return 0;
+    }
+    """
+    assert reports(src) == [15, 12, 24, 6, 2, 32, 8, 9, 10, 2,
+                            5, 6, 7, 7, 5]
+
+
+def test_sizeof():
+    src = """
+    int main() {
+        __report(sizeof(int));
+        __report(sizeof(char));
+        __report(sizeof(int*));
+        __report(sizeof(int[10]));
+        return 0;
+    }
+    """
+    assert reports(src) == [8, 1, 8, 80]
+
+
+def test_global_initializers():
+    src = """
+    int scalar = -7;
+    int table[5] = {10, 20, 30};
+    char text[] = "ab";
+    int main() {
+        __report(scalar);
+        __report(table[0] + table[1] + table[2]);
+        __report(table[3] + table[4]);    // zero-filled tail
+        __report(text[1]);
+        __report(text[2]);                // NUL
+        return 0;
+    }
+    """
+    out = reports(src)
+    assert out[0] == (-7) & ((1 << 64) - 1)
+    assert out[1:] == [60, 0, ord("b"), 0]
+
+
+def test_recv_and_send_roundtrip():
+    src = """
+    char buf[32];
+    int main() {
+        int n = __recv(buf, 32);
+        int i;
+        for (i = 0; i < n; i++) buf[i] = buf[i] + 1;
+        __send(buf, n);
+        __report(n);
+        return 0;
+    }
+    """
+    outcome = build_and_run(src, "P1-P6", input_bytes=b"abc")
+    assert outcome.ok
+    assert outcome.reports == [3]
+    assert outcome.sent_plaintext == [b"bcd"]
+
+
+def test_deep_expression_spills_are_rejected_cleanly():
+    # deliberately exceeds the temp pool: must be a CompileError, not
+    # silently wrong code
+    expr = "(" * 0 + " + ".join(
+        f"(a{i} * (a{i} + 1))" for i in range(16))
+    decls = " ".join(f"int a{i} = {i};" for i in range(16))
+    src = "int main() { %s int r = %s; __report(r); return 0; }" % (
+        decls, expr)
+    # flat sums release temps eagerly, so this compiles fine
+    outcome = build_and_run(src)
+    assert outcome.ok
+
+
+def test_expression_too_complex_error():
+    from repro.errors import CompileError
+    import pytest as _pytest
+    # deeply right-nested additions keep every intermediate live
+    expr = "1"
+    for i in range(2, 20):
+        expr = f"{i} + ({expr})"
+    src = "int main() { int fn0 = 0; return %s; }" % expr
+    with _pytest.raises(CompileError, match="too complex"):
+        build_and_run(src)
+
+
+def test_ternary_in_expression_context():
+    src = """
+    int main() {
+        int a = 3;
+        int b = (a > 2 ? a * 10 : a) + 1;
+        __report(b);
+        __report(a < 0 ? -1 : (a == 3 ? 33 : 0));
+        return 0;
+    }
+    """
+    assert reports(src) == [31, 33]
+
+
+def test_prelude_can_be_disabled():
+    src = "int main() { __report(5); return 0; }"
+    outcome = build_and_run(src, include_prelude=False)
+    assert outcome.reports == [5]

@@ -1,0 +1,201 @@
+"""Lexer, parser and sema: features and rejection paths."""
+
+import pytest
+
+from repro.compiler.lexer import tokenize
+from repro.compiler.parser import parse
+from repro.compiler.sema import analyze
+from repro.compiler import astnodes as ast
+from repro.compiler.ctypes import Array, CHAR, INT, Pointer
+from repro.errors import CompileError
+
+
+# -- lexer -------------------------------------------------------------------
+
+def test_lexer_numbers_and_idents():
+    toks = tokenize("int x = 0x1F + 42;")
+    kinds = [(t.kind, t.value) for t in toks[:6]]
+    assert kinds == [("kw", "int"), ("ident", "x"), ("op", "="),
+                     ("int", 31), ("op", "+"), ("int", 42)]
+
+
+def test_lexer_char_and_string_escapes():
+    toks = tokenize(r"'a' '\n' '\x41' " + r'"hi\t"')
+    assert [t.value for t in toks[:3]] == [97, 10, 65]
+    assert toks[3].value == b"hi\t"
+
+
+def test_lexer_comments_skipped():
+    toks = tokenize("a // line\n /* block\nmore */ b")
+    assert [t.value for t in toks[:2]] == ["a", "b"]
+
+
+def test_lexer_errors():
+    with pytest.raises(CompileError):
+        tokenize("@")
+    with pytest.raises(CompileError):
+        tokenize('"unterminated')
+    with pytest.raises(CompileError):
+        tokenize("/* unterminated")
+    with pytest.raises(CompileError):
+        tokenize(r"'\q'")
+
+
+def test_lexer_tracks_positions():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+# -- parser ---------------------------------------------------------------------
+
+def test_parser_function_and_globals():
+    prog = parse("""
+        int g = 5;
+        int arr[3] = {1, 2, 3};
+        char msg[] = "hey";
+        int add(int a, int b) { return a + b; }
+    """)
+    kinds = [type(d).__name__ for d in prog.decls]
+    assert kinds == ["GlobalDecl", "GlobalDecl", "GlobalDecl", "FuncDef"]
+    assert prog.decls[1].ctype == Array(INT, 3)
+    assert prog.decls[2].ctype == Array(CHAR, 4)   # includes NUL
+
+
+def test_parser_function_pointer_declarator():
+    prog = parse("int apply(int (*f)(int, int)) { return f(1, 2); }")
+    param = prog.decls[0].params[0]
+    assert isinstance(param.ctype, Pointer)
+    assert param.ctype.elem.params == (INT, INT)
+
+
+def test_parser_const_dim_expressions():
+    prog = parse("int m[4 * 4 + 2];")
+    assert prog.decls[0].ctype.count == 18
+
+
+def test_parser_precedence():
+    prog = parse("int f() { return 1 + 2 * 3 == 7; }")
+    ret = prog.decls[0].body.statements[0]
+    assert ret.value.op == "=="
+
+
+def test_parser_prototype_then_definition():
+    prog = parse("int f(int x); int f(int x) { return x; }")
+    assert prog.decls[0].body is None
+    assert prog.decls[1].body is not None
+
+
+def test_parser_errors():
+    for bad in ("int f() { return 1 }",        # missing semicolon
+                "int f( { }",                   # bad params
+                "int f() { if x } ",            # missing parens
+                "float f() { }"):               # unknown type
+        with pytest.raises(CompileError):
+            parse(bad)
+
+
+def test_parser_comma_decls_share_scope():
+    prog = parse("int f() { int i, j = 2; return j; }")
+    group = prog.decls[0].body.statements[0]
+    assert isinstance(group, ast.DeclGroup)
+    assert [d.name for d in group.decls] == ["i", "j"]
+
+
+# -- sema -----------------------------------------------------------------------
+
+def _analyze(src):
+    return analyze(parse(src))
+
+
+def test_sema_undefined_identifier():
+    with pytest.raises(CompileError, match="undefined identifier"):
+        _analyze("int f() { return nope; }")
+
+
+def test_sema_duplicate_local():
+    with pytest.raises(CompileError, match="redefinition"):
+        _analyze("int f() { int a; int a; return 0; }")
+
+
+def test_sema_shadowing_in_nested_block_allowed():
+    _analyze("int f() { int a = 1; { int a = 2; } return a; }")
+
+
+def test_sema_arg_count_checked():
+    with pytest.raises(CompileError, match="arguments"):
+        _analyze("int g(int a) { return a; } int f() { return g(); }")
+
+
+def test_sema_call_non_function():
+    with pytest.raises(CompileError, match="non-function"):
+        _analyze("int f() { int x; return x(); }")
+
+
+def test_sema_assign_needs_lvalue():
+    with pytest.raises(CompileError, match="lvalue"):
+        _analyze("int f() { 3 = 4; return 0; }")
+
+
+def test_sema_deref_non_pointer():
+    with pytest.raises(CompileError, match="non-pointer"):
+        _analyze("int f() { int x; return *x; }")
+
+
+def test_sema_index_non_pointer():
+    with pytest.raises(CompileError, match="non-pointer"):
+        _analyze("int f() { int x; return x[0]; }")
+
+
+def test_sema_declared_but_never_defined():
+    with pytest.raises(CompileError, match="never defined"):
+        _analyze("int g(int x); int f() { return g(1); }")
+
+
+def test_sema_conflicting_prototypes():
+    with pytest.raises(CompileError, match="conflicting"):
+        _analyze("int g(int x); int g() { return 0; }")
+
+
+def test_sema_frame_slots_assigned():
+    result = _analyze(
+        "int f() { int a; int b[4]; { int c; } return 0; }")
+    func = result.functions[0]
+    assert func.frame_slots >= 6   # a(1) + b(4) + c(1)
+
+
+def test_sema_block_scopes_reuse_frame_space():
+    result = _analyze(
+        "int f() { { int a[8]; } { int b[8]; } return 0; }")
+    # disjoint blocks may overlay the same slots
+    assert result.functions[0].frame_slots == 8
+
+
+def test_sema_string_interning_dedups():
+    result = _analyze(
+        'int f() { return "abc"[0] + "abc"[1]; }')
+    strings = [g for g in result.globals if g.name.startswith("__str_")]
+    assert len(strings) == 1
+    assert strings[0].init == b"abc\x00"
+
+
+def test_sema_pointer_arith_scaling_annotated():
+    result = _analyze("int f(int *p) { return *(p + 2); }")
+    ret = result.functions[0].body.statements[0]
+    add = ret.value.operand
+    assert add.ptr_scale == 8
+
+
+def test_sema_global_initializer_bounds():
+    with pytest.raises(CompileError, match="too many"):
+        _analyze("int a[2] = {1, 2, 3};")
+
+
+def test_sema_unnamed_param_in_definition_rejected():
+    with pytest.raises(CompileError, match="unnamed"):
+        _analyze("int f(int) { return 0; }")
+
+
+def test_sema_break_outside_loop():
+    with pytest.raises(CompileError, match="outside"):
+        _analyze("int f() { break; return 0; }")

@@ -1,0 +1,201 @@
+"""Crypto substrate: RFC vectors, roundtrips, negative paths."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    ChaCha20, chacha20_xor, DHKeyPair, SecureChannel, SigningKey,
+    VerifyingKey, hkdf, hkdf_expand, hkdf_extract,
+)
+from repro.errors import ProtocolError
+
+
+# -- ChaCha20 ---------------------------------------------------------------
+
+def test_chacha20_rfc8439_vector():
+    # RFC 8439 §2.4.2 test vector
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000000000004a00000000")
+    plaintext = (b"Ladies and Gentlemen of the class of '99: If I could "
+                 b"offer you only one tip for the future, sunscreen would "
+                 b"be it.")
+    expected = bytes.fromhex(
+        "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+        "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+        "5af90bbf74a35be6b40b8eedf2785e42874d")
+    assert chacha20_xor(key, nonce, plaintext, counter=1) == expected
+
+
+def test_chacha20_involution():
+    key = b"k" * 32
+    nonce = b"n" * 12
+    data = b"secret payload" * 10
+    assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data
+
+
+def test_chacha20_rejects_bad_key_nonce():
+    with pytest.raises(ValueError):
+        ChaCha20(b"short", b"n" * 12)
+    with pytest.raises(ValueError):
+        ChaCha20(b"k" * 32, b"short")
+
+
+@given(data=st.binary(max_size=300))
+def test_chacha20_keystream_xor_property(data):
+    key = b"\x07" * 32
+    nonce = b"\x01" * 12
+    ct = chacha20_xor(key, nonce, data)
+    assert len(ct) == len(data)
+    assert chacha20_xor(key, nonce, ct) == data
+
+
+# -- HKDF ---------------------------------------------------------------------
+
+def test_hkdf_rfc5869_case1():
+    ikm = b"\x0b" * 22
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk == bytes.fromhex(
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+    okm = hkdf_expand(prk, info, 42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865")
+
+
+def test_hkdf_length_cap():
+    with pytest.raises(ValueError):
+        hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+
+def test_hkdf_deterministic_and_info_bound():
+    a = hkdf(b"ikm", b"salt", b"info-a", 32)
+    b = hkdf(b"ikm", b"salt", b"info-b", 32)
+    assert a != b
+    assert a == hkdf(b"ikm", b"salt", b"info-a", 32)
+
+
+# -- DH ------------------------------------------------------------------------
+
+def test_dh_agreement():
+    alice = DHKeyPair(b"alice")
+    bob = DHKeyPair(b"bob")
+    assert alice.shared_secret(bob.public) == \
+        bob.shared_secret(alice.public)
+
+
+def test_dh_distinct_pairs_distinct_secrets():
+    alice = DHKeyPair(b"alice")
+    bob = DHKeyPair(b"bob")
+    eve = DHKeyPair(b"eve")
+    assert alice.shared_secret(bob.public) != \
+        alice.shared_secret(eve.public)
+
+
+def test_dh_rejects_degenerate_publics():
+    alice = DHKeyPair(b"alice")
+    from repro.crypto.dh import MODP_2048_P
+    for bad in (0, 1, MODP_2048_P - 1, MODP_2048_P):
+        with pytest.raises(ValueError):
+            alice.shared_secret(bad)
+
+
+def test_dh_public_bytes_roundtrip():
+    kp = DHKeyPair(b"seed")
+    assert DHKeyPair.public_from_bytes(kp.public_bytes()) == kp.public
+
+
+# -- Schnorr ---------------------------------------------------------------------
+
+def test_schnorr_sign_verify():
+    key = SigningKey(b"signer")
+    message = b"attestation report body"
+    signature = key.sign(message)
+    assert key.verifying_key.verify(message, signature)
+
+
+def test_schnorr_rejects_wrong_message_and_key():
+    key = SigningKey(b"signer")
+    other = SigningKey(b"other")
+    sig = key.sign(b"hello")
+    assert not key.verifying_key.verify(b"hullo", sig)
+    assert not other.verifying_key.verify(b"hello", sig)
+
+
+def test_schnorr_rejects_mangled_signature():
+    key = SigningKey(b"signer")
+    sig = bytearray(key.sign(b"msg"))
+    sig[5] ^= 1
+    assert not key.verifying_key.verify(b"msg", bytes(sig))
+    assert not key.verifying_key.verify(b"msg", b"short")
+
+
+def test_verifying_key_serialization():
+    key = SigningKey(b"k")
+    vk = VerifyingKey.from_bytes(key.verifying_key.to_bytes())
+    assert vk.verify(b"m", key.sign(b"m"))
+
+
+# -- SecureChannel -----------------------------------------------------------------
+
+def _pair(record_size=128):
+    return SecureChannel.pair(b"\x42" * 32, b"transcript",
+                              record_size=record_size)
+
+
+def test_channel_roundtrip_and_padding():
+    client, server = _pair()
+    wire = client.seal(b"hello")
+    assert len(wire) == client.record_size + 32
+    assert server.open(wire) == b"hello"
+
+
+def test_channel_fixed_length_hides_plaintext_size():
+    client, _ = _pair()
+    a = client.seal(b"x")
+    client2, _ = _pair()
+    b = client2.seal(b"y" * 100)
+    assert len(a) == len(b)  # P0 entropy control: same wire size
+
+
+def test_channel_multi_record_messages():
+    client, server = _pair(record_size=64)
+    msg = bytes(range(256)) * 3
+    assert server.open(client.seal(msg)) == msg
+
+
+def test_channel_rejects_tampering():
+    client, server = _pair()
+    wire = bytearray(client.seal(b"data"))
+    wire[3] ^= 1
+    with pytest.raises(ProtocolError, match="MAC"):
+        server.open(bytes(wire))
+
+
+def test_channel_rejects_replay():
+    client, server = _pair()
+    wire = client.seal(b"data")
+    server.open(wire)
+    with pytest.raises(ProtocolError, match="MAC"):
+        server.open(wire)  # recv seq advanced: replay fails
+
+
+def test_channel_rejects_truncation():
+    client, server = _pair()
+    wire = client.seal(b"data")
+    with pytest.raises(ProtocolError, match="truncated"):
+        server.open(wire[:-1])
+
+
+def test_channel_wire_length_depends_only_on_record_count():
+    client, _ = _pair(record_size=128)
+    assert client.wire_length(1) == client.wire_length(100)
+    assert client.wire_length(1) < client.wire_length(5000)
+
+
+@given(msg=st.binary(max_size=1000))
+def test_channel_roundtrip_property(msg):
+    client, server = _pair(record_size=96)
+    assert server.open(client.seal(msg)) == msg

@@ -1,0 +1,174 @@
+"""Developer-defined policies (§V-A plug-in API, §III quick patch)."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.core.verifier import PolicyVerifier
+from repro.errors import VerificationError
+from repro.isa.instructions import Instruction, Op
+from repro.isa.registers import R14
+from repro.policy import PolicySet
+from repro.policy.custom import (
+    CustomPolicy, div_by_zero_guard, marker_value,
+)
+from repro.policy.templates import (
+    AnchorReg, ImmAtom, PatternInstr, TrapTo,
+)
+
+_SRC = """
+char buf[8];
+int main() {
+    __recv(buf, 8);
+    int d = buf[0];
+    __report(1000 / (d + 1));
+    __report(1000 % (d + 2));
+    __report(77 / d);
+    return 0;
+}
+"""
+
+
+def _boot(setting="P1+P2", custom=(div_by_zero_guard(),)):
+    policies = PolicySet.parse(setting)
+    boot = BootstrapEnclave(policies=policies, custom=list(custom))
+    blob = compile_source(_SRC, policies, custom=list(custom)).serialize()
+    boot.receive_binary(blob)
+    return boot
+
+
+def test_guarded_division_runs_normally():
+    boot = _boot()
+    boot.receive_userdata(b"\x07")
+    outcome = boot.run()
+    assert outcome.ok
+    assert outcome.reports == [125, 1, 11]
+
+
+def test_zero_divisor_traps_with_custom_code():
+    boot = _boot()
+    boot.receive_userdata(b"\x00")
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == 16
+    assert outcome.reports == [1000, 0]     # first two operations fine
+
+
+def test_unguarded_binary_rejected_by_plugged_in_validator():
+    policies = PolicySet.p1_p2()
+    boot = BootstrapEnclave(policies=policies,
+                            custom=[div_by_zero_guard()])
+    plain = compile_source(_SRC, policies)       # no custom pass
+    with pytest.raises(VerificationError, match="div_by_zero_guard"):
+        boot.receive_binary(plain.serialize())
+
+
+def test_custom_policy_composes_with_full_builtin_set():
+    policies = PolicySet.parse("P1-P6")
+    guard = div_by_zero_guard()
+    boot = BootstrapEnclave(policies=policies, custom=[guard])
+    blob = compile_source(_SRC, policies, custom=[guard]).serialize()
+    boot.receive_binary(blob)
+    boot.receive_userdata(b"\x03")
+    outcome = boot.run()
+    assert outcome.ok and outcome.reports == [250, 0, 25]
+
+
+def test_guard_for_wrong_register_rejected():
+    # a forged guard that checks a different register than the divisor
+    policies = PolicySet.p1_p2()
+    guard = div_by_zero_guard()
+    blob = compile_source(_SRC, policies, custom=[guard])
+    # find a guard CMP and re-point it at another register
+    from repro.isa.encoding import decode_instruction, encode_instruction
+    text = bytearray(blob.text)
+    pos = 0
+    patched = False
+    while pos < len(text):
+        try:
+            ins, length = decode_instruction(text, pos)
+        except Exception:
+            break
+        if ins.op == Op.MOV_RI and ins.operands[0] == R14 and \
+                ins.operands[1] == guard.marker:
+            cmp_ins, cmp_len = decode_instruction(text, pos + length)
+            other = (cmp_ins.operands[0] + 1) % 12
+            text[pos + length:pos + length + cmp_len] = \
+                encode_instruction(
+                    Instruction(Op.CMP_RI, other, 0))
+            patched = True
+            break
+        pos += length
+    assert patched
+    blob.text = bytes(text)
+    boot = BootstrapEnclave(policies=policies, custom=[guard])
+    with pytest.raises(VerificationError, match="wrong operand"):
+        boot.receive_binary(blob.serialize())
+
+
+def test_marker_values_distinct_and_in_band():
+    a = marker_value("alpha")
+    b = marker_value("beta")
+    assert a != b
+    assert a >> 16 == b >> 16 == 0x6FFFFFFFFFFF
+    from repro.policy import MAGIC
+    assert a not in MAGIC.values()
+
+
+def test_custom_policy_validation():
+    good = div_by_zero_guard()
+    with pytest.raises(ValueError, match="violation codes"):
+        CustomPolicy("x", 5, good.anchor, good.pattern)
+    bad_pattern = (PatternInstr(Op.NOP, ()),)
+    with pytest.raises(ValueError, match="must open"):
+        CustomPolicy("x", 16, good.anchor, bad_pattern)
+
+
+def test_two_custom_policies_together():
+    # second policy: forbid SHL by a register amount unless guarded to
+    # be < 64 ("no variable oversized shifts" — a made-up compliance rule)
+    name = "shift_width_guard"
+    pattern = (
+        PatternInstr(Op.MOV_RI, (R14, ImmAtom(marker_value(name)))),
+        PatternInstr(Op.CMP_RI, (AnchorReg(1), ImmAtom(64))),
+        PatternInstr(Op.JAE, (TrapTo(17),)),
+    )
+    shift_guard = CustomPolicy(
+        name, 17, lambda ins: ins.op == Op.SHL_RR, pattern)
+    src = """
+    char buf[8];
+    int main() {
+        __recv(buf, 8);
+        int width = buf[0];
+        int d = buf[1];
+        __report(1 << width);
+        __report(100 / d);
+        return 0;
+    }
+    """
+    policies = PolicySet.p1_p2()
+    customs = [div_by_zero_guard(), shift_guard]
+    boot = BootstrapEnclave(policies=policies, custom=customs)
+    boot.receive_binary(
+        compile_source(src, policies, custom=customs).serialize())
+    boot.receive_userdata(bytes([10, 4]))
+    outcome = boot.run()
+    assert outcome.ok and outcome.reports == [1024, 25]
+    boot.receive_userdata(bytes([100, 4]))     # oversized shift
+    outcome = boot.run()
+    assert outcome.status == "violation"
+    assert outcome.violation_code == 17
+    boot.receive_userdata(bytes([10, 0]))      # zero divisor
+    outcome = boot.run()
+    assert outcome.violation_code == 16
+
+
+def test_verifier_reports_custom_annotation_counts():
+    policies = PolicySet.p1_p2()
+    guard = div_by_zero_guard()
+    obj = compile_source(_SRC, policies, custom=[guard])
+    verifier = PolicyVerifier(policies, custom=[guard])
+    verified = verifier.verify(
+        obj.text, obj.symbols[obj.entry].offset,
+        [obj.symbols[n].offset for n in obj.branch_targets])
+    assert verified.annotation_counts["custom:div_by_zero_guard"] >= 3

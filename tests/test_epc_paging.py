@@ -1,0 +1,83 @@
+"""EPC paging cost model (§II: paging overheads beyond the EPC)."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.policy import PolicySet
+from repro.sgx import EnclaveConfig, PAGE_SIZE
+from repro.vm import CostModel
+
+# walks a working set of @PAGES@ 4KiB pages, twice
+_WALKER = """
+char arena[@BYTES@];
+int main() {
+    int stride = 4096;
+    int pages = @PAGES@;
+    int sweep;
+    int checksum = 0;
+    for (sweep = 0; sweep < 2; sweep++) {
+        int p;
+        for (p = 0; p < pages; p++) {
+            arena[p * stride] = p + sweep;
+            checksum += arena[p * stride];
+        }
+    }
+    __report(1);
+    __report(checksum);
+    return checksum;
+}
+"""
+
+
+def _run(pages_touched, epc_pages):
+    src = _WALKER.replace("@PAGES@", str(pages_touched)) \
+        .replace("@BYTES@", str(pages_touched * PAGE_SIZE))
+    policies = PolicySet.p1_only()
+    boot = BootstrapEnclave(
+        policies=policies,
+        config=EnclaveConfig(heap_size=(pages_touched + 16) * PAGE_SIZE))
+    boot.receive_binary(compile_source(src, policies).serialize())
+    model = CostModel.with_epc_limit(epc_pages) if epc_pages \
+        else CostModel()
+    outcome = boot.run(cost_model=model)
+    assert outcome.ok and outcome.reports[0] == 1
+    return outcome
+
+
+def test_disabled_by_default():
+    outcome = _run(8, 0)
+    # CPU-level fault counter only exists with the model on
+    assert outcome.result.cycles > 0
+
+
+def test_working_set_within_epc_is_free():
+    # first touches model EADD at load time (free); within the EPC the
+    # limited and unlimited models agree exactly
+    limited = _run(8, 1024)
+    unlimited = _run(8, 0)
+    assert limited.result.cycles == unlimited.result.cycles
+
+
+def test_thrash_beyond_epc_costs_cycles():
+    fits = _run(16, 4096)       # plenty of EPC
+    thrash = _run(16, 4)        # working set 4x the EPC share
+    assert thrash.result.cycles > fits.result.cycles + 10 * 40000
+    assert thrash.reports == fits.reports     # semantics unchanged
+
+
+def test_sequential_scan_thrashes_at_any_undersized_capacity():
+    # the classic LRU pathology: a cyclic sweep over N pages misses on
+    # every access once capacity < N, no matter how close to N it is
+    barely = _run(16, 12)
+    tiny = _run(16, 2)
+    assert barely.result.cycles == pytest.approx(tiny.result.cycles,
+                                                 rel=0.02)
+
+
+def test_lru_keeps_hot_pages_resident():
+    # sequential sweep with LRU and ws > epc: every touch misses on
+    # sweep 2; a tiny loop over 2 pages with epc=4 never misses again
+    small = _run(2, 4)
+    baseline = _run(2, 4096)
+    assert small.result.cycles == baseline.result.cycles

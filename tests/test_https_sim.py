@@ -1,0 +1,75 @@
+"""HTTPS server simulation (Fig. 10 machinery)."""
+
+import pytest
+
+from repro.policy import PolicySet
+from repro.service import HttpsServerSim, LoadGenerator
+
+
+@pytest.fixture(scope="module")
+def base_sim():
+    return HttpsServerSim(PolicySet.none())
+
+
+@pytest.fixture(scope="module")
+def full_sim():
+    return HttpsServerSim(PolicySet.full())
+
+
+def test_service_time_grows_with_response_size(base_sim):
+    assert base_sim.service_time_us(8192) > base_sim.service_time_us(512)
+    assert base_sim.cycles_per_byte > 0
+
+
+def test_instrumentation_inflates_service_time(base_sim, full_sim):
+    ratio = full_sim.service_time_us(4096) / base_sim.service_time_us(4096)
+    assert 1.02 < ratio < 1.6     # paper: ~14% on response time
+
+
+def test_latency_flat_below_worker_pool(base_sim):
+    gen = LoadGenerator(base_sim.service_time_us, workers=96)
+    rt25 = gen.run(25, max_requests=1500).mean_response_ms
+    gen = LoadGenerator(base_sim.service_time_us, workers=96)
+    rt75 = gen.run(75, max_requests=1500).mean_response_ms
+    assert rt75 == pytest.approx(rt25, rel=0.25)
+
+
+def test_latency_knee_past_worker_pool(base_sim):
+    gen = LoadGenerator(base_sim.service_time_us, workers=96)
+    rt75 = gen.run(75, max_requests=1500).mean_response_ms
+    gen = LoadGenerator(base_sim.service_time_us, workers=96)
+    rt200 = gen.run(200, max_requests=1500).mean_response_ms
+    assert rt200 > rt75 * 1.7     # Fig 10: grows significantly past 150
+
+
+def test_throughput_saturates(base_sim):
+    gen = LoadGenerator(base_sim.service_time_us, workers=96)
+    t100 = gen.run(100, max_requests=1500).throughput_rps
+    gen = LoadGenerator(base_sim.service_time_us, workers=96)
+    t200 = gen.run(200, max_requests=1500).throughput_rps
+    assert t200 == pytest.approx(t100, rel=0.15)
+
+
+def test_instrumented_throughput_overhead_moderate(base_sim, full_sim):
+    gen_b = LoadGenerator(base_sim.service_time_us, workers=96)
+    gen_f = LoadGenerator(full_sim.service_time_us, workers=96)
+    tb = gen_b.run(150, max_requests=1500).throughput_rps
+    tf = gen_f.run(150, max_requests=1500).throughput_rps
+    overhead = (tb - tf) / tb
+    assert 0.0 < overhead < 0.35  # paper: <10% between 75 and 200
+
+
+def test_p95_at_least_mean(base_sim):
+    gen = LoadGenerator(base_sim.service_time_us, workers=96)
+    result = gen.run(50, max_requests=800)
+    assert result.p95_response_ms >= result.mean_response_ms * 0.9
+    assert result.completed == 800
+
+
+def test_deterministic_with_fixed_seed(base_sim):
+    a = LoadGenerator(base_sim.service_time_us, seed=5).run(
+        40, max_requests=500)
+    b = LoadGenerator(base_sim.service_time_us, seed=5).run(
+        40, max_requests=500)
+    assert a.mean_response_ms == b.mean_response_ms
+    assert a.throughput_rps == b.throughput_rps

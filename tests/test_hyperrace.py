@@ -1,0 +1,71 @@
+"""HyperRace co-location accuracy model."""
+
+import pytest
+
+from repro.hyperrace import (
+    CoLocationTester, PROCESSORS, ProcessorModel, analytic_alpha,
+)
+from repro.hyperrace.colocation import analytic_beta, _binom_cdf
+
+
+def test_paper_processors_present():
+    assert set(PROCESSORS) == {"i7-6700", "E3-1280 v5", "i7-7700HQ",
+                               "i5-6200U"}
+
+
+def test_binom_cdf_sanity():
+    assert _binom_cdf(10, 10, 0.5) == pytest.approx(1.0)
+    assert _binom_cdf(0, 10, 0.5) == pytest.approx(0.5 ** 10)
+    assert _binom_cdf(5, 10, 0.5) == pytest.approx(0.623, abs=0.001)
+
+
+def test_alpha_small_and_same_order_across_processors():
+    # the paper: "results are on the same order of magnitude"
+    alphas = {name: analytic_alpha(cpu)
+              for name, cpu in PROCESSORS.items()}
+    for alpha in alphas.values():
+        assert 0 < alpha < 1e-3
+    import math
+    logs = [math.log10(a) for a in alphas.values()]
+    assert max(logs) - min(logs) < 2.5
+
+
+def test_beta_negligible():
+    for cpu in PROCESSORS.values():
+        assert analytic_beta(cpu) < 1e-12
+
+
+def test_alpha_monotone_in_threshold():
+    cpu = PROCESSORS["i7-6700"]
+    low = analytic_alpha(cpu, threshold=0.70)
+    high = analytic_alpha(cpu, threshold=0.90)
+    assert low < analytic_alpha(cpu) < high
+
+
+def test_monte_carlo_matches_analytics_in_order_of_magnitude():
+    cpu = ProcessorModel("test-cpu", 0.90, 0.08, 3.0)
+    tester = CoLocationTester(cpu, n=64, threshold=0.78, seed=7)
+    analytic = analytic_alpha(cpu, n=64, threshold=0.78)
+    empirical = tester.estimate_alpha(unit_tests=2_048_000)
+    assert analytic > 1e-3     # chosen so MC can resolve it
+    assert empirical == pytest.approx(analytic, rel=0.6)
+
+
+def test_check_separates_colocation_reliably():
+    tester = CoLocationTester(PROCESSORS["E3-1280 v5"], seed=3)
+    co = sum(tester.check(co_located=True) for _ in range(300))
+    apart = sum(tester.check(co_located=False) for _ in range(300))
+    assert co == 300          # alpha is tiny at this scale
+    assert apart == 0         # beta is tiny
+
+
+def test_deterministic_across_instances():
+    a = CoLocationTester(PROCESSORS["i7-6700"], seed=11)
+    b = CoLocationTester(PROCESSORS["i7-6700"], seed=11)
+    assert [a.unit_test(True) for _ in range(100)] == \
+        [b.unit_test(True) for _ in range(100)]
+
+
+def test_estimate_beta_empirical():
+    tester = CoLocationTester(PROCESSORS["i5-6200U"], seed=5)
+    assert tester.estimate_beta(unit_tests=64_000) == 0.0

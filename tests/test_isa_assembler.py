@@ -1,0 +1,102 @@
+"""Assembler: label resolution, relocations, formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa import (
+    Instruction, Label, LabelDef, Mem, SymbolRef, assemble,
+    disassemble_linear, format_instruction,
+    RAX, RBX, RCX,
+)
+from repro.isa.assembler import local_label_allocator
+from repro.isa.encoding import MOV_RI_IMM_OFFSET
+from repro.isa.instructions import Op
+
+
+def test_backward_and_forward_labels():
+    items = [
+        LabelDef("top"),
+        Instruction(Op.ADD_RI, RAX, 1),
+        Instruction(Op.JMP, Label("bottom")),
+        Instruction(Op.NOP),
+        LabelDef("bottom"),
+        Instruction(Op.JL, Label("top")),
+        Instruction(Op.RET),
+    ]
+    asm = assemble(items)
+    decoded = list(disassemble_linear(asm.code))
+    jmp_off, jmp = decoded[1]
+    assert jmp_off + jmp.length + jmp.operands[0] == asm.labels["bottom"]
+    jl_off, jl = decoded[3]
+    assert jl_off + jl.length + jl.operands[0] == asm.labels["top"] == 0
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble([LabelDef("a"), LabelDef("a")])
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError, match="undefined"):
+        assemble([Instruction(Op.JMP, Label("nowhere"))])
+
+
+def test_symbolref_creates_relocation_with_zero_placeholder():
+    asm = assemble([
+        Instruction(Op.NOP),
+        Instruction(Op.MOV_RI, RBX, SymbolRef("glob", addend=16)),
+    ])
+    assert len(asm.relocations) == 1
+    reloc = asm.relocations[0]
+    assert reloc.symbol == "glob"
+    assert reloc.addend == 16
+    assert reloc.offset == 1 + MOV_RI_IMM_OFFSET
+    assert asm.code[reloc.offset:reloc.offset + 8] == b"\x00" * 8
+
+
+def test_instr_offsets_cover_stream():
+    asm = assemble([Instruction(Op.NOP)] * 5)
+    assert asm.instr_offsets == [0, 1, 2, 3, 4]
+
+
+def test_label_at_end_of_stream():
+    asm = assemble([
+        Instruction(Op.JMP, Label("end")),
+        LabelDef("end"),
+    ])
+    assert asm.labels["end"] == len(asm.code)
+
+
+def test_bad_item_rejected():
+    with pytest.raises(AssemblerError, match="bad assembly item"):
+        assemble([42])
+
+
+def test_local_label_allocator_unique():
+    alloc = local_label_allocator("T")
+    names = {alloc("x") for _ in range(100)}
+    assert len(names) == 100
+
+
+@given(count=st.integers(min_value=1, max_value=40))
+def test_chain_of_jumps_lands_on_ret(count):
+    # jmp l1; l1: jmp l2; ... ln: ret — all displacements resolve
+    items = []
+    for i in range(count):
+        items.append(Instruction(Op.JMP, Label(f"l{i}")))
+        items.append(LabelDef(f"l{i}"))
+    items.append(Instruction(Op.RET))
+    asm = assemble(items)
+    decoded = list(disassemble_linear(asm.code))
+    for off, ins in decoded[:-1]:
+        assert ins.operands[0] == 0  # every jump goes to next instr
+
+
+def test_format_instruction_readable():
+    text = format_instruction(
+        Instruction(Op.MOV_MR, Mem(RBX, RCX, 8, -8), RAX))
+    assert "mov" in text and "rbx" in text and "rcx" in text
+    assert format_instruction(Instruction(Op.RET)) == "ret"
+    assert "label" in format_instruction(
+        Instruction(Op.JMP, Label("label")))

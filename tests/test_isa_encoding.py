@@ -1,0 +1,129 @@
+"""Encoder/decoder unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import (
+    Instruction, Mem, SPECS, decode_instruction, encode_instruction,
+    instr_length, RAX, RBX, RSP,
+)
+from repro.isa.instructions import Op
+
+_U64 = (1 << 64) - 1
+
+regs = st.integers(min_value=0, max_value=15)
+imm32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+imm64 = st.integers(min_value=0, max_value=_U64)
+mems = st.builds(
+    Mem,
+    base=st.one_of(st.none(), regs),
+    index=st.one_of(st.none(), regs),
+    scale=st.sampled_from([1, 2, 4, 8]),
+    disp=imm32,
+)
+
+
+def _operands_for(sig, draw_reg, draw_mem, draw_i32, draw_i64):
+    if sig == "":
+        return ()
+    if sig == "r":
+        return (draw_reg,)
+    if sig == "rr":
+        return (draw_reg, (draw_reg + 3) % 16)
+    if sig == "ri64":
+        return (draw_reg, draw_i64)
+    if sig == "ri32":
+        return (draw_reg, draw_i32)
+    if sig == "rm":
+        return (draw_reg, draw_mem)
+    if sig == "mr":
+        return (draw_mem, draw_reg)
+    if sig == "mi32":
+        return (draw_mem, draw_i32)
+    if sig == "rel32":
+        return (draw_i32,)
+    if sig == "i8":
+        return (abs(draw_i32) % 256,)
+    if sig == "i16":
+        return (abs(draw_i32) % 65536,)
+    if sig == "i32":
+        return (draw_i32,)
+    raise AssertionError(sig)
+
+
+@given(op=st.sampled_from(sorted(SPECS)), reg=regs, mem=mems,
+       i32=imm32, i64=imm64)
+def test_roundtrip_every_opcode(op, reg, mem, i32, i64):
+    operands = _operands_for(SPECS[op].sig, reg, mem, i32, i64)
+    instr = Instruction(op, *operands)
+    blob = encode_instruction(instr)
+    assert len(blob) == SPECS[op].length == instr_length(op)
+    decoded, length = decode_instruction(blob)
+    assert length == len(blob)
+    assert decoded.op == op
+    assert decoded.operands == instr.operands
+
+
+def test_imm64_wraps_to_unsigned():
+    blob = encode_instruction(Instruction(Op.MOV_RI, RAX, -1 & _U64))
+    decoded, _ = decode_instruction(blob)
+    assert decoded.operands[1] == _U64
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(EncodingError, match="unknown opcode"):
+        decode_instruction(bytes([0xEE]))
+
+
+def test_truncated_instruction_rejected():
+    blob = encode_instruction(Instruction(Op.MOV_RI, RAX, 5))
+    with pytest.raises(EncodingError, match="truncated"):
+        decode_instruction(blob[:-1])
+
+
+def test_decode_past_end_rejected():
+    with pytest.raises(EncodingError):
+        decode_instruction(b"", 0)
+
+
+def test_bad_register_rejected():
+    with pytest.raises(EncodingError, match="register"):
+        encode_instruction(Instruction(Op.MOV_RR, 16, RAX))
+
+
+def test_bad_scale_rejected_on_decode():
+    blob = bytearray(encode_instruction(
+        Instruction(Op.MOV_RM, RAX, Mem(RBX, RSP, 8, 0))))
+    blob[4] = 3  # scale byte
+    with pytest.raises(EncodingError, match="scale"):
+        decode_instruction(bytes(blob))
+
+
+def test_bad_scale_rejected_on_construction():
+    with pytest.raises(ValueError):
+        Mem(RAX, None, 3, 0)
+
+
+def test_out_of_range_imm32_rejected():
+    with pytest.raises(EncodingError, match="range"):
+        encode_instruction(Instruction(Op.ADD_RI, RAX, 1 << 40))
+
+
+def test_out_of_range_disp_rejected():
+    with pytest.raises(EncodingError):
+        encode_instruction(
+            Instruction(Op.MOV_RM, RAX, Mem(RBX, disp=1 << 40)))
+
+
+def test_symbolic_operand_rejected_by_encoder():
+    from repro.isa import SymbolRef
+    with pytest.raises(EncodingError, match="unresolved"):
+        encode_instruction(Instruction(Op.MOV_RI, RAX, SymbolRef("x")))
+
+
+def test_lengths_are_fixed_per_opcode():
+    # the verifier depends on per-opcode fixed lengths
+    for op, spec in SPECS.items():
+        assert spec.length >= 1
+        assert instr_length(op) == spec.length

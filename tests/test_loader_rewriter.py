@@ -1,0 +1,193 @@
+"""Dynamic loader and immediate rewriter."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave, DynamicLoader
+from repro.core.rewriter import ImmRewriter, build_value_map
+from repro.core.verifier import PolicyVerifier
+from repro.errors import LoaderError
+from repro.policy import MAGIC, PolicySet
+from repro.policy.magic import MARKER_VALUE
+from repro.sgx import Enclave, EnclaveConfig, PAGE_SIZE
+
+_SRC = """
+int g = 77;
+int zeroed[16];
+int helper(int x) { return x + g; }
+int main() {
+    int (*f)(int) = &helper;
+    zeroed[3] = f(1);
+    return zeroed[3];
+}
+"""
+
+
+def _enclave():
+    enclave = Enclave()
+    enclave.load_bootstrap_image(b"consumer")
+    enclave.einit()
+    return enclave
+
+
+def _load(policies=PolicySet.p1_only(), config=None):
+    obj = compile_source(_SRC, policies)
+    enclave = Enclave(config) if config else _enclave()
+    if config:
+        enclave.load_bootstrap_image(b"consumer")
+        enclave.einit()
+    loader = DynamicLoader(enclave)
+    return enclave, loader.load(obj), obj
+
+
+def test_text_placed_on_code_pages():
+    enclave, loaded, obj = _load()
+    code = enclave.layout.regions["code"]
+    assert loaded.code_base == code.start
+    stored = enclave.space.read_raw(code.start, loaded.code_len)
+    # relocations patched in memory: not byte-identical to obj.text
+    assert len(stored) == len(obj.text)
+
+
+def test_relocations_resolve_to_absolute_addresses():
+    enclave, loaded, obj = _load()
+    helper_addr = loaded.symbol_addrs["helper"]
+    for reloc in obj.relocations:
+        if reloc.symbol == "helper":
+            slot = enclave.space.read_raw(
+                loaded.code_base + reloc.offset, 8)
+            assert int.from_bytes(slot, "little") == helper_addr
+            break
+    else:
+        pytest.fail("no relocation against helper")
+
+
+def test_data_and_bss_layout():
+    enclave, loaded, obj = _load()
+    g_addr = loaded.symbol_addrs["g"]
+    assert enclave.space.load_u64(g_addr) == 77
+    zero_addr = loaded.symbol_addrs["zeroed"]
+    assert enclave.space.read_raw(zero_addr, 128) == b"\x00" * 128
+    assert loaded.heap_free >= zero_addr + 128
+
+
+def test_branch_byte_map_marks_only_listed_targets():
+    enclave, loaded, obj = _load()
+    brmap = enclave.layout.regions["branch_map"].start
+    helper_off = obj.symbols["helper"].offset
+    main_off = obj.symbols["main"].offset
+    assert enclave.space.read_raw(brmap + helper_off, 1) == b"\x01"
+    assert enclave.space.read_raw(brmap + main_off, 1) == b"\x00"
+    ones = sum(enclave.space.read_raw(brmap, loaded.code_len))
+    assert ones == len(obj.branch_targets)
+
+
+def test_runtime_cells_initialized():
+    enclave, loaded, _ = _load()
+    layout = enclave.layout
+    assert enclave.space.load_u64(layout.ssp_cell) == layout.ss_base
+    assert enclave.space.load_u64(layout.ssa_marker_addr) == MARKER_VALUE
+    assert enclave.space.load_u64(layout.aex_count_cell) == 0
+
+
+def test_oversized_text_rejected():
+    config = EnclaveConfig(code_size=PAGE_SIZE)
+    obj = compile_source(_SRC, PolicySet.full())
+    enclave = Enclave(config)
+    enclave.load_bootstrap_image(b"c")
+    enclave.einit()
+    assert len(obj.text) > PAGE_SIZE
+    with pytest.raises(LoaderError, match="exceeds"):
+        DynamicLoader(enclave).load(obj)
+
+
+def test_oversized_bss_rejected():
+    src = "int huge[300000]; int main() { return huge[0]; }"
+    obj = compile_source(src, PolicySet.none())
+    enclave = _enclave()
+    with pytest.raises(LoaderError, match="heap"):
+        DynamicLoader(enclave).load(obj)
+
+
+def test_undefined_relocation_symbol_rejected():
+    from repro.compiler.objfile import ObjRelocation
+    obj = compile_source(_SRC, PolicySet.none())
+    obj.relocations.append(ObjRelocation(0, "main", 0))
+    obj.relocations[-1] = ObjRelocation(0, "ghost", 0)
+    obj.symbols.pop("ghost", None)
+    enclave = _enclave()
+    # parse() would catch this on the wire; the loader re-checks
+    import dataclasses
+    with pytest.raises(LoaderError, match="undefined"):
+        DynamicLoader(enclave).load(obj)
+
+
+# -- rewriter ------------------------------------------------------------------
+
+def test_value_map_tightens_bounds_with_p3_p4():
+    enclave, loaded, _ = _load()
+    layout = enclave.layout
+    base = build_value_map(layout, loaded, 10, PolicySet.p1_only())
+    assert base["p1_lo"] == layout.el_lo
+    tight = build_value_map(layout, loaded, 10, PolicySet.p1_p5())
+    assert tight["p1_lo"] == layout.regions["code"].end
+    p3only = build_value_map(layout, loaded, 10,
+                             PolicySet(p1=True, p3=True))
+    assert p3only["p1_lo"] == layout.regions["code"].start
+    assert base["p1_hi"] == tight["p1_hi"] == layout.el_hi
+
+
+def test_value_map_covers_every_magic_name():
+    enclave, loaded, _ = _load()
+    values = build_value_map(enclave.layout, loaded, 42,
+                             PolicySet.full())
+    assert set(values) == set(MAGIC)
+    assert values["aex_threshold"] == 42
+    assert values["code_len"] == loaded.code_len
+
+
+def test_rewriter_patches_verified_slots_only():
+    # without the prelude every function is reachable, so every magic
+    # placeholder must be patched (unreachable dead code keeps its
+    # placeholders — it is never verified and can never run)
+    policies = PolicySet.full()
+    obj = compile_source(_SRC, policies, include_prelude=False)
+    enclave = _enclave()
+    loaded = DynamicLoader(enclave).load(obj)
+    text = enclave.space.read_raw(loaded.code_base, loaded.code_len)
+    verifier = PolicyVerifier(policies)
+    verified = verifier.verify(
+        text, loaded.entry_addr - loaded.code_base,
+        [a - loaded.code_base for a in loaded.branch_target_addrs])
+    values = build_value_map(enclave.layout, loaded, 10, policies)
+    count = ImmRewriter(values).apply(enclave.space, loaded.code_base,
+                                      verified.magic_slots)
+    assert count == len(verified.magic_slots) > 0
+    # no magic placeholder survives in the patched text
+    patched = enclave.space.read_raw(loaded.code_base, loaded.code_len)
+    for value in MAGIC.values():
+        assert value.to_bytes(8, "little") not in patched
+
+
+def test_rewriter_rejects_unknown_names():
+    with pytest.raises(LoaderError, match="unknown magic"):
+        ImmRewriter({"bogus": 1})
+    rewriter = ImmRewriter({"p1_lo": 1})
+    enclave = _enclave()
+    with pytest.raises(LoaderError, match="no value"):
+        rewriter.apply(enclave.space, enclave.layout.el_lo,
+                       [(0, "p1_hi")])
+
+
+def test_end_to_end_reprovisioning_same_bootstrap():
+    boot = BootstrapEnclave(policies=PolicySet.full())
+    obj1 = compile_source(_SRC, PolicySet.full())
+    boot.receive_binary(obj1.serialize())
+    first = boot.run()
+    assert first.ok and first.result.return_value == 78
+    # load a second binary into the same bootstrap
+    obj2 = compile_source(
+        "int main() { return 123; }", PolicySet.full())
+    boot.receive_binary(obj2.serialize())
+    second = boot.run()
+    assert second.ok and second.result.return_value == 123

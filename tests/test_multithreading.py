@@ -1,0 +1,246 @@
+"""§VII multi-threading extension: MT-safe shadow stacks, per-thread
+contexts, scheduler determinism, and the hazards it guards against."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.errors import EnclaveError, VerificationError
+from repro.policy import PolicySet
+from repro.policy.magic import VIOL_P5_RET
+from repro.sgx import EnclaveConfig, PAGE_SIZE
+from repro.sgx.layout import EnclaveLayout
+from repro.vm import CPU, RoundRobinScheduler
+from repro.isa import Instruction, assemble, RAX
+from repro.isa.instructions import Op
+
+_WORKER = """
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() {
+    char buf[8];               // stack-local: thread-private
+    __recv(buf, 8);
+    int x = buf[0];
+    __report(x);
+    __report(fib(x));
+    return 0;
+}
+"""
+
+_MT_CONFIG = EnclaveConfig(num_threads=4, stack_size=16 * PAGE_SIZE)
+
+
+def _mt_boot(setting_policies=None, config=_MT_CONFIG):
+    policies = setting_policies or PolicySet.multithreaded()
+    boot = BootstrapEnclave(policies=policies, config=config)
+    boot.receive_binary(
+        compile_source(_WORKER, policies).serialize())
+    return boot
+
+
+# -- policy-set plumbing -------------------------------------------------------
+
+def test_mt_policy_set_shape():
+    ps = PolicySet.multithreaded()
+    assert ps.p5 and ps.mt_safe and not ps.p6
+    assert ps.label == "P1-P5-MT"
+    assert PolicySet.parse("P1-P5-MT") == ps
+    assert "MT" in ps.describe()
+
+
+def test_mt_plus_p6_rejected():
+    with pytest.raises(ValueError, match="future work"):
+        PolicySet(p5=True, p6=True, mt_safe=True)
+
+
+def test_mt_binary_differs_from_st_binary():
+    st = compile_source(_WORKER, PolicySet.p1_p5()).text
+    mt = compile_source(_WORKER, PolicySet.multithreaded()).text
+    assert st != mt
+    assert len(mt) < len(st)   # register-held pointer is shorter
+
+
+def test_verifier_rejects_cross_variant_binaries():
+    st_obj = compile_source(_WORKER, PolicySet.p1_p5())
+    boot = BootstrapEnclave(policies=PolicySet.multithreaded(),
+                            config=_MT_CONFIG)
+    with pytest.raises(VerificationError):
+        boot.receive_binary(st_obj.serialize())
+    mt_obj = compile_source(_WORKER, PolicySet.multithreaded())
+    boot2 = BootstrapEnclave(policies=PolicySet.p1_p5())
+    with pytest.raises(VerificationError):
+        boot2.receive_binary(mt_obj.serialize())
+
+
+# -- layout ---------------------------------------------------------------------
+
+def test_layout_per_thread_slices_disjoint():
+    layout = EnclaveLayout.build(_MT_CONFIG)
+    stacks = [layout.stack_slice(t) for t in range(4)]
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(stacks, stacks[1:]):
+        assert hi_a == lo_b          # contiguous, disjoint
+    shadows = [layout.shadow_slice_base(t) for t in range(4)]
+    assert shadows == sorted(set(shadows))
+    ssas = [layout.ssa_addr_of(t) for t in range(4)]
+    assert len(set(ssas)) == 4
+    with pytest.raises(Exception):
+        layout.stack_slice(4)
+
+
+def test_layout_thread_count_validation():
+    from repro.errors import LoaderError
+    with pytest.raises(LoaderError, match="num_threads"):
+        EnclaveLayout.build(EnclaveConfig(num_threads=0))
+    with pytest.raises(LoaderError, match="too small"):
+        EnclaveLayout.build(EnclaveConfig(num_threads=8,
+                                          stack_size=4 * PAGE_SIZE))
+
+
+# -- execution --------------------------------------------------------------------
+
+def test_four_threads_compute_independently():
+    boot = _mt_boot()
+    outcomes = boot.run_threads([bytes([k]) for k in (5, 10, 12, 7)])
+    assert [o.status for o in outcomes] == ["ok"] * 4
+    assert [o.reports[1] for o in outcomes] == [5, 55, 144, 13]
+
+
+def test_scheduler_interleaves_threads():
+    boot = _mt_boot()
+    outcomes = boot.run_threads([bytes([12])] * 4, quantum=50)
+    # all four did comparable work over the shared space
+    steps = [o.result.steps for o in outcomes]
+    assert max(steps) - min(steps) < 100
+    assert all(o.reports[1] == 144 for o in outcomes)
+
+
+def test_mt_deterministic():
+    a = [o.reports for o in _mt_boot().run_threads(
+        [b"\x08", b"\x09"], quantum=77)]
+    b = [o.reports for o in _mt_boot().run_threads(
+        [b"\x08", b"\x09"], quantum=77)]
+    assert a == b
+
+
+def test_one_thread_violation_does_not_kill_the_others():
+    src = """
+    char buf[8];
+    int main() {
+        __recv(buf, 8);
+        if (buf[0] == 1) {
+            int *p = 0x100000;     // thread 0 goes rogue
+            *p = 1;
+        }
+        __report(buf[0] * 100);
+        return 0;
+    }
+    """
+    policies = PolicySet.multithreaded()
+    boot = BootstrapEnclave(policies=policies, config=_MT_CONFIG)
+    boot.receive_binary(compile_source(src, policies).serialize())
+    outcomes = boot.run_threads([b"\x01", b"\x02", b"\x03"])
+    assert outcomes[0].status == "violation"
+    assert outcomes[1].status == outcomes[2].status == "ok"
+    assert outcomes[1].reports == [200]
+    assert boot.enclave.space.untrusted_writes == []
+
+
+def test_memory_cell_shadow_refused_for_multithreading():
+    policies = PolicySet.p1_p5()
+    boot = BootstrapEnclave(policies=policies, config=_MT_CONFIG)
+    boot.receive_binary(compile_source(_WORKER, policies).serialize())
+    with pytest.raises(EnclaveError, match="not thread-safe"):
+        boot.run_threads([b"\x05", b"\x06"])
+    # a single thread through run_threads is fine even with the cell
+    outcomes = boot.run_threads([b"\x05"])
+    assert outcomes[0].reports == [5, 5]
+
+
+def test_thread_count_capped_by_tcs_slots():
+    boot = _mt_boot()
+    with pytest.raises(EnclaveError, match="TCS"):
+        boot.run_threads([b"\x01"] * 5)
+
+
+def test_mt_rop_still_trapped():
+    src = """
+    int evil(int x) { __report(666); return x; }
+    int victim() {
+        int buf[2];
+        buf[3] = &evil;
+        return buf[0];
+    }
+    char b[8];
+    int main() { __recv(b, 8); victim(); __report(1); return 0; }
+    """
+    policies = PolicySet.multithreaded()
+    boot = BootstrapEnclave(policies=policies, config=_MT_CONFIG)
+    boot.receive_binary(compile_source(src, policies).serialize())
+    outcomes = boot.run_threads([b"\x01", b"\x02"])
+    for outcome in outcomes:
+        assert outcome.status == "violation"
+        assert outcome.violation_code == VIOL_P5_RET
+        assert 666 not in outcome.reports
+
+
+def test_mt_single_thread_matches_st_results():
+    policies = PolicySet.multithreaded()
+    boot = BootstrapEnclave(policies=policies, config=_MT_CONFIG)
+    boot.receive_binary(compile_source(_WORKER, policies).serialize())
+    boot.receive_userdata(b"\x0a")
+    single = boot.run()
+    threaded = boot.run_threads([b"\x0a"])[0]
+    assert single.reports == threaded.reports == [10, 55]
+
+
+def test_shared_globals_race_across_threads():
+    """Globals are shared across TCS threads; per-request state must be
+    stack-local (the per-thread memory-isolation policy of §VII is
+    future work).  This test pins the hazard itself: with a tiny
+    quantum, a global request buffer gets clobbered by a sibling."""
+    racy = """
+    char buf[8];
+    int slow_parse() {
+        int x = 0;
+        int i;
+        for (i = 0; i < 2000; i++) x = (x + buf[0]) % 1000;
+        return buf[0];
+    }
+    int main() {
+        __recv(buf, 8);
+        __report(slow_parse());
+        return 0;
+    }
+    """
+    policies = PolicySet.multithreaded()
+    boot = BootstrapEnclave(policies=policies, config=_MT_CONFIG)
+    boot.receive_binary(compile_source(racy, policies).serialize())
+    outcomes = boot.run_threads([b"\x01", b"\x02", b"\x03"], quantum=60)
+    values = [o.reports[0] for o in outcomes]
+    # every thread parsed the value of whichever thread wrote last
+    assert len(set(values)) == 1
+    assert values[0] == 3
+
+
+# -- raw scheduler -----------------------------------------------------------------
+
+def test_scheduler_rejects_bad_quantum():
+    with pytest.raises(ValueError):
+        RoundRobinScheduler([], quantum=0)
+
+
+def test_scheduler_totals():
+    from repro.sgx import Enclave
+    enclave = Enclave()
+    enclave.einit()
+    asm = assemble([Instruction(Op.ADD_RI, RAX, 1)] * 20 +
+                   [Instruction(Op.HLT)])
+    code = enclave.layout.regions["code"].start
+    enclave.space.write_raw(code, asm.code)
+    cpus = [CPU(enclave.space, code,
+                initial_rsp=enclave.layout.initial_rsp)
+            for _ in range(3)]
+    sched = RoundRobinScheduler(cpus, quantum=7)
+    threads = sched.run()
+    assert all(t.status == "halted" for t in threads)
+    assert sched.total_steps == 3 * 21
+    assert sched.total_cycles > 0

@@ -1,0 +1,142 @@
+"""Object format: roundtrip, validation, fuzzing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_source
+from repro.compiler.objfile import (
+    KIND_FUNC, KIND_OBJECT, ObjectFile, ObjRelocation,
+    SEC_BSS, SEC_DATA, SEC_TEXT,
+)
+from repro.errors import ObjectFormatError
+from repro.policy import PolicySet
+
+
+def _sample_object() -> ObjectFile:
+    obj = ObjectFile(text=b"\x00" * 64, data=b"\x01\x02\x03",
+                     bss_size=40, policies_label="P1+P5")
+    obj.add_symbol("__start", SEC_TEXT, 0, KIND_FUNC)
+    obj.add_symbol("helper", SEC_TEXT, 16, KIND_FUNC)
+    obj.add_symbol("table", SEC_DATA, 0, KIND_OBJECT)
+    obj.add_symbol("arena", SEC_BSS, 8, KIND_OBJECT)
+    obj.relocations.append(ObjRelocation(10, "table", 4))
+    obj.relocations.append(ObjRelocation(30, "helper", 0))
+    obj.branch_targets = ["helper"]
+    return obj
+
+
+def test_serialize_parse_roundtrip():
+    obj = _sample_object()
+    parsed = ObjectFile.parse(obj.serialize())
+    assert parsed.text == obj.text
+    assert parsed.data == obj.data
+    assert parsed.bss_size == obj.bss_size
+    assert parsed.entry == obj.entry
+    assert parsed.policies_label == obj.policies_label
+    assert parsed.symbols == obj.symbols
+    assert parsed.relocations == obj.relocations
+    assert parsed.branch_targets == obj.branch_targets
+
+
+def test_measurement_is_stable_and_content_bound():
+    a = _sample_object()
+    b = _sample_object()
+    assert a.measurement() == b.measurement()
+    b.text = b"\x01" + b.text[1:]
+    assert a.measurement() != b.measurement()
+
+
+def test_duplicate_symbol_rejected():
+    obj = _sample_object()
+    with pytest.raises(ObjectFormatError, match="duplicate"):
+        obj.add_symbol("helper", SEC_TEXT, 0, KIND_FUNC)
+
+
+def test_undefined_symbol_lookup():
+    with pytest.raises(ObjectFormatError, match="undefined"):
+        _sample_object().symbol("ghost")
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ObjectFormatError, match="magic"):
+        ObjectFile.parse(b"ELF!" + b"\x00" * 60)
+
+
+def test_bad_version_rejected():
+    blob = bytearray(_sample_object().serialize())
+    blob[4] = 99
+    with pytest.raises(ObjectFormatError, match="version"):
+        ObjectFile.parse(bytes(blob))
+
+
+def test_truncation_rejected():
+    blob = _sample_object().serialize()
+    for cut in (3, 10, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(ObjectFormatError):
+            ObjectFile.parse(blob[:cut])
+
+
+def test_trailing_garbage_rejected():
+    blob = _sample_object().serialize()
+    with pytest.raises(ObjectFormatError, match="trailing"):
+        ObjectFile.parse(blob + b"\x00")
+
+
+def test_branch_target_without_symbol_rejected():
+    obj = _sample_object()
+    obj.branch_targets.append("phantom")
+    with pytest.raises(ObjectFormatError, match="branch target"):
+        ObjectFile.parse(obj.serialize())
+
+
+def test_missing_entry_rejected():
+    obj = _sample_object()
+    obj.entry = "nonexistent"
+    with pytest.raises(ObjectFormatError, match="entry"):
+        ObjectFile.parse(obj.serialize())
+
+
+def test_relocation_outside_text_rejected():
+    obj = _sample_object()
+    obj.relocations.append(ObjRelocation(60, "table", 0))  # 60+8 > 64
+    with pytest.raises(ObjectFormatError, match="relocation"):
+        ObjectFile.parse(obj.serialize())
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(min_size=0, max_size=200))
+def test_fuzzed_blobs_never_crash_parser(data):
+    # arbitrary bytes must raise ObjectFormatError, never anything else
+    try:
+        ObjectFile.parse(b"DFOB" + data)
+    except ObjectFormatError:
+        pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(index=st.integers(0, 10_000), bit=st.integers(0, 7))
+def test_bitflipped_real_object_is_rejected_or_reparsed(index, bit):
+    blob = bytearray(compile_source(
+        "int main() { return 1; }", PolicySet.p1_only()).serialize())
+    index %= len(blob)
+    blob[index] ^= 1 << bit
+    try:
+        ObjectFile.parse(bytes(blob))
+    except ObjectFormatError:
+        pass  # either outcome is fine; crashes are not
+
+
+def test_real_compiled_object_roundtrip():
+    obj = compile_source("""
+        int helper(int x) { return x * 2; }
+        int main() {
+            int (*f)(int) = &helper;
+            return f(21);
+        }
+    """, PolicySet.full())
+    parsed = ObjectFile.parse(obj.serialize())
+    assert parsed.entry == "__start"
+    assert "main" in parsed.symbols
+    assert "helper" in parsed.branch_targets   # address-taken
+    assert "main" not in parsed.branch_targets  # only called directly
+    assert parsed.symbols["main"].kind == KIND_FUNC

@@ -1,0 +1,177 @@
+"""Annotation templates: emit/match duality, policy sets, magic table."""
+
+import pytest
+
+from repro.isa import (
+    Instruction, LabelDef, Mem, assemble, disassemble_linear,
+    RAX, RBX, RBP, RSP,
+)
+from repro.isa.instructions import Op
+from repro.policy import (
+    MAGIC, PolicySet, VIOL_P1, VIOLATION_NAMES, trap_label,
+    emit_pattern, match_pattern,
+    indirect_branch_pattern, p6_guard_pattern, rsp_guard_pattern,
+    shadow_epilogue_pattern, shadow_prologue_pattern,
+    store_guard_pattern,
+)
+from repro.policy.magic import ALL_VIOLATION_CODES, is_magic, magic_name
+from repro.isa.assembler import local_label_allocator
+
+
+def _assemble_with_pads(items):
+    pads = []
+    for code in ALL_VIOLATION_CODES:
+        pads.append(LabelDef(trap_label(code)))
+        pads.append(Instruction(Op.TRAP, code))
+    asm = assemble(pads + items)
+    stream = list(disassemble_linear(asm.code))
+    trap_pads = {off: ins.operands[0] for off, ins in stream
+                 if ins.op == Op.TRAP}
+    return stream, trap_pads
+
+
+def _roundtrip(pattern, **emit_kwargs):
+    alloc = local_label_allocator("T")
+    items = emit_pattern(pattern, alloc, **emit_kwargs)
+    stream, trap_pads = _assemble_with_pads(items)
+    start = len(ALL_VIOLATION_CODES)  # skip the pads
+    return match_pattern(pattern, stream, start, trap_pads)
+
+
+def test_store_guard_emit_match_roundtrip():
+    mem = Mem(RBP, RAX, 8, -16)
+    pattern = store_guard_pattern(PolicySet.full())
+    match = _roundtrip(pattern, anchor_mem=mem)
+    assert match.matched, match.reason
+    assert match.anchor_mem == mem
+    assert {name for _, name in match.magic_slots} == {"p1_lo", "p1_hi"}
+
+
+def test_store_guard_shape_is_policy_independent():
+    # P3/P4 reuse the P1 bounds (rewriter tightens them)
+    assert store_guard_pattern(PolicySet.p1_only()) == \
+        store_guard_pattern(PolicySet.full())
+
+
+def test_rsp_guard_roundtrip():
+    match = _roundtrip(rsp_guard_pattern())
+    assert match.matched, match.reason
+    assert {name for _, name in match.magic_slots} == \
+        {"stack_lo", "stack_hi"}
+
+
+def test_indirect_branch_roundtrip_and_target_capture():
+    match = _roundtrip(indirect_branch_pattern(), target_reg=RBX)
+    assert match.matched, match.reason
+    assert match.target_reg == RBX
+
+
+def test_indirect_branch_rejects_reserved_target():
+    pattern = indirect_branch_pattern()
+    items = emit_pattern(pattern, local_label_allocator("T"),
+                         target_reg=14)
+    stream, pads = _assemble_with_pads(items)
+    match = match_pattern(pattern, stream, len(ALL_VIOLATION_CODES), pads)
+    assert not match.matched
+    assert "target" in match.reason
+
+
+def test_shadow_patterns_roundtrip():
+    for pattern in (shadow_prologue_pattern(), shadow_epilogue_pattern()):
+        match = _roundtrip(pattern)
+        assert match.matched, match.reason
+
+
+def test_p6_guard_roundtrip_with_local_label_past_end():
+    # the fast-path JE targets the instruction AFTER the pattern
+    pattern = p6_guard_pattern()
+    alloc = local_label_allocator("T")
+    items = emit_pattern(pattern, alloc)
+    items.append(Instruction(Op.NOP))      # the guarded leader
+    stream, pads = _assemble_with_pads(items)
+    match = match_pattern(pattern, stream, len(ALL_VIOLATION_CODES), pads)
+    assert match.matched, match.reason
+
+
+def test_match_rejects_wrong_magic():
+    pattern = rsp_guard_pattern()
+    items = emit_pattern(pattern, local_label_allocator("T"))
+    # swap the stack_lo magic for the stack_hi one
+    items[0] = Instruction(Op.MOV_RI, 14, MAGIC["stack_hi"])
+    stream, pads = _assemble_with_pads(items)
+    match = match_pattern(pattern, stream, len(ALL_VIOLATION_CODES), pads)
+    assert not match.matched
+    assert "magic" in match.reason
+
+
+def test_match_rejects_wrong_trap_pad():
+    pattern = store_guard_pattern(PolicySet.full())
+    alloc = local_label_allocator("T")
+    items = emit_pattern(pattern, alloc, anchor_mem=Mem(RBP, disp=-8))
+    # retarget the first conditional jump at the P6 pad instead of P1
+    from repro.isa.instructions import Label
+    for i, item in enumerate(items):
+        if isinstance(item, Instruction) and item.op == Op.JB:
+            items[i] = Instruction(Op.JB, Label(trap_label(8)))
+            break
+    stream, pads = _assemble_with_pads(items)
+    match = match_pattern(pattern, stream, len(ALL_VIOLATION_CODES), pads)
+    assert not match.matched
+    assert "trap" in match.reason
+
+
+def test_match_rejects_opcode_substitution():
+    pattern = rsp_guard_pattern()
+    items = emit_pattern(pattern, local_label_allocator("T"))
+    # JB -> JBE weakening
+    for i, item in enumerate(items):
+        if isinstance(item, Instruction) and item.op == Op.JB:
+            items[i] = Instruction(Op.JBE, item.operands[0])
+            break
+    stream, pads = _assemble_with_pads(items)
+    match = match_pattern(pattern, stream, len(ALL_VIOLATION_CODES), pads)
+    assert not match.matched
+
+
+def test_match_rejects_truncated_stream():
+    pattern = rsp_guard_pattern()
+    items = emit_pattern(pattern, local_label_allocator("T"))[:-2]
+    stream, pads = _assemble_with_pads(items)
+    match = match_pattern(pattern, stream, len(ALL_VIOLATION_CODES), pads)
+    assert not match.matched
+
+
+def test_emit_requires_captures():
+    with pytest.raises(ValueError):
+        emit_pattern(store_guard_pattern(PolicySet.full()),
+                     local_label_allocator("T"))
+    with pytest.raises(ValueError):
+        emit_pattern(indirect_branch_pattern(),
+                     local_label_allocator("T"))
+
+
+def test_magic_constants_are_distinct_and_tagged():
+    values = list(MAGIC.values())
+    assert len(values) == len(set(values))
+    for name, value in MAGIC.items():
+        assert is_magic(value)
+        assert magic_name(value) == name
+    assert not is_magic(0x1234)
+
+
+def test_policy_set_presets_and_parse():
+    assert PolicySet.parse("P1-P6") == PolicySet.full()
+    assert PolicySet.parse("baseline") == PolicySet.none()
+    assert PolicySet.parse(" p1+p2 ").p2
+    assert not PolicySet.parse("P1").p2
+    assert PolicySet.p1_p5().label == "P1-P5"
+    assert PolicySet.full().describe() == "P0+P1+P2+P3+P4+P5+P6"
+    with pytest.raises(ValueError):
+        PolicySet.parse("P9")
+
+
+def test_violation_codes_have_names_and_pads():
+    for code in ALL_VIOLATION_CODES:
+        assert code in VIOLATION_NAMES
+        assert trap_label(code).startswith("__deflection_viol_")
+    assert VIOL_P1 in ALL_VIOLATION_CODES

@@ -1,0 +1,130 @@
+"""Recursive-descent disassembler tests."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.core.rdd import recursive_descent
+from repro.isa import (
+    Instruction, Label, LabelDef, assemble, RAX, RCX,
+)
+from repro.isa.instructions import Op
+
+
+def _code(items):
+    return assemble(items).code
+
+
+def test_follows_fallthrough_and_stops_at_hlt():
+    code = _code([Instruction(Op.NOP), Instruction(Op.NOP),
+                  Instruction(Op.HLT), Instruction(Op.NOP)])
+    result = recursive_descent(code, 0)
+    # trailing NOP after HLT is unreachable
+    assert [off for off, _ in result.stream] == [0, 1, 2]
+
+
+def test_follows_branch_targets():
+    items = [
+        Instruction(Op.JMP, Label("there")),
+        Instruction(Op.NOP),              # dead
+        LabelDef("there"),
+        Instruction(Op.HLT),
+    ]
+    result = recursive_descent(_code(items), 0)
+    offsets = [off for off, _ in result.stream]
+    assert 5 not in offsets            # the dead NOP
+    assert offsets == [0, 6]
+
+
+def test_conditional_jump_explores_both_paths():
+    items = [
+        Instruction(Op.CMP_RI, RAX, 0),
+        Instruction(Op.JE, Label("yes")),
+        Instruction(Op.NOP),
+        Instruction(Op.HLT),
+        LabelDef("yes"),
+        Instruction(Op.TRAP, 1),
+    ]
+    result = recursive_descent(_code(items), 0)
+    assert len(result.stream) == 5
+
+
+def test_call_explores_callee_and_continuation():
+    items = [
+        Instruction(Op.CALL, Label("fn")),
+        Instruction(Op.HLT),
+        LabelDef("fn"),
+        Instruction(Op.RET),
+    ]
+    result = recursive_descent(_code(items), 0)
+    assert len(result.stream) == 3
+
+
+def test_extra_roots_reach_indirect_only_functions():
+    items = [
+        Instruction(Op.HLT),
+        LabelDef("orphan"),               # only reachable indirectly
+        Instruction(Op.RET),
+    ]
+    asm = assemble(items)
+    no_roots = recursive_descent(asm.code, 0)
+    assert len(no_roots.stream) == 1
+    with_roots = recursive_descent(asm.code, 0,
+                                   roots=[asm.labels["orphan"]])
+    assert len(with_roots.stream) == 2
+
+
+def test_undecodable_reachable_bytes_rejected():
+    code = _code([Instruction(Op.NOP)]) + b"\xEE"
+    with pytest.raises(VerificationError, match="undecodable"):
+        recursive_descent(code, 0)
+
+
+def test_flow_escaping_text_rejected():
+    # fallthrough off the end of the section
+    code = _code([Instruction(Op.NOP)])
+    with pytest.raises(VerificationError, match="escapes|undecodable"):
+        recursive_descent(code, 0)
+
+
+def test_branch_target_outside_text_rejected():
+    code = _code([Instruction(Op.JMP, 1000), Instruction(Op.HLT)])
+    with pytest.raises(VerificationError, match="outside text"):
+        recursive_descent(code, 0)
+
+
+def test_overlapping_decodings_rejected():
+    # jump into the middle of a MOV imm64 whose immediate encodes a
+    # valid instruction stream — classic x86 overlap trick
+    items = [
+        Instruction(Op.CMP_RI, RAX, 0),
+        Instruction(Op.JE, 0),            # displacement patched below
+        Instruction(Op.MOV_RI, RCX, 0),   # 10 bytes
+        Instruction(Op.HLT),
+    ]
+    asm = assemble(items)
+    blob = bytearray(asm.code)
+    mov_off = asm.instr_offsets[2]
+    # craft the immediate so mid-instruction bytes decode as TRAP;HLT...
+    imm = bytes([Op.TRAP, 1, Op.HLT, Op.HLT, Op.HLT, Op.HLT, Op.HLT,
+                 Op.HLT])
+    blob[mov_off + 2:mov_off + 10] = imm
+    # retarget the JE at the middle of the MOV
+    je_off = asm.instr_offsets[1]
+    target = mov_off + 2
+    disp = target - (je_off + 5)
+    blob[je_off + 1:je_off + 5] = disp.to_bytes(4, "little",
+                                                signed=True)
+    with pytest.raises(VerificationError, match="overlapping"):
+        recursive_descent(bytes(blob), 0)
+
+
+def test_negative_entry_rejected():
+    with pytest.raises(VerificationError):
+        recursive_descent(b"\x00", -1)
+
+
+def test_stream_index_lookup():
+    code = _code([Instruction(Op.NOP), Instruction(Op.HLT)])
+    result = recursive_descent(code, 0)
+    assert result.at_offset(1).op == Op.HLT
+    assert set(result.offsets) == {0, 1}

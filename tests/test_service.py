@@ -1,0 +1,143 @@
+"""CCaaS end-to-end: attestation, two-party delivery, encrypted results."""
+
+import hashlib
+
+import pytest
+
+from repro.core import BootstrapEnclave
+from repro.errors import AttestationError, ProtocolError
+from repro.policy import PolicySet
+from repro.service import (
+    CCaaSHost, CodeProvider, DataOwner, establish_session,
+)
+from repro.sgx import AttestationService
+
+_SERVICE_SRC = """
+char buf[64];
+int main() {
+    int n = __recv(buf, 64);
+    int sum = 0;
+    int i;
+    for (i = 0; i < n; i++) sum += buf[i];
+    buf[0] = sum % 256;
+    __send(buf, 1);
+    __report(sum);
+    return sum;
+}
+"""
+
+
+@pytest.fixture
+def host():
+    boot = BootstrapEnclave(policies=PolicySet.full())
+    return CCaaSHost(boot, AttestationService())
+
+
+def test_full_two_party_flow(host):
+    provider = CodeProvider(_SERVICE_SRC, PolicySet.full())
+    owner = DataOwner(data=bytes(range(10)))
+    mr = host.bootstrap.mrenclave
+
+    provider.connect(host, mr)
+    owner.connect(host, mr)
+    measurement = provider.deliver(host)
+
+    # out-of-band: provider publishes the hash; owner approves it
+    owner.approved_hashes.append(measurement)
+    owner.approve_code(measurement)
+
+    assert owner.upload(host) == 10
+    outcome = host.ecall_run()
+    assert outcome.ok
+    assert outcome.reports == [sum(range(10))]
+    plain = owner.decrypt_results(outcome)
+    assert plain == [bytes([sum(range(10)) % 256])]
+
+
+def test_owner_rejects_unapproved_code(host):
+    owner = DataOwner(data=b"secret")
+    with pytest.raises(ProtocolError, match="not approved"):
+        owner.approve_code(hashlib.sha256(b"evil binary").digest())
+
+
+def test_session_pins_mrenclave(host):
+    with pytest.raises(AttestationError, match="MRENCLAVE"):
+        establish_session(host, "owner", b"\x00" * 32)
+
+
+def test_session_binds_channel_to_quote(host):
+    # a correct session passes; report_data binding is checked inside
+    channel = establish_session(host, "owner",
+                                host.bootstrap.mrenclave,
+                                party_seed=b"abc")
+    assert host.bootstrap.channels["owner"] is not None
+    assert channel.record_size == 256
+
+
+def test_encrypted_delivery_requires_connection(host):
+    provider = CodeProvider(_SERVICE_SRC, PolicySet.full())
+    with pytest.raises(ProtocolError, match="not connected"):
+        provider.deliver(host)
+    owner = DataOwner(data=b"x")
+    with pytest.raises(ProtocolError, match="not connected"):
+        owner.upload(host)
+
+
+def test_host_cannot_read_wire_traffic(host):
+    provider = CodeProvider(_SERVICE_SRC, PolicySet.full())
+    owner = DataOwner(data=b"very secret bytes!")
+    mr = host.bootstrap.mrenclave
+    provider.connect(host, mr)
+    owner.connect(host, mr)
+    provider.deliver(host)
+
+    # capture what the host relays for the owner's upload
+    sealed = owner._channel.seal(owner.data)
+    assert owner.data not in sealed
+    host.ecall_receive_userdata(sealed, encrypted=True)
+    outcome = host.ecall_run()
+    # the result on the wire is ciphertext, padded to records
+    for wire in outcome.sent_wire:
+        assert len(wire) == 256 + 32
+        assert b"secret" not in wire
+
+
+def test_undefined_ecall_blocked_by_p0(host):
+    from repro.errors import EnclaveError
+    with pytest.raises(EnclaveError, match="P0"):
+        host.bootstrap.enclave.ecall("ecall_exfiltrate")
+
+
+def test_provider_detects_binary_substitution(host):
+    provider = CodeProvider(_SERVICE_SRC, PolicySet.full())
+    provider.connect(host, host.bootstrap.mrenclave)
+    real_ecall = host.ecall_receive_binary
+
+    def tampering_ecall(blob, encrypted=True):
+        real_ecall(blob, encrypted=encrypted)
+        return hashlib.sha256(b"swapped").digest()
+
+    host.ecall_receive_binary = tampering_ecall
+    with pytest.raises(ProtocolError, match="different binary hash"):
+        provider.deliver(host)
+
+
+def test_underinstrumented_provider_binary_rejected(host):
+    from repro.errors import VerificationError
+    provider = CodeProvider(_SERVICE_SRC, PolicySet.p1_only())
+    provider.connect(host, host.bootstrap.mrenclave)
+    with pytest.raises(VerificationError):
+        provider.deliver(host)   # bootstrap demands the full set
+
+
+def test_two_sessions_have_independent_keys(host):
+    a = establish_session(host, "owner", host.bootstrap.mrenclave,
+                          party_seed=b"a")
+    boot2 = BootstrapEnclave(policies=PolicySet.full())
+    host2 = CCaaSHost(boot2, AttestationService())
+    b = establish_session(host2, "owner", host2.bootstrap.mrenclave,
+                          party_seed=b"b")
+    wire = a.seal(b"hello")
+    with pytest.raises(ProtocolError):
+        # the other bootstrap's channel cannot open it
+        boot2.channels["owner"].open(wire)

@@ -1,0 +1,203 @@
+"""Enclave layout, lifecycle, measurement and attestation."""
+
+import pytest
+
+from repro.errors import AttestationError, EnclaveError, LoaderError
+from repro.sgx import (
+    AttestationService, Enclave, EnclaveConfig, EnclaveLayout,
+    PAGE_SIZE, PERM_R, PERM_W, PERM_X, PlatformKey, Quote, Report,
+)
+from repro.sgx.attestation import check_attestation_report
+
+
+# -- layout ---------------------------------------------------------------
+
+def test_layout_regions_are_contiguous_and_ordered():
+    layout = EnclaveLayout.build(EnclaveConfig())
+    regions = list(layout.regions.values())
+    for prev, cur in zip(regions, regions[1:]):
+        assert prev.end == cur.start
+    assert layout.el_lo == regions[0].start
+    assert layout.el_hi == regions[-1].end
+
+
+def test_layout_guard_pages_have_no_permissions():
+    layout = EnclaveLayout.build(EnclaveConfig())
+    for name in ("guard0", "guard1", "guard2", "guard3"):
+        assert layout.regions[name].perms == 0
+        assert layout.regions[name].size == PAGE_SIZE
+
+
+def test_layout_code_pages_are_rwx_sgxv1():
+    layout = EnclaveLayout.build(EnclaveConfig())
+    assert layout.regions["code"].perms == PERM_R | PERM_W | PERM_X
+
+
+def test_layout_critical_band_covers_shadow_and_branch_map():
+    layout = EnclaveLayout.build(EnclaveConfig())
+    assert layout.crit_lo <= layout.ssp_cell < layout.crit_hi
+    assert layout.crit_lo <= layout.ssa_marker_addr < layout.crit_hi
+    assert layout.crit_lo <= layout.regions["branch_map"].start \
+        < layout.crit_hi
+    assert layout.crit_hi == layout.regions["code"].start
+
+
+def test_layout_special_cells_inside_their_regions():
+    layout = EnclaveLayout.build(EnclaveConfig())
+    assert layout.region_of(layout.ssa_marker_addr) == "critical"
+    assert layout.region_of(layout.aex_count_cell) == "critical"
+    assert layout.region_of(layout.ssp_cell) == "shadow"
+    assert layout.region_of(layout.initial_rsp - 8) == "stack"
+    assert layout.region_of(layout.el_lo - 1) == "outside"
+
+
+def test_layout_rejects_unaligned_sizes():
+    with pytest.raises(LoaderError):
+        EnclaveLayout.build(EnclaveConfig(code_size=100))
+
+
+def test_paper_scale_layout_builds():
+    layout = EnclaveLayout.build(EnclaveConfig.paper_scale())
+    assert layout.size > 90 * 1024 * 1024  # the paper's ~96MB enclave
+
+
+# -- lifecycle --------------------------------------------------------------
+
+def test_measurement_depends_on_image_and_layout():
+    def build(image, config=None):
+        enclave = Enclave(config)
+        enclave.load_bootstrap_image(image)
+        enclave.einit()
+        return enclave.mrenclave
+
+    a = build(b"consumer-v1")
+    b = build(b"consumer-v1")
+    c = build(b"consumer-v2")
+    d = build(b"consumer-v1",
+              EnclaveConfig(heap_size=512 * PAGE_SIZE))
+    assert a == b
+    assert a != c
+    assert a != d
+
+
+def test_lifecycle_misuse_rejected():
+    enclave = Enclave()
+    with pytest.raises(EnclaveError):
+        _ = enclave.mrenclave          # before EINIT
+    enclave.einit()
+    with pytest.raises(EnclaveError):
+        enclave.einit()                # twice
+    with pytest.raises(EnclaveError):
+        enclave.extend(b"late")        # after EINIT
+
+
+def test_bootstrap_image_must_fit():
+    enclave = Enclave()
+    too_big = b"\x00" * (enclave.layout.regions["bootstrap"].size + 1)
+    with pytest.raises(EnclaveError, match="exceeds"):
+        enclave.load_bootstrap_image(too_big)
+
+
+def test_ecall_gate_rejects_undefined_names():
+    enclave = Enclave()
+    enclave.einit()
+    enclave.register_ecall("good", lambda: 42)
+    assert enclave.ecall("good") == 42
+    with pytest.raises(EnclaveError, match="P0"):
+        enclave.ecall("evil")
+
+
+def test_ocall_gate_rejects_unlisted_names():
+    enclave = Enclave()
+    enclave.register_ocall("send", lambda data: len(data))
+    assert enclave.ocall("send", b"xy") == 2
+    with pytest.raises(EnclaveError, match="P0"):
+        enclave.ocall("open_file", "/etc/passwd")
+
+
+def test_ecall_before_einit_rejected():
+    enclave = Enclave()
+    enclave.register_ecall("e", lambda: None)
+    with pytest.raises(EnclaveError, match="EINIT"):
+        enclave.ecall("e")
+
+
+# -- attestation ----------------------------------------------------------------
+
+def _initialized_enclave():
+    enclave = Enclave(platform=PlatformKey(b"plat-A"))
+    enclave.load_bootstrap_image(b"public consumer")
+    enclave.einit()
+    return enclave
+
+
+def test_quote_roundtrip_through_attestation_service():
+    enclave = _initialized_enclave()
+    service = AttestationService()
+    service.provision_platform(enclave.platform.platform_id,
+                               enclave.platform.verifying_key)
+    quote = enclave.get_quote(b"channel-binding")
+    report = service.verify_quote(quote.serialize())
+    assert report.status == "OK"
+    check_attestation_report(report, service.verifying_key,
+                             enclave.mrenclave)
+
+
+def test_unknown_platform_rejected():
+    enclave = _initialized_enclave()
+    service = AttestationService()
+    with pytest.raises(AttestationError, match="unknown platform"):
+        service.verify_quote(enclave.get_quote().serialize())
+
+
+def test_forged_quote_flagged():
+    enclave = _initialized_enclave()
+    service = AttestationService()
+    service.provision_platform(enclave.platform.platform_id,
+                               enclave.platform.verifying_key)
+    quote = enclave.get_quote()
+    forged = Quote(Report(b"\x66" * 32), quote.platform_id,
+                   quote.signature)
+    report = service.verify_quote(forged.serialize())
+    assert report.status == "SIGNATURE_INVALID"
+    with pytest.raises(AttestationError, match="SIGNATURE_INVALID"):
+        check_attestation_report(report, service.verifying_key,
+                                 b"\x66" * 32)
+
+
+def test_mrenclave_pin_enforced():
+    enclave = _initialized_enclave()
+    service = AttestationService()
+    service.provision_platform(enclave.platform.platform_id,
+                               enclave.platform.verifying_key)
+    report = service.verify_quote(enclave.get_quote().serialize())
+    with pytest.raises(AttestationError, match="MRENCLAVE"):
+        check_attestation_report(report, service.verifying_key,
+                                 b"\x00" * 32)
+
+
+def test_ias_report_signature_checked():
+    enclave = _initialized_enclave()
+    service = AttestationService()
+    service.provision_platform(enclave.platform.platform_id,
+                               enclave.platform.verifying_key)
+    report = service.verify_quote(enclave.get_quote().serialize())
+    rogue = AttestationService(seed=b"rogue-ias")
+    with pytest.raises(AttestationError, match="signature"):
+        check_attestation_report(report, rogue.verifying_key,
+                                 enclave.mrenclave)
+
+
+def test_quote_serialization_roundtrip():
+    enclave = _initialized_enclave()
+    quote = enclave.get_quote(b"data")
+    parsed = Quote.parse(quote.serialize())
+    assert parsed.report.mrenclave == enclave.mrenclave
+    assert parsed.report.report_data[:4] == b"data"
+
+
+def test_report_field_validation():
+    with pytest.raises(AttestationError):
+        Report(b"short")
+    with pytest.raises(AttestationError):
+        Report(b"\x00" * 32, report_data=b"\x00" * 63)

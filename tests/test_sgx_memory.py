@@ -1,0 +1,118 @@
+"""AddressSpace: permissions, ELRANGE semantics, untrusted writes."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.sgx import (
+    AddressSpace, PAGE_SIZE, PERM_R, PERM_W, PERM_X,
+)
+
+BASE = 0x7000_0000_0000
+SIZE = 16 * PAGE_SIZE
+
+
+@pytest.fixture
+def space():
+    sp = AddressSpace(BASE, SIZE)
+    sp.set_page_perms(BASE, 4 * PAGE_SIZE, PERM_R | PERM_W)
+    sp.set_page_perms(BASE + 4 * PAGE_SIZE, PAGE_SIZE,
+                      PERM_R | PERM_X)
+    # page 5 left with no permissions (guard page)
+    return sp
+
+
+def test_elrange_alignment_required():
+    with pytest.raises(ValueError):
+        AddressSpace(BASE + 1, SIZE)
+    with pytest.raises(ValueError):
+        AddressSpace(BASE, SIZE + 100)
+
+
+def test_load_store_roundtrip(space):
+    space.store_u64(BASE + 8, 0xDEADBEEF_CAFEBABE)
+    assert space.load_u64(BASE + 8) == 0xDEADBEEF_CAFEBABE
+    space.store_u8(BASE + 100, 0x7F)
+    assert space.load_u8(BASE + 100) == 0x7F
+
+
+def test_store_to_guard_page_faults(space):
+    with pytest.raises(MemoryFault, match="store"):
+        space.store_u64(BASE + 5 * PAGE_SIZE, 1)
+
+
+def test_load_from_guard_page_faults(space):
+    with pytest.raises(MemoryFault, match="load"):
+        space.load_u64(BASE + 5 * PAGE_SIZE)
+
+
+def test_store_to_executable_page_faults(space):
+    with pytest.raises(MemoryFault):
+        space.store_u64(BASE + 4 * PAGE_SIZE, 1)
+
+
+def test_fetch_requires_x(space):
+    space.write_raw(BASE + 4 * PAGE_SIZE, b"\x90" * 16)
+    assert bytes(space.fetch(BASE + 4 * PAGE_SIZE, 4)) == b"\x90" * 4
+    with pytest.raises(MemoryFault, match="fetch"):
+        space.fetch(BASE, 4)  # RW page, not X
+
+
+def test_writes_outside_elrange_succeed_and_are_logged(space):
+    # SGX does NOT prevent an enclave writing out — P1's whole point
+    outside = BASE - 0x10000
+    space.store_u64(outside, 0x1122334455667788)
+    assert space.load_u64(outside) == 0x1122334455667788
+    assert (outside, 8) in space.untrusted_writes
+
+
+def test_execute_outside_elrange_faults(space):
+    with pytest.raises(MemoryFault, match="execute outside"):
+        space.check_exec(BASE - PAGE_SIZE, 4)
+
+
+def test_straddling_boundary_faults(space):
+    with pytest.raises(MemoryFault, match="straddles"):
+        space.load_u64(BASE - 4)
+
+
+def test_perms_sealed_after_einit(space):
+    space.seal()
+    assert space.sealed
+    with pytest.raises(MemoryFault, match="sealed"):
+        space.set_page_perms(BASE, PAGE_SIZE, PERM_R)
+
+
+def test_perms_must_be_page_aligned(space):
+    with pytest.raises(MemoryFault, match="aligned"):
+        space.set_page_perms(BASE + 8, PAGE_SIZE, PERM_R)
+
+
+def test_perms_outside_elrange_rejected(space):
+    with pytest.raises(MemoryFault):
+        space.set_page_perms(BASE - PAGE_SIZE, PAGE_SIZE, PERM_R)
+
+
+def test_code_watch_bumps_version(space):
+    space.watch_code_range(BASE, PAGE_SIZE)
+    v0 = space.code_version
+    space.store_u64(BASE + PAGE_SIZE, 1)      # outside watch
+    assert space.code_version == v0
+    space.store_u64(BASE + 16, 1)             # inside watch
+    assert space.code_version == v0 + 1
+
+
+def test_raw_access_ignores_permissions(space):
+    space.write_raw(BASE + 5 * PAGE_SIZE, b"abc")   # guard page
+    assert space.read_raw(BASE + 5 * PAGE_SIZE, 3) == b"abc"
+
+
+def test_raw_access_outside_elrange(space):
+    space.write_raw(0x1234, b"hello")
+    assert space.read_raw(0x1234, 5) == b"hello"
+
+
+def test_page_perms_lookup(space):
+    assert space.page_perms(BASE) == PERM_R | PERM_W
+    assert space.page_perms(BASE + 4 * PAGE_SIZE) == PERM_R | PERM_X
+    # untrusted memory reads back as RW (never X in enclave mode)
+    assert space.page_perms(BASE - PAGE_SIZE) == PERM_R | PERM_W

@@ -1,0 +1,368 @@
+"""The in-enclave verifier: acceptance of producer output and rejection
+of every tampering class (§IV-D's checks, one by one)."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core.verifier import PolicyVerifier
+from repro.errors import VerificationError
+from repro.isa import (
+    Instruction, Label, LabelDef, Mem, SymbolRef, assemble,
+    RAX, RBX, RBP, RSP,
+)
+from repro.isa.assembler import local_label_allocator
+from repro.isa.instructions import Op
+from repro.policy import PolicySet, trap_label
+from repro.policy.magic import ALL_VIOLATION_CODES
+from repro.policy.templates import (
+    emit_pattern, indirect_branch_pattern, p6_guard_pattern,
+    rsp_guard_pattern, shadow_epilogue_pattern, shadow_prologue_pattern,
+    store_guard_pattern,
+)
+
+_SRC = """
+int helper(int x) { return x + 1; }
+int table[4];
+int main() {
+    int i;
+    int (*f)(int) = &helper;
+    for (i = 0; i < 4; i++) table[i] = f(i);
+    return table[3];
+}
+"""
+
+
+def _pads():
+    items = []
+    for code in ALL_VIOLATION_CODES:
+        items.append(LabelDef(trap_label(code)))
+        items.append(Instruction(Op.TRAP, code))
+    return items
+
+
+def _verify_items(items, setting, targets=()):
+    asm = assemble(_pads() + list(items))
+    verifier = PolicyVerifier(PolicySet.parse(setting))
+    target_offs = [asm.labels[name] for name in targets]
+    return verifier.verify(asm.code, asm.labels["__start"], target_offs)
+
+
+# -- acceptance ---------------------------------------------------------------
+
+@pytest.mark.parametrize("setting", ["baseline", "P1", "P1+P2",
+                                     "P1-P5", "P1-P6"])
+def test_accepts_compiler_output_at_every_level(setting):
+    policies = PolicySet.parse(setting)
+    obj = compile_source(_SRC, policies)
+    verifier = PolicyVerifier(policies)
+    entry = obj.symbols[obj.entry].offset
+    targets = [obj.symbols[name].offset for name in obj.branch_targets]
+    verified = verifier.verify(obj.text, entry, targets)
+    assert verified.instruction_count > 0
+    if policies.any_store_guard:
+        assert verified.annotation_counts.get("store_guard", 0) > 0
+    if policies.p5:
+        assert verified.annotation_counts.get("shadow_prologue", 0) > 0
+        assert verified.annotation_counts.get("indirect_branch", 0) > 0
+    if policies.p6:
+        assert verified.annotation_counts.get("p6_guard", 0) > 0
+
+
+def test_magic_slots_reported_for_rewriter():
+    policies = PolicySet.full()
+    obj = compile_source(_SRC, policies)
+    verifier = PolicyVerifier(policies)
+    verified = verifier.verify(
+        obj.text, obj.symbols[obj.entry].offset,
+        [obj.symbols[n].offset for n in obj.branch_targets])
+    names = {name for _, name in verified.magic_slots}
+    assert {"p1_lo", "p1_hi", "ss_cell", "ssa_marker",
+            "code_base", "brmap_base"} <= names
+    # every slot points at a real imm64 field inside the text
+    for offset, _ in verified.magic_slots:
+        assert 0 <= offset <= len(obj.text) - 8
+
+
+def test_underinstrumented_binary_rejected():
+    # produced with P1 only, verified against the full contract
+    obj = compile_source(_SRC, PolicySet.p1_only())
+    verifier = PolicyVerifier(PolicySet.full())
+    with pytest.raises(VerificationError):
+        verifier.verify(obj.text, obj.symbols[obj.entry].offset,
+                        [obj.symbols[n].offset
+                         for n in obj.branch_targets])
+
+
+def test_baseline_verifier_accepts_uninstrumented():
+    obj = compile_source(_SRC, PolicySet.none())
+    PolicyVerifier(PolicySet.none()).verify(
+        obj.text, obj.symbols[obj.entry].offset, [])
+
+
+# -- hand-built rejection cases -----------------------------------------------
+
+def _guarded_store(alloc, mem, value_reg=RAX):
+    items = emit_pattern(store_guard_pattern(PolicySet.p1_only()),
+                         alloc, anchor_mem=mem)
+    items.append(Instruction(Op.MOV_MR, mem, value_reg))
+    return items
+
+
+def test_unguarded_store_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.MOV_MR, Mem(RBP, disp=-8), RAX),
+             Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="unguarded memory store"):
+        _verify_items(items, "P1")
+
+
+def test_guarded_store_accepted():
+    alloc = local_label_allocator("t")
+    items = [LabelDef("__start")] + \
+        _guarded_store(alloc, Mem(RBP, disp=-8)) + \
+        [Instruction(Op.HLT)]
+    verified = _verify_items(items, "P1")
+    assert verified.annotation_counts["store_guard"] == 1
+
+
+def test_guard_for_different_address_rejected():
+    # annotation checks [rbp-8] but the store hits [rbp-16]
+    alloc = local_label_allocator("t")
+    items = emit_pattern(store_guard_pattern(PolicySet.p1_only()),
+                         alloc, anchor_mem=Mem(RBP, disp=-8))
+    items.append(Instruction(Op.MOV_MR, Mem(RBP, disp=-16), RAX))
+    with pytest.raises(VerificationError, match="guarded store"):
+        _verify_items([LabelDef("__start")] + items +
+                      [Instruction(Op.HLT)], "P1")
+
+
+def test_branch_skipping_the_guard_rejected():
+    # a conditional branch that lands on the store, bypassing its
+    # annotation (the fall-through path keeps the guard reachable)
+    alloc = local_label_allocator("t")
+    guard = emit_pattern(store_guard_pattern(PolicySet.p1_only()),
+                         alloc, anchor_mem=Mem(RBP, disp=-8))
+    items = [LabelDef("__start"),
+             Instruction(Op.CMP_RI, RAX, 0),
+             Instruction(Op.JE, Label("sneak"))] + guard
+    items.append(LabelDef("sneak"))
+    items.append(Instruction(Op.MOV_MR, Mem(RBP, disp=-8), RAX))
+    items.append(Instruction(Op.HLT))
+    with pytest.raises(VerificationError, match="bypasses"):
+        _verify_items(items, "P1")
+
+
+def test_unreachable_guard_means_store_is_unguarded():
+    # with an unconditional jump, the guard becomes dead code and the
+    # store is reached guard-less: also rejected, by the scan itself
+    alloc = local_label_allocator("t")
+    guard = emit_pattern(store_guard_pattern(PolicySet.p1_only()),
+                         alloc, anchor_mem=Mem(RBP, disp=-8))
+    items = [LabelDef("__start"),
+             Instruction(Op.JMP, Label("sneak"))] + guard
+    items.append(LabelDef("sneak"))
+    items.append(Instruction(Op.MOV_MR, Mem(RBP, disp=-8), RAX))
+    items.append(Instruction(Op.HLT))
+    with pytest.raises(VerificationError, match="unguarded"):
+        _verify_items(items, "P1")
+
+
+def test_branch_into_annotation_interior_rejected():
+    alloc = local_label_allocator("t")
+    guard = _guarded_store(alloc, Mem(RBP, disp=-8))
+    # label planted after the guard's first instruction
+    items = [LabelDef("__start"),
+             Instruction(Op.CMP_RI, RAX, 0),
+             Instruction(Op.JE, Label("inside")),
+             guard[0], LabelDef("inside")] + guard[1:] + \
+        [Instruction(Op.HLT)]
+    with pytest.raises(VerificationError,
+                       match="annotation body|bypasses"):
+        _verify_items(items, "P1")
+
+
+def test_branch_into_middle_of_instruction_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.MOV_RI, RAX, 0x9090909090909090),
+             Instruction(Op.HLT)]
+    asm = assemble(_pads() + items)
+    blob = bytearray(asm.code)
+    # append a jump targeting the middle of the imm64
+    start = asm.labels["__start"]
+    jmp = Instruction(Op.JMP, (start + 4) - (len(blob) + 5))
+    from repro.isa.encoding import encode_instruction
+    extra = encode_instruction(jmp)
+    # place the jump as the entry instead
+    blob = blob + extra
+    verifier = PolicyVerifier(PolicySet.p1_only())
+    with pytest.raises(VerificationError):
+        verifier.verify(bytes(blob), len(blob) - len(extra), [])
+
+
+def test_program_use_of_reserved_registers_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.MOV_RI, 14, 5),
+             Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="reserved"):
+        _verify_items(items, "P1")
+    items = [LabelDef("__start"),
+             Instruction(Op.MOV_RM, RAX, Mem(15)),
+             Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="reserved|malformed"):
+        _verify_items(items, "P1")
+
+
+def test_unguarded_indirect_branch_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.CALL_R, RBX),
+             Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="indirect"):
+        _verify_items(items, "P1-P5")
+
+
+def test_unguarded_ret_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.RET)]
+    with pytest.raises(VerificationError, match="RET"):
+        _verify_items(items, "P1-P5")
+
+
+def test_rsp_write_without_guard_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.SUB_RI, RSP, 64),
+             Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="RSP guard"):
+        _verify_items(items, "P1+P2")
+
+
+def test_rsp_write_with_guard_accepted():
+    alloc = local_label_allocator("t")
+    items = [LabelDef("__start"),
+             Instruction(Op.SUB_RI, RSP, 64)] + \
+        emit_pattern(rsp_guard_pattern(), alloc) + \
+        [Instruction(Op.HLT)]
+    verified = _verify_items(items, "P1+P2")
+    assert verified.annotation_counts["rsp_guard"] == 1
+
+
+def test_forbidden_svc_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.SVC, 77),
+             Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="P0"):
+        _verify_items(items, "P1")
+
+
+def test_allowed_svc_accepted():
+    items = [LabelDef("__start"),
+             Instruction(Op.SVC, 3),
+             Instruction(Op.HLT)]
+    _verify_items(items, "P1")
+
+
+def test_malformed_annotation_rejected_not_skipped():
+    # an almost-correct store guard (weakened JAE -> JA) must be an
+    # error, not silently treated as program code
+    alloc = local_label_allocator("t")
+    items = emit_pattern(store_guard_pattern(PolicySet.p1_only()),
+                         alloc, anchor_mem=Mem(RBP, disp=-8))
+    for i, item in enumerate(items):
+        if isinstance(item, Instruction) and item.op == Op.JAE:
+            items[i] = Instruction(Op.JA, item.operands[0])
+    items = [LabelDef("__start")] + items + \
+        [Instruction(Op.MOV_MR, Mem(RBP, disp=-8), RAX),
+         Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="malformed store guard"):
+        _verify_items(items, "P1")
+
+
+def test_function_entry_without_prologue_rejected():
+    alloc = local_label_allocator("t")
+    epilogue = emit_pattern(shadow_epilogue_pattern(), alloc)
+    items = [LabelDef("__start"),
+             Instruction(Op.CALL, Label("fn")),
+             Instruction(Op.HLT),
+             LabelDef("fn")] + epilogue + [Instruction(Op.RET)]
+    with pytest.raises(VerificationError, match="prologue"):
+        _verify_items(items, "P1-P5")
+
+
+def test_complete_function_accepted_under_p5():
+    alloc = local_label_allocator("t")
+    items = [LabelDef("__start"),
+             Instruction(Op.CALL, Label("fn")),
+             Instruction(Op.HLT),
+             LabelDef("fn")] + \
+        emit_pattern(shadow_prologue_pattern(), alloc) + \
+        emit_pattern(shadow_epilogue_pattern(), alloc) + \
+        [Instruction(Op.RET)]
+    verified = _verify_items(items, "P1-P5")
+    assert verified.annotation_counts["shadow_prologue"] == 1
+    assert verified.annotation_counts["shadow_epilogue"] == 1
+
+
+def test_p6_missing_guard_at_leader_rejected():
+    items = [LabelDef("__start"),
+             Instruction(Op.CMP_RI, RAX, 0),
+             Instruction(Op.JE, Label("skip")),
+             Instruction(Op.NOP),
+             LabelDef("skip"),
+             Instruction(Op.HLT)]
+    with pytest.raises(VerificationError, match="P6"):
+        _verify_items(items, "P1-P6")
+
+
+def test_p6_guards_at_all_leaders_accepted():
+    alloc = local_label_allocator("t")
+
+    def guard():
+        return emit_pattern(p6_guard_pattern(), alloc)
+
+    items = ([LabelDef("__start")] + guard() +
+             [Instruction(Op.CMP_RI, RAX, 0),
+              Instruction(Op.JE, Label("skip"))] +
+             guard() +                      # fall-through leader
+             [Instruction(Op.NOP),
+              Instruction(Op.JMP, Label("skip")),
+              LabelDef("skip")] +
+             guard() +                      # jump-target leader
+             [Instruction(Op.HLT)])
+    verified = _verify_items(items, PolicySet(p6=True).label
+                             if False else "P1-P6") if False else None
+    # P1-P6 also demands store guards etc., but this program has none
+    # of those anchors, so full verification passes:
+    verified = _verify_items(items, "P1-P6")
+    assert verified.annotation_counts["p6_guard"] == 3
+
+
+def test_indirect_target_must_be_boundary():
+    items = [LabelDef("__start"), Instruction(Op.HLT)]
+    asm = assemble(_pads() + items)
+    verifier = PolicyVerifier(PolicySet.p1_only())
+    with pytest.raises(VerificationError,
+                       match="boundary|escapes|undecodable|overlap"):
+        # mid-instruction root: rejected during RDD or the boundary check
+        verifier.verify(asm.code, asm.labels["__start"],
+                        [asm.labels["__start"] - 1])
+
+
+def test_guarded_indirect_branch_accepted():
+    alloc = local_label_allocator("t")
+    items = [LabelDef("__start"),
+             Instruction(Op.MOV_RI, RBX, 0)] + \
+        emit_pattern(indirect_branch_pattern(), alloc, target_reg=RBX) + \
+        [Instruction(Op.JMP_R, RBX)]
+    # P5 only, without shadow-stack functions involved
+    verified = _verify_items(items, "P1-P5")
+    assert verified.annotation_counts["indirect_branch"] == 1
+
+
+def test_indirect_guard_for_wrong_register_rejected():
+    alloc = local_label_allocator("t")
+    items = [LabelDef("__start"),
+             Instruction(Op.MOV_RI, RBX, 0),
+             Instruction(Op.MOV_RI, RAX, 0)] + \
+        emit_pattern(indirect_branch_pattern(), alloc, target_reg=RBX) + \
+        [Instruction(Op.JMP_R, RAX)]
+    with pytest.raises(VerificationError, match="guarded\\s+branch"):
+        _verify_items(items, "P1-P5")

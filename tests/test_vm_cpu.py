@@ -1,0 +1,329 @@
+"""VM semantics: arithmetic vs Python reference, control flow, faults,
+AEX injection, cost accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CpuFault, MemoryFault, PolicyViolation
+from repro.isa import (
+    Instruction, Label, LabelDef, Mem, assemble,
+    RAX, RBX, RCX, RDX, RSP,
+)
+from repro.isa.instructions import Op
+from repro.sgx import Enclave
+from repro.vm import CPU, AexSchedule, CostModel
+
+_U64 = (1 << 64) - 1
+
+
+def _machine():
+    enclave = Enclave()
+    enclave.load_bootstrap_image(b"img")
+    enclave.einit()
+    return enclave
+
+
+def run_program(items, enclave=None, regs=None, **cpu_kwargs):
+    enclave = enclave or _machine()
+    layout = enclave.layout
+    asm = assemble(list(items) + [Instruction(Op.HLT)])
+    enclave.space.write_raw(layout.regions["code"].start, asm.code)
+    cpu = CPU(enclave.space, layout.regions["code"].start,
+              initial_rsp=layout.initial_rsp,
+              ssa_addr=layout.ssa_addr, **cpu_kwargs)
+    if regs:
+        for reg, value in regs.items():
+            cpu.regs[reg] = value & _U64
+    result = cpu.run()
+    return cpu, result
+
+
+def to_signed(v):
+    return v - (1 << 64) if v & (1 << 63) else v
+
+
+# -- arithmetic vs Python reference ------------------------------------------
+
+_ARITH_CASES = {
+    Op.ADD_RR: lambda a, b: (a + b) & _U64,
+    Op.SUB_RR: lambda a, b: (a - b) & _U64,
+    Op.IMUL_RR: lambda a, b: (to_signed(a) * to_signed(b)) & _U64,
+    Op.AND_RR: lambda a, b: a & b,
+    Op.OR_RR: lambda a, b: a | b,
+    Op.XOR_RR: lambda a, b: a ^ b,
+    Op.SHL_RR: lambda a, b: (a << (b & 63)) & _U64,
+    Op.SHR_RR: lambda a, b: a >> (b & 63),
+    Op.SAR_RR: lambda a, b: (to_signed(a) >> (b & 63)) & _U64,
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(op=st.sampled_from(sorted(_ARITH_CASES)),
+       a=st.integers(0, _U64), b=st.integers(0, _U64))
+def test_alu_matches_python_reference(op, a, b):
+    _, result = run_program([Instruction(op, RAX, RBX)],
+                            regs={RAX: a, RBX: b})
+    assert result.return_value == _ARITH_CASES[op](a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(-(1 << 62), (1 << 62) - 1),
+       b=st.integers(-(1 << 31), (1 << 31) - 1).filter(lambda v: v))
+def test_division_truncates_toward_zero_like_c(a, b):
+    _, result = run_program([Instruction(Op.DIV_RR, RAX, RBX)],
+                            regs={RAX: a, RBX: b})
+    expected = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        expected = -expected
+    assert to_signed(result.return_value) == expected
+    _, result = run_program([Instruction(Op.MOD_RR, RAX, RBX)],
+                            regs={RAX: a, RBX: b})
+    assert to_signed(result.return_value) == a - expected * b
+
+
+def test_division_by_zero_faults():
+    with pytest.raises(CpuFault, match="division by zero"):
+        run_program([Instruction(Op.DIV_RR, RAX, RBX)],
+                    regs={RAX: 5, RBX: 0})
+
+
+def test_neg_not():
+    _, r = run_program([Instruction(Op.NEG, RAX)], regs={RAX: 5})
+    assert to_signed(r.return_value) == -5
+    _, r = run_program([Instruction(Op.NOT, RAX)], regs={RAX: 0})
+    assert r.return_value == _U64
+
+
+# -- flags and branches ---------------------------------------------------------
+
+@pytest.mark.parametrize("jcc,a,b,taken", [
+    (Op.JE, 5, 5, True), (Op.JE, 5, 6, False),
+    (Op.JNE, 5, 6, True), (Op.JNE, 5, 5, False),
+    (Op.JL, -1 & _U64, 1, True), (Op.JL, 1, -1 & _U64, False),
+    (Op.JG, 1, -1 & _U64, True), (Op.JGE, 5, 5, True),
+    (Op.JLE, 5, 5, True),
+    (Op.JB, 1, -1 & _U64, True),       # unsigned: 1 < 2^64-1
+    (Op.JA, -1 & _U64, 1, True),
+    (Op.JAE, 5, 5, True), (Op.JBE, 6, 5, False),
+])
+def test_conditional_jumps(jcc, a, b, taken):
+    items = [
+        Instruction(Op.CMP_RR, RAX, RBX),
+        Instruction(jcc, Label("hit")),
+        Instruction(Op.MOV_RI, RAX, 0),
+        Instruction(Op.JMP, Label("end")),
+        LabelDef("hit"),
+        Instruction(Op.MOV_RI, RAX, 1),
+        LabelDef("end"),
+    ]
+    _, result = run_program(items, regs={RAX: a, RBX: b})
+    assert result.return_value == (1 if taken else 0)
+
+
+def test_test_rr_sets_zero_flag():
+    items = [
+        Instruction(Op.TEST_RR, RAX, RBX),
+        Instruction(Op.JE, Label("zero")),
+        Instruction(Op.MOV_RI, RAX, 7),
+        Instruction(Op.JMP, Label("end")),
+        LabelDef("zero"),
+        Instruction(Op.MOV_RI, RAX, 9),
+        LabelDef("end"),
+    ]
+    _, r = run_program(items, regs={RAX: 0b1100, RBX: 0b0011})
+    assert r.return_value == 9
+    _, r = run_program(items, regs={RAX: 0b1100, RBX: 0b0111})
+    assert r.return_value == 7
+
+
+# -- memory, stack, calls ---------------------------------------------------------
+
+def test_sib_addressing():
+    enclave = _machine()
+    heap = enclave.layout.regions["heap"].start
+    items = [
+        Instruction(Op.MOV_RI, RBX, heap),
+        Instruction(Op.MOV_RI, RCX, 3),
+        Instruction(Op.MOV_RI, RDX, 0x55),
+        Instruction(Op.MOV_MR, Mem(RBX, RCX, 8, 16), RDX),
+        Instruction(Op.MOV_RM, RAX, Mem(RBX, RCX, 8, 16)),
+    ]
+    _, result = run_program(items, enclave=enclave)
+    assert result.return_value == 0x55
+    assert enclave.space.load_u64(heap + 3 * 8 + 16) == 0x55
+
+
+def test_byte_ops_zero_extend_and_truncate():
+    enclave = _machine()
+    heap = enclave.layout.regions["heap"].start
+    items = [
+        Instruction(Op.MOV_RI, RBX, heap),
+        Instruction(Op.MOV_RI, RDX, 0x1FF),
+        Instruction(Op.STB, Mem(RBX), RDX),
+        Instruction(Op.LDB, RAX, Mem(RBX)),
+    ]
+    _, result = run_program(items, enclave=enclave)
+    assert result.return_value == 0xFF
+
+
+def test_push_pop_call_ret():
+    items = [
+        Instruction(Op.MOV_RI, RAX, 0),
+        Instruction(Op.CALL, Label("fn")),
+        Instruction(Op.ADD_RI, RAX, 1),
+        Instruction(Op.JMP, Label("end")),
+        LabelDef("fn"),
+        Instruction(Op.PUSH_I, 40),
+        Instruction(Op.POP_R, RAX),
+        Instruction(Op.ADD_RI, RAX, 1),
+        Instruction(Op.RET),
+        LabelDef("end"),
+    ]
+    _, result = run_program(items)
+    assert result.return_value == 42
+
+
+def test_indirect_call_through_register():
+    enclave = _machine()
+    code = enclave.layout.regions["code"].start
+    items = [
+        Instruction(Op.MOV_RI, RCX, 0),     # patched below
+        Instruction(Op.CALL_R, RCX),
+        Instruction(Op.JMP, Label("end")),
+        LabelDef("fn"),
+        Instruction(Op.MOV_RI, RAX, 77),
+        Instruction(Op.RET),
+        LabelDef("end"),
+    ]
+    asm = assemble(items + [Instruction(Op.HLT)])
+    # resolve fn address and patch the imm64
+    patched = bytearray(asm.code)
+    fn_addr = code + asm.labels["fn"]
+    patched[2:10] = fn_addr.to_bytes(8, "little")
+    enclave.space.write_raw(code, bytes(patched))
+    cpu = CPU(enclave.space, code,
+              initial_rsp=enclave.layout.initial_rsp)
+    assert cpu.run().return_value == 77
+
+
+def test_stack_overflow_hits_guard_page():
+    enclave = _machine()
+    stack = enclave.layout.regions["stack"]
+    pushes = [Instruction(Op.PUSH_R, RAX)] * 4
+    items = [
+        Instruction(Op.MOV_RI, RSP, stack.start + 16),
+    ] + pushes
+    with pytest.raises(MemoryFault):
+        run_program(items, enclave=enclave)
+
+
+# -- faults -------------------------------------------------------------------------
+
+def test_fetch_outside_elrange_faults():
+    enclave = _machine()
+    items = [Instruction(Op.MOV_RI, RCX, 0x1000),
+             Instruction(Op.JMP_R, RCX)]
+    with pytest.raises(CpuFault, match="outside ELRANGE"):
+        run_program(items, enclave=enclave)
+
+
+def test_execute_data_page_faults():
+    enclave = _machine()
+    heap = enclave.layout.regions["heap"].start
+    items = [Instruction(Op.MOV_RI, RCX, heap),
+             Instruction(Op.JMP_R, RCX)]
+    with pytest.raises((CpuFault, MemoryFault)):
+        run_program(items, enclave=enclave)
+
+
+def test_trap_raises_policy_violation():
+    with pytest.raises(PolicyViolation) as err:
+        run_program([Instruction(Op.TRAP, 3)])
+    assert err.value.code == 3
+
+
+def test_step_limit():
+    items = [LabelDef("spin"), Instruction(Op.JMP, Label("spin"))]
+    enclave = _machine()
+    asm = assemble(items)
+    enclave.space.write_raw(enclave.layout.regions["code"].start,
+                            asm.code)
+    cpu = CPU(enclave.space, enclave.layout.regions["code"].start,
+              initial_rsp=enclave.layout.initial_rsp)
+    with pytest.raises(CpuFault, match="step limit"):
+        cpu.run(max_steps=1000)
+
+
+def test_svc_without_handler_faults():
+    with pytest.raises(CpuFault, match="no handler"):
+        run_program([Instruction(Op.SVC, 1)])
+
+
+def test_svc_handler_gets_args_and_sets_result():
+    seen = []
+
+    def handler(cpu, num):
+        seen.append((num, cpu.regs[7]))
+        cpu.regs[0] = 99
+
+    items = [Instruction(Op.MOV_RI, 7, 1234),
+             Instruction(Op.SVC, 5)]
+    _, result = run_program(items, svc_handler=handler)
+    assert seen == [(5, 1234)]
+    assert result.return_value == 99
+
+
+# -- AEX ---------------------------------------------------------------------------
+
+def test_aex_dumps_registers_into_ssa():
+    enclave = _machine()
+    body = [Instruction(Op.MOV_RI, RBX, 0xABCD)] + \
+        [Instruction(Op.NOP)] * 50
+    cpu, result = run_program(body, enclave=enclave,
+                              aex_schedule=AexSchedule(10, jitter=0))
+    assert result.aex_events >= 4
+    # RBX slot of the SSA frame holds the dumped value
+    ssa = enclave.layout.ssa_addr
+    assert enclave.space.read_raw(ssa + 3 * 8, 8) == \
+        (0xABCD).to_bytes(8, "little")
+
+
+def test_aex_costs_cycles():
+    quiet_cpu, quiet = run_program([Instruction(Op.NOP)] * 50)
+    noisy_cpu, noisy = run_program(
+        [Instruction(Op.NOP)] * 50,
+        aex_schedule=AexSchedule(10, jitter=0))
+    assert noisy.cycles > quiet.cycles + 3 * 12000 - 1
+
+
+def test_aex_disabled_by_default():
+    _, result = run_program([Instruction(Op.NOP)] * 20)
+    assert result.aex_events == 0
+
+
+# -- cost model ----------------------------------------------------------------------
+
+def test_unit_cost_model_counts_instructions():
+    _, result = run_program([Instruction(Op.NOP)] * 10,
+                            cost_model=CostModel.unit())
+    assert result.cycles == pytest.approx(result.steps)
+
+
+def test_hot_range_discount():
+    enclave = _machine()
+    hot_cell = enclave.layout.ssp_cell
+    cold_cell = enclave.layout.regions["heap"].start
+    model = CostModel()
+
+    def cycles_for(addr, hot_range):
+        items = [Instruction(Op.MOV_RI, RBX, addr),
+                 Instruction(Op.MOV_RM, RAX, Mem(RBX))]
+        enc = _machine()
+        _, result = run_program(items, enclave=enc,
+                                hot_range=hot_range)
+        return result.cycles
+
+    hot_range = (enclave.layout.crit_lo, enclave.layout.crit_hi)
+    assert cycles_for(hot_cell, hot_range) < cycles_for(cold_cell,
+                                                        hot_range)
+    assert cycles_for(hot_cell, (0, 0)) == cycles_for(cold_cell, (0, 0))

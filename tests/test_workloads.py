@@ -1,0 +1,117 @@
+"""Workload correctness: self-checks at baseline, differential equality
+across instrumentation levels (small parameters to keep tests quick)."""
+
+import pytest
+
+from repro.bench import overhead_matrix, run_workload
+from repro.workloads import WORKLOADS, get_workload
+from repro.workloads.nbench import NBENCH_ORDER
+
+#: small parameters per workload for the test matrix
+_SMALL = {
+    "numeric_sort": 60, "string_sort": 16, "bitfield": 300,
+    "fp_emulation": 30, "fourier": 3, "assignment": 2, "idea": 12,
+    "huffman": 40, "neural_net": 1, "lu_decomposition": 1,
+    "sequence_alignment": 24, "sequence_generation": 600,
+    "credit_scoring": 40, "https_handler": 512, "image_filter": 12,
+}
+
+
+def test_registry_contains_all_experiment_workloads():
+    assert set(NBENCH_ORDER) <= set(WORKLOADS)
+    assert {"sequence_alignment", "sequence_generation",
+            "credit_scoring", "https_handler"} <= set(WORKLOADS)
+    assert len(WORKLOADS) == 15
+
+
+def test_unknown_workload_error():
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_workload("quicksort3000")
+
+
+@pytest.mark.parametrize("name", sorted(_SMALL))
+def test_selfcheck_at_baseline(name):
+    result = run_workload(name, "baseline", _SMALL[name])
+    assert result.status == "ok"
+    assert result.reports[0] == 1, f"{name} self-check failed"
+
+
+@pytest.mark.parametrize("name", ["numeric_sort", "huffman",
+                                  "assignment", "sequence_alignment",
+                                  "credit_scoring"])
+def test_differential_across_all_policy_levels(name):
+    matrix = overhead_matrix(name, _SMALL[name])
+    baseline = matrix["baseline"]
+    for setting, result in matrix.items():
+        assert result.reports == baseline.reports
+        if setting != "baseline":
+            assert result.cycles > baseline.cycles
+
+
+def test_instrumentation_grows_text_monotonically():
+    sizes = []
+    for setting in ("baseline", "P1", "P1+P2", "P1-P5", "P1-P6"):
+        sizes.append(run_workload("numeric_sort", setting, 40).text_bytes)
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0] * 2
+
+
+def test_workload_parameters_scale_work():
+    small = run_workload("sequence_alignment", "baseline", 16)
+    large = run_workload("sequence_alignment", "baseline", 48)
+    # N-W is quadratic: 3x input -> ~9x steps
+    assert large.steps > small.steps * 4
+
+
+def test_sequence_generation_streams_requested_length():
+    from repro.compiler import compile_source
+    from repro.core import BootstrapEnclave
+    from repro.policy import PolicySet
+    wl = get_workload("sequence_generation")
+    obj = compile_source(wl.source(2500), PolicySet.p1_only())
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    boot.receive_binary(obj.serialize())
+    outcome = boot.run()
+    assert outcome.ok
+    body = b"".join(outcome.sent_plaintext)
+    assert len(body) == 2500
+    assert set(body) <= set(b"ACGT")
+    # reported GC count matches the stream
+    assert outcome.reports[1] == sum(1 for c in body if c in b"CG")
+
+
+def test_alignment_score_matches_reference_dp():
+    # independent Python implementation of the same scoring scheme
+    wl = get_workload("sequence_alignment")
+    n = 20
+    data = wl.input_bytes(n)
+    a, b = data[:n], data[n:]
+    gap, match, mismatch = -2, 1, -1
+    prev = [j * gap for j in range(n + 1)]
+    for i in range(1, n + 1):
+        curr = [i * gap] + [0] * n
+        for j in range(1, n + 1):
+            diag = prev[j - 1] + (match if a[i - 1] == b[j - 1]
+                                  else mismatch)
+            curr[j] = max(diag, prev[j] + gap, curr[j - 1] + gap)
+        prev = curr
+    expected = prev[n] & ((1 << 30) - 1)
+    result = run_workload("sequence_alignment", "P1-P5", n)
+    assert result.reports[1] == expected
+
+
+def test_https_handler_response_matches_request_size():
+    from repro.core import BootstrapEnclave
+    from repro.compiler import compile_source
+    from repro.policy import PolicySet
+    from repro.workloads.https_app import request_bytes
+    wl = get_workload("https_handler")
+    obj = compile_source(wl.source(4096), PolicySet.full())
+    boot = BootstrapEnclave(policies=PolicySet.full())
+    boot.receive_binary(obj.serialize())
+    for size in (100, 1000, 4096, 9999):
+        boot.receive_userdata(request_bytes(size))
+        outcome = boot.run()
+        assert outcome.ok
+        expected = min(size, 4096)
+        assert len(outcome.sent_plaintext[0]) == expected
