@@ -14,8 +14,10 @@ compiled once per process.
 from __future__ import annotations
 
 import functools
+import json
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..compiler.frontend import compile_source
 from ..core.bootstrap import BootstrapEnclave, RunOutcome
@@ -42,10 +44,34 @@ class BenchResult:
     aex_events: int = 0
     text_bytes: int = 0
     status: str = "ok"
+    #: Host wall-clock seconds of the execute phase only (the enclave
+    #: run, excluding compile/link/load/verify) — the executor
+    #: comparison metric.
+    wall_s: float = 0.0
+
+    @property
+    def ips(self) -> float:
+        """Retired instructions per host wall-clock second."""
+        return self.steps / self.wall_s if self.wall_s > 0 else 0.0
 
     def overhead_vs(self, baseline: "BenchResult") -> float:
         """Relative overhead in percent (cycle account)."""
         return 100.0 * (self.cycles - baseline.cycles) / baseline.cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "setting": self.setting,
+            "param": self.param,
+            "steps": self.steps,
+            "cycles": self.cycles,
+            "aex_events": self.aex_events,
+            "text_bytes": self.text_bytes,
+            "status": self.status,
+            "wall_s": round(self.wall_s, 6),
+            "ips": round(self.ips, 1),
+            "overhead_pct": round(getattr(self, "overhead_pct", 0.0), 4),
+        }
 
 
 @functools.lru_cache(maxsize=256)
@@ -78,9 +104,11 @@ def run_workload(workload: Union[str, Workload], setting: str,
     input_bytes = workload.input_bytes(param)
     if input_bytes:
         boot.receive_userdata(input_bytes)
+    t0 = time.perf_counter()
     outcome: RunOutcome = boot.run(aex_schedule=aex_schedule,
                                    cost_model=cost_model,
                                    max_steps=max_steps)
+    wall_s = time.perf_counter() - t0
     result = BenchResult(
         workload=workload.name, setting=setting,
         param=param if param is not None else workload.default_param,
@@ -89,7 +117,8 @@ def run_workload(workload: Union[str, Workload], setting: str,
         reports=list(outcome.reports),
         aex_events=outcome.result.aex_events if outcome.result else 0,
         text_bytes=boot.loaded.code_len,
-        status=outcome.status)
+        status=outcome.status,
+        wall_s=wall_s)
     if outcome.status != "ok":
         raise RuntimeError(
             f"{workload.name}/{setting}: {outcome.status} "
@@ -135,3 +164,64 @@ def overhead_matrix(workload: Union[str, Workload],
                                if baseline and setting != "baseline"
                                else 0.0)
     return results
+
+
+class RunMatrix(dict):
+    """A full ``{workload: {setting: BenchResult}}`` sweep.
+
+    Plain dict plus a machine-readable serialization, so benchmark
+    sweeps can be archived (``BENCH_vm.json``) and diffed across
+    commits.  ``executor`` records which VM engine produced the numbers
+    (see :class:`~repro.vm.costmodel.CostModel.executor`)."""
+
+    def __init__(self, executor: str = "translate"):
+        super().__init__()
+        self.executor = executor
+
+    @classmethod
+    def collect(cls, workloads: Iterable[str],
+                settings=PAPER_SETTINGS,
+                executor: str = "translate",
+                cost_model: Optional[CostModel] = None,
+                **kwargs) -> "RunMatrix":
+        """Sweep ``workloads`` x ``settings`` under one executor."""
+        cm = cost_model or CostModel(executor=executor)
+        matrix = cls(executor=cm.executor)
+        for name in workloads:
+            matrix[name] = overhead_matrix(name, settings=settings,
+                                           cost_model=cm, **kwargs)
+        return matrix
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r.wall_s for row in self.values()
+                   for r in row.values())
+
+    @property
+    def total_steps(self) -> int:
+        return sum(r.steps for row in self.values()
+                   for r in row.values())
+
+    def to_json(self) -> dict:
+        """JSON-ready document: per-cell steps/cycles/wall/ips plus
+        sweep-level totals."""
+        return {
+            "schema": "deflection-bench/1",
+            "executor": self.executor,
+            "totals": {
+                "wall_s": round(self.total_wall_s, 6),
+                "steps": self.total_steps,
+                "ips": round(self.total_steps / self.total_wall_s, 1)
+                if self.total_wall_s > 0 else 0.0,
+            },
+            "workloads": {
+                name: {setting: result.to_dict()
+                       for setting, result in row.items()}
+                for name, row in self.items()
+            },
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=False)
+            fh.write("\n")

@@ -8,12 +8,15 @@ Developer-facing tooling around the library:
 * ``verify``  — run the in-enclave verifier standalone and report the
   annotation inventory or the rejection reason;
 * ``run``     — full pipeline: load, verify, rewrite, execute;
+* ``bench``   — Table II sweep with a machine-readable result file,
+  plus a two-executor smoke/divergence check for CI;
 * ``tcb``     — print the measured TCB inventory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -145,6 +148,106 @@ def cmd_run(args) -> int:
     return 2
 
 
+def cmd_bench(args) -> int:
+    from .bench.harness import PAPER_SETTINGS, RunMatrix, run_workload
+    from .vm.costmodel import CostModel
+    from .workloads import get_workload
+    from .workloads.nbench import NBENCH_ORDER
+
+    workloads = list(args.workloads or NBENCH_ORDER)
+    settings = tuple(args.settings or PAPER_SETTINGS)
+    try:
+        for name in workloads:
+            get_workload(name)
+        for setting in settings:
+            PolicySet.parse(setting)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.smoke:
+        name = workloads[0]
+        setting = settings[-1]
+        cells = {}
+        for executor in ("step", "translate"):
+            cells[executor] = run_workload(
+                name, setting, args.param,
+                aex_schedule=AexSchedule(400_000),
+                cost_model=CostModel(executor=executor))
+        step, fast = cells["step"], cells["translate"]
+        diverged = [key for key in
+                    ("steps", "cycles", "aex_events", "reports", "status")
+                    if getattr(step, key) != getattr(fast, key)]
+        print(f"smoke {name}/{setting}: "
+              f"step={step.steps:,} steps / {step.cycles:,.0f} cycles, "
+              f"translate={fast.steps:,} steps / "
+              f"{fast.cycles:,.0f} cycles")
+        if diverged:
+            print(f"DIVERGENCE: {', '.join(diverged)}")
+            return 1
+        print(f"cycle accounts identical "
+              f"(speedup {step.wall_s / fast.wall_s:.2f}x)")
+        return 0
+
+    executors = (["step", "translate"] if args.executor == "both"
+                 else [args.executor])
+    matrices = {executor: RunMatrix.collect(workloads, settings=settings,
+                                            executor=executor,
+                                            param=args.param)
+                for executor in executors}
+
+    divergent: list = []
+    if len(matrices) == 1:
+        doc = matrices[executors[0]].to_json()
+    else:
+        oracle, fast = matrices["step"], matrices["translate"]
+        speedup = {}
+        for name in workloads:
+            for setting in settings:
+                a, b = oracle[name][setting], fast[name][setting]
+                if (a.steps, a.cycles, a.aex_events) != \
+                        (b.steps, b.cycles, b.aex_events):
+                    divergent.append(f"{name}/{setting}")
+            wall_o = sum(r.wall_s for r in oracle[name].values())
+            wall_f = sum(r.wall_s for r in fast[name].values())
+            speedup[name] = round(wall_o / wall_f, 2) if wall_f else 0.0
+        doc = {
+            "schema": "deflection-bench/1",
+            "executors": {ex: m.to_json() for ex, m in matrices.items()},
+            "comparison": {
+                "aggregate_speedup": round(
+                    oracle.total_wall_s / fast.total_wall_s, 2),
+                "per_workload_speedup": speedup,
+                "divergent_cells": divergent,
+            },
+        }
+
+    if args.json:
+        out = Path(args.out)
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    for executor, matrix in matrices.items():
+        rows = [[name, setting, f"{r.steps:,}", f"{r.cycles:,.0f}",
+                 f"{r.wall_s:.3f}", f"{r.ips:,.0f}",
+                 f"{getattr(r, 'overhead_pct', 0.0):+.2f}"]
+                for name, row in matrix.items()
+                for setting, r in row.items()]
+        print(format_table(
+            f"bench ({executor} executor)",
+            ["workload", "setting", "steps", "cycles", "wall s",
+             "instr/s", "ovh %"], rows))
+    if len(matrices) == 2:
+        print(f"\naggregate speedup (step wall / translate wall): "
+              f"{doc['comparison']['aggregate_speedup']}x")
+        if divergent:
+            print(f"DIVERGENCE in {len(divergent)} cells: "
+                  f"{', '.join(divergent)}")
+            return 1
+        print("cycle accounts identical across executors")
+    return 0
+
+
 def cmd_tcb(args) -> int:
     from .tcb import consumer_inventory, verifier_core_loc
     rows = [[c.name, c.loc, f"{c.kloc:.2f}"]
@@ -198,6 +301,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", type=int, default=0, metavar="N",
                    help="single-step and print the first N instructions")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("bench", help="paper benchmark sweep")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="workload names (default: the NBench suite)")
+    p.add_argument("--settings", nargs="*", default=None,
+                   help="policy settings (default: Table II columns)")
+    p.add_argument("--param", type=int, default=None)
+    p.add_argument("--executor",
+                   choices=["translate", "step", "both"], default="both")
+    p.add_argument("--json", action="store_true",
+                   help="write machine-readable results to --out")
+    p.add_argument("-o", "--out", default="BENCH_vm.json")
+    p.add_argument("--smoke", action="store_true",
+                   help="run one kernel under both executors; exit "
+                        "nonzero on cycle-account divergence")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("tcb", help="measured TCB inventory")
     p.set_defaults(func=cmd_tcb)

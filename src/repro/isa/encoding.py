@@ -10,10 +10,10 @@ machine code.
 from __future__ import annotations
 
 import struct
-from typing import Tuple
+from typing import List, Tuple
 
 from ..errors import EncodingError
-from .instructions import Instruction, Mem, SPECS
+from .instructions import BLOCK_TERMINATORS, Instruction, Mem, SPECS
 from .registers import REG_COUNT
 
 _U64_MASK = (1 << 64) - 1
@@ -173,3 +173,27 @@ def decode_instruction(buf, pos: int = 0) -> Tuple[Instruction, int]:
     else:  # pragma: no cover - table is closed
         raise EncodingError(f"unhandled signature {sig!r}")
     return Instruction(op, *operands), spec.length
+
+
+def decode_block(buf, pos: int = 0,
+                 max_instrs: int = 64) -> List[Tuple[Instruction, int]]:
+    """Decode a straight-line superblock starting at ``buf[pos:]``.
+
+    Decodes until (and including) the first block terminator — any
+    control transfer, ``SVC``, ``HLT`` or ``TRAP`` — or until
+    ``max_instrs`` instructions.  Returns ``[(instruction, length), …]``;
+    raises :class:`EncodingError` if the *first* instruction is
+    undecodable (callers truncate the block when a later one is)."""
+    out: List[Tuple[Instruction, int]] = []
+    while len(out) < max_instrs:
+        try:
+            instr, length = decode_instruction(buf, pos)
+        except EncodingError:
+            if not out:
+                raise
+            break
+        out.append((instr, length))
+        pos += length
+        if instr.op in BLOCK_TERMINATORS:
+            break
+    return out

@@ -211,6 +211,12 @@ INDIRECT_BRANCH_OPS = frozenset({Op.JMP_R, Op.CALL_R})
 #: do not continue to the next instruction).
 NO_FALLTHROUGH_OPS = frozenset({Op.JMP, Op.JMP_R, Op.RET, Op.HLT, Op.TRAP})
 
+#: Opcodes that end a *superblock* for the translating executor: every
+#: control transfer plus the escape points (SVC, HLT, TRAP) where the VM
+#: must materialize architectural state for the dispatch loop.
+BLOCK_TERMINATORS = NO_FALLTHROUGH_OPS | COND_JUMPS | \
+    frozenset({Op.CALL, Op.CALL_R, Op.SVC})
+
 #: ALU opcodes whose first operand is a written destination register.
 _REG_DST_OPS = frozenset({
     Op.MOV_RR, Op.MOV_RI, Op.MOV_RM, Op.LEA, Op.LDB,

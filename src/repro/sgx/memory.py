@@ -51,6 +51,11 @@ class AddressSpace:
         #: VM can invalidate its decoded-instruction cache.
         self.code_version = 0
         self._code_watch = (0, 0)
+        #: Write-invalidation hooks: called as ``hook(addr, size)`` for
+        #: every store that lands in the watched code range.  A hook that
+        #: returns ``False`` is dropped (lets block caches register via
+        #: weakref and self-unregister once their CPU is gone).
+        self._code_write_hooks = []
 
     # -- configuration -------------------------------------------------
 
@@ -86,6 +91,11 @@ class AddressSpace:
     def watch_code_range(self, start: int, size: int) -> None:
         """Invalidate the VM's icache when stores hit [start, start+size)."""
         self._code_watch = (start, start + size)
+
+    def add_code_write_hook(self, hook) -> None:
+        """Register ``hook(addr, size)`` for stores into the watched
+        code range (the translator's block-invalidation protocol)."""
+        self._code_write_hooks.append(hook)
 
     # -- raw access (loader / bootstrap use; no permission checks) -----
 
@@ -160,6 +170,10 @@ class AddressSpace:
             lo, hi = self._code_watch
             if lo < addr + size and addr < hi:
                 self.code_version += 1
+                if self._code_write_hooks:
+                    self._code_write_hooks = [
+                        h for h in self._code_write_hooks
+                        if h(addr, size) is not False]
         else:
             self.untrusted_writes.append((addr, size))
             for i in range(size):

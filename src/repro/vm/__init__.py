@@ -8,9 +8,10 @@ overhead is deterministic and reproducible.
 """
 
 from .costmodel import CostModel
-from .interrupts import AexSchedule
+from .interrupts import AexSchedule, AexTimer
 from .cpu import CPU, ExecResult
 from .smt import RoundRobinScheduler, ThreadState
+from .translate import Block, BlockCache
 
-__all__ = ["CostModel", "AexSchedule", "CPU", "ExecResult",
-           "RoundRobinScheduler", "ThreadState"]
+__all__ = ["CostModel", "AexSchedule", "AexTimer", "CPU", "ExecResult",
+           "RoundRobinScheduler", "ThreadState", "Block", "BlockCache"]

@@ -83,6 +83,11 @@ class CostModel:
     #: kilobyte-scale benchmark workloads, which fit the EPC trivially.
     epc_pages: int = 0
     epc_paging_cost: float = 40000.0
+    #: Which execution engine :class:`~repro.vm.cpu.CPU` uses by
+    #: default: ``"translate"`` (superblock-translating executor) or
+    #: ``"step"`` (the legacy single-step interpreter, kept as a
+    #: differential oracle).  A ``CPU(executor=...)`` argument wins.
+    executor: str = "translate"
 
     def cost_of(self, op: int) -> float:
         return self.costs[op]

@@ -5,9 +5,27 @@ accesses go through load/store permission checks, and an optional AEX
 schedule interrupts execution — dumping the register file into the SSA
 exactly like the hardware the HyperRace instrumentation (P6) relies on.
 
-Decoded instructions are cached per address; any store into the watched
-code range bumps ``AddressSpace.code_version`` and flushes the cache, so
-self-modifying code (what P4 forbids) behaves architecturally.
+Two execution engines share one architectural contract:
+
+* the **single-step engine** (``executor="step"``) decodes and retires
+  one instruction per loop iteration, paying a dict lookup and an AEX
+  countdown tick for every retired instruction.  Decoded instructions
+  are cached per address; any store into the watched code range bumps
+  ``AddressSpace.code_version`` and flushes the cache, so self-modifying
+  code (what P4 forbids) behaves architecturally.
+* the **superblock-translating engine** (``executor="translate"``, the
+  default) fuses each straight-line region into one specialized Python
+  closure (see :mod:`repro.vm.translate`) and moves the per-instruction
+  overheads to per-block: the AEX countdown is debited once per block,
+  flags are kept lazy, and code-range stores invalidate only the
+  overlapping blocks through a write hook.  Any event that would land
+  *inside* a block (AEX, ``slice_steps`` boundary, step limit, an
+  untranslatable leader) is replayed through the single-step engine so
+  SSA dumps, faults and pauses expose the exact architectural
+  mid-block state.
+
+Both engines produce bit-identical :class:`ExecResult`\\ s — the
+single-step path stays as the differential oracle for the translator.
 """
 
 from __future__ import annotations
@@ -20,7 +38,9 @@ from ..isa.encoding import decode_instruction
 from ..isa.instructions import Op
 from ..sgx.memory import AddressSpace
 from .costmodel import CostModel
-from .interrupts import AexSchedule
+from .interrupts import AexSchedule, AexTimer
+from .translate import COLD_RUNS, BlockCache, materialize_flags, \
+    pack_flags
 
 _U64 = (1 << 64) - 1
 _SIGN = 1 << 63
@@ -52,7 +72,8 @@ class CPU:
                  svc_handler=None,
                  initial_rsp: int = 0,
                  ssa_addr: int = 0,
-                 hot_range=(0, 0)):
+                 hot_range=(0, 0),
+                 executor: str = None):
         self.space = space
         self.regs = [0] * 16
         self.rip = entry
@@ -67,6 +88,9 @@ class CPU:
         #: [lo, hi) of the loader's hot cells (shadow stack, marker,
         #: branch map): memory ops there cost ``hot_mem_cost``.
         self.hot_range = hot_range
+        self.executor = executor or self.cost_model.executor
+        if self.executor not in ("translate", "step"):
+            raise ValueError(f"unknown executor {self.executor!r}")
         self.steps = 0
         self.cycles = 0.0
         self.aex_events = 0
@@ -81,8 +105,13 @@ class CPU:
         self._halted = False
         self._icache = {}
         self._icache_version = space.code_version
-        self._aex_countdown = (self.aex_schedule.next_interval()
-                               if self.aex_schedule.enabled else 0)
+        self._aex_timer = AexTimer(self.aex_schedule)
+        #: Superblock cache (translating executor); built lazily.
+        self._blocks = None
+        #: (instr index, cycles, fk, fa, fb) recorded by a translated
+        #: block's exception hook so the dispatch loop can reconstruct
+        #: the architectural fault state.
+        self._cf = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -94,16 +123,58 @@ class CPU:
             addr += self.regs[mem.index] * mem.scale
         return addr & _U64
 
-    def push(self, value: int) -> None:
-        rsp = (self.regs[4] - 8) & _U64
-        self.regs[4] = rsp
+    def _epc_touch(self, address: int) -> float:
+        """EPC paging model: touch a page, return the cycle cost.
+
+        Shared by both executors and the stack helpers so every path
+        accounts residency identically."""
+        page = address >> 12
+        resident = self._epc_resident
+        if page in resident:
+            resident.move_to_end(page)
+            return 0.0
+        if len(resident) >= self.cost_model.epc_pages:
+            resident.popitem(last=False)   # evict LRU (EWB)
+        resident[page] = None
+        if page in self._epc_ever:
+            self.epc_faults += 1
+            return self.cost_model.epc_paging_cost  # reload (ELDU)
+        self._epc_ever.add(page)           # first touch: EADD'd at
+        return 0.0                         # load, free here
+
+    def _stack_push(self, value: int) -> float:
+        """Shared stack-store path (inline PUSH/CALL and the public
+        :meth:`push` both go through here).  Returns the EPC cycle
+        delta so hot loops can keep ``cycles`` in a local."""
+        regs = self.regs
+        rsp = (regs[4] - 8) & _U64
+        regs[4] = rsp
+        delta = self._epc_touch(rsp) if self._epc_resident is not None \
+            else 0.0
         self.space.store_u64(rsp, value)
+        return delta
+
+    def _stack_pop(self):
+        """Shared stack-load path; returns ``(epc delta, value)``."""
+        regs = self.regs
+        rsp = regs[4]
+        delta = self._epc_touch(rsp) if self._epc_resident is not None \
+            else 0.0
+        value = self.space.load_u64(rsp)
+        regs[4] = (rsp + 8) & _U64
+        return delta, value
+
+    def push(self, value: int) -> None:
+        self.cycles += self._stack_push(value)
 
     def pop(self) -> int:
-        rsp = self.regs[4]
-        value = self.space.load_u64(rsp)
-        self.regs[4] = (rsp + 8) & _U64
+        delta, value = self._stack_pop()
+        self.cycles += delta
         return value
+
+    def _set_closure_fault(self, index, cycles, fk, fa, fb) -> None:
+        """Exception hook called by translated blocks before re-raising."""
+        self._cf = (index, cycles, fk, fa, fb)
 
     def _do_aex(self) -> None:
         """Asynchronous exit: dump thread context into the SSA.
@@ -120,7 +191,7 @@ class CPU:
             self.space.write_raw(self.ssa_addr, frame)
         self.aex_events += 1
         self.cycles += self.cost_model.aex_cost
-        self._aex_countdown = self.aex_schedule.next_interval()
+        self._aex_timer.rearm()
 
     # -- decode ------------------------------------------------------------
 
@@ -153,6 +224,157 @@ class CPU:
         error) after that many instructions so a scheduler can
         interleave threads; check :attr:`halted` to see whether the
         thread finished or merely yielded.
+        """
+        if self.executor == "translate":
+            return self._run_translated(max_steps, slice_steps)
+        return self._run_step(max_steps, slice_steps)
+
+    # -- translating engine --------------------------------------------------
+
+    def _run_translated(self, max_steps: int,
+                        slice_steps: int = None) -> ExecResult:
+        """Superblock dispatch loop.
+
+        Looks up (translating on miss) the block at ``rip`` and runs its
+        fused closure whenever the whole block fits before the next
+        event — AEX countdown, ``slice_steps`` boundary, step limit.
+        When an event would land inside the block, or the leader is
+        untranslatable, it single-steps one instruction through the
+        oracle engine instead, which replays the exact architectural
+        semantics (SSA dumps land on mid-block state, faults carry the
+        faulting ``rip``, slices pause on exact boundaries).
+        """
+        cache = self._blocks
+        if cache is None:
+            cache = self._blocks = BlockCache(self)
+        regs = self.regs
+        steps = self.steps
+        cycles = self.cycles
+        rip = self.rip
+        fk = 0
+        fa = pack_flags(self.f_eq, self.f_lt_s, self.f_lt_u)
+        fb = 0
+        timer = self._aex_timer
+        aex_enabled = timer.enabled
+        slice_limit = None if slice_steps is None else steps + slice_steps
+        budget = max_steps if slice_limit is None \
+            else min(max_steps, slice_limit)
+        self._halted = False
+        self._cf = None
+        cache.abort = False
+        blocks_get = cache.blocks.get
+        translate = cache.translate
+        try:
+            while True:
+                if steps >= max_steps:
+                    raise CpuFault(f"step limit {max_steps} exceeded "
+                                   f"at rip={rip:#x}")
+                if slice_limit is not None and steps >= slice_limit:
+                    break
+                chunk = 1
+                block = blocks_get(rip)
+                if block is None:
+                    block = translate(rip)
+                if block is not None:
+                    n = block.n
+                    fn = block.fn
+                    if fn is None and block.warm >= COLD_RUNS:
+                        fn = cache.compile_block(block)
+                    if fn is not None:
+                        if (steps + n <= budget
+                                and (not aex_enabled
+                                     or timer.countdown > n)):
+                            cache.current = block
+                            try:
+                                (rip, fk, fa, fb, cycles,
+                                 kind, aux, nexec) = fn(
+                                    regs, fk, fa, fb, cycles)
+                            except BaseException:
+                                state = self._cf
+                                if state is not None:
+                                    index, cycles, fk, fa, fb = state
+                                    self._cf = None
+                                    steps += index + 1
+                                    rip = block.rips[index]
+                                    if aex_enabled:
+                                        timer.debit(index + 1)
+                                raise
+                            steps += nexec
+                            if aex_enabled:
+                                timer.debit(nexec)
+                            if kind == 0:      # plain control transfer
+                                continue
+                            if kind == 2:      # HLT
+                                self._halted = True
+                                break
+                            # kind == 1: SVC escape
+                            next_rip = rip
+                            rip = block.rips[n - 1]
+                            if self.svc_handler is None:
+                                raise CpuFault(f"SVC {aux:#x} with no "
+                                               f"handler at {rip:#x}")
+                            self.rip = next_rip
+                            self.steps = steps
+                            self.cycles = cycles
+                            self.f_eq, self.f_lt_s, self.f_lt_u = \
+                                materialize_flags(fk, fa, fb)
+                            self.svc_handler(self, aux)
+                            rip = self.rip
+                            cycles = self.cycles
+                            fk = 0
+                            fa = pack_flags(self.f_eq, self.f_lt_s,
+                                            self.f_lt_u)
+                            fb = 0
+                            continue
+                        # Event horizon inside the block (AEX, slice or
+                        # step-limit boundary): single-step through it.
+                    else:
+                        # Cold stub: replay the whole block through the
+                        # oracle, clamped to the slice boundary; the
+                        # oracle fires AEXes and faults architecturally
+                        # at any point inside it.
+                        block.warm += 1
+                        chunk = n
+                        if slice_limit is not None \
+                                and steps + chunk > slice_limit:
+                            chunk = slice_limit - steps
+                # Untranslatable leader, cold stub, or an event landing
+                # inside the block: replay ``chunk`` instructions
+                # through the single-step oracle.
+                self.rip = rip
+                self.steps = steps
+                self.cycles = cycles
+                self.f_eq, self.f_lt_s, self.f_lt_u = \
+                    materialize_flags(fk, fa, fb)
+                cache.current = None
+                try:
+                    self._run_step(max_steps, chunk)
+                finally:
+                    # On a fault the oracle's own finally wrote the
+                    # architectural fault state back to self; re-sync
+                    # the locals so the outer finally preserves it.
+                    rip = self.rip
+                    steps = self.steps
+                    cycles = self.cycles
+                    fk = 0
+                    fa = pack_flags(self.f_eq, self.f_lt_s, self.f_lt_u)
+                    fb = 0
+                if self._halted:
+                    break
+        finally:
+            self.rip = rip
+            self.steps = steps
+            self.cycles = cycles
+            self.f_eq, self.f_lt_s, self.f_lt_u = \
+                materialize_flags(fk, fa, fb)
+        return ExecResult(steps, cycles, rip, self.aex_events,
+                          regs[0])
+
+    # -- single-step engine (the differential oracle) ------------------------
+
+    def _run_step(self, max_steps: int,
+                  slice_steps: int = None) -> ExecResult:
+        """Legacy one-instruction-at-a-time interpreter.
 
         The loop keeps the hottest state (registers, decoded-instruction
         cache, accumulators) in locals and writes it back around every
@@ -165,30 +387,14 @@ class CPU:
         store_u64 = space.store_u64
         load_u8 = space.load_u8
         store_u8 = space.store_u8
-        aex_enabled = self.aex_schedule.enabled
+        timer = self._aex_timer
+        aex_enabled = timer.enabled
         hot_lo, hot_hi = self.hot_range
         hot_cost = self.cost_model.hot_mem_cost
         epc_resident = self._epc_resident
-        epc_pages = self.cost_model.epc_pages
-        epc_cost = self.cost_model.epc_paging_cost
-
-        epc_ever = self._epc_ever
-
-        def epc_touch(address):
-            nonlocal cycles
-            page = address >> 12
-            if page in epc_resident:
-                epc_resident.move_to_end(page)
-                return
-            if len(epc_resident) >= epc_pages:
-                epc_resident.popitem(last=False)   # evict LRU (EWB)
-            epc_resident[page] = None
-            if page in epc_ever:
-                cycles += epc_cost                 # reload (ELDU)
-                self.epc_faults += 1
-            else:
-                epc_ever.add(page)                 # first touch: EADD'd
-                                                   # at load, free here
+        epc_touch = self._epc_touch
+        stack_push = self._stack_push
+        stack_pop = self._stack_pop
         icache = self._icache
         steps = self.steps
         cycles = self.cycles
@@ -207,8 +413,7 @@ class CPU:
                 if slice_limit is not None and steps >= slice_limit:
                     break
                 if aex_enabled:
-                    self._aex_countdown -= 1
-                    if self._aex_countdown <= 0:
+                    if timer.tick():
                         self.rip = rip
                         self.cycles = cycles
                         self.f_eq, self.f_lt_s, self.f_lt_u = \
@@ -237,7 +442,7 @@ class CPU:
                     if hot_lo <= addr < hot_hi:
                         cycles += hot_cost - cost
                     elif epc_resident is not None:
-                        epc_touch(addr)
+                        cycles += epc_touch(addr)
                     regs[ops[0]] = load_u64(addr)
                 elif op == Op.MOV_MR:
                     mem = ops[0]
@@ -250,7 +455,7 @@ class CPU:
                     if hot_lo <= addr < hot_hi:
                         cycles += hot_cost - cost
                     elif epc_resident is not None:
-                        epc_touch(addr)
+                        cycles += epc_touch(addr)
                     store_u64(addr, regs[ops[1]])
                 elif op == Op.MOV_RR:
                     regs[ops[0]] = regs[ops[1]]
@@ -267,7 +472,7 @@ class CPU:
                     if hot_lo <= addr < hot_hi:
                         cycles += hot_cost - cost
                     elif epc_resident is not None:
-                        epc_touch(addr)
+                        cycles += epc_touch(addr)
                     store_u64(addr, ops[1] & _U64)
                 elif op == Op.LEA:
                     mem = ops[1]
@@ -288,7 +493,7 @@ class CPU:
                     if hot_lo <= addr < hot_hi:
                         cycles += hot_cost - cost
                     elif epc_resident is not None:
-                        epc_touch(addr)
+                        cycles += epc_touch(addr)
                     regs[ops[0]] = load_u8(addr)
                 elif op == Op.STB:
                     mem = ops[0]
@@ -301,7 +506,7 @@ class CPU:
                     if hot_lo <= addr < hot_hi:
                         cycles += hot_cost - cost
                     elif epc_resident is not None:
-                        epc_touch(addr)
+                        cycles += epc_touch(addr)
                     store_u8(addr, regs[ops[1]])
                 elif op == Op.ADD_RR:
                     regs[ops[0]] = (regs[ops[0]] + regs[ops[1]]) & _U64
@@ -438,43 +643,21 @@ class CPU:
                     if not f_lt_u:
                         next_rip += ops[0]
                 elif op == Op.CALL:
-                    rsp = (regs[4] - 8) & _U64
-                    regs[4] = rsp
-                    if epc_resident is not None:
-                        epc_touch(rsp)
-                    store_u64(rsp, next_rip)
+                    cycles += stack_push(next_rip)
                     next_rip += ops[0]
                 elif op == Op.CALL_R:
-                    rsp = (regs[4] - 8) & _U64
-                    regs[4] = rsp
-                    if epc_resident is not None:
-                        epc_touch(rsp)
-                    store_u64(rsp, next_rip)
+                    cycles += stack_push(next_rip)
                     next_rip = regs[ops[0]]
                 elif op == Op.RET:
-                    rsp = regs[4]
-                    if epc_resident is not None:
-                        epc_touch(rsp)
-                    next_rip = load_u64(rsp)
-                    regs[4] = (rsp + 8) & _U64
+                    delta, next_rip = stack_pop()
+                    cycles += delta
                 elif op == Op.PUSH_R:
-                    rsp = (regs[4] - 8) & _U64
-                    regs[4] = rsp
-                    if epc_resident is not None:
-                        epc_touch(rsp)
-                    store_u64(rsp, regs[ops[0]])
+                    cycles += stack_push(regs[ops[0]])
                 elif op == Op.PUSH_I:
-                    rsp = (regs[4] - 8) & _U64
-                    regs[4] = rsp
-                    if epc_resident is not None:
-                        epc_touch(rsp)
-                    store_u64(rsp, ops[0] & _U64)
+                    cycles += stack_push(ops[0] & _U64)
                 elif op == Op.POP_R:
-                    rsp = regs[4]
-                    if epc_resident is not None:
-                        epc_touch(rsp)
-                    regs[ops[0]] = load_u64(rsp)
-                    regs[4] = (rsp + 8) & _U64
+                    delta, regs[ops[0]] = stack_pop()
+                    cycles += delta
                 elif op == Op.SVC:
                     if self.svc_handler is None:
                         raise CpuFault(f"SVC {ops[0]:#x} with no handler "

@@ -54,3 +54,41 @@ class AexSchedule:
         spread = int(self.mean_interval * self.jitter)
         return max(1, self.mean_interval +
                    self._rng.randint(-spread, spread))
+
+
+class AexTimer:
+    """Countdown to the next AEX, shared by both VM executors.
+
+    The single-step engine debits one instruction at a time and fires
+    when the countdown reaches zero; the translating executor debits a
+    whole superblock at once, using :meth:`fires_within` to decide when
+    an interrupt would land *inside* a block (in which case it replays
+    the block through the single-step path so the SSA dump shows the
+    exact architectural mid-block state)."""
+
+    __slots__ = ("schedule", "countdown")
+
+    def __init__(self, schedule: AexSchedule):
+        self.schedule = schedule
+        self.countdown = (schedule.next_interval()
+                          if schedule.enabled else 0)
+
+    @property
+    def enabled(self) -> bool:
+        return self.schedule.enabled
+
+    def tick(self) -> bool:
+        """Retire one instruction; True means fire an AEX now."""
+        self.countdown -= 1
+        return self.countdown <= 0
+
+    def fires_within(self, n: int) -> bool:
+        """Would an AEX land while executing ``n`` more instructions?"""
+        return self.countdown <= n
+
+    def debit(self, n: int) -> None:
+        """Retire ``n`` instructions known not to trigger an AEX."""
+        self.countdown -= n
+
+    def rearm(self) -> None:
+        self.countdown = self.schedule.next_interval()

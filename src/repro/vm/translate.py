@@ -1,0 +1,621 @@
+"""Superblock translator for the DX86 VM.
+
+The single-step engine pays a dict lookup, an AEX countdown tick, a
+code-version compare and a Python if/elif walk for *every* retired
+instruction.  This module removes those per-instruction costs by fusing
+each straight-line region (a *superblock*: leader up to and including
+the first control transfer, ``SVC``, ``HLT`` or ``TRAP``) into one
+specialized Python closure:
+
+* operands, effective-address shapes, costs and branch targets are baked
+  into the generated source as literals, so the closure is pure
+  register-file arithmetic plus the load/store calls;
+* flags are *lazy* — ``CMP``/``TEST`` record their operands and a kind
+  tag instead of computing ``f_eq``/``f_lt_s``/``f_lt_u``; conditional
+  branches test predicates on the recorded operands directly, and the
+  three architectural booleans are materialized only at escape points
+  (SVC, AEX, run exit) via :func:`materialize_flags`;
+* cycle accounting is emitted as one ``cycles += <literal>`` per
+  instruction *in legacy retirement order* — float addition is not
+  associative, so batching per-block sums would diverge from the
+  single-step engine's bit-exact account;
+* self-modifying code is handled by an invalidation hook registered on
+  the :class:`~repro.sgx.memory.AddressSpace`: a store into the watched
+  code range drops every overlapping block from the cache, and if the
+  *currently executing* block overlaps, sets :attr:`BlockCache.abort` —
+  generated code checks the flag after each store and returns early with
+  the exact count of retired instructions, so execution resumes through
+  a freshly translated block.
+
+The generated closure receives the hot state as positional arguments and
+returns it, so the dispatch loop in ``CPU._run_translated`` keeps
+everything in locals::
+
+    (next_rip, fk, fa, fb, cycles,
+     kind, aux, nexec) = block.fn(regs, fk, fa, fb, cycles)
+
+``kind`` is 0 for a plain control transfer, 1 for an SVC escape (``aux``
+is the service number), 2 for HLT.  ``nexec`` is how many instructions
+actually retired (less than ``block.n`` only on an invalidation abort).
+Faults raise through the closure; an ``except`` hook reports the
+faulting instruction index and the in-flight accumulators to the CPU
+(``CPU._set_closure_fault``) so the dispatch loop can reconstruct the
+exact architectural fault state the single-step engine would leave.
+"""
+
+from __future__ import annotations
+
+import struct
+import weakref
+
+from ..errors import EncodingError, MemoryFault
+from ..isa.encoding import decode_block
+from ..isa.instructions import BLOCK_TERMINATORS, Op
+
+_U64 = (1 << 64) - 1
+_SIGN = 1 << 63
+_STRUCT_Q = struct.Struct("<Q")
+
+#: Translation stops after this many instructions even without a
+#: terminator (bounds both codegen time and the AEX fast-path window:
+#: the translating executor only runs a block when the countdown
+#: exceeds its length).
+MAX_BLOCK_INSTRS = 64
+
+#: Stub visits replayed through the single-step oracle before a block
+#: is considered hot and fused (``Block.warm`` counts them).  Codegen
+#: costs ~100x one oracle replay, so straight-through init code and
+#: rarely-taken paths are never compiled.
+COLD_RUNS = 12
+
+
+# -- lazy flag state --------------------------------------------------------
+#
+# (fk, fa, fb) encodes the flag register symbolically:
+#   fk == 0: concrete     — fa packs f_eq | f_lt_s << 1 | f_lt_u << 2
+#   fk == 1: pending CMP  — fa, fb are the unsigned operand values
+#   fk == 2: pending TEST — fa is the masked value (a & b)
+
+def pack_flags(f_eq, f_lt_s, f_lt_u) -> int:
+    """Pack the three architectural booleans into a concrete fa word."""
+    return (1 if f_eq else 0) | (2 if f_lt_s else 0) | (4 if f_lt_u else 0)
+
+
+def materialize_flags(fk, fa, fb):
+    """Collapse a lazy flag state to ``(f_eq, f_lt_s, f_lt_u)``."""
+    if fk == 0:
+        return bool(fa & 1), bool(fa & 2), bool(fa & 4)
+    if fk == 1:
+        # Signed compare via sign-bit flip: a <s b  iff  a^S <u b^S.
+        return fa == fb, (fa ^ _SIGN) < (fb ^ _SIGN), fa < fb
+    return fa == 0, bool(fa & _SIGN), False
+
+
+def eval_jcc(op, fk, fa, fb) -> bool:
+    """Evaluate a conditional-jump predicate against a lazy flag state.
+
+    Used by generated code only when the flag setter is *not* in the
+    same block (flags flowing across a block boundary), so the kind tag
+    is unknown at translation time."""
+    f_eq, f_lt_s, f_lt_u = materialize_flags(fk, fa, fb)
+    if op == Op.JE:
+        return f_eq
+    if op == Op.JNE:
+        return not f_eq
+    if op == Op.JL:
+        return f_lt_s
+    if op == Op.JLE:
+        return f_lt_s or f_eq
+    if op == Op.JG:
+        return not (f_lt_s or f_eq)
+    if op == Op.JGE:
+        return not f_lt_s
+    if op == Op.JB:
+        return f_lt_u
+    if op == Op.JBE:
+        return f_lt_u or f_eq
+    if op == Op.JA:
+        return not (f_lt_u or f_eq)
+    return not f_lt_u  # JAE
+
+
+#: Jcc predicate source when the in-block setter was a CMP (fk == 1).
+_CMP_PRED = {
+    Op.JE: "fa == fb",
+    Op.JNE: "fa != fb",
+    Op.JB: "fa < fb",
+    Op.JAE: "fa >= fb",
+    Op.JBE: "fa <= fb",
+    Op.JA: "fa > fb",
+    Op.JL: f"fa ^ {_SIGN} < fb ^ {_SIGN}",
+    Op.JGE: f"fa ^ {_SIGN} >= fb ^ {_SIGN}",
+    Op.JLE: f"fa ^ {_SIGN} <= fb ^ {_SIGN}",
+    Op.JG: f"fa ^ {_SIGN} > fb ^ {_SIGN}",
+}
+
+#: Jcc predicate source when the in-block setter was a TEST (fk == 2).
+_TEST_PRED = {
+    Op.JE: "fa == 0",
+    Op.JNE: "fa != 0",
+    Op.JL: f"fa & {_SIGN}",
+    Op.JGE: f"not fa & {_SIGN}",
+    Op.JLE: f"fa == 0 or fa & {_SIGN}",
+    Op.JG: f"fa != 0 and not fa & {_SIGN}",
+    Op.JB: "False",
+    Op.JAE: "True",
+    Op.JBE: "fa == 0",
+    Op.JA: "fa != 0",
+}
+
+_ALU_RR = {
+    Op.ADD_RR: "regs[{d}] = (regs[{d}] + regs[{s}]) & {m}",
+    Op.SUB_RR: "regs[{d}] = (regs[{d}] - regs[{s}]) & {m}",
+    Op.AND_RR: "regs[{d}] &= regs[{s}]",
+    Op.OR_RR: "regs[{d}] |= regs[{s}]",
+    Op.XOR_RR: "regs[{d}] ^= regs[{s}]",
+    Op.SHL_RR: "regs[{d}] = (regs[{d}] << (regs[{s}] & 63)) & {m}",
+    Op.SHR_RR: "regs[{d}] >>= regs[{s}] & 63",
+    Op.SAR_RR: "regs[{d}] = (((regs[{d}] ^ {sg}) - {sg})"
+               " >> (regs[{s}] & 63)) & {m}",
+    Op.IMUL_RR: "regs[{d}] = (((regs[{d}] ^ {sg}) - {sg})"
+                " * ((regs[{s}] ^ {sg}) - {sg})) & {m}",
+}
+
+_SUPPORTED = frozenset(
+    op for op in vars(Op).values() if isinstance(op, int))
+
+
+class Block:
+    """One superblock: decoded immediately, compiled only when hot.
+
+    The first :data:`COLD_RUNS` visits execute the block as a *stub*
+    (``fn is None``): the dispatch loop replays it through the
+    single-step oracle and bumps :attr:`warm`.  The next visit pays the
+    codegen (``BlockCache.compile_block``).  This keeps Python
+    ``compile()`` cost off straight-through init code — only leaders
+    re-reached enough times (loops, called functions) are fused."""
+
+    __slots__ = ("start", "end", "n", "rips", "items", "warm",
+                 "fn", "src")
+
+    def __init__(self, start, end, rips, items):
+        self.start = start
+        self.end = end
+        self.n = len(rips)
+        self.rips = rips
+        self.items = items
+        self.warm = 0
+        self.fn = None
+        self.src = None
+
+
+class BlockCache:
+    """Per-CPU cache of translated superblocks, keyed by leader address.
+
+    Registers a weakref-based write hook on the CPU's address space so
+    stores into the watched code range invalidate exactly the
+    overlapping blocks (and abort the current one); once the cache is
+    garbage-collected the hook reports itself dead and is pruned."""
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.blocks = {}
+        #: Block currently executing (dispatch loop sets this before
+        #: each closure call so the hook can detect self-modification).
+        self.current = None
+        #: Set by the hook when a store hits the *current* block;
+        #: generated code polls it after each store.
+        self.abort = False
+        ref = weakref.ref(self)
+
+        def _hook(addr, size):
+            cache = ref()
+            if cache is None:
+                return False
+            cache.invalidate(addr, size)
+            return True
+
+        cpu.space.add_code_write_hook(_hook)
+
+    def invalidate(self, addr, size) -> None:
+        """Drop every block overlapping ``[addr, addr+size)``."""
+        hi = addr + size
+        cur = self.current
+        if cur is not None and cur.start < hi and addr < cur.end:
+            self.abort = True
+        blocks = self.blocks
+        if blocks:
+            dead = [a for a, b in blocks.items()
+                    if b.start < hi and addr < b.end]
+            for a in dead:
+                del blocks[a]
+
+    def translate(self, rip):
+        """Decode the block whose leader is ``rip`` into a stub; None
+        if the leader itself is undecodable or non-executable (the
+        dispatch loop then single-steps so the fault surfaces with
+        legacy semantics)."""
+        space = self.cpu.space
+        if not space.in_enclave(rip):
+            return None
+        base = space.enclave_base
+        try:
+            decoded = decode_block(space.enclave_view(), rip - base,
+                                   MAX_BLOCK_INSTRS)
+        except EncodingError:
+            return None
+        items = []
+        addr = rip
+        for instr, length in decoded:
+            if instr.op not in _SUPPORTED:
+                break
+            try:
+                space.check_exec(addr, length)
+            except MemoryFault:
+                break
+            items.append((addr, instr, length))
+            addr += length
+        if not items:
+            return None
+        block = Block(rip, addr, [a for a, _, _ in items], items)
+        self.blocks[rip] = block
+        return block
+
+    # -- code generation ---------------------------------------------------
+
+    def compile_block(self, block):
+        """Generate and install the fused closure for a warm stub."""
+        fn = self._compile(block.start, block.items, block)
+        block.fn = fn
+        block.items = None
+        return fn
+
+    def _compile(self, start, items, block):
+        cpu = self.cpu
+        cm = cpu.cost_model
+        hot_lo, hot_hi = cpu.hot_range
+        hot_on = hot_lo < hot_hi
+        epc_on = cpu._epc_resident is not None
+        n = len(items)
+        M = _U64
+        S = _SIGN
+        body = []
+        emit = body.append
+        known = 0  # 0: entry flags (kind unknown), 1: CMP, 2: TEST
+
+        def addr_of(mem) -> str:
+            parts = []
+            if mem.base is not None:
+                parts.append(f"regs[{mem.base}]")
+            if mem.index is not None:
+                parts.append(f"regs[{mem.index}]" if mem.scale == 1
+                             else f"regs[{mem.index}] * {mem.scale}")
+            if not parts:
+                return str(mem.disp & M)
+            if mem.disp:
+                parts.append(str(mem.disp))
+            if len(parts) == 1:
+                return f"{parts[0]} & {M}"
+            return "(" + " + ".join(parts) + f") & {M}"
+
+        def mem_cost(cost) -> None:
+            # Same order as the step engine: the hot/EPC adjustment is
+            # added *before* the access, so a faulting access leaves it
+            # in the account.
+            if hot_on:
+                emit(f"if {hot_lo} <= a < {hot_hi}:")
+                emit(f"    cycles += {cm.hot_mem_cost - cost!r}")
+                if epc_on:
+                    emit("else:")
+                    emit("    cycles += epc_touch(a)")
+            elif epc_on:
+                emit("cycles += epc_touch(a)")
+
+        def ret(rip_expr, kind=0, aux=0, nexec=n) -> str:
+            return (f"return {rip_expr}, fk, fa, fb, cycles, "
+                    f"{kind}, {aux}, {nexec}")
+
+        # Specialized memory access: an in-enclave bounds + page-perm
+        # fast path straight against the backing bytearray, with the
+        # fully checked AddressSpace call as the fallback for faults,
+        # untrusted memory, ELRANGE straddles and watched-code stores
+        # (the fallback preserves exact legacy fault/versioning
+        # semantics; the fast path is only taken when no check could
+        # fire).  Base, size, perms and the code-watch range are baked
+        # at translation time — an invalidation-triggering store never
+        # takes the fast path, so re-translation picks up new code.
+        space = cpu.space
+        ebase = space.enclave_base
+        esize = space.enclave_size
+        wlo, whi = space._code_watch
+
+        def emit_load64(dst, var="a"):
+            emit(f"o = {var} - {ebase}")
+            emit(f"if 0 <= o <= {esize - 8} and perms[o >> 12] & 1"
+                 f" and perms[(o + 7) >> 12] & 1:")
+            emit(f"    {dst} = upk_q(smem, o)[0]")
+            emit("else:")
+            emit(f"    {dst} = load_u64({var})")
+
+        def emit_store64(value, var="a"):
+            # ``value`` must already be masked to 64 bits.
+            emit(f"o = {var} - {ebase}")
+            cond = (f"0 <= o <= {esize - 8} and perms[o >> 12] & 2"
+                    f" and perms[(o + 7) >> 12] & 2")
+            if whi > wlo:
+                cond += f" and ({var} >= {whi} or {var} + 8 <= {wlo})"
+            emit(f"if {cond}:")
+            emit(f"    pck_q(smem, o, {value})")
+            emit("else:")
+            emit(f"    store_u64({var}, {value})")
+
+        def emit_load8(dst):
+            emit(f"o = a - {ebase}")
+            emit(f"if 0 <= o < {esize} and perms[o >> 12] & 1:")
+            emit(f"    {dst} = smem[o]")
+            emit("else:")
+            emit(f"    {dst} = load_u8(a)")
+
+        def emit_store8(value):
+            # ``value`` must already be masked to 8 bits.
+            emit(f"o = a - {ebase}")
+            cond = f"0 <= o < {esize} and perms[o >> 12] & 2"
+            if whi > wlo:
+                cond += f" and not {wlo} <= a < {whi}"
+            emit(f"if {cond}:")
+            emit(f"    smem[o] = {value}")
+            emit("else:")
+            emit(f"    store_u8(a, {value})")
+
+        for k, (rip, instr, length) in enumerate(items):
+            op = instr.op
+            ops = instr.operands
+            cost = cm.cost_of(op)
+            C = repr(cost)
+            next_rip = (rip + length) & M
+            last = k == n - 1
+
+            def abort_check():
+                # A store may have invalidated this very block; bail
+                # out with the exact retire count.  On a terminator the
+                # normal return follows immediately, so just clear.
+                emit("if cache.abort:")
+                emit("    cache.abort = False")
+                if not last:
+                    emit("    " + ret(next_rip, nexec=k + 1))
+
+            if op == Op.MOV_RM or op == Op.LDB:
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit(f"a = {addr_of(ops[1])}")
+                mem_cost(cost)
+                if op == Op.MOV_RM:
+                    emit_load64(f"regs[{ops[0]}]")
+                else:
+                    emit_load8(f"regs[{ops[0]}]")
+            elif op == Op.MOV_MR or op == Op.STB:
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit(f"a = {addr_of(ops[0])}")
+                mem_cost(cost)
+                if op == Op.MOV_MR:
+                    emit_store64(f"regs[{ops[1]}] & {M}")
+                else:
+                    emit_store8(f"regs[{ops[1]}] & 255")
+                abort_check()
+            elif op == Op.MOV_MI:
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit(f"a = {addr_of(ops[0])}")
+                mem_cost(cost)
+                emit_store64(str(ops[1] & M))
+                abort_check()
+            elif op == Op.MOV_RR:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = regs[{ops[1]}]")
+            elif op == Op.MOV_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = {ops[1]}")
+            elif op == Op.LEA:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = {addr_of(ops[1])}")
+            elif op in _ALU_RR:
+                emit(f"cycles += {C}")
+                emit(_ALU_RR[op].format(d=ops[0], s=ops[1], m=M, sg=S))
+            elif op == Op.ADD_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = (regs[{ops[0]}] + {ops[1]}) & {M}")
+            elif op == Op.SUB_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = (regs[{ops[0]}] - {ops[1]}) & {M}")
+            elif op == Op.IMUL_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = (((regs[{ops[0]}] ^ {S}) - {S})"
+                     f" * {ops[1]}) & {M}")
+            elif op == Op.AND_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] &= {ops[1] & M}")
+            elif op == Op.OR_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] |= {ops[1] & M}")
+            elif op == Op.XOR_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] ^= {ops[1] & M}")
+            elif op == Op.SHL_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = (regs[{ops[0]}]"
+                     f" << {ops[1] & 63}) & {M}")
+            elif op == Op.SHR_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] >>= {ops[1] & 63}")
+            elif op == Op.SAR_RI:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = (((regs[{ops[0]}] ^ {S}) - {S})"
+                     f" >> {ops[1] & 63}) & {M}")
+            elif op == Op.NEG:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = -regs[{ops[0]}] & {M}")
+            elif op == Op.NOT:
+                emit(f"cycles += {C}")
+                emit(f"regs[{ops[0]}] = ~regs[{ops[0]}] & {M}")
+            elif op in (Op.DIV_RR, Op.DIV_RI, Op.MOD_RR, Op.MOD_RI):
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit(f"t = (regs[{ops[0]}] ^ {S}) - {S}")
+                if op in (Op.DIV_RR, Op.MOD_RR):
+                    emit(f"u = (regs[{ops[1]}] ^ {S}) - {S}")
+                else:
+                    emit(f"u = {ops[1]}")
+                emit("if u == 0:")
+                emit(f'    raise CpuFault("division by zero at {rip:#x}")')
+                emit("q = abs(t) // abs(u)")
+                emit("if (t < 0) != (u < 0):")
+                emit("    q = -q")
+                if op in (Op.DIV_RR, Op.DIV_RI):
+                    emit(f"regs[{ops[0]}] = q & {M}")
+                else:
+                    emit(f"regs[{ops[0]}] = (t - q * u) & {M}")
+            elif op == Op.CMP_RR:
+                emit(f"cycles += {C}")
+                emit(f"fa = regs[{ops[0]}]")
+                emit(f"fb = regs[{ops[1]}]")
+                emit("fk = 1")
+                known = 1
+            elif op == Op.CMP_RI:
+                # fb holds imm & U64: both the unsigned compare and the
+                # sign-flip signed compare recover the legacy result
+                # because |imm| < 2**63.
+                emit(f"cycles += {C}")
+                emit(f"fa = regs[{ops[0]}]")
+                emit(f"fb = {ops[1] & M}")
+                emit("fk = 1")
+                known = 1
+            elif op == Op.TEST_RR:
+                emit(f"cycles += {C}")
+                emit(f"fa = regs[{ops[0]}] & regs[{ops[1]}]")
+                emit("fk = 2")
+                known = 2
+            elif op == Op.JMP:
+                emit(f"cycles += {C}")
+                emit(ret((rip + length + ops[0]) & M))
+            elif op == Op.JMP_R:
+                emit(f"cycles += {C}")
+                emit(ret(f"regs[{ops[0]}] & {M}"))
+            elif op in _CMP_PRED:  # the ten Jcc opcodes
+                emit(f"cycles += {C}")
+                if known == 1:
+                    pred = _CMP_PRED[op]
+                elif known == 2:
+                    pred = _TEST_PRED[op]
+                else:
+                    pred = f"jcc({op}, fk, fa, fb)"
+                emit(f"if {pred}:")
+                emit("    " + ret((rip + length + ops[0]) & M))
+                emit(ret(next_rip))
+            elif op == Op.CALL or op == Op.CALL_R:
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit(f"r = (regs[4] - 8) & {M}")
+                emit("regs[4] = r")
+                if epc_on:
+                    emit("d = epc_touch(r)")
+                emit_store64(str(next_rip), var="r")
+                if epc_on:
+                    emit("cycles += d")
+                abort_check()
+                if op == Op.CALL:
+                    emit(ret((rip + length + ops[0]) & M))
+                else:
+                    emit(ret(f"regs[{ops[0]}] & {M}"))
+            elif op == Op.RET:
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit("r = regs[4]")
+                if epc_on:
+                    emit("d = epc_touch(r)")
+                emit_load64("v", var="r")
+                emit(f"regs[4] = (r + 8) & {M}")
+                if epc_on:
+                    emit("cycles += d")
+                emit(ret("v"))
+            elif op == Op.PUSH_R or op == Op.PUSH_I:
+                value = (f"regs[{ops[0]}] & {M}" if op == Op.PUSH_R
+                         else str(ops[0] & M))
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit(f"r = (regs[4] - 8) & {M}")
+                emit("regs[4] = r")
+                if epc_on:
+                    emit("d = epc_touch(r)")
+                emit_store64(value, var="r")
+                if epc_on:
+                    emit("cycles += d")
+                abort_check()
+            elif op == Op.POP_R:
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit("r = regs[4]")
+                if epc_on:
+                    emit("d = epc_touch(r)")
+                emit_load64("v", var="r")
+                emit(f"regs[4] = (r + 8) & {M}")
+                emit(f"regs[{ops[0]}] = v")
+                if epc_on:
+                    emit("cycles += d")
+            elif op == Op.SVC:
+                emit(f"cycles += {C}")
+                emit(ret(next_rip, kind=1, aux=ops[0]))
+            elif op == Op.NOP:
+                emit(f"cycles += {C}")
+            elif op == Op.HLT:
+                emit(f"cycles += {C}")
+                emit(ret(next_rip, kind=2))
+            elif op == Op.TRAP:
+                emit(f"i_ = {k}")
+                emit(f"cycles += {C}")
+                emit(f"raise PolicyViolation({ops[0]}, {rip})")
+            else:  # pragma: no cover - _SUPPORTED pre-filter is total
+                raise AssertionError(f"untranslatable opcode {op:#x}")
+
+        if items[-1][1].op not in BLOCK_TERMINATORS:
+            # Truncated block (decode failure, exec-perm edge or length
+            # cap): fall through to the next leader.
+            emit(ret((items[-1][0] + items[-1][2]) & M))
+
+        lines = [
+            "def _blk(regs, fk, fa, fb, cycles,",
+            "         load_u64=load_u64, store_u64=store_u64,",
+            "         load_u8=load_u8, store_u8=store_u8,",
+            "         smem=smem, perms=perms, upk_q=upk_q, pck_q=pck_q,",
+            "         epc_touch=epc_touch, cache=cache,",
+            "         fault=fault, jcc=jcc):",
+            "    i_ = 0",
+            "    try:",
+        ]
+        lines += ["        " + ln for ln in body]
+        lines += [
+            "    except BaseException:",
+            "        fault(i_, cycles, fk, fa, fb)",
+            "        raise",
+        ]
+        src = "\n".join(lines) + "\n"
+        from ..errors import CpuFault, PolicyViolation
+        namespace = {
+            "load_u64": space.load_u64,
+            "store_u64": space.store_u64,
+            "load_u8": space.load_u8,
+            "store_u8": space.store_u8,
+            "smem": space._mem,
+            "perms": space._perms,
+            "upk_q": _STRUCT_Q.unpack_from,
+            "pck_q": _STRUCT_Q.pack_into,
+            "epc_touch": cpu._epc_touch,
+            "cache": self,
+            "fault": cpu._set_closure_fault,
+            "jcc": eval_jcc,
+            "CpuFault": CpuFault,
+            "PolicyViolation": PolicyViolation,
+        }
+        exec(compile(src, f"<block {start:#x}>", "exec"), namespace)
+        block.src = src
+        return namespace["_blk"]

@@ -15,6 +15,19 @@ from repro.vm import CPU, AexSchedule, CostModel
 
 _U64 = (1 << 64) - 1
 
+#: Set by the module-scoped fixture below; ``run_program`` picks it up
+#: so every test in this file runs under both execution engines.
+_EXECUTOR = ["translate"]
+
+
+@pytest.fixture(scope="module", autouse=True,
+                params=["translate", "step"])
+def vm_executor(request):
+    """Run the whole module once per execution engine."""
+    _EXECUTOR[0] = request.param
+    yield request.param
+    _EXECUTOR[0] = "translate"
+
 
 def _machine():
     enclave = Enclave()
@@ -28,6 +41,7 @@ def run_program(items, enclave=None, regs=None, **cpu_kwargs):
     layout = enclave.layout
     asm = assemble(list(items) + [Instruction(Op.HLT)])
     enclave.space.write_raw(layout.regions["code"].start, asm.code)
+    cpu_kwargs.setdefault("executor", _EXECUTOR[0])
     cpu = CPU(enclave.space, layout.regions["code"].start,
               initial_rsp=layout.initial_rsp,
               ssa_addr=layout.ssa_addr, **cpu_kwargs)
@@ -202,7 +216,8 @@ def test_indirect_call_through_register():
     patched[2:10] = fn_addr.to_bytes(8, "little")
     enclave.space.write_raw(code, bytes(patched))
     cpu = CPU(enclave.space, code,
-              initial_rsp=enclave.layout.initial_rsp)
+              initial_rsp=enclave.layout.initial_rsp,
+              executor=_EXECUTOR[0])
     assert cpu.run().return_value == 77
 
 
@@ -249,7 +264,8 @@ def test_step_limit():
     enclave.space.write_raw(enclave.layout.regions["code"].start,
                             asm.code)
     cpu = CPU(enclave.space, enclave.layout.regions["code"].start,
-              initial_rsp=enclave.layout.initial_rsp)
+              initial_rsp=enclave.layout.initial_rsp,
+              executor=_EXECUTOR[0])
     with pytest.raises(CpuFault, match="step limit"):
         cpu.run(max_steps=1000)
 

@@ -1,0 +1,409 @@
+"""Superblock translator: block-cache lifecycle, self-modifying-code
+invalidation, mid-block AEX and slice boundaries, and the differential
+oracle (the legacy single-step engine must agree bit-for-bit)."""
+
+import pytest
+
+from repro.isa import (
+    Instruction, Label, LabelDef, Mem, assemble,
+    RAX, RBX, RCX, RDX,
+)
+from repro.isa.instructions import Op
+from repro.sgx import Enclave
+from repro.vm import CPU, AexSchedule, BlockCache, CostModel
+
+_U64 = (1 << 64) - 1
+
+
+def _machine():
+    enclave = Enclave()
+    enclave.load_bootstrap_image(b"img")
+    enclave.einit()
+    return enclave
+
+
+def _load(items, enclave=None, watch=True):
+    """Assemble ``items`` + HLT into a fresh enclave's code region."""
+    enclave = enclave or _machine()
+    layout = enclave.layout
+    asm = assemble(list(items) + [Instruction(Op.HLT)])
+    code = layout.regions["code"].start
+    enclave.space.write_raw(code, asm.code)
+    if watch:
+        enclave.space.watch_code_range(code, len(asm.code))
+    return enclave, asm
+
+
+def _cpu(enclave, executor, **kwargs):
+    layout = enclave.layout
+    return CPU(enclave.space, layout.regions["code"].start,
+               initial_rsp=layout.initial_rsp,
+               ssa_addr=layout.ssa_addr, executor=executor, **kwargs)
+
+
+def _run_both(items, regs=None, **kwargs):
+    """Run the program under both engines on fresh, identical enclaves."""
+    outcomes = {}
+    for executor in ("step", "translate"):
+        enclave, _ = _load(items)
+        cpu = _cpu(enclave, executor, **kwargs)
+        for reg, value in (regs or {}).items():
+            cpu.regs[reg] = value & _U64
+        result = cpu.run()
+        outcomes[executor] = (result, list(cpu.regs), cpu.flags_tuple()
+                              if hasattr(cpu, "flags_tuple")
+                              else (cpu.f_eq, cpu.f_lt_s, cpu.f_lt_u))
+    return outcomes["step"], outcomes["translate"]
+
+
+def _hot_loop(n=64, body=()):
+    """A counted loop that re-enters its block ``n`` times."""
+    return [
+        Instruction(Op.MOV_RI, RCX, n),
+        Instruction(Op.MOV_RI, RAX, 0),
+        LabelDef("loop"),
+        *body,
+        Instruction(Op.ADD_RI, RAX, 3),
+        Instruction(Op.SUB_RI, RCX, 1),
+        Instruction(Op.CMP_RI, RCX, 0),
+        Instruction(Op.JG, Label("loop")),
+    ]
+
+
+# -- block cache lifecycle ----------------------------------------------------
+
+def test_hot_block_gets_compiled_cold_block_stays_stub():
+    enclave, _ = _load(_hot_loop(n=200))
+    cpu = _cpu(enclave, "translate")
+    cpu.run()
+    cache = cpu._blocks
+    assert isinstance(cache, BlockCache)
+    compiled = [b for b in cache.blocks.values() if b.fn is not None]
+    assert compiled, "a 200-iteration loop body must end up compiled"
+    # the compiled closure replaces the decoded items
+    assert all(b.items is None for b in compiled)
+
+
+def test_cold_code_never_pays_compilation():
+    # straight-line code runs once: every block stays a stub
+    enclave, _ = _load([Instruction(Op.ADD_RI, RAX, 1)] * 40)
+    cpu = _cpu(enclave, "translate")
+    result = cpu.run()
+    assert result.return_value == 40
+    assert all(b.fn is None for b in cpu._blocks.blocks.values())
+
+
+def test_step_engine_builds_no_block_cache():
+    enclave, _ = _load(_hot_loop(n=100))
+    cpu = _cpu(enclave, "step")
+    cpu.run()
+    assert cpu._blocks is None
+
+
+def test_invalid_executor_rejected():
+    enclave, _ = _load([Instruction(Op.NOP)])
+    with pytest.raises(ValueError, match="executor"):
+        _cpu(enclave, "jit")
+
+
+# -- self-modifying code ------------------------------------------------------
+
+def test_host_store_into_code_invalidates_translated_block(monkeypatch):
+    monkeypatch.setattr("repro.vm.cpu.COLD_RUNS", 0)
+    enclave, asm = _load(_hot_loop(n=50))
+    code = enclave.layout.regions["code"].start
+    cpu = _cpu(enclave, "translate")
+    cpu.run()
+    cache = cpu._blocks
+    loop_leader = code + asm.labels["loop"]
+    assert cache.blocks[loop_leader].fn is not None
+    # a write into the loop body drops every overlapping block (the
+    # entry block falls through into the body, so it goes too) and
+    # keeps the rest (the HLT epilogue block)
+    survivors = {addr for addr, b in cache.blocks.items()
+                 if b.end <= loop_leader + 1 or addr > loop_leader + 1}
+    enclave.space.store_u8(loop_leader + 1, 0)
+    assert loop_leader not in cache.blocks
+    assert set(cache.blocks) == survivors
+
+
+def test_store_outside_watched_range_keeps_blocks(monkeypatch):
+    monkeypatch.setattr("repro.vm.cpu.COLD_RUNS", 0)
+    enclave, _ = _load(_hot_loop(n=50))
+    heap = enclave.layout.regions["heap"].start
+    cpu = _cpu(enclave, "translate")
+    cpu.run()
+    n_before = len(cpu._blocks.blocks)
+    enclave.space.store_u64(heap, 0xDEAD)
+    assert len(cpu._blocks.blocks) == n_before
+
+
+def _smc_program():
+    """A loop whose body increments the immediate of one of its *own*
+    instructions every iteration (imm64 lives at opcode+2)."""
+    def build(imm_addr):
+        return [
+            Instruction(Op.MOV_RI, RCX, 40),
+            Instruction(Op.MOV_RI, RAX, 0),
+            LabelDef("loop"),
+            LabelDef("smc"),
+            Instruction(Op.MOV_RI, RDX, 7),       # imm patched at runtime
+            Instruction(Op.ADD_RR, RAX, RDX),
+            Instruction(Op.MOV_RI, RBX, imm_addr),
+            Instruction(Op.MOV_RM, 5, Mem(RBX)),
+            Instruction(Op.ADD_RI, 5, 1),
+            Instruction(Op.MOV_MR, Mem(RBX), 5),  # self-modifying store
+            Instruction(Op.SUB_RI, RCX, 1),
+            Instruction(Op.CMP_RI, RCX, 0),
+            Instruction(Op.JG, Label("loop")),
+        ]
+    return build
+
+
+def _smc_run(executor, monkeypatch):
+    monkeypatch.setattr("repro.vm.cpu.COLD_RUNS", 0)
+    build = _smc_program()
+    # two-pass assembly: MOV_RI is fixed-width, so label offsets from a
+    # placeholder pass are already final
+    probe = assemble(build(0) + [Instruction(Op.HLT)])
+    enclave = _machine()
+    code = enclave.layout.regions["code"].start
+    imm_addr = code + probe.labels["smc"] + 2
+    # the code page must be writable for an in-enclave store; relax the
+    # page perms before EINIT seals them
+    from repro.sgx.memory import PERM_R, PERM_W, PERM_X
+    enclave2 = Enclave()
+    enclave2.load_bootstrap_image(b"img")
+    region = enclave2.layout.regions["code"]
+    enclave2.space.set_page_perms(region.start, region.size,
+                                  PERM_R | PERM_W | PERM_X)
+    enclave2.einit()
+    asm = assemble(build(imm_addr) + [Instruction(Op.HLT)])
+    enclave2.space.write_raw(region.start, asm.code)
+    enclave2.space.watch_code_range(region.start, len(asm.code))
+    cpu = _cpu(enclave2, executor)
+    result = cpu.run()
+    return result
+
+
+def test_self_modifying_loop_sees_fresh_code(monkeypatch):
+    # imm starts at 7 and grows by 1 per iteration: sum(7..46) = 1060
+    result = _smc_run("translate", monkeypatch)
+    assert result.return_value == sum(range(7, 47))
+
+
+def test_self_modifying_loop_matches_oracle(monkeypatch):
+    step = _smc_run("step", monkeypatch)
+    fast = _smc_run("translate", monkeypatch)
+    assert (step.steps, step.cycles, step.rip, step.return_value) == \
+        (fast.steps, fast.cycles, fast.rip, fast.return_value)
+
+
+# -- AEX inside a block -------------------------------------------------------
+
+def test_aex_mid_block_dumps_architectural_state():
+    # one straight-line 25-instruction block; the only AEX lands after
+    # 15 retired instructions, i.e. *inside* the block
+    items = ([Instruction(Op.NOP)] * 10 +
+             [Instruction(Op.MOV_RI, RBX, 0x1111)] +
+             [Instruction(Op.NOP)] * 9 +
+             [Instruction(Op.MOV_RI, RBX, 0x2222)] +
+             [Instruction(Op.NOP)] * 4)
+    dumps = {}
+    for executor in ("step", "translate"):
+        enclave, _ = _load(items)
+        cpu = _cpu(enclave, executor,
+                   aex_schedule=AexSchedule(15, jitter=0))
+        result = cpu.run()
+        assert result.aex_events == 1
+        ssa = enclave.layout.ssa_addr
+        dumps[executor] = enclave.space.read_raw(ssa, 17 * 8)
+        # at step 15 the first MOV has retired, the second has not
+        assert enclave.space.load_u64(ssa + 3 * 8) == 0x1111
+        assert cpu.regs[3] == 0x2222
+    assert dumps["step"] == dumps["translate"]
+
+
+def test_aex_storm_matches_oracle_through_hot_loop():
+    items = _hot_loop(n=2000)
+    runs = {}
+    for executor in ("step", "translate"):
+        enclave, _ = _load(items)
+        cpu = _cpu(enclave, executor,
+                   aex_schedule=AexSchedule(100, jitter=3))
+        runs[executor] = cpu.run()
+    step, fast = runs["step"], runs["translate"]
+    assert fast.aex_events > 10
+    assert (step.steps, step.cycles, step.aex_events, step.rip) == \
+        (fast.steps, fast.cycles, fast.aex_events, fast.rip)
+
+
+# -- slice boundaries ---------------------------------------------------------
+
+def test_slice_pauses_at_exact_step_inside_block(monkeypatch):
+    monkeypatch.setattr("repro.vm.cpu.COLD_RUNS", 0)
+    items = _hot_loop(n=500)
+    enclave, _ = _load(items)
+    cpu = _cpu(enclave, "translate")
+    cpu.run(slice_steps=100)     # warm + compile the loop block
+    assert not cpu.halted
+    # 7 more steps lands mid-way through the (4-instruction) loop block
+    before = cpu.steps
+    result = cpu.run(slice_steps=7)
+    assert result.steps - before == 7
+    assert not cpu.halted
+    # resuming in 1-step slices must retire exactly one instruction each
+    for _ in range(5):
+        prev = cpu.steps
+        cpu.run(slice_steps=1)
+        assert cpu.steps - prev == 1
+
+
+def test_sliced_and_unsliced_runs_agree(monkeypatch):
+    monkeypatch.setattr("repro.vm.cpu.COLD_RUNS", 0)
+    items = _hot_loop(n=300)
+    enclave, _ = _load(items)
+    whole = _cpu(enclave, "translate").run()
+
+    enclave2, _ = _load(items)
+    sliced = _cpu(enclave2, "translate")
+    while not sliced.halted:
+        result = sliced.run(slice_steps=17)
+    assert (result.steps, result.cycles, result.rip,
+            result.return_value) == \
+        (whole.steps, whole.cycles, whole.rip, whole.return_value)
+
+
+# -- differential oracle ------------------------------------------------------
+
+_DIFF_PROGRAMS = {
+    "alu_loop": _hot_loop(n=100, body=[
+        Instruction(Op.IMUL_RI, RAX, 3),
+        Instruction(Op.XOR_RI, RAX, 0x5A5A),
+        Instruction(Op.SHR_RI, RAX, 1),
+    ]),
+    "calls": [
+        Instruction(Op.MOV_RI, RCX, 60),
+        Instruction(Op.MOV_RI, RAX, 0),
+        LabelDef("loop"),
+        Instruction(Op.CALL, Label("fn")),
+        Instruction(Op.SUB_RI, RCX, 1),
+        Instruction(Op.CMP_RI, RCX, 0),
+        Instruction(Op.JG, Label("loop")),
+        Instruction(Op.JMP, Label("end")),
+        LabelDef("fn"),
+        Instruction(Op.PUSH_R, RCX),
+        Instruction(Op.PUSH_I, 5),
+        Instruction(Op.POP_R, RDX),
+        Instruction(Op.ADD_RR, RAX, RDX),
+        Instruction(Op.POP_R, RCX),
+        Instruction(Op.RET),
+        LabelDef("end"),
+    ],
+    "signed_compares": [
+        Instruction(Op.MOV_RI, RCX, 50),
+        Instruction(Op.MOV_RI, RAX, 0),
+        Instruction(Op.MOV_RI, RBX, -25),
+        LabelDef("loop"),
+        Instruction(Op.ADD_RI, RBX, 1),
+        Instruction(Op.CMP_RI, RBX, 0),
+        Instruction(Op.JL, Label("neg")),
+        Instruction(Op.ADD_RI, RAX, 100),
+        Instruction(Op.JMP, Label("next")),
+        LabelDef("neg"),
+        Instruction(Op.ADD_RI, RAX, 1),
+        LabelDef("next"),
+        Instruction(Op.TEST_RR, RCX, RCX),
+        Instruction(Op.SUB_RI, RCX, 1),
+        Instruction(Op.JNE, Label("loop")),
+    ],
+    "division": [
+        Instruction(Op.MOV_RI, RCX, 40),
+        Instruction(Op.MOV_RI, RAX, 0),
+        Instruction(Op.MOV_RI, RBX, -1000),
+        LabelDef("loop"),
+        Instruction(Op.MOV_RR, RDX, RBX),
+        Instruction(Op.DIV_RI, RDX, 7),
+        Instruction(Op.ADD_RR, RAX, RDX),
+        Instruction(Op.MOV_RR, RDX, RBX),
+        Instruction(Op.MOD_RI, RDX, 7),
+        Instruction(Op.ADD_RR, RAX, RDX),
+        Instruction(Op.ADD_RI, RBX, 51),
+        Instruction(Op.SUB_RI, RCX, 1),
+        Instruction(Op.CMP_RI, RCX, 0),
+        Instruction(Op.JG, Label("loop")),
+    ],
+}
+
+
+@pytest.mark.parametrize("name", sorted(_DIFF_PROGRAMS))
+def test_translated_matches_step_engine(name, monkeypatch):
+    monkeypatch.setattr("repro.vm.cpu.COLD_RUNS", 0)
+    (step_res, step_regs, step_flags), (fast_res, fast_regs, fast_flags) \
+        = _run_both(_DIFF_PROGRAMS[name])
+    assert (step_res.steps, step_res.cycles, step_res.rip,
+            step_res.aex_events, step_res.return_value) == \
+        (fast_res.steps, fast_res.cycles, fast_res.rip,
+         fast_res.aex_events, fast_res.return_value)
+    assert step_regs == fast_regs
+    assert step_flags == fast_flags
+
+
+def test_memory_program_matches_oracle_with_epc_model(monkeypatch):
+    monkeypatch.setattr("repro.vm.cpu.COLD_RUNS", 0)
+    enclaves = {}
+    for executor in ("step", "translate"):
+        enclave = _machine()
+        heap = enclave.layout.regions["heap"].start
+        items = [
+            Instruction(Op.MOV_RI, RCX, 200),
+            Instruction(Op.MOV_RI, RBX, heap),
+            LabelDef("loop"),
+            Instruction(Op.MOV_MR, Mem(RBX), RCX),
+            Instruction(Op.MOV_RM, RDX, Mem(RBX)),
+            Instruction(Op.ADD_RR, RAX, RDX),
+            Instruction(Op.STB, Mem(RBX, RCX, 1, 64), RCX),
+            Instruction(Op.LDB, RDX, Mem(RBX, RCX, 1, 64)),
+            Instruction(Op.ADD_RR, RAX, RDX),
+            Instruction(Op.ADD_RI, RBX, 256),
+            Instruction(Op.SUB_RI, RCX, 1),
+            Instruction(Op.CMP_RI, RCX, 0),
+            Instruction(Op.JG, Label("loop")),
+        ]
+        enclave, _ = _load(items, enclave=enclave)
+        cpu = _cpu(enclave, executor,
+                   cost_model=CostModel.with_epc_limit(4))
+        enclaves[executor] = (cpu.run(), enclave)
+    (step_res, e1), (fast_res, e2) = \
+        enclaves["step"], enclaves["translate"]
+    assert (step_res.steps, step_res.cycles, step_res.return_value) == \
+        (fast_res.steps, fast_res.cycles, fast_res.return_value)
+    heap_lo = e1.layout.regions["heap"].start
+    assert e1.space.read_raw(heap_lo, 4096) == \
+        e2.space.read_raw(heap_lo, 4096)
+
+
+# -- shared stack path --------------------------------------------------------
+
+def test_public_push_pop_costs_match_instruction_path():
+    # the helper API and the PUSH_R/POP_R opcodes share one code path,
+    # so their cycle accounting must be identical
+    enclave, _ = _load([Instruction(Op.PUSH_R, RAX),
+                        Instruction(Op.POP_R, RBX)])
+    cpu = _cpu(enclave, "step")
+    result = cpu.run()
+    instr_cycles = result.cycles
+
+    enclave2, _ = _load([Instruction(Op.NOP)])
+    cpu2 = _cpu(enclave2, "step")
+    cpu2.regs[0] = 99
+    base = cpu2.cycles
+    cpu2.push(cpu2.regs[0])
+    assert cpu2.pop() == 99
+    helper_cycles = cpu2.cycles - base
+    # instruction path additionally retires PUSH_R+POP_R+HLT opcode costs
+    model = CostModel()
+    from repro.isa.instructions import Op as _Op
+    opcode_cost = (model.cost_of(_Op.PUSH_R) + model.cost_of(_Op.POP_R)
+                   + model.cost_of(_Op.HLT))
+    assert instr_cycles == pytest.approx(helper_cycles + opcode_cost)
