@@ -1,11 +1,12 @@
 """Benchmark harness: run matrices, overhead computation, table output."""
 
 from .harness import (
-    BenchResult, compile_workload, run_workload, overhead_matrix,
-    PAPER_SETTINGS,
+    BenchResult, RunMatrix, attach_overheads, compile_workload,
+    run_workload, overhead_matrix, PAPER_SETTINGS,
 )
 from .tables import format_series, format_table, percent
 
-__all__ = ["BenchResult", "compile_workload", "run_workload",
+__all__ = ["BenchResult", "RunMatrix", "attach_overheads",
+           "compile_workload", "run_workload",
            "overhead_matrix", "PAPER_SETTINGS",
            "format_series", "format_table", "percent"]

@@ -7,20 +7,35 @@ account.  ``overhead_matrix`` sweeps the paper's five policy settings
 and computes overhead percentages relative to the baseline (the pure
 loader, as in §VI-B).
 
-Compiled objects are memoised: the same (source, policies) pair is
-compiled once per process.
+Two layers of amortization keep sweeps fast:
+
+* compiled objects are memoised — the same (source, policies) pair is
+  compiled once per process;
+* provisioning goes through the process-wide
+  :data:`~repro.core.bootstrap.PROVISION_CACHE`, so re-running a cell
+  (both-executor comparisons, figure size sweeps over one binary)
+  skips RDD + verification + imm rewriting.
+
+``RunMatrix.collect(jobs=N)`` fans the workload × setting cells out to
+a ``multiprocessing`` worker pool.  Cells are compiled once in the
+parent (the fork inherits the warm compile cache), every cell is
+deterministic, and the merge re-assembles rows in sweep order — so the
+parallel matrix's cell values (steps, cycles, aex_events, overhead_pct)
+are byte-identical to a serial run; only ``wall_s``/``ips`` may differ.
 """
 
 from __future__ import annotations
 
 import functools
 import json
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..compiler.frontend import compile_source
-from ..core.bootstrap import BootstrapEnclave, RunOutcome
+from ..core.bootstrap import PROVISION_CACHE, BootstrapEnclave, RunOutcome
+from ..errors import ReproError
 from ..policy.policies import PolicySet
 from ..sgx.layout import EnclaveConfig
 from ..vm.costmodel import CostModel
@@ -44,10 +59,20 @@ class BenchResult:
     aex_events: int = 0
     text_bytes: int = 0
     status: str = "ok"
+    #: Failure reason when ``status != "ok"`` (non-strict sweeps).
+    detail: str = ""
     #: Host wall-clock seconds of the execute phase only (the enclave
     #: run, excluding compile/link/load/verify) — the executor
     #: comparison metric.
     wall_s: float = 0.0
+    #: Overhead vs the row baseline, attached by ``overhead_matrix``.
+    overhead_pct: float = 0.0
+    #: Provision-cache hits observed while provisioning this cell.
+    provision_cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def ips(self) -> float:
@@ -56,6 +81,8 @@ class BenchResult:
 
     def overhead_vs(self, baseline: "BenchResult") -> float:
         """Relative overhead in percent (cycle account)."""
+        if baseline.cycles == 0:
+            return 0.0
         return 100.0 * (self.cycles - baseline.cycles) / baseline.cycles
 
     def to_dict(self) -> dict:
@@ -68,9 +95,11 @@ class BenchResult:
             "aex_events": self.aex_events,
             "text_bytes": self.text_bytes,
             "status": self.status,
+            "detail": self.detail,
             "wall_s": round(self.wall_s, 6),
             "ips": round(self.ips, 1),
-            "overhead_pct": round(getattr(self, "overhead_pct", 0.0), 4),
+            "overhead_pct": round(self.overhead_pct, 4),
+            "provision_cache_hits": self.provision_cache_hits,
         }
 
 
@@ -92,48 +121,118 @@ def run_workload(workload: Union[str, Workload], setting: str,
                  cost_model: Optional[CostModel] = None,
                  config: Optional[EnclaveConfig] = None,
                  max_steps: int = 100_000_000,
-                 aex_threshold: int = 1000) -> BenchResult:
-    """Full-pipeline execution of one workload under one setting."""
+                 aex_threshold: int = 1000,
+                 strict: bool = True,
+                 provision_cache: bool = True) -> BenchResult:
+    """Full-pipeline execution of one workload under one setting.
+
+    ``strict=True`` (the default) raises on any failure — violation,
+    fault, rejected binary, failed self-check.  ``strict=False``
+    records the failure in ``status``/``detail`` and returns the cell,
+    so a sweep survives one bad cell.
+    """
     if isinstance(workload, str):
         workload = get_workload(workload)
-    policies = PolicySet.parse(setting)
-    blob = compile_workload(workload, setting, param)
-    boot = BootstrapEnclave(policies=policies, config=config,
-                            aex_threshold=aex_threshold)
-    boot.receive_binary(blob)
-    input_bytes = workload.input_bytes(param)
-    if input_bytes:
-        boot.receive_userdata(input_bytes)
-    t0 = time.perf_counter()
-    outcome: RunOutcome = boot.run(aex_schedule=aex_schedule,
-                                   cost_model=cost_model,
-                                   max_steps=max_steps)
-    wall_s = time.perf_counter() - t0
+    effective_param = param if param is not None else \
+        workload.default_param
+    try:
+        policies = PolicySet.parse(setting)
+        blob = compile_workload(workload, setting, param)
+        boot = BootstrapEnclave(
+            policies=policies, config=config,
+            aex_threshold=aex_threshold,
+            provision_cache=PROVISION_CACHE if provision_cache else None)
+        boot.receive_binary(blob)
+        input_bytes = workload.input_bytes(param)
+        if input_bytes:
+            boot.receive_userdata(input_bytes)
+        t0 = time.perf_counter()
+        outcome: RunOutcome = boot.run(aex_schedule=aex_schedule,
+                                       cost_model=cost_model,
+                                       max_steps=max_steps)
+        wall_s = time.perf_counter() - t0
+    except ReproError as exc:
+        if strict:
+            raise
+        return BenchResult(workload=workload.name, setting=setting,
+                           param=effective_param, steps=0, cycles=0.0,
+                           status="error", detail=str(exc))
     result = BenchResult(
         workload=workload.name, setting=setting,
-        param=param if param is not None else workload.default_param,
+        param=effective_param,
         steps=outcome.result.steps if outcome.result else 0,
         cycles=outcome.result.cycles if outcome.result else 0.0,
         reports=list(outcome.reports),
         aex_events=outcome.result.aex_events if outcome.result else 0,
         text_bytes=boot.loaded.code_len,
         status=outcome.status,
-        wall_s=wall_s)
+        detail=outcome.detail,
+        wall_s=wall_s,
+        provision_cache_hits=outcome.provision_cache_hits)
     if outcome.status != "ok":
-        raise RuntimeError(
-            f"{workload.name}/{setting}: {outcome.status} "
-            f"({outcome.detail})")
+        if strict:
+            raise RuntimeError(
+                f"{workload.name}/{setting}: {outcome.status} "
+                f"({outcome.detail})")
+        return result
     if result.reports and result.reports[0] != 1:
-        raise RuntimeError(
-            f"{workload.name}/{setting}: self-check failed "
-            f"(reports={result.reports})")
+        if strict:
+            raise RuntimeError(
+                f"{workload.name}/{setting}: self-check failed "
+                f"(reports={result.reports})")
+        result.status = "selfcheck"
+        result.detail = f"self-check failed (reports={result.reports})"
     return result
+
+
+def _cell_schedule(setting: str,
+                   aex_mean_interval: int) -> Optional[AexSchedule]:
+    """The AEX schedule a cell runs under — P6 cells get benign OS
+    timer ticks; one shared helper so serial and parallel sweeps use
+    bit-identical schedules."""
+    if aex_mean_interval and PolicySet.parse(setting).p6:
+        return AexSchedule(aex_mean_interval)
+    return None
+
+
+def attach_overheads(results: Dict[str, BenchResult],
+                     strict: bool = True) -> None:
+    """Attach ``overhead_pct`` vs the baseline and cross-check reports.
+
+    All settings of one workload must report identical values
+    (differential check).  Failed cells are skipped: they keep
+    ``overhead_pct == 0.0`` and never poison the divergence check.  In
+    non-strict mode a diverging cell is downgraded to
+    ``status="divergent"`` instead of raising.
+    """
+    baseline = results.get("baseline")
+    if baseline is not None and not baseline.ok:
+        baseline = None
+    reports0 = None
+    for setting, result in results.items():
+        if not result.ok:
+            continue
+        if reports0 is None:
+            reports0 = result.reports
+        elif result.reports != reports0:
+            message = (f"{result.workload}: reports diverge between "
+                       f"settings ({setting}: {result.reports} vs "
+                       f"{reports0})")
+            if strict:
+                raise RuntimeError(message)
+            result.status = "divergent"
+            result.detail = message
+            continue
+        result.overhead_pct = (result.overhead_vs(baseline)
+                               if baseline and setting != "baseline"
+                               else 0.0)
 
 
 def overhead_matrix(workload: Union[str, Workload],
                     param: Optional[int] = None,
                     settings=PAPER_SETTINGS,
                     aex_mean_interval: int = 400_000,
+                    strict: bool = True,
                     **kwargs) -> Dict[str, BenchResult]:
     """Run ``workload`` under every setting; attach ``.overhead_pct``.
 
@@ -141,29 +240,52 @@ def overhead_matrix(workload: Union[str, Workload],
     so the marker path and the AEX accounting are actually exercised.
     The default threshold is sized for benign profiles of the largest
     benchmark runs, as §IV-C prescribes ("set by profiling the enclave
-    program in benign environments").  All settings must report
-    identical values (differential check).
+    program in benign environments").
     """
     results: Dict[str, BenchResult] = {}
     for setting in settings:
-        aex = None
-        if PolicySet.parse(setting).p6 and aex_mean_interval:
-            aex = AexSchedule(aex_mean_interval)
-        results[setting] = run_workload(workload, setting, param,
-                                        aex_schedule=aex, **kwargs)
-    baseline = results.get("baseline")
-    reports0 = None
-    for setting, result in results.items():
-        if reports0 is None:
-            reports0 = result.reports
-        elif result.reports != reports0:
-            raise RuntimeError(
-                f"{result.workload}: reports diverge between settings "
-                f"({setting}: {result.reports} vs {reports0})")
-        result.overhead_pct = (result.overhead_vs(baseline)
-                               if baseline and setting != "baseline"
-                               else 0.0)
+        results[setting] = run_workload(
+            workload, setting, param,
+            aex_schedule=_cell_schedule(setting, aex_mean_interval),
+            strict=strict, **kwargs)
+    attach_overheads(results, strict=strict)
     return results
+
+
+#: Worker-side sweep parameters, set once per pool worker by
+#: :func:`_pool_init` (fork inherits the parent's warm compile cache).
+_POOL_STATE: dict = {}
+
+
+def _pool_init(cost_model, aex_mean_interval, strict, provision_cache,
+               kwargs) -> None:
+    _POOL_STATE.update(cost_model=cost_model,
+                       aex_mean_interval=aex_mean_interval,
+                       strict=strict, provision_cache=provision_cache,
+                       kwargs=kwargs)
+
+
+def _pool_cell(name: str, setting: str):
+    """Run one (workload, setting) cell inside a pool worker.
+
+    Returns ``(result, fresh_cache_entries)`` — the entries this cell
+    added to the worker's provision cache, so the parent can absorb
+    them (worker processes die with the pool; without the harvest a
+    later sweep over the same binaries would re-verify everything).
+    """
+    state = _POOL_STATE
+    before = PROVISION_CACHE.keys() if state["provision_cache"] else None
+    result = run_workload(
+        name, setting,
+        aex_schedule=_cell_schedule(setting,
+                                    state["aex_mean_interval"]),
+        cost_model=state["cost_model"],
+        strict=state["strict"],
+        provision_cache=state["provision_cache"],
+        **state["kwargs"])
+    fresh = (PROVISION_CACHE.export_since(before)
+             if before is not None else {})
+    return result, fresh
 
 
 class RunMatrix(dict):
@@ -172,25 +294,88 @@ class RunMatrix(dict):
     Plain dict plus a machine-readable serialization, so benchmark
     sweeps can be archived (``BENCH_vm.json``) and diffed across
     commits.  ``executor`` records which VM engine produced the numbers
-    (see :class:`~repro.vm.costmodel.CostModel.executor`)."""
+    (see :class:`~repro.vm.costmodel.CostModel.executor`);
+    ``parallelism`` records the worker-pool size the cells ran under
+    (1 = serial)."""
 
-    def __init__(self, executor: str = "translate"):
+    def __init__(self, executor: str = "translate",
+                 parallelism: int = 1):
         super().__init__()
         self.executor = executor
+        self.parallelism = parallelism
 
     @classmethod
     def collect(cls, workloads: Iterable[str],
                 settings=PAPER_SETTINGS,
                 executor: str = "translate",
                 cost_model: Optional[CostModel] = None,
+                jobs: int = 1,
+                strict: bool = True,
+                provision_cache: bool = True,
+                aex_mean_interval: int = 400_000,
                 **kwargs) -> "RunMatrix":
-        """Sweep ``workloads`` x ``settings`` under one executor."""
+        """Sweep ``workloads`` × ``settings`` under one executor.
+
+        ``jobs > 1`` dispatches cells to a ``multiprocessing`` pool.
+        Every cell is deterministic and rows are merged in sweep order,
+        so the parallel matrix's cell values are identical to a serial
+        run; only the wall-clock fields differ.  ``strict=False``
+        records failed cells (``status``/``detail``) instead of
+        aborting the sweep.
+        """
         cm = cost_model or CostModel(executor=executor)
-        matrix = cls(executor=cm.executor)
+        workloads = list(workloads)
+        settings = tuple(settings)
+        jobs = max(1, int(jobs))
+        matrix = cls(executor=cm.executor, parallelism=jobs)
+        if jobs == 1:
+            for name in workloads:
+                matrix[name] = overhead_matrix(
+                    name, settings=settings, cost_model=cm,
+                    strict=strict, aex_mean_interval=aex_mean_interval,
+                    provision_cache=provision_cache, **kwargs)
+            return matrix
+
+        tasks = [(name, setting) for name in workloads
+                 for setting in settings]
+        # Compile every cell in the parent so forked workers inherit a
+        # warm compile cache and never duplicate the compile work.
+        param = kwargs.get("param")
+        for name, setting in tasks:
+            try:
+                compile_workload(name, setting, param)
+            except ReproError:
+                if strict:
+                    raise
+                # the worker re-raises and records the failed cell
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(jobs, len(tasks)),
+                      initializer=_pool_init,
+                      initargs=(cm, aex_mean_interval, strict,
+                                provision_cache, kwargs)) as pool:
+            cells = pool.starmap(_pool_cell, tasks)
+        by_cell = {}
+        for task, (cell, fresh) in zip(tasks, cells):
+            if provision_cache:
+                PROVISION_CACHE.absorb(fresh)
+            by_cell[task] = cell
         for name in workloads:
-            matrix[name] = overhead_matrix(name, settings=settings,
-                                           cost_model=cm, **kwargs)
+            row = {setting: by_cell[(name, setting)]
+                   for setting in settings}
+            attach_overheads(row, strict=strict)
+            matrix[name] = row
         return matrix
+
+    @property
+    def failures(self) -> List[str]:
+        """``workload/setting`` labels of every non-ok cell."""
+        return [f"{name}/{setting}"
+                for name, row in self.items()
+                for setting, result in row.items()
+                if not result.ok]
 
     @property
     def total_wall_s(self) -> float:
@@ -208,11 +393,16 @@ class RunMatrix(dict):
         return {
             "schema": "deflection-bench/1",
             "executor": self.executor,
+            "parallelism": self.parallelism,
             "totals": {
                 "wall_s": round(self.total_wall_s, 6),
                 "steps": self.total_steps,
                 "ips": round(self.total_steps / self.total_wall_s, 1)
                 if self.total_wall_s > 0 else 0.0,
+                "provision_cache_hits": sum(
+                    r.provision_cache_hits for row in self.values()
+                    for r in row.values()),
+                "failed_cells": self.failures,
             },
             "workloads": {
                 name: {setting: result.to_dict()

@@ -148,14 +148,43 @@ def cmd_run(args) -> int:
     return 2
 
 
+def _smoke_parallel_equality(name, settings, param, jobs) -> int:
+    """Collect a one-workload matrix serially and under a worker pool;
+    nonzero when any cell value differs (they never should)."""
+    from .bench.harness import RunMatrix
+    matrices = {}
+    for label, n in (("serial", 1), ("parallel", jobs)):
+        matrices[label] = RunMatrix.collect(
+            [name], settings=settings, executor="translate",
+            param=param, jobs=n)
+    unequal = []
+    for setting in settings:
+        a = matrices["serial"][name][setting]
+        b = matrices["parallel"][name][setting]
+        if (a.steps, a.cycles, a.aex_events, a.overhead_pct) != \
+                (b.steps, b.cycles, b.aex_events, b.overhead_pct):
+            unequal.append(setting)
+    wall = {label: m.total_wall_s for label, m in matrices.items()}
+    print(f"smoke {name} serial vs --jobs {jobs}: "
+          f"wall {wall['serial']:.3f}s vs {wall['parallel']:.3f}s")
+    if unequal:
+        print(f"PARALLEL DIVERGENCE in {len(unequal)} cells: "
+              f"{', '.join(unequal)}")
+        return 1
+    print("parallel cell values identical to serial")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench.harness import PAPER_SETTINGS, RunMatrix, run_workload
+    from .core.bootstrap import PROVISION_CACHE
     from .vm.costmodel import CostModel
     from .workloads import get_workload
     from .workloads.nbench import NBENCH_ORDER
 
     workloads = list(args.workloads or NBENCH_ORDER)
     settings = tuple(args.settings or PAPER_SETTINGS)
+    use_cache = not args.no_provision_cache
     try:
         for name in workloads:
             get_workload(name)
@@ -173,7 +202,8 @@ def cmd_bench(args) -> int:
             cells[executor] = run_workload(
                 name, setting, args.param,
                 aex_schedule=AexSchedule(400_000),
-                cost_model=CostModel(executor=executor))
+                cost_model=CostModel(executor=executor),
+                provision_cache=use_cache)
         step, fast = cells["step"], cells["translate"]
         diverged = [key for key in
                     ("steps", "cycles", "aex_events", "reports", "status")
@@ -187,13 +217,19 @@ def cmd_bench(args) -> int:
             return 1
         print(f"cycle accounts identical "
               f"(speedup {step.wall_s / fast.wall_s:.2f}x)")
+        if args.jobs > 1:
+            return _smoke_parallel_equality(name, settings, args.param,
+                                            args.jobs)
         return 0
 
     executors = (["step", "translate"] if args.executor == "both"
                  else [args.executor])
     matrices = {executor: RunMatrix.collect(workloads, settings=settings,
                                             executor=executor,
-                                            param=args.param)
+                                            param=args.param,
+                                            jobs=args.jobs,
+                                            strict=False,
+                                            provision_cache=use_cache)
                 for executor in executors}
 
     divergent: list = []
@@ -213,6 +249,7 @@ def cmd_bench(args) -> int:
             speedup[name] = round(wall_o / wall_f, 2) if wall_f else 0.0
         doc = {
             "schema": "deflection-bench/1",
+            "parallelism": args.jobs,
             "executors": {ex: m.to_json() for ex, m in matrices.items()},
             "comparison": {
                 "aggregate_speedup": round(
@@ -221,6 +258,13 @@ def cmd_bench(args) -> int:
                 "divergent_cells": divergent,
             },
         }
+    # Parent-process cache stats plus per-cell hit counts (with --jobs,
+    # hits happen inside the pool workers and ride back on the cells).
+    doc["provision_cache"] = dict(
+        PROVISION_CACHE.stats(),
+        cell_hits=sum(r.provision_cache_hits
+                      for m in matrices.values()
+                      for row in m.values() for r in row.values()))
 
     if args.json:
         out = Path(args.out)
@@ -230,13 +274,13 @@ def cmd_bench(args) -> int:
     for executor, matrix in matrices.items():
         rows = [[name, setting, f"{r.steps:,}", f"{r.cycles:,.0f}",
                  f"{r.wall_s:.3f}", f"{r.ips:,.0f}",
-                 f"{getattr(r, 'overhead_pct', 0.0):+.2f}"]
+                 f"{r.overhead_pct:+.2f}", r.status]
                 for name, row in matrix.items()
                 for setting, r in row.items()]
         print(format_table(
-            f"bench ({executor} executor)",
+            f"bench ({executor} executor, jobs={args.jobs})",
             ["workload", "setting", "steps", "cycles", "wall s",
-             "instr/s", "ovh %"], rows))
+             "instr/s", "ovh %", "status"], rows))
     if len(matrices) == 2:
         print(f"\naggregate speedup (step wall / translate wall): "
               f"{doc['comparison']['aggregate_speedup']}x")
@@ -245,6 +289,11 @@ def cmd_bench(args) -> int:
                   f"{', '.join(divergent)}")
             return 1
         print("cycle accounts identical across executors")
+    failed = sorted({cell for m in matrices.values()
+                     for cell in m.failures})
+    if failed:
+        print(f"FAILED cells ({len(failed)}): {', '.join(failed)}")
+        return 1
     return 0
 
 
@@ -315,7 +364,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--out", default="BENCH_vm.json")
     p.add_argument("--smoke", action="store_true",
                    help="run one kernel under both executors; exit "
-                        "nonzero on cycle-account divergence")
+                        "nonzero on cycle-account divergence (with "
+                        "--jobs N, also assert a parallel sweep equals "
+                        "the serial one)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for the run matrix "
+                        "(cell values are identical to a serial sweep)")
+    p.add_argument("--no-provision-cache", action="store_true",
+                   help="re-verify every provisioning instead of "
+                        "reusing cached verified images")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("tcb", help="measured TCB inventory")

@@ -17,7 +17,9 @@ The bootstrap's measured image is the actual source of this package —
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional
@@ -37,7 +39,7 @@ from ..vm.costmodel import CostModel
 from ..vm.cpu import CPU, ExecResult
 from ..vm.interrupts import AexSchedule
 from .audit import AuditLog
-from .loader import DynamicLoader, LoadedBinary
+from .loader import DynamicLoader, LoadedBinary, ProvisionedImage
 from .rewriter import ImmRewriter, build_value_map
 from .verifier import DEFAULT_ALLOWED_SVCS, PolicyVerifier, VerifiedBinary
 
@@ -46,6 +48,95 @@ SVC_RECV = 2
 SVC_REPORT = 3
 
 _RDI, _RSI = 7, 6
+
+
+class ProvisionCache:
+    """LRU of verified + rewritten images, keyed on the provision triple.
+
+    The key is ``(sha256(blob), policy fingerprint, config fingerprint,
+    aex_threshold)`` — every input of the parse → load → RDD → verify →
+    rewrite pipeline.  A hit replays the captured memory images through
+    :meth:`DynamicLoader.install_image`, skipping disassembly,
+    annotation verification and imm rewriting entirely (the dominant
+    one-time cost the paper measures in §VI-B).  Only *accepted*
+    binaries are ever stored: a rejected blob re-verifies (and
+    re-fails) on every attempt, and any mutated blob changes the digest
+    and therefore misses.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, ProvisionedImage]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> Optional[ProvisionedImage]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, image: ProvisionedImage) -> None:
+        self._entries[key] = image
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, blob: bytes = None,
+                   digest: bytes = None) -> int:
+        """Drop entries for one blob (under every policy/config), or —
+        with no argument — every entry.  Returns the eviction count."""
+        if blob is not None:
+            digest = hashlib.sha256(blob).digest()
+        if digest is None:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+        stale = [key for key in self._entries if key[0] == digest]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Invalidate everything and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # -- cross-process harvest (the bench worker pool) -------------------
+
+    def keys(self) -> frozenset:
+        return frozenset(self._entries)
+
+    def export_since(self, keys: frozenset) -> dict:
+        """Entries added after a :meth:`keys` snapshot — what a pool
+        worker ships back to the parent process."""
+        return {key: image for key, image in self._entries.items()
+                if key not in keys}
+
+    def absorb(self, entries: dict) -> None:
+        """Merge entries harvested from a worker process."""
+        for key, image in entries.items():
+            if key not in self._entries:
+                self.store(key, image)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses}
+
+
+#: Process-wide default cache.  Opt-in: a ``BootstrapEnclave`` only
+#: consults it when constructed with ``provision_cache=PROVISION_CACHE``
+#: (the bench harness and the HTTPS simulator do; ad-hoc enclaves keep
+#: the always-verify behaviour).
+PROVISION_CACHE = ProvisionCache()
 
 
 def consumer_image() -> bytes:
@@ -93,6 +184,9 @@ class RunOutcome:
     #: Cycle count as observed by the untrusted host: the true count
     #: rounded up to the padding quantum when time blurring is on.
     observable_cycles: float = 0.0
+    #: How many provisionings of this enclave were served from the
+    #: provision cache (0 when the cache is off or every load verified).
+    provision_cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -121,11 +215,14 @@ class BootstrapEnclave:
                  platform: PlatformKey = None,
                  p0: P0Config = None,
                  aex_threshold: int = 10,
-                 custom=()):
+                 custom=(),
+                 provision_cache: ProvisionCache = None):
         self.policies = policies if policies is not None \
             else PolicySet.full()
         self.p0 = p0 or P0Config()
         self.aex_threshold = aex_threshold
+        self.provision_cache = provision_cache
+        self.provision_cache_hits = 0
         self.enclave = Enclave(config, platform)
         self.enclave.load_bootstrap_image(consumer_image())
         self.enclave.einit()
@@ -195,7 +292,19 @@ class BootstrapEnclave:
             if provider is None:
                 raise ProtocolError("no provider channel established")
             blob = provider.open(blob)
-        blob_hash = hashlib.sha256(blob).hexdigest()
+        digest = hashlib.sha256(blob).digest()
+        blob_hash = digest.hex()
+        key = self._provision_key(digest)
+        if self.provision_cache is not None:
+            image = self.provision_cache.lookup(key)
+            if image is not None:
+                self.loaded = self.loader.install_image(image)
+                self.verified = image.verified
+                self.provision_cache_hits += 1
+                self.audit.record(
+                    "binary_provisioned_cached", hash=blob_hash,
+                    instructions=image.verified.instruction_count)
+                return digest
         try:
             obj = ObjectFile.parse(blob)
             loaded = self.loader.load(obj)
@@ -220,7 +329,19 @@ class BootstrapEnclave:
             "binary_verified", hash=blob_hash,
             annotations=sum(verified.annotation_counts.values()),
             instructions=verified.instruction_count)
-        return hashlib.sha256(blob).digest()
+        if self.provision_cache is not None:
+            self.provision_cache.store(
+                key, self.loader.capture_image(loaded, verified, digest))
+        return digest
+
+    def _provision_key(self, digest: bytes) -> tuple:
+        """Cache key: blob digest + every pipeline input that shapes
+        the provisioned image (verifier verdict inputs, enclave layout,
+        rewriter values)."""
+        return (digest,
+                self.verifier.fingerprint(),
+                dataclasses.astuple(self.enclave.config),
+                self.aex_threshold)
 
     def receive_userdata(self, data: bytes,
                          encrypted: bool = False) -> int:
@@ -271,7 +392,8 @@ class BootstrapEnclave:
         if self.loaded is None or self.verified is None:
             raise EnclaveError("no verified binary provisioned")
         self._reset_runtime_cells()
-        outcome = RunOutcome(status="ok")
+        outcome = RunOutcome(status="ok",
+                             provision_cache_hits=self.provision_cache_hits)
         io = _ThreadIO(self._input, 0, outcome)
         self._budget = self.p0.max_output_bytes
         cpu = self._make_cpu(0, io, aex_schedule, cost_model)

@@ -6,12 +6,23 @@ symbols, apply ABS64 relocations, translate the indirect-branch list
 into the valid-target byte map, and initialize the shadow-stack pointer
 cell and the HyperRace marker/counter cells.  Guard pages around the
 stack (for P2's implicit-overflow half) come from the enclave layout.
+
+The loader can also *snapshot* a fully provisioned binary — the
+relocated, verified, imm-rewritten memory images — into a
+:class:`ProvisionedImage` and later *install* that snapshot into an
+identically laid-out enclave without re-running parse/RDD/verify/
+rewrite.  The provision cache in :mod:`repro.core.bootstrap` uses this
+to amortize the one-time verification cost across repeated
+provisionings of the same (blob, policies, config) triple.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from .verifier import VerifiedBinary
 
 from ..compiler.objfile import ObjectFile, SEC_BSS, SEC_DATA, SEC_TEXT
 from ..errors import LoaderError
@@ -32,6 +43,25 @@ class LoadedBinary:
     heap_free: int = 0          # first free heap byte after data+bss
     symbol_addrs: Dict[str, int] = field(default_factory=dict)
     branch_target_addrs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ProvisionedImage:
+    """Snapshot of a verified + rewritten binary, ready to re-install.
+
+    ``text`` is the relocated text *after* the imm rewriter patched the
+    magic slots, so installing it reproduces the exact post-provision
+    memory state; ``branch_map`` is the valid-target byte map the loader
+    derived from the object's indirect-branch list.
+    """
+
+    blob_digest: bytes
+    loaded: LoadedBinary
+    verified: "VerifiedBinary"
+    text: bytes
+    data: bytes
+    bss_size: int
+    branch_map: bytes
 
 
 class DynamicLoader:
@@ -110,6 +140,49 @@ class DynamicLoader:
         if entry is None or entry.section != SEC_TEXT:
             raise LoaderError("bad entry symbol")
         loaded.entry_addr = code.start + entry.offset
+        return loaded
+
+    # -- provision snapshots ---------------------------------------------
+
+    def capture_image(self, loaded: LoadedBinary,
+                      verified: "VerifiedBinary",
+                      blob_digest: bytes) -> ProvisionedImage:
+        """Snapshot the provisioned memory images for later re-install."""
+        space = self.enclave.space
+        brmap = self.enclave.layout.regions["branch_map"]
+        return ProvisionedImage(
+            blob_digest=blob_digest,
+            loaded=loaded,
+            verified=verified,
+            text=space.read_raw(loaded.code_base, loaded.code_len),
+            data=bytes(loaded.obj.data),
+            bss_size=loaded.obj.bss_size,
+            branch_map=space.read_raw(brmap.start, loaded.code_len))
+
+    def install_image(self, image: ProvisionedImage) -> LoadedBinary:
+        """Re-install a snapshot into an identically laid-out enclave.
+
+        The caller (the provision cache) guarantees the layout matches
+        the one the snapshot was captured under; the size check below is
+        a belt-and-braces guard, not a substitute for the cache key.
+        """
+        layout = self.enclave.layout
+        space = self.enclave.space
+        loaded = image.loaded
+        code = layout.regions["code"]
+        if loaded.code_base != code.start or \
+                loaded.code_len > code.size:
+            raise LoaderError("snapshot layout mismatch")
+        space.write_raw(loaded.code_base, image.text)
+        space.write_raw(loaded.data_base, image.data)
+        space.write_raw(loaded.bss_base, b"\x00" * image.bss_size)
+        brmap = layout.regions["branch_map"]
+        space.write_raw(brmap.start, image.branch_map)
+        space.write_raw(layout.ssp_cell,
+                        layout.ss_base.to_bytes(8, "little"))
+        space.write_raw(layout.ssa_marker_addr,
+                        MARKER_VALUE.to_bytes(8, "little"))
+        space.write_raw(layout.aex_count_cell, b"\x00" * 8)
         return loaded
 
 

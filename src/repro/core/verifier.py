@@ -76,6 +76,17 @@ class PolicyVerifier:
         self._instrumenting = any((policies.p1, policies.p2, policies.p3,
                                    policies.p4, policies.p5, policies.p6))
 
+    def fingerprint(self) -> tuple:
+        """Hashable digest of every input that can change the verdict.
+
+        Two verifiers with equal fingerprints accept/reject identical
+        binaries with identical evidence — the precondition for reusing
+        a cached provision (see :class:`repro.core.bootstrap.ProvisionCache`).
+        """
+        return (self.policies.describe(),
+                tuple(sorted(self.allowed_svcs)),
+                tuple(sorted(policy.marker for policy in self.custom)))
+
     # -- public API --------------------------------------------------------
 
     def verify(self, text: bytes, entry: int,

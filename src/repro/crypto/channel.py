@@ -52,8 +52,10 @@ class SecureChannel:
     def __init__(self, send_key: bytes, send_mac: bytes,
                  recv_key: bytes, recv_mac: bytes,
                  record_size: int = 1024):
-        if record_size <= 0:
-            raise ProtocolError("record_size must be positive")
+        if record_size <= _LEN_HDR:
+            raise ProtocolError(
+                f"record_size must exceed the {_LEN_HDR}-byte length "
+                f"header (got {record_size})")
         self._send_key = send_key
         self._send_mac = send_mac
         self._recv_key = recv_key

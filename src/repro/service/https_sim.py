@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..core.bootstrap import BootstrapEnclave
+from ..core.bootstrap import PROVISION_CACHE, BootstrapEnclave
 from ..policy.policies import PolicySet
 from ..workloads.https_app import request_bytes
 from ..workloads.registry import get_workload
@@ -55,7 +55,11 @@ class HttpsServerSim:
         self.buf_size = buf_size
         workload = get_workload("https_handler")
         blob = compile_workload(workload, self.policies.label, buf_size)
-        self._boot = BootstrapEnclave(policies=self.policies)
+        # Re-serving the one verified handler across sim instances is
+        # the provision cache's textbook case: the second server with
+        # the same (blob, policies, config) skips RDD/verify/rewrite.
+        self._boot = BootstrapEnclave(policies=self.policies,
+                                      provision_cache=PROVISION_CACHE)
         self._boot.receive_binary(blob)
         c_small = self._measure_cycles(self._FIT_SIZES[0])
         c_large = self._measure_cycles(self._FIT_SIZES[1])

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.bench import (
-    format_table, overhead_matrix, percent, run_workload,
+    RunMatrix, format_table, overhead_matrix, percent, run_workload,
 )
+from repro.bench.harness import BenchResult
 from repro.bench.tables import format_series
 
 
@@ -35,6 +36,87 @@ def test_workload_failure_is_loud():
     with pytest.raises(RuntimeError, match="self-check|violation|fault"):
         # absurd step cap forces a failure surface
         run_workload("numeric_sort", "P1", 40, max_steps=10)
+
+
+def test_non_strict_records_failure_instead_of_raising():
+    result = run_workload("numeric_sort", "P1", 40, max_steps=10,
+                          strict=False)
+    assert result.status != "ok"
+    assert result.detail
+    assert result.overhead_pct == 0.0
+
+
+def test_overhead_vs_zero_cycle_baseline_is_zero():
+    baseline = BenchResult("w", "baseline", 0, steps=0, cycles=0.0)
+    cell = BenchResult("w", "P1", 0, steps=10, cycles=42.0)
+    assert cell.overhead_vs(baseline) == 0.0
+
+
+def test_non_strict_matrix_keeps_sweeping_past_a_bad_cell():
+    matrix = RunMatrix.collect(
+        ["numeric_sort"], settings=("baseline", "P1"), param=40,
+        strict=False, max_steps=10)
+    # every cell failed (step cap), the sweep still completed
+    assert matrix.failures == ["numeric_sort/baseline",
+                               "numeric_sort/P1"]
+    doc = matrix.to_json()
+    cell = doc["workloads"]["numeric_sort"]["baseline"]
+    assert cell["status"] != "ok"
+    assert cell["detail"]
+    assert doc["totals"]["failed_cells"] == matrix.failures
+
+
+def test_parallel_matrix_equals_serial():
+    settings = ("baseline", "P1", "P1-P6")
+    kwargs = dict(settings=settings, param=24,
+                  aex_mean_interval=20_000)
+    serial = RunMatrix.collect(["numeric_sort", "string_sort"],
+                               jobs=1, **kwargs)
+    parallel = RunMatrix.collect(["numeric_sort", "string_sort"],
+                                 jobs=2, **kwargs)
+    assert parallel.parallelism == 2
+    assert serial.parallelism == 1
+    for name in ("numeric_sort", "string_sort"):
+        for setting in settings:
+            a, b = serial[name][setting], parallel[name][setting]
+            assert (a.steps, a.cycles, a.aex_events, a.overhead_pct) \
+                == (b.steps, b.cycles, b.aex_events, b.overhead_pct), \
+                f"{name}/{setting}"
+    assert parallel.to_json()["parallelism"] == 2
+
+
+def test_run_workload_reuses_provision_cache():
+    from repro.core.bootstrap import PROVISION_CACHE
+    PROVISION_CACHE.clear()
+    first = run_workload("numeric_sort", "P1", 40)
+    second = run_workload("numeric_sort", "P1", 40)
+    assert first.provision_cache_hits == 0
+    assert second.provision_cache_hits == 1
+    assert PROVISION_CACHE.hits >= 1
+    # the two cells are indistinguishable where it matters
+    assert (first.steps, first.cycles, first.reports) == \
+        (second.steps, second.cycles, second.reports)
+    # opting out bypasses the cache entirely
+    PROVISION_CACHE.clear()
+    run_workload("numeric_sort", "P1", 40, provision_cache=False)
+    assert PROVISION_CACHE.stats() == {"entries": 0, "hits": 0,
+                                       "misses": 0}
+
+
+def test_parallel_sweep_harvests_provision_cache():
+    # Pool workers ship the images they provisioned back to the parent,
+    # so a later sweep over the same binaries provisions from cache.
+    from repro.core.bootstrap import PROVISION_CACHE
+    PROVISION_CACHE.clear()
+    kwargs = dict(settings=("baseline", "P1"), param=24,
+                  aex_mean_interval=20_000, jobs=2)
+    RunMatrix.collect(["numeric_sort"], **kwargs)
+    assert PROVISION_CACHE.stats()["entries"] == 2
+    again = RunMatrix.collect(["numeric_sort"], **kwargs)
+    hits = sum(cell.provision_cache_hits
+               for row in again.values() for cell in row.values())
+    assert hits == 2
+    PROVISION_CACHE.clear()
 
 
 def test_compilation_cache_reused():

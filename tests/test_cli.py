@@ -105,3 +105,33 @@ def test_tcb_table(capsys):
 
 def test_missing_file_handled(capsys):
     assert main(["objdump", "/nonexistent.dfob"]) == 1
+
+
+def test_bench_parallel_json(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--workloads", "numeric_sort",
+                 "--settings", "baseline", "P1",
+                 "--param", "40", "--executor", "translate",
+                 "--jobs", "2", "--json", "-o", str(out)]) == 0
+    import json
+    doc = json.loads(out.read_text())
+    assert doc["parallelism"] == 2
+    assert "provision_cache" in doc
+    cells = doc["workloads"]["numeric_sort"]
+    assert cells["P1"]["status"] == "ok"
+    assert cells["P1"]["overhead_pct"] > 0
+    assert "jobs=2" in capsys.readouterr().out
+
+
+def test_bench_smoke_with_parallel_equality(capsys):
+    assert main(["bench", "--smoke", "--workloads", "numeric_sort",
+                 "--settings", "baseline", "P1",
+                 "--param", "40", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle accounts identical" in out
+    assert "parallel cell values identical to serial" in out
+
+
+def test_bench_rejects_unknown_workload(capsys):
+    assert main(["bench", "--workloads", "nope"]) == 1
+    assert "error:" in capsys.readouterr().err

@@ -189,6 +189,25 @@ def test_channel_rejects_truncation():
         server.open(wire[:-1])
 
 
+@pytest.mark.parametrize("record_size", [-1, 0, 3, 4])
+def test_channel_rejects_record_size_at_or_below_header(record_size):
+    # record_size <= the 4-byte length header used to slip through and
+    # blow up later in seal() with a zero/negative chunk step
+    with pytest.raises(ProtocolError, match="record_size"):
+        _pair(record_size=record_size)
+
+
+def test_channel_smallest_legal_record_size_roundtrips():
+    client, server = _pair(record_size=5)   # 1 payload byte per record
+    msg = b"tiny-but-legal"
+    wire = client.seal(msg)
+    assert len(wire) == len(msg) * (5 + 32)
+    assert server.open(wire) == msg
+    # empty messages still emit exactly one padded record
+    client2, server2 = _pair(record_size=5)
+    assert server2.open(client2.seal(b"")) == b""
+
+
 def test_channel_wire_length_depends_only_on_record_count():
     client, _ = _pair(record_size=128)
     assert client.wire_length(1) == client.wire_length(100)

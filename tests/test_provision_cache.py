@@ -1,0 +1,166 @@
+"""Provision cache: hit/miss/invalidation, safety, RunOutcome surfacing.
+
+The cache memoizes the post-verify, post-rewrite loaded image keyed on
+(sha256(blob), policy fingerprint, config fingerprint, aex_threshold),
+so a second provisioning of an identical triple skips RDD + annotation
+verification + imm rewriting — while any mutated blob re-verifies and a
+rejected blob is never cached.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.core import BootstrapEnclave
+from repro.core.bootstrap import ProvisionCache
+from repro.errors import VerificationError
+from repro.policy import PolicySet
+from repro.sgx.layout import EnclaveConfig
+
+SRC = """
+char buf[16];
+int main() {
+    int n = __recv(buf, 16);
+    int i; int sum = 0;
+    for (i = 0; i < n; i++) sum += buf[i];
+    __report(sum);
+    return sum;
+}
+"""
+
+
+def _blob(policies):
+    return compile_source(SRC, policies).serialize()
+
+
+def _boot(policies, cache, **kwargs):
+    return BootstrapEnclave(policies=policies, provision_cache=cache,
+                            **kwargs)
+
+
+def test_second_identical_provision_hits_and_skips_verification():
+    policies = PolicySet.full()
+    cache = ProvisionCache()
+    blob = _blob(policies)
+
+    first = _boot(policies, cache)
+    digest = first.receive_binary(blob)
+    assert cache.stats() == {"entries": 1, "hits": 0, "misses": 1}
+
+    second = _boot(policies, cache)
+    assert second.receive_binary(blob) == digest
+    assert cache.hits == 1
+    assert second.provision_cache_hits == 1
+    # the verify pipeline was skipped: no 'binary_verified' event
+    kinds = [e.kind for e in second.audit.events]
+    assert "binary_provisioned_cached" in kinds
+    assert "binary_verified" not in kinds
+
+
+def test_cached_provision_runs_identically():
+    policies = PolicySet.full()
+    cache = ProvisionCache()
+    blob = _blob(policies)
+    outcomes = []
+    for _ in range(2):
+        boot = _boot(policies, cache)
+        boot.receive_binary(blob)
+        boot.receive_userdata(b"\x01\x02\x03")
+        outcomes.append(boot.run())
+    verified, cached = outcomes
+    assert cached.provision_cache_hits == 1
+    assert cached.status == verified.status == "ok"
+    assert cached.reports == verified.reports
+    assert cached.result.steps == verified.result.steps
+    assert cached.result.cycles == verified.result.cycles
+
+
+def test_mutated_blob_misses_and_reverifies():
+    policies = PolicySet.full()
+    cache = ProvisionCache()
+    blob = _blob(policies)
+    _boot(policies, cache).receive_binary(blob)
+
+    # flip text bytes until one breaks an annotation: the cached verdict
+    # for the pristine blob must never leak to the mutated one
+    rejected = False
+    for offset in range(len(blob) // 2, len(blob)):
+        mutated = bytearray(blob)
+        mutated[offset] ^= 0xFF
+        try:
+            _boot(policies, cache).receive_binary(bytes(mutated))
+        except Exception:
+            rejected = True
+            break
+    assert rejected
+    assert cache.hits == 0                          # digest changed -> miss
+    assert cache.invalidate(blob=bytes(mutated)) == 0   # reject not stored
+
+
+def test_rejected_blob_never_cached():
+    cache = ProvisionCache()
+    bare = compile_source("int main() { return 0; }",
+                          PolicySet.none()).serialize()
+    for _ in range(2):
+        boot = _boot(PolicySet.full(), cache)
+        with pytest.raises(VerificationError):
+            boot.receive_binary(bare)
+    assert len(cache) == 0
+    assert cache.hits == 0
+    assert cache.misses == 2          # re-verified (and re-failed) twice
+
+
+def test_key_separates_policies_config_and_threshold():
+    cache = ProvisionCache()
+    p1 = PolicySet.p1_only()
+    blob = _blob(p1)
+    _boot(p1, cache).receive_binary(blob)
+    # different aex_threshold -> different rewrite -> miss
+    _boot(p1, cache, aex_threshold=7).receive_binary(blob)
+    # different layout -> different relocation -> miss
+    big = EnclaveConfig(heap_size=512 * 4096)
+    _boot(p1, cache, config=big).receive_binary(blob)
+    assert cache.hits == 0
+    assert len(cache) == 3
+    # and the original triple still hits
+    _boot(p1, cache).receive_binary(blob)
+    assert cache.hits == 1
+
+
+def test_invalidation_forces_reverification():
+    policies = PolicySet.full()
+    cache = ProvisionCache()
+    blob = _blob(policies)
+    _boot(policies, cache).receive_binary(blob)
+    assert cache.invalidate(blob=blob) == 1
+    boot = _boot(policies, cache)
+    boot.receive_binary(blob)
+    assert cache.hits == 0
+    assert [e.kind for e in boot.audit.events].count("binary_verified") == 1
+    # blanket invalidation
+    assert cache.invalidate() == 1
+    assert len(cache) == 0
+
+
+def test_lru_eviction_bounds_the_cache():
+    cache = ProvisionCache(maxsize=2)
+    policies = PolicySet.p1_only()
+    blobs = [compile_source(
+        "int main() {{ return {0}; }}".format(i),
+        policies).serialize() for i in range(3)]
+    for blob in blobs:
+        _boot(policies, cache).receive_binary(blob)
+    assert len(cache) == 2
+    # the oldest entry was evicted -> re-provisioning it misses
+    _boot(policies, cache).receive_binary(blobs[0])
+    assert cache.hits == 0
+
+
+def test_cache_off_by_default():
+    policies = PolicySet.full()
+    blob = _blob(policies)
+    boot = BootstrapEnclave(policies=policies)
+    boot.receive_binary(blob)
+    boot2 = BootstrapEnclave(policies=policies)
+    boot2.receive_binary(blob)
+    assert boot2.provision_cache_hits == 0
+    assert "binary_verified" in [e.kind for e in boot2.audit.events]
