@@ -27,6 +27,7 @@ are byte-identical to a serial run; only ``wall_s``/``ips`` may differ.
 from __future__ import annotations
 
 import functools
+import hashlib
 import json
 import multiprocessing
 import time
@@ -35,7 +36,10 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from ..compiler.frontend import compile_source
 from ..core.bootstrap import PROVISION_CACHE, BootstrapEnclave, RunOutcome
-from ..errors import ReproError
+from ..errors import (
+    EnclaveError, EnclaveTeardown, ProtocolError, ReproError,
+    RetryBudgetExceeded,
+)
 from ..policy.policies import PolicySet
 from ..sgx.layout import EnclaveConfig
 from ..vm.costmodel import CostModel
@@ -69,6 +73,10 @@ class BenchResult:
     overhead_pct: float = 0.0
     #: Provision-cache hits observed while provisioning this cell.
     provision_cache_hits: int = 0
+    #: Chaos-mode counters (``chaos_seed``): attempts repeated after an
+    #: injected fault, and enclave rebuilds after injected teardowns.
+    retries: int = 0
+    recoveries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -100,12 +108,82 @@ class BenchResult:
             "ips": round(self.ips, 1),
             "overhead_pct": round(self.overhead_pct, 4),
             "provision_cache_hits": self.provision_cache_hits,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
         }
 
 
 @functools.lru_cache(maxsize=256)
 def _compile_cached(source: str, label: str) -> bytes:
     return compile_source(source, PolicySet.parse(label)).serialize()
+
+
+def _chaos_plan_seed(chaos_seed: int, name: str, setting: str,
+                     param) -> int:
+    """Per-cell fault-plan seed.  Derived with a real hash (not
+    ``hash()``, which is salted per process) so serial and pool runs of
+    the same sweep inject identical faults."""
+    digest = hashlib.sha256(
+        f"{chaos_seed}:{name}:{setting}:{param}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _chaos_gate(boot: BootstrapEnclave, plan, site: str) -> None:
+    fault = plan.draw_ecall_fault(site)
+    if fault == "teardown":
+        boot.enclave.destroy()
+        raise EnclaveTeardown(f"injected enclave teardown before {site}")
+    if fault == "transient":
+        raise EnclaveError(f"injected transient failure before {site}")
+
+
+def _chaos_cell(boot: BootstrapEnclave, blob: bytes, input_bytes: bytes,
+                plan, label: str, **run_kwargs):
+    """Provision + run one cell under an injected-fault plan.
+
+    Every attempt redoes the whole provisioning (re-delivery is cheap:
+    the undamaged blob is a provision-cache hit), so a teardown can
+    never leave a half-provisioned enclave for the next attempt.  The
+    delivered blob may be corrupted or truncated in flight; the
+    measurement re-check catches whatever the parser/verifier does not.
+    No AEX storms are injected here — chaos must not change the cell's
+    cycle accounting, only its path to completion.
+
+    An error on an attempt that charged no fault is genuine and
+    propagates immediately.  Returns ``(outcome, wall_s, retries,
+    recoveries)``; the fault budget bounds the loop, so
+    ``max_faults + 2`` attempts provably suffice.
+    """
+    expected = hashlib.sha256(blob).digest()
+    retries = recoveries = 0
+    last = None
+    for _ in range(plan.max_faults + 2):
+        charged = len(plan.injected)
+        try:
+            if boot.enclave.destroyed:
+                boot.recover()
+                recoveries += 1
+            delivered, _ = plan.mangle_blob(blob)
+            _chaos_gate(boot, plan, "receive_binary")
+            if boot.receive_binary(delivered) != expected:
+                raise ProtocolError(
+                    "enclave measured a different binary "
+                    "(corrupted delivery)")
+            if input_bytes:
+                _chaos_gate(boot, plan, "receive_userdata")
+                boot.receive_userdata(input_bytes)
+            _chaos_gate(boot, plan, "run")
+            t0 = time.perf_counter()
+            outcome = boot.run(**run_kwargs)
+            return outcome, time.perf_counter() - t0, retries, recoveries
+        except ReproError as exc:
+            if len(plan.injected) == charged:
+                raise
+            retries += 1
+            last = exc
+    raise RetryBudgetExceeded(
+        f"{label}: chaos retries exhausted "
+        f"(last: {type(last).__name__}: {last})") from last
 
 
 def compile_workload(workload: Union[str, Workload], setting: str,
@@ -123,13 +201,20 @@ def run_workload(workload: Union[str, Workload], setting: str,
                  max_steps: int = 100_000_000,
                  aex_threshold: int = 1000,
                  strict: bool = True,
-                 provision_cache: bool = True) -> BenchResult:
+                 provision_cache: bool = True,
+                 chaos_seed: Optional[int] = None) -> BenchResult:
     """Full-pipeline execution of one workload under one setting.
 
     ``strict=True`` (the default) raises on any failure — violation,
     fault, rejected binary, failed self-check.  ``strict=False``
     records the failure in ``status``/``detail`` and returns the cell,
     so a sweep survives one bad cell.
+
+    ``chaos_seed`` runs the cell under deterministic fault injection
+    (see :mod:`repro.service.faults`): deliveries get corrupted, ECalls
+    fail transiently, the enclave gets torn down mid-provisioning — and
+    the cell must still converge to the exact same measurement.  The
+    extra work is reported in ``retries``/``recoveries``.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
@@ -142,15 +227,28 @@ def run_workload(workload: Union[str, Workload], setting: str,
             policies=policies, config=config,
             aex_threshold=aex_threshold,
             provision_cache=PROVISION_CACHE if provision_cache else None)
-        boot.receive_binary(blob)
         input_bytes = workload.input_bytes(param)
-        if input_bytes:
-            boot.receive_userdata(input_bytes)
-        t0 = time.perf_counter()
-        outcome: RunOutcome = boot.run(aex_schedule=aex_schedule,
-                                       cost_model=cost_model,
-                                       max_steps=max_steps)
-        wall_s = time.perf_counter() - t0
+        retries = recoveries = 0
+        if chaos_seed is None:
+            boot.receive_binary(blob)
+            if input_bytes:
+                boot.receive_userdata(input_bytes)
+            t0 = time.perf_counter()
+            outcome: RunOutcome = boot.run(aex_schedule=aex_schedule,
+                                           cost_model=cost_model,
+                                           max_steps=max_steps)
+            wall_s = time.perf_counter() - t0
+        else:
+            # Imported lazily: repro.service pulls in this module via
+            # the HTTPS simulator, so a top-level import would cycle.
+            from ..service.faults import FaultPlan
+            plan = FaultPlan(_chaos_plan_seed(
+                chaos_seed, workload.name, setting, effective_param))
+            outcome, wall_s, retries, recoveries = _chaos_cell(
+                boot, blob, input_bytes, plan,
+                f"{workload.name}/{setting}",
+                aex_schedule=aex_schedule, cost_model=cost_model,
+                max_steps=max_steps)
     except ReproError as exc:
         if strict:
             raise
@@ -168,7 +266,9 @@ def run_workload(workload: Union[str, Workload], setting: str,
         status=outcome.status,
         detail=outcome.detail,
         wall_s=wall_s,
-        provision_cache_hits=outcome.provision_cache_hits)
+        provision_cache_hits=outcome.provision_cache_hits,
+        retries=retries,
+        recoveries=recoveries)
     if outcome.status != "ok":
         if strict:
             raise RuntimeError(
@@ -402,6 +502,10 @@ class RunMatrix(dict):
                 "provision_cache_hits": sum(
                     r.provision_cache_hits for row in self.values()
                     for r in row.values()),
+                "retries": sum(r.retries for row in self.values()
+                               for r in row.values()),
+                "recoveries": sum(r.recoveries for row in self.values()
+                                  for r in row.values()),
                 "failed_cells": self.failures,
             },
             "workloads": {

@@ -10,6 +10,9 @@ Developer-facing tooling around the library:
 * ``run``     — full pipeline: load, verify, rewrite, execute;
 * ``bench``   — Table II sweep with a machine-readable result file,
   plus a two-executor smoke/divergence check for CI;
+* ``chaos``   — seeded fault-injection campaign over the two-party
+  protocol; nonzero when any transient failure goes unrecovered or a
+  fatal class was retried;
 * ``tcb``     — print the measured TCB inventory.
 """
 
@@ -203,7 +206,8 @@ def cmd_bench(args) -> int:
                 name, setting, args.param,
                 aex_schedule=AexSchedule(400_000),
                 cost_model=CostModel(executor=executor),
-                provision_cache=use_cache)
+                provision_cache=use_cache,
+                chaos_seed=args.chaos)
         step, fast = cells["step"], cells["translate"]
         diverged = [key for key in
                     ("steps", "cycles", "aex_events", "reports", "status")
@@ -229,7 +233,8 @@ def cmd_bench(args) -> int:
                                             param=args.param,
                                             jobs=args.jobs,
                                             strict=False,
-                                            provision_cache=use_cache)
+                                            provision_cache=use_cache,
+                                            chaos_seed=args.chaos)
                 for executor in executors}
 
     divergent: list = []
@@ -265,6 +270,15 @@ def cmd_bench(args) -> int:
         cell_hits=sum(r.provision_cache_hits
                       for m in matrices.values()
                       for row in m.values() for r in row.values()))
+    if args.chaos is not None:
+        doc["chaos_seed"] = args.chaos
+        doc["chaos"] = {
+            "retries": sum(r.retries for m in matrices.values()
+                           for row in m.values() for r in row.values()),
+            "recoveries": sum(r.recoveries for m in matrices.values()
+                              for row in m.values()
+                              for r in row.values()),
+        }
 
     if args.json:
         out = Path(args.out)
@@ -294,6 +308,41 @@ def cmd_bench(args) -> int:
     if failed:
         print(f"FAILED cells ({len(failed)}): {', '.join(failed)}")
         return 1
+    return 0
+
+
+#: Error kinds that must never show up among *retried* errors — a
+#: campaign that retried one of these has broken the fail-closed rule.
+_NEVER_RETRY = ("PolicyViolation", "VerificationError",
+                "AttestationError", "RetryBudgetExceeded")
+
+
+def cmd_chaos(args) -> int:
+    from .service.faults import run_campaign
+    report = run_campaign(seed=args.seed, trials=args.trials)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    print(text)
+    totals = report["totals"]
+    badly_retried = sorted(
+        kind for kind in report["retried_error_kinds"]
+        if kind in _NEVER_RETRY)
+    print(f"\nchaos seed={args.seed} trials={args.trials}: "
+          f"{totals['ok']} ok, {totals['violation']} violations "
+          f"trapped, {totals['aborted']} aborted | "
+          f"{totals['faults_injected']} faults injected, "
+          f"{totals['retries']} retries, "
+          f"{totals['reconnects']} reconnects, "
+          f"{totals['recoveries']} enclave recoveries")
+    if totals["unrecovered"]:
+        print(f"UNRECOVERED transient failures: "
+              f"{totals['unrecovered']}")
+        return 1
+    if badly_retried:
+        print(f"FATAL CLASSES RETRIED: {', '.join(badly_retried)}")
+        return 1
+    print("all transient faults recovered; no fatal class retried")
     return 0
 
 
@@ -373,7 +422,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-provision-cache", action="store_true",
                    help="re-verify every provisioning instead of "
                         "reusing cached verified images")
+    p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="run every cell under seeded fault injection "
+                        "(injected delivery corruption, transient ECall "
+                        "failures, enclave teardowns); cell values must "
+                        "be unchanged, the extra retry/recovery work is "
+                        "recorded in the JSON document")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("chaos", help="seeded fault-injection campaign")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("-o", "--out", default=None,
+                   help="also write the JSON report to this file")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("tcb", help="measured TCB inventory")
     p.set_defaults(func=cmd_tcb)

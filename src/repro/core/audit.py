@@ -76,6 +76,11 @@ class AuditLog:
     def filter(self, kind: str) -> List[AuditEvent]:
         return [e for e in self._events if e.kind == kind]
 
+    def count(self, kind: str) -> int:
+        """Number of chain links of ``kind`` (e.g. how many times the
+        enclave was restarted — ``count("recovered")``)."""
+        return sum(1 for e in self._events if e.kind == kind)
+
     def render(self) -> str:
         lines = []
         for event in self._events:

@@ -224,9 +224,7 @@ class BootstrapEnclave:
         self.provision_cache = provision_cache
         self.provision_cache_hits = 0
         self.enclave = Enclave(config, platform)
-        self.enclave.load_bootstrap_image(consumer_image())
-        self.enclave.einit()
-        self.loader = DynamicLoader(self.enclave)
+        self._attach_enclave()
         self.custom = tuple(custom)
         self.verifier = PolicyVerifier(self.policies,
                                        self.p0.allowed_svcs,
@@ -241,13 +239,50 @@ class BootstrapEnclave:
         #: Session channels by role: 'owner' (data owner) and 'provider'
         #: (code provider) — the two parties of §III-A.
         self.channels = {}
+        #: Enclave-side handshake public keys already used — the
+        #: freshness registry ``establish_session`` checks so a stale
+        #: entropy source (or a replayed handshake) is rejected.  Kept
+        #: across :meth:`recover` on purpose: key reuse across restarts
+        #: is exactly the replay the check exists for.
+        self.handshake_keys = set()
         self._input: bytes = b""
         self._input_cursor = 0
+
+    def _attach_enclave(self) -> None:
+        """Measure + EINIT ``self.enclave`` and wire the ECall table and
+        the loader to it (shared by ``__init__`` and :meth:`recover`)."""
+        self.enclave.load_bootstrap_image(consumer_image())
+        self.enclave.einit()
+        self.loader = DynamicLoader(self.enclave)
         self.enclave.register_ecall("ecall_receive_binary",
                                     self.receive_binary)
         self.enclave.register_ecall("ecall_receive_userdata",
                                     self.receive_userdata)
         self.enclave.register_ecall("ecall_run", self.run)
+
+    def recover(self, reason: str = "teardown") -> bytes:
+        """Rebuild the enclave after a platform teardown.
+
+        A fresh enclave is built and EINIT'd with the same config on the
+        *same* platform, so MRENCLAVE is unchanged and the platform's
+        attestation provisioning stays valid.  All volatile state dies
+        with the old instance — session channels, the provisioned
+        binary, staged user data — which is why callers must re-attest
+        and re-deliver.  The audit chain survives and gains a
+        ``recovered`` link: a remote party auditing the history sees
+        exactly when restarts happened and that no event was lost.
+        Returns the (unchanged) MRENCLAVE.
+        """
+        self.enclave = Enclave(self.enclave.config, self.enclave.platform)
+        self._attach_enclave()
+        self.loaded = None
+        self.verified = None
+        self.channels = {}
+        self._input = b""
+        self._input_cursor = 0
+        self.audit.record("recovered", reason=reason,
+                          mrenclave=self.enclave.mrenclave.hex())
+        return self.enclave.mrenclave
 
     # -- attestation ----------------------------------------------------------
 

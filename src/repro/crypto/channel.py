@@ -63,6 +63,11 @@ class SecureChannel:
         self._send_seq = 0
         self._recv_seq = 0
         self.record_size = record_size
+        #: Set when :meth:`open` failed mid-stream.  The receive sequence
+        #: number can no longer be trusted to mirror the peer's, so the
+        #: endpoint fails closed: every further seal/open raises until
+        #: the session is re-established with fresh keys.
+        self.desynced = False
 
     @classmethod
     def pair(cls, shared_secret: bytes, transcript: bytes = b"",
@@ -79,8 +84,19 @@ class SecureChannel:
     def _nonce(self, seq: int) -> bytes:
         return struct.pack("<Q", seq) + b"\x00" * 4
 
+    def _desync(self, message: str) -> None:
+        self.desynced = True
+        raise ProtocolError(message)
+
+    def _check_usable(self) -> None:
+        if self.desynced:
+            raise ProtocolError(
+                "channel desynced by an earlier record failure; "
+                "re-establish the session")
+
     def seal(self, plaintext: bytes) -> bytes:
         """Encrypt ``plaintext`` into one or more fixed-size records."""
+        self._check_usable()
         records = []
         chunks = [plaintext[i:i + self.record_size - _LEN_HDR]
                   for i in range(0, len(plaintext),
@@ -97,10 +113,21 @@ class SecureChannel:
         return b"".join(records)
 
     def open(self, wire: bytes) -> bytes:
-        """Decrypt and authenticate records produced by the peer."""
+        """Decrypt and authenticate records produced by the peer.
+
+        Any failure — an empty or truncated stream, a bad MAC, a bad
+        length field — marks the endpoint :attr:`desynced`: the local
+        receive counter may no longer mirror the peer's send counter,
+        and continuing would either reject every honest record or,
+        worse, accept a replay window.  A desynced channel refuses all
+        further use; the session must be re-established.
+        """
+        self._check_usable()
         record_len = self.record_size + _MAC_LEN
+        if not wire:
+            self._desync("empty wire: truncated record stream")
         if len(wire) % record_len:
-            raise ProtocolError("truncated record stream")
+            self._desync("truncated record stream")
         out = bytearray()
         for off in range(0, len(wire), record_len):
             ct = wire[off:off + self.record_size]
@@ -110,12 +137,12 @@ class SecureChannel:
                                 struct.pack("<Q", seq) + ct,
                                 hashlib.sha256).digest()
             if not hmac.compare_digest(expected, tag):
-                raise ProtocolError(f"record {seq}: bad MAC")
+                self._desync(f"record {seq}: bad MAC")
             self._recv_seq += 1
             body = chacha20_xor(self._recv_key, self._nonce(seq), ct)
             (length,) = struct.unpack_from("<I", body)
             if length > self.record_size - _LEN_HDR:
-                raise ProtocolError(f"record {seq}: bad length")
+                self._desync(f"record {seq}: bad length")
             out += body[_LEN_HDR:_LEN_HDR + length]
         return bytes(out)
 

@@ -76,9 +76,30 @@ class AttestationError(ReproError):
     """Quote or report failed verification."""
 
 
+class AttestationOutage(AttestationError):
+    """Attestation service temporarily unreachable.
+
+    Kept distinct from :class:`AttestationError` because the two demand
+    opposite reactions: an outage is *transient* (retry the handshake
+    later), while a failed verification — bad signature, MRENCLAVE pin
+    mismatch — is a trust failure that must never be retried.
+    """
+
+
 class ProtocolError(ReproError):
     """CCaaS protocol misuse (wrong message, bad MAC, replay...)."""
 
 
 class EnclaveError(ReproError):
     """Enclave lifecycle misuse (ECall before EINIT etc.)."""
+
+
+class EnclaveTeardown(EnclaveError):
+    """The enclave instance was destroyed by the platform (EPC reclaim,
+    power event, host restart).  Volatile state is gone; a fresh build +
+    EINIT is required before any further ECall."""
+
+
+class RetryBudgetExceeded(ReproError):
+    """A resilient session exhausted its retry budget on transient
+    failures without completing the operation."""

@@ -11,9 +11,17 @@ party sees the other's secret; the host sees neither.
 from .protocol import CCaaSHost, establish_session
 from .roles import CodeProvider, DataOwner
 from .https_sim import HttpsServerSim, LoadGenerator, HttpsLoadResult
+from .faults import FaultPlan, FaultyHost, run_campaign
+from .resilient import (
+    ResilientSession, RetryPolicy, SessionStats, TwoPartyWorkflow,
+    classify_error,
+)
 
 __all__ = [
     "CCaaSHost", "establish_session",
     "CodeProvider", "DataOwner",
     "HttpsServerSim", "LoadGenerator", "HttpsLoadResult",
+    "FaultPlan", "FaultyHost", "run_campaign",
+    "ResilientSession", "RetryPolicy", "SessionStats",
+    "TwoPartyWorkflow", "classify_error",
 ]

@@ -1,0 +1,392 @@
+"""Deterministic fault injection at every CCaaS boundary.
+
+DEFLECTION's threat model (§III-A) makes the host adversarial — yet the
+happy-path service layer implicitly trusts it to relay bytes faithfully
+and keep the enclave alive.  This module supplies the missing adversary:
+
+* :class:`FaultPlan` — a seeded schedule of faults.  Every decision is
+  drawn from one ``random.Random`` in call order and charged against a
+  fault *budget*, so (a) a campaign driven by the same seed injects
+  byte-identical faults, and (b) any retry loop with more attempts than
+  the budget provably converges.
+* :class:`FaultyHost` — a :class:`~repro.service.protocol.CCaaSHost`
+  lookalike that mangles relayed ciphertext (corrupt / truncate /
+  duplicate / reorder records), fails ECalls transiently, tears the
+  enclave down mid-protocol (forcing re-EINIT and a fresh attested
+  session), injects attestation-service outages into the handshake, and
+  schedules dense AEX storms under ``ecall_run``.
+* :func:`run_campaign` — the scripted chaos campaign behind
+  ``repro chaos``: N independent trials of the full two-party flow
+  driven through :class:`~repro.service.resilient.TwoPartyWorkflow`,
+  with a deterministic JSON-ready report.
+
+The plan mangles *wire images*, not plaintext: every fault a real host
+could inject lands on ciphertext records, and detection is exactly what
+the channel MAC / sequence numbers / measurement re-check provide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Optional, Tuple
+
+from ..core.bootstrap import BootstrapEnclave, ProvisionCache
+from ..errors import AttestationOutage, EnclaveError, EnclaveTeardown
+from ..policy.policies import PolicySet
+from ..sgx.attestation import AttestationService
+from ..vm.interrupts import AexSchedule
+from .protocol import CCaaSHost
+from .roles import CodeProvider, DataOwner
+
+#: Wire fault kinds a malicious relay can apply to a record stream.
+WIRE_FAULTS = ("corrupt", "truncate", "duplicate", "reorder")
+
+
+# -- record-stream mutations (each detected by the channel layer) --------
+
+def corrupt_wire(wire: bytes, rng: random.Random) -> bytes:
+    """Flip one bit anywhere in the stream -> bad MAC."""
+    pos = rng.randrange(len(wire))
+    mutated = bytearray(wire)
+    mutated[pos] ^= 1 << rng.randrange(8)
+    return bytes(mutated)
+
+
+def truncate_wire(wire: bytes, rng: random.Random,
+                  record_len: int) -> bytes:
+    """Cut the stream mid-record -> truncated record stream."""
+    if len(wire) < 2:
+        return b""
+    cut = rng.randrange(1, len(wire))
+    if cut % record_len == 0:
+        cut -= 1
+    return wire[:max(1, cut)]
+
+
+def duplicate_record(wire: bytes, rng: random.Random,
+                     record_len: int) -> bytes:
+    """Replay one record in place -> sequence-bound MAC fails."""
+    records = [wire[off:off + record_len]
+               for off in range(0, len(wire), record_len)]
+    index = rng.randrange(len(records))
+    records.insert(index + 1, records[index])
+    return b"".join(records)
+
+
+def reorder_records(wire: bytes, rng: random.Random,
+                    record_len: int) -> bytes:
+    """Swap two records -> sequence-bound MAC fails.  Falls back to
+    duplication for single-record streams."""
+    count = len(wire) // record_len
+    if count < 2:
+        return duplicate_record(wire, rng, record_len)
+    i = rng.randrange(count)
+    j = rng.randrange(count - 1)
+    if j >= i:
+        j += 1
+    records = [wire[off:off + record_len]
+               for off in range(0, len(wire), record_len)]
+    records[i], records[j] = records[j], records[i]
+    return b"".join(records)
+
+
+class FaultPlan:
+    """Seeded, budgeted schedule of host faults.
+
+    Probabilities are per-opportunity (per relayed message, per ECall,
+    per handshake).  ``max_faults`` caps the total injections per plan:
+    once the budget is spent the host behaves honestly, so a resilient
+    session with ``max_faults + 2`` retry attempts always converges.
+    """
+
+    def __init__(self, seed: int, *,
+                 p_wire: float = 0.25,
+                 p_transient: float = 0.12,
+                 p_teardown: float = 0.10,
+                 p_outage: float = 0.15,
+                 p_storm: float = 0.25,
+                 max_faults: int = 8):
+        self.seed = seed
+        self.p_wire = p_wire
+        self.p_transient = p_transient
+        self.p_teardown = p_teardown
+        self.p_outage = p_outage
+        self.p_storm = p_storm
+        self.max_faults = max_faults
+        self.faults_remaining = max_faults
+        #: Ordered log of every injected fault (replay evidence).
+        self.injected: List[str] = []
+        self._rng = random.Random(seed)
+
+    def _charge(self, label: str) -> None:
+        self.faults_remaining -= 1
+        self.injected.append(label)
+
+    def _chance(self, p: float) -> bool:
+        return self.faults_remaining > 0 and self._rng.random() < p
+
+    # -- draw sites -----------------------------------------------------
+
+    def draw_ecall_fault(self, site: str) -> Optional[str]:
+        """One ECall boundary: ``"teardown"``, ``"transient"`` or None."""
+        if self._chance(self.p_teardown):
+            self._charge(f"teardown@{site}")
+            return "teardown"
+        if self._chance(self.p_transient):
+            self._charge(f"transient@{site}")
+            return "transient"
+        return None
+
+    def draw_outage(self) -> bool:
+        """One attestation-service round trip."""
+        if self._chance(self.p_outage):
+            self._charge("attestation_outage")
+            return True
+        return False
+
+    def draw_storm(self) -> Optional[AexSchedule]:
+        """One ``ecall_run``: maybe a dense, seeded AEX storm.
+
+        The interval range straddles the P6 threshold on purpose: dense
+        storms get trapped as violations (the defense engaging is a
+        campaign outcome, not a failure), sparse ones ride through.
+        """
+        if self._chance(self.p_storm):
+            mean = self._rng.randint(4, 90)
+            storm_seed = self._rng.randrange(1 << 30)
+            self._charge(f"aex_storm(mean={mean})")
+            return AexSchedule(mean, jitter=0.3, seed=storm_seed)
+        return None
+
+    def mangle_wire(self, wire: bytes,
+                    record_len: int) -> Tuple[bytes, Optional[str]]:
+        """One relayed message: maybe mutate the record stream."""
+        if not wire or not self._chance(self.p_wire):
+            return wire, None
+        kind = self._rng.choice(WIRE_FAULTS)
+        if kind == "corrupt":
+            mutated = corrupt_wire(wire, self._rng)
+        elif kind == "truncate":
+            mutated = truncate_wire(wire, self._rng, record_len)
+        elif kind == "duplicate":
+            mutated = duplicate_record(wire, self._rng, record_len)
+        else:
+            mutated = reorder_records(wire, self._rng, record_len)
+        self._charge(f"wire_{kind}")
+        return mutated, kind
+
+    def mangle_blob(self, blob: bytes) -> Tuple[bytes, Optional[str]]:
+        """One plaintext-relayed blob (the bench path has no session
+        channel): corrupt or truncate — detected by the measurement
+        re-check or the object parser, never silently accepted."""
+        if not blob or not self._chance(self.p_wire):
+            return blob, None
+        if self._rng.random() < 0.5:
+            mutated, kind = corrupt_wire(blob, self._rng), "corrupt"
+        else:
+            cut = self._rng.randrange(1, len(blob))
+            mutated, kind = blob[:cut], "truncate"
+        self._charge(f"blob_{kind}")
+        return mutated, kind
+
+
+class _FlakyAttestationService:
+    """``verify_quote`` proxy that injects plan-driven outages."""
+
+    def __init__(self, service: AttestationService, plan: FaultPlan):
+        self._service = service
+        self._plan = plan
+
+    @property
+    def verifying_key(self):
+        return self._service.verifying_key
+
+    def provision_platform(self, platform_id, key) -> None:
+        self._service.provision_platform(platform_id, key)
+
+    def verify_quote(self, quote_bytes: bytes):
+        if self._plan.draw_outage():
+            raise AttestationOutage(
+                "injected attestation service outage")
+        return self._service.verify_quote(quote_bytes)
+
+
+class FaultyHost:
+    """Adversarial/unreliable :class:`CCaaSHost` wrapper.
+
+    Exposes the exact host surface the parties use — ``bootstrap``,
+    ``attestation_service``, the three ECall relays, ``ensure_alive`` —
+    and consults the :class:`FaultPlan` at every boundary.  Teardown
+    faults genuinely destroy the enclave (subsequent ECalls raise
+    :class:`EnclaveTeardown` until someone recovers it); wire faults
+    mutate the relayed ciphertext so detection happens where it would in
+    production: the enclave-side channel MAC.
+    """
+
+    def __init__(self, host: CCaaSHost, plan: FaultPlan,
+                 record_size: int = 256):
+        self.host = host
+        self.plan = plan
+        #: On-the-wire record framing: ciphertext body + 32-byte MAC.
+        self.record_len = record_size + 32
+        self._attestation = _FlakyAttestationService(
+            host.attestation_service, plan)
+
+    @property
+    def bootstrap(self) -> BootstrapEnclave:
+        return self.host.bootstrap
+
+    @property
+    def attestation_service(self) -> _FlakyAttestationService:
+        return self._attestation
+
+    def ensure_alive(self) -> bool:
+        return self.host.ensure_alive()
+
+    def _gate(self, site: str) -> None:
+        fault = self.plan.draw_ecall_fault(site)
+        if fault == "teardown":
+            self.host.bootstrap.enclave.destroy()
+            raise EnclaveTeardown(
+                f"injected enclave teardown before {site}")
+        if fault == "transient":
+            raise EnclaveError(
+                f"injected transient host failure before {site}")
+
+    def ecall_receive_binary(self, blob: bytes, encrypted: bool = True):
+        if encrypted:
+            blob, _ = self.plan.mangle_wire(blob, self.record_len)
+        self._gate("ecall_receive_binary")
+        return self.host.ecall_receive_binary(blob, encrypted=encrypted)
+
+    def ecall_receive_userdata(self, data: bytes,
+                               encrypted: bool = True):
+        if encrypted:
+            data, _ = self.plan.mangle_wire(data, self.record_len)
+        self._gate("ecall_receive_userdata")
+        return self.host.ecall_receive_userdata(data, encrypted=encrypted)
+
+    def ecall_run(self, **kwargs):
+        self._gate("ecall_run")
+        if "aex_schedule" not in kwargs:
+            storm = self.plan.draw_storm()
+            if storm is not None:
+                kwargs["aex_schedule"] = storm
+        return self.host.ecall_run(**kwargs)
+
+
+# -- the scripted chaos campaign (``repro chaos``) -----------------------
+
+#: The campaign's service program: recv -> checksum -> send + report.
+CAMPAIGN_SRC = """
+char buf[64];
+int main() {
+    int n = __recv(buf, 64);
+    int sum = 0;
+    int i;
+    for (i = 0; i < n; i++) sum += buf[i];
+    buf[0] = sum % 256;
+    __send(buf, 1);
+    __report(sum);
+    return sum;
+}
+"""
+
+
+def run_campaign(seed: int = 2021, trials: int = 20,
+                 data: bytes = bytes(range(16)),
+                 aex_threshold: int = 25,
+                 max_faults: int = 8) -> dict:
+    """Run ``trials`` independent faulted two-party flows; return a
+    deterministic JSON-ready report.
+
+    Each trial gets its own bootstrap, host and seeded
+    :class:`FaultPlan`; all trials share one
+    :class:`~repro.core.bootstrap.ProvisionCache`, so every re-delivery
+    after the first verified provisioning — including re-deliveries
+    forced by enclave recoveries — skips RDD/verify/rewrite (recovery is
+    cheap by construction).  Trial outcomes are classified as:
+
+    * ``ok`` — completed, result decrypted and cross-checked;
+    * ``violation`` — a policy trapped (e.g. P6 detecting an injected
+      AEX storm): the defense engaged, never retried;
+    * ``corrupt`` — completed but wrong result (must never happen);
+    * ``aborted:<Error>`` — a fatal classification or an exhausted
+      retry budget surfaced to the caller.
+    """
+    from .resilient import RetryPolicy, TwoPartyWorkflow
+
+    expected_sum = sum(data)
+    expected_plain = bytes([expected_sum % 256])
+    cache = ProvisionCache()
+    policies = PolicySet.full()
+    trial_rows = []
+    totals = {"ok": 0, "violation": 0, "fault": 0, "corrupt": 0,
+              "aborted": 0, "retries": 0, "reconnects": 0,
+              "recoveries": 0, "fatal_errors": 0, "faults_injected": 0,
+              "audit_recoveries": 0}
+    retried_kinds: dict = {}
+    fatal_kinds: dict = {}
+
+    for trial in range(trials):
+        plan = FaultPlan(seed * 1_000_003 + trial,
+                         max_faults=max_faults)
+        boot = BootstrapEnclave(policies=policies,
+                                aex_threshold=aex_threshold,
+                                provision_cache=cache)
+        host = FaultyHost(CCaaSHost(boot, AttestationService()), plan)
+        provider = CodeProvider(CAMPAIGN_SRC, policies)
+        owner = DataOwner(data=data)
+        owner.approved_hashes.append(
+            hashlib.sha256(provider.build()).digest())
+        workflow = TwoPartyWorkflow(
+            host, provider, owner,
+            retry=RetryPolicy(max_attempts=max_faults + 2,
+                              seed=seed + trial))
+        try:
+            outcome, plaintext = workflow.execute()
+            if outcome.ok:
+                good = (plaintext == [expected_plain]
+                        and outcome.reports == [expected_sum])
+                status = "ok" if good else "corrupt"
+            else:
+                status = outcome.status
+        except Exception as exc:  # fatal classes + exhausted budgets
+            status = f"aborted:{type(exc).__name__}"
+        stats = workflow.combined_stats()
+        key = status.split(":", 1)[0]
+        totals[key] = totals.get(key, 0) + 1
+        for field in ("retries", "reconnects", "recoveries",
+                      "fatal_errors"):
+            totals[field] += getattr(stats, field)
+        for kind, count in stats.retried_kinds.items():
+            retried_kinds[kind] = retried_kinds.get(kind, 0) + count
+        for kind, count in stats.fatal_kinds.items():
+            fatal_kinds[kind] = fatal_kinds.get(kind, 0) + count
+        totals["faults_injected"] += len(plan.injected)
+        totals["audit_recoveries"] += boot.audit.count("recovered")
+        trial_rows.append({
+            "trial": trial,
+            "status": status,
+            "faults": list(plan.injected),
+            "retries": stats.retries,
+            "reconnects": stats.reconnects,
+            "recoveries": stats.recoveries,
+            "audit_chain_ok": boot.audit.verify_chain(),
+            "audit_recovered_events": boot.audit.count("recovered"),
+        })
+
+    totals["unrecovered"] = sum(
+        1 for row in trial_rows
+        if row["status"] == "aborted:RetryBudgetExceeded")
+    return {
+        "schema": "deflection-chaos/1",
+        "seed": seed,
+        "trials": trials,
+        "totals": totals,
+        "retried_error_kinds": dict(sorted(retried_kinds.items())),
+        "fatal_error_kinds": dict(sorted(fatal_kinds.items())),
+        "provision_cache": cache.stats(),
+        "trials_detail": trial_rows,
+    }

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Union
 
 from ..core.bootstrap import BootstrapEnclave
 from ..crypto.channel import SecureChannel, derive_channel_keys
 from ..crypto.dh import DHKeyPair
-from ..errors import AttestationError
+from ..errors import AttestationError, ProtocolError
 from ..sgx.attestation import (
     AttestationService, check_attestation_report,
 )
@@ -51,22 +51,51 @@ class CCaaSHost:
     def ecall_run(self, **kwargs):
         return self.bootstrap.enclave.ecall("ecall_run", **kwargs)
 
+    def ensure_alive(self) -> bool:
+        """The operator's recovery path: restart a torn-down bootstrap
+        (same platform, same measured image, so the MRENCLAVE pin still
+        holds).  Returns True when a recovery actually happened."""
+        if self.bootstrap.enclave.destroyed:
+            self.bootstrap.recover()
+            return True
+        return False
+
 
 def establish_session(host: CCaaSHost, role: str,
                       expected_mrenclave: bytes,
                       party_seed: Optional[bytes] = None,
-                      record_size: int = 256) -> SecureChannel:
+                      record_size: int = 256,
+                      enclave_entropy: Union[bytes, Callable[[], bytes],
+                                             None] = None) -> SecureChannel:
     """Run the full attested key agreement for ``role``.
 
     Returns the *party-side* channel endpoint; the mirrored enclave-side
     endpoint is attached to the bootstrap under ``role``.  Raises
     :class:`AttestationError` if the quote, the IAS report or the
     MRENCLAVE pin fails.
+
+    The enclave-side handshake key is derived from a per-session entropy
+    source — by default a fresh random exponent, never from the party's
+    seed (a seed-derived enclave key would let a replayed handshake
+    reproduce the channel keys).  ``enclave_entropy`` (bytes, or a
+    zero-arg callable returning bytes) injects the source for tests.
+    As a freshness check, the bootstrap remembers every handshake key it
+    ever offered and rejects a repeat: a stale or broken entropy source
+    fails loudly instead of silently rekeying an old session.
     """
     party_kp = DHKeyPair(party_seed)
 
-    # Enclave side: fresh key pair, quoted with the channel binding.
-    enclave_kp = DHKeyPair((party_seed or b"") + b"enclave-side")
+    # Enclave side: fresh per-session key pair, quoted with the channel
+    # binding.
+    if callable(enclave_entropy):
+        enclave_entropy = enclave_entropy()
+    enclave_kp = DHKeyPair(enclave_entropy)
+    enclave_pub = enclave_kp.public_bytes()
+    if enclave_pub in host.bootstrap.handshake_keys:
+        raise ProtocolError(
+            "enclave handshake key reuse detected "
+            "(stale entropy source or replayed handshake)")
+    host.bootstrap.handshake_keys.add(enclave_pub)
     binding = hashlib.sha256(
         enclave_kp.public_bytes() + party_kp.public_bytes()).digest()
     quote = host.bootstrap.quote(binding.ljust(64, b"\x00"))

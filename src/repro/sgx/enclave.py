@@ -14,13 +14,14 @@ import hashlib
 import struct
 from typing import Callable, Dict, Iterable
 
-from ..errors import EnclaveError
+from ..errors import EnclaveError, EnclaveTeardown
 from .layout import EnclaveConfig, EnclaveLayout
 from .memory import AddressSpace
 from .quote import PlatformKey, Quote, Report
 
 _STATE_BUILDING = "building"
 _STATE_INITIALIZED = "initialized"
+_STATE_DESTROYED = "destroyed"
 
 
 class Enclave:
@@ -73,10 +74,23 @@ class Enclave:
         self.space.seal()
         self._state = _STATE_INITIALIZED
 
+    def destroy(self) -> None:
+        """Tear the enclave down (EREMOVE: EPC reclaimed, power event,
+        host kill).  All volatile state is lost; every further ECall
+        raises :class:`EnclaveTeardown` until a fresh enclave is built
+        and EINIT'd."""
+        self._state = _STATE_DESTROYED
+
+    @property
+    def destroyed(self) -> bool:
+        return self._state == _STATE_DESTROYED
+
     # -- identity ----------------------------------------------------------
 
     @property
     def mrenclave(self) -> bytes:
+        if self._state == _STATE_DESTROYED:
+            raise EnclaveTeardown("enclave torn down; re-EINIT required")
         if self._state != _STATE_INITIALIZED:
             raise EnclaveError("enclave not initialized")
         return self._mrenclave
@@ -110,6 +124,9 @@ class Enclave:
 
     def ecall(self, name: str, *args, **kwargs):
         """Enter the enclave through a defined ECall (P0 gate)."""
+        if self._state == _STATE_DESTROYED:
+            raise EnclaveTeardown(
+                "ECall into a torn-down enclave; re-EINIT required")
         if self._state != _STATE_INITIALIZED:
             raise EnclaveError("ECall before EINIT")
         handler = self._ecalls.get(name)

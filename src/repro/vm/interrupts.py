@@ -24,6 +24,8 @@ class AexSchedule:
                  seed: int = 2021):
         if mean_interval < 0:
             raise ValueError("mean_interval must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1] (got {jitter})")
         self.mean_interval = mean_interval
         self.jitter = jitter
         self._rng = random.Random(seed)

@@ -1,0 +1,192 @@
+"""Fault-injection framework: channel hardening, teardown/recovery,
+deterministic fault plans, and the chaos campaign."""
+
+import json
+
+import pytest
+
+from repro.core import BootstrapEnclave
+from repro.crypto.channel import SecureChannel
+from repro.errors import EnclaveTeardown, ProtocolError
+from repro.policy import PolicySet
+from repro.service import CCaaSHost, CodeProvider, DataOwner, FaultPlan
+from repro.service.faults import CAMPAIGN_SRC, run_campaign
+from repro.service.protocol import establish_session
+from repro.sgx import AttestationService
+from repro.vm.interrupts import AexSchedule
+
+
+def _pair():
+    return SecureChannel.pair(b"shared", b"transcript", record_size=64)
+
+
+def _host():
+    boot = BootstrapEnclave(policies=PolicySet.full())
+    return CCaaSHost(boot, AttestationService())
+
+
+def _provision(host, data=bytes(range(10))):
+    provider = CodeProvider(CAMPAIGN_SRC, PolicySet.full())
+    owner = DataOwner(data=data)
+    mr = host.bootstrap.mrenclave
+    provider.connect(host, mr)
+    owner.connect(host, mr)
+    measurement = provider.deliver(host)
+    owner.approved_hashes.append(measurement)
+    owner.approve_code(measurement)
+    owner.upload(host)
+    return provider, owner
+
+
+# -- channel hardening (satellites) ------------------------------------------
+
+def test_aex_schedule_rejects_out_of_range_jitter():
+    with pytest.raises(ValueError, match="jitter"):
+        AexSchedule(100, jitter=1.5)
+    with pytest.raises(ValueError, match="jitter"):
+        AexSchedule(100, jitter=-0.1)
+    assert AexSchedule(100, jitter=0.0).next_interval() == 100
+    assert AexSchedule(100, jitter=1.0).enabled
+
+
+def test_channel_rejects_empty_wire_as_truncation():
+    _, receiver = _pair()
+    with pytest.raises(ProtocolError, match="empty wire"):
+        receiver.open(b"")
+    assert receiver.desynced
+
+
+def test_desynced_channel_refuses_all_further_use():
+    sender, receiver = _pair()
+    good = sender.seal(b"after the corruption")
+    corrupted = bytearray(sender.seal(b"hello"))
+    corrupted[5] ^= 0x40
+    with pytest.raises(ProtocolError, match="bad MAC"):
+        receiver.open(bytes(corrupted))
+    # even a pristine record is refused now: the recv counter cannot be
+    # trusted to mirror the peer any more
+    with pytest.raises(ProtocolError, match="desynced"):
+        receiver.open(good)
+    with pytest.raises(ProtocolError, match="desynced"):
+        receiver.seal(b"and sending is dead too")
+
+
+@pytest.mark.parametrize("kind", ["corrupt", "truncate", "duplicate",
+                                  "reorder"])
+def test_every_wire_mangle_kind_is_detected(kind):
+    import random
+    from repro.service import faults
+    sender, receiver = _pair()
+    wire = sender.seal(b"x" * 200)   # several records
+    record_len = 64 + 32
+    rng = random.Random(7)
+    mangled = {
+        "corrupt": lambda: faults.corrupt_wire(wire, rng),
+        "truncate": lambda: faults.truncate_wire(wire, rng, record_len),
+        "duplicate": lambda: faults.duplicate_record(wire, rng,
+                                                     record_len),
+        "reorder": lambda: faults.reorder_records(wire, rng,
+                                                  record_len),
+    }[kind]()
+    assert mangled != wire
+    with pytest.raises(ProtocolError):
+        receiver.open(mangled)
+    assert receiver.desynced
+
+
+# -- teardown + recovery ------------------------------------------------------
+
+def test_destroyed_enclave_refuses_ecalls():
+    host = _host()
+    _provision(host)
+    host.bootstrap.enclave.destroy()
+    with pytest.raises(EnclaveTeardown, match="re-EINIT"):
+        host.ecall_run()
+
+
+def test_recover_preserves_mrenclave_and_audit_chain():
+    host = _host()
+    boot = host.bootstrap
+    _provision(host)
+    mr_before = boot.mrenclave
+    events_before = len(boot.audit)
+    boot.enclave.destroy()
+    assert host.ensure_alive()          # recovers
+    assert not host.ensure_alive()      # idempotent: already alive
+    assert boot.mrenclave == mr_before
+    # the chain continued across the restart — nothing was reset
+    assert len(boot.audit) == events_before + 1
+    assert boot.audit.count("recovered") == 1
+    assert boot.audit.verify_chain()
+    # volatile state is gone: sessions and binary must be re-established
+    assert boot.loaded is None and not boot.channels
+    _provision(host)
+    outcome = host.ecall_run()
+    assert outcome.ok
+    assert boot.audit.verify_chain()
+
+
+def test_handshake_key_reuse_rejected_across_sessions():
+    host = _host()
+    establish_session(host, "owner", host.bootstrap.mrenclave,
+                      enclave_entropy=b"stale-entropy")
+    with pytest.raises(ProtocolError, match="key reuse"):
+        establish_session(host, "owner", host.bootstrap.mrenclave,
+                          enclave_entropy=b"stale-entropy")
+
+
+def test_handshake_entropy_callable_and_default_are_fresh():
+    host = _host()
+    counter = iter(range(100))
+    entropy = lambda: next(counter).to_bytes(8, "little")  # noqa: E731
+    establish_session(host, "owner", host.bootstrap.mrenclave,
+                      enclave_entropy=entropy)
+    establish_session(host, "owner", host.bootstrap.mrenclave,
+                      enclave_entropy=entropy)
+    # the default source (no injection) is fresh randomness
+    establish_session(host, "owner", host.bootstrap.mrenclave)
+    establish_session(host, "owner", host.bootstrap.mrenclave)
+
+
+# -- fault-plan determinism ---------------------------------------------------
+
+def test_fault_plan_replays_identically():
+    def drive(plan):
+        log = []
+        for _ in range(30):
+            log.append(plan.draw_ecall_fault("site"))
+            log.append(plan.mangle_wire(b"\x5a" * 288, 288))
+            log.append(plan.draw_outage())
+        return log, plan.injected
+
+    a = drive(FaultPlan(42))
+    b = drive(FaultPlan(42))
+    c = drive(FaultPlan(43))
+    assert a == b
+    assert a != c
+
+
+def test_fault_plan_budget_caps_injections():
+    plan = FaultPlan(5, p_wire=1.0, max_faults=3)
+    for _ in range(20):
+        plan.mangle_wire(b"\x11" * 288, 288)
+    assert len(plan.injected) == 3
+    assert plan.faults_remaining == 0
+    # budget spent -> honest behaviour, forever
+    wire = b"\x22" * 288
+    assert plan.mangle_wire(wire, 288) == (wire, None)
+
+
+def test_campaign_is_deterministic_and_fully_recovers():
+    a = run_campaign(seed=5, trials=3)
+    b = run_campaign(seed=5, trials=3)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert a["schema"] == "deflection-chaos/1"
+    assert a["totals"]["unrecovered"] == 0
+    assert a["totals"]["fatal_errors"] == 0
+    assert not a["fatal_error_kinds"]
+    # every trial kept a verifiable audit chain
+    assert all(t["audit_chain_ok"] for t in a["trials_detail"])
+    # trials share the provision cache: only the first one verifies
+    assert a["provision_cache"]["misses"] == 1
+    assert a["provision_cache"]["hits"] >= 2

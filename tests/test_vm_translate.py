@@ -230,7 +230,7 @@ def test_aex_storm_matches_oracle_through_hot_loop():
     for executor in ("step", "translate"):
         enclave, _ = _load(items)
         cpu = _cpu(enclave, executor,
-                   aex_schedule=AexSchedule(100, jitter=3))
+                   aex_schedule=AexSchedule(100, jitter=1.0))
         runs[executor] = cpu.run()
     step, fast = runs["step"], runs["translate"]
     assert fast.aex_events > 10
