@@ -4,9 +4,11 @@ from .harness import (
     BenchResult, RunMatrix, attach_overheads, compile_workload,
     run_workload, overhead_matrix, PAPER_SETTINGS,
 )
+from .provision import ProvisionMatrix, ProvisionResult, measure_cell
 from .tables import format_series, format_table, percent
 
 __all__ = ["BenchResult", "RunMatrix", "attach_overheads",
            "compile_workload", "run_workload",
            "overhead_matrix", "PAPER_SETTINGS",
+           "ProvisionMatrix", "ProvisionResult", "measure_cell",
            "format_series", "format_table", "percent"]

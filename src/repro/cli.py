@@ -178,6 +178,60 @@ def _smoke_parallel_equality(name, settings, param, jobs) -> int:
     return 0
 
 
+def _bench_provision(args, workloads, settings) -> int:
+    """``repro bench --provision``: delegation-latency sweep comparing
+    the legacy (seed) and decode-once provisioning pipelines, with a
+    per-cell byte-identity check between the two."""
+    from .bench.provision import STAGES, ProvisionMatrix
+
+    repeats = 1 if args.smoke else args.repeats
+    if args.smoke:
+        workloads = workloads[:1]
+    matrix = ProvisionMatrix.collect(
+        workloads, settings=settings, param=args.param,
+        repeats=repeats, jobs=args.jobs, strict=False)
+    doc = matrix.to_json()
+    if args.json:
+        out = Path(args.out or "BENCH_provision.json")
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    rows = [[c.workload, c.setting,
+             f"{c.legacy_cold_s * 1e3:.2f}", f"{c.new_cold_s * 1e3:.2f}",
+             f"{c.warm_s * 1e3:.3f}", f"{c.speedup:.2f}x",
+             "yes" if c.identical else "NO", c.status]
+            for c in matrix.cells]
+    print(format_table(
+        f"provisioning latency (repeats={repeats}, jobs={args.jobs})",
+        ["workload", "setting", "legacy ms", "new ms", "warm ms",
+         "speedup", "identical", "status"], rows))
+    totals = doc["totals"]
+    print(f"\naggregate cold speedup (legacy / decode-once): "
+          f"{totals['cold_speedup']}x  "
+          f"(legacy {totals['legacy_cold_ms']:.1f} ms, "
+          f"new {totals['new_cold_ms']:.1f} ms, "
+          f"warm {totals['warm_ms']:.2f} ms)")
+    failed = False
+    if matrix.divergent_cells:
+        print(f"DIVERGENT cells ({len(matrix.divergent_cells)}): "
+              f"{', '.join(matrix.divergent_cells)}")
+        failed = True
+    incomplete = matrix.incomplete_cells
+    if incomplete:
+        print(f"MISSING stage timings (want {', '.join(STAGES)}) in: "
+              f"{', '.join(incomplete)}")
+        failed = True
+    other = [cell for cell in matrix.failures
+             if cell not in matrix.divergent_cells]
+    if other:
+        print(f"FAILED cells ({len(other)}): {', '.join(other)}")
+        failed = True
+    if failed:
+        return 1
+    print("legacy and decode-once images byte-identical on every cell")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench.harness import PAPER_SETTINGS, RunMatrix, run_workload
     from .core.bootstrap import PROVISION_CACHE
@@ -196,6 +250,9 @@ def cmd_bench(args) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    if args.provision:
+        return _bench_provision(args, workloads, settings)
 
     if args.smoke:
         name = workloads[0]
@@ -281,7 +338,7 @@ def cmd_bench(args) -> int:
         }
 
     if args.json:
-        out = Path(args.out)
+        out = Path(args.out or "BENCH_vm.json")
         out.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {out}")
 
@@ -410,12 +467,25 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["translate", "step", "both"], default="both")
     p.add_argument("--json", action="store_true",
                    help="write machine-readable results to --out")
-    p.add_argument("-o", "--out", default="BENCH_vm.json")
+    p.add_argument("-o", "--out", default=None,
+                   help="result file (default: BENCH_vm.json, or "
+                        "BENCH_provision.json with --provision)")
+    p.add_argument("--provision", action="store_true",
+                   help="measure delegation latency instead of "
+                        "execution: time the legacy vs decode-once "
+                        "provisioning pipelines per stage (plus the "
+                        "cache-warm path) and byte-compare their "
+                        "rewritten images; exit nonzero on divergence")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="provisioning repetitions per cell; stage "
+                        "timings are minima over the repeats")
     p.add_argument("--smoke", action="store_true",
                    help="run one kernel under both executors; exit "
                         "nonzero on cycle-account divergence (with "
                         "--jobs N, also assert a parallel sweep equals "
-                        "the serial one)")
+                        "the serial one); with --provision, sweep one "
+                        "workload and fail on divergent images or "
+                        "missing stage timings")
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="worker processes for the run matrix "
                         "(cell values are identical to a serial sweep)")

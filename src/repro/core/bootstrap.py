@@ -22,7 +22,8 @@ import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from time import perf_counter
+from typing import Dict, List, Optional
 
 from ..compiler.objfile import ObjectFile
 from ..crypto.channel import SecureChannel
@@ -30,6 +31,8 @@ from ..errors import (
     CpuFault, EnclaveError, MemoryFault, PolicyViolation, ProtocolError,
     VerificationError,
 )
+from ..isa.disassembler import format_instruction
+from ..isa.encoding import decode_instruction
 from ..policy.magic import MARKER_VALUE, VIOL_P0, VIOLATION_NAMES
 from ..policy.policies import PolicySet
 from ..sgx.enclave import Enclave
@@ -40,6 +43,7 @@ from ..vm.cpu import CPU, ExecResult
 from ..vm.interrupts import AexSchedule
 from .audit import AuditLog
 from .loader import DynamicLoader, LoadedBinary, ProvisionedImage
+from .rdd import recursive_descent
 from .rewriter import ImmRewriter, build_value_map
 from .verifier import DEFAULT_ALLOWED_SVCS, PolicyVerifier, VerifiedBinary
 
@@ -187,6 +191,10 @@ class RunOutcome:
     #: How many provisionings of this enclave were served from the
     #: provision cache (0 when the cache is off or every load verified).
     provision_cache_hits: int = 0
+    #: Per-stage wall-clock seconds of the provisioning that produced
+    #: the executed binary: ``parse``/``load``/``rdd``/``verify``/
+    #: ``rewrite`` for a cold provision, ``install`` for a cache hit.
+    provision_stages: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -231,6 +239,8 @@ class BootstrapEnclave:
                                        custom=self.custom)
         self.loaded: Optional[LoadedBinary] = None
         self.verified: Optional[VerifiedBinary] = None
+        #: Stage timings (seconds) of the most recent provisioning.
+        self.provision_stages: Dict[str, float] = {}
         #: Tamper-evident event chain (attestation evidence).
         self.audit = AuditLog()
         self.audit.record("enclave_initialized",
@@ -277,6 +287,7 @@ class BootstrapEnclave:
         self._attach_enclave()
         self.loaded = None
         self.verified = None
+        self.provision_stages = {}
         self.channels = {}
         self._input = b""
         self._input_cursor = 0
@@ -331,24 +342,34 @@ class BootstrapEnclave:
         blob_hash = digest.hex()
         key = self._provision_key(digest)
         if self.provision_cache is not None:
+            t0 = perf_counter()
             image = self.provision_cache.lookup(key)
             if image is not None:
                 self.loaded = self.loader.install_image(image)
                 self.verified = image.verified
                 self.provision_cache_hits += 1
+                self.provision_stages = {"install": perf_counter() - t0}
                 self.audit.record(
                     "binary_provisioned_cached", hash=blob_hash,
                     instructions=image.verified.instruction_count)
                 return digest
         try:
+            t0 = perf_counter()
             obj = ObjectFile.parse(blob)
+            t1 = perf_counter()
             loaded = self.loader.load(obj)
             text = self.enclave.space.read_raw(loaded.code_base,
                                                loaded.code_len)
             entry_off = loaded.entry_addr - loaded.code_base
-            target_offs = [addr - loaded.code_base
-                           for addr in loaded.branch_target_addrs]
-            verified = self.verifier.verify(text, entry_off, target_offs)
+            target_offs = sorted(set(
+                addr - loaded.code_base
+                for addr in loaded.branch_target_addrs))
+            t2 = perf_counter()
+            code = recursive_descent(text, entry_off, target_offs)
+            t3 = perf_counter()
+            verified = self.verifier.verify_code(code, entry_off,
+                                                 target_offs)
+            t4 = perf_counter()
         except Exception as exc:
             self.audit.record("binary_rejected", hash=blob_hash,
                               reason=str(exc))
@@ -358,6 +379,11 @@ class BootstrapEnclave:
             policies=self.policies))
         rewriter.apply(self.enclave.space, loaded.code_base,
                        verified.magic_slots)
+        t5 = perf_counter()
+        self.provision_stages = {
+            "parse": t1 - t0, "load": t2 - t1, "rdd": t3 - t2,
+            "verify": t4 - t3, "rewrite": t5 - t4,
+        }
         self.loaded = loaded
         self.verified = verified
         self.audit.record(
@@ -428,7 +454,8 @@ class BootstrapEnclave:
             raise EnclaveError("no verified binary provisioned")
         self._reset_runtime_cells()
         outcome = RunOutcome(status="ok",
-                             provision_cache_hits=self.provision_cache_hits)
+                             provision_cache_hits=self.provision_cache_hits,
+                             provision_stages=dict(self.provision_stages))
         io = _ThreadIO(self._input, 0, outcome)
         self._budget = self.p0.max_output_bytes
         cpu = self._make_cpu(0, io, aex_schedule, cost_model)
@@ -463,9 +490,11 @@ class BootstrapEnclave:
         ``trace`` is a list of disassembly lines (``addr: mnemonic``)
         for the first ``max_instructions`` executed — a developer aid
         (the hot path has no tracing hooks; this uses slice stepping).
+        Lines come from the decode-once provisioning stream, so magic
+        annotation immediates appear as their pre-rewrite placeholder
+        constants; addresses outside the stream fall back to decoding
+        live memory.
         """
-        from ..isa.disassembler import format_instruction
-        from ..isa.encoding import decode_instruction
         if self.loaded is None or self.verified is None:
             raise EnclaveError("no verified binary provisioned")
         self._reset_runtime_cells()
@@ -475,15 +504,26 @@ class BootstrapEnclave:
         cpu = self._make_cpu(0, io, None, cost_model)
         trace: List[str] = []
         space = self.enclave.space
+        code = self.verified.code
+        code_base = self.loaded.code_base
         try:
             while len(trace) < max_instructions and not cpu.halted:
-                try:
-                    ins, _ = decode_instruction(
-                        space.enclave_view(),
-                        cpu.rip - space.enclave_base)
+                ins = None
+                if code is not None:
+                    idx = code.index_of.get(cpu.rip - code_base)
+                    if idx is not None:
+                        ins = code.stream[idx][1]
+                if ins is None:
+                    try:
+                        ins, _ = decode_instruction(
+                            space.enclave_view(),
+                            cpu.rip - space.enclave_base)
+                    except Exception:
+                        ins = None
+                if ins is not None:
                     trace.append(f"{cpu.rip:#x}: "
                                  f"{format_instruction(ins)}")
-                except Exception:
+                else:
                     trace.append(f"{cpu.rip:#x}: <undecodable>")
                 cpu.run(slice_steps=1)
             if not cpu.halted:

@@ -1,0 +1,408 @@
+"""The pre-decode-once provisioning pipeline, kept as an oracle.
+
+This module preserves the seed implementation of the code-consumer
+pipeline — the multi-walk recursive descent, the per-instruction
+``_try_annotation`` if-chain verifier and the per-site immediate
+rewriter — exactly as it was before the decode-once rework.  It plays
+the same role for provisioning that the single-step CPU engine plays
+for execution (see DESIGN.md §3b): a slow, simple reference the
+optimized pipeline is differentially checked against.  The provisioning
+benchmark (:mod:`repro.bench.provision`) times both paths and asserts
+the verdicts and the rewritten images are byte-identical on every cell;
+the equivalence tests in ``tests/test_pipeline_equivalence.py`` do the
+same over every registered workload.
+
+Nothing here runs on the hot path and none of it is part of the
+measured TCB (``repro.tcb`` counts ``core/rdd.py`` and
+``core/verifier.py``; the oracle only has to be *faithful*, not small).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import EncodingError, VerificationError
+from ..isa.encoding import decode_instruction
+from ..isa.instructions import (
+    COND_JUMPS, NO_FALLTHROUGH_OPS, Instruction, Mem, Op,
+    is_indirect_branch, is_store, writes_rsp_explicitly,
+)
+from ..isa.registers import RESERVED_REGS
+from ..policy.magic import MAGIC
+from ..policy.templates import AnnotationKind, MatchResult, match_pattern
+from .rdd import DisassembledCode
+from .verifier import PolicyVerifier, VerifiedBinary
+
+
+def legacy_recursive_descent(text: bytes, entry: int,
+                             roots: Iterable[int] = ()) \
+        -> DisassembledCode:
+    """Seed RDD: per-call :func:`decode_instruction`, unconditional
+    target re-enqueueing, append-built stream.  Only ``stream`` and
+    ``index_of`` are populated — exactly what the seed produced."""
+    visited: Dict[int, int] = {}      # offset -> length
+    worklist: List[int] = [entry]
+    for root in roots:
+        worklist.append(root)
+    decoded: Dict[int, Instruction] = {}
+
+    while worklist:
+        pos = worklist.pop()
+        while pos not in visited:
+            if not 0 <= pos < len(text):
+                raise VerificationError(
+                    "control flow escapes the text section", pos)
+            try:
+                instr, length = decode_instruction(text, pos)
+            except EncodingError as exc:
+                raise VerificationError(f"undecodable: {exc}", pos) \
+                    from exc
+            visited[pos] = length
+            decoded[pos] = instr
+            op = instr.op
+            if op == Op.JMP or op == Op.CALL or op in COND_JUMPS:
+                target = pos + length + instr.operands[0]
+                if not 0 <= target < len(text):
+                    raise VerificationError(
+                        f"branch target {target:#x} outside text", pos)
+                worklist.append(target)
+            if op in NO_FALLTHROUGH_OPS:
+                break
+            pos += length
+
+    result = DisassembledCode()
+    last_end = 0
+    for offset in sorted(visited):
+        if offset < last_end:
+            raise VerificationError(
+                "overlapping instruction decodings", offset)
+        last_end = offset + visited[offset]
+        result.index_of[offset] = len(result.stream)
+        result.stream.append((offset, decoded[offset]))
+    return result
+
+
+class LegacyPolicyVerifier(PolicyVerifier):
+    """Seed verifier: an O(n) scan that runs the ~8-test
+    ``_try_annotation`` predicate chain on every instruction and
+    re-derives branch targets from instruction lengths."""
+
+    def verify(self, text: bytes, entry: int,
+               branch_targets: Iterable[int] = ()) -> VerifiedBinary:
+        branch_targets = sorted(set(branch_targets))
+        code = legacy_recursive_descent(text, entry, branch_targets)
+        return self._legacy_verify_stream(code, entry, branch_targets)
+
+    # -- annotation recognition (seed if-chain) -----------------------
+
+    def _try_annotation(self, stream, index: int,
+                        trap_pads) -> Tuple[Optional[str],
+                                            Optional[MatchResult]]:
+        _, ins = stream[index]
+        op = ins.op
+        if op == Op.LEA and self.policies.any_store_guard and \
+                ins.operands[0] == 15:
+            m = match_pattern(self._store_pat, stream, index, trap_pads)
+            if m.matched:
+                return AnnotationKind.STORE_GUARD, m
+            raise VerificationError(
+                f"malformed store guard: {m.reason}", stream[index][0])
+        if op == Op.MOV_RI and ins.operands[0] == 14:
+            imm = ins.operands[1]
+            policy = self._custom_by_marker.get(imm)
+            if policy is not None:
+                m = match_pattern(policy.guard_pattern(), stream, index,
+                                  trap_pads)
+                if m.matched:
+                    return f"custom:{policy.name}", m
+                raise VerificationError(
+                    f"malformed {policy.name} guard: {m.reason}",
+                    stream[index][0])
+            if imm == MAGIC["ssa_marker"] and self.policies.p6:
+                m = match_pattern(self._p6_pat, stream, index, trap_pads)
+                if m.matched:
+                    return AnnotationKind.P6_GUARD, m
+                raise VerificationError(
+                    f"malformed P6 guard: {m.reason}", stream[index][0])
+            if imm == MAGIC["ss_cell"] and self.policies.p5 and \
+                    not self.policies.mt_safe:
+                m = match_pattern(self._epilogue_pat, stream, index,
+                                  trap_pads)
+                if m.matched:
+                    return AnnotationKind.EPILOGUE, m
+                m = match_pattern(self._prologue_pat, stream, index,
+                                  trap_pads)
+                if m.matched:
+                    return AnnotationKind.PROLOGUE, m
+                raise VerificationError(
+                    f"malformed shadow-stack annotation: {m.reason}",
+                    stream[index][0])
+            if imm == MAGIC["ss_top"] and self.policies.p5 and \
+                    self.policies.mt_safe:
+                m = match_pattern(self._prologue_pat, stream, index,
+                                  trap_pads)
+                if m.matched:
+                    return AnnotationKind.PROLOGUE, m
+                raise VerificationError(
+                    f"malformed MT shadow prologue: {m.reason}",
+                    stream[index][0])
+            if imm == MAGIC["stack_lo"] and self.policies.p2:
+                m = match_pattern(self._rsp_pat, stream, index, trap_pads)
+                if m.matched:
+                    return AnnotationKind.RSP_GUARD, m
+                raise VerificationError(
+                    f"malformed RSP guard: {m.reason}", stream[index][0])
+        if op == Op.MOV_RR and ins.operands[0] == 14 and self.policies.p5:
+            m = match_pattern(self._indirect_pat, stream, index, trap_pads)
+            if m.matched:
+                return AnnotationKind.INDIRECT, m
+            raise VerificationError(
+                f"malformed indirect-branch guard: {m.reason}",
+                stream[index][0])
+        if op == Op.SUB_RI and ins.operands[0] == 13 and \
+                self.policies.p5 and self.policies.mt_safe:
+            m = match_pattern(self._epilogue_pat, stream, index,
+                              trap_pads)
+            if m.matched:
+                return AnnotationKind.EPILOGUE, m
+            raise VerificationError(
+                f"malformed MT shadow epilogue: {m.reason}",
+                stream[index][0])
+        return None, None
+
+    @staticmethod
+    def _uses_reserved(ins: Instruction) -> bool:
+        sig = ins.spec.sig
+        regs: List[int] = []
+        if sig == "r":
+            regs = [ins.operands[0]]
+        elif sig == "rr":
+            regs = list(ins.operands)
+        elif sig in ("ri64", "ri32", "rm"):
+            regs = [ins.operands[0]]
+        elif sig == "mr":
+            regs = [ins.operands[1]]
+        for operand in ins.operands:
+            if isinstance(operand, Mem):
+                if operand.base in RESERVED_REGS or \
+                        operand.index in RESERVED_REGS:
+                    return True
+        return any(reg in RESERVED_REGS for reg in regs
+                   if isinstance(reg, int))
+
+    # -- main verification (seed forward scan) ------------------------
+
+    def _legacy_verify_stream(self, code: DisassembledCode, entry: int,
+                              branch_targets: List[int]) \
+            -> VerifiedBinary:
+        stream = code.stream
+        n = len(stream)
+        policies = self.policies
+        trap_pads = {off: ins.operands[0] for off, ins in stream
+                     if ins.op == Op.TRAP}
+        result = VerifiedBinary(instruction_count=n)
+        counts = result.annotation_counts
+
+        interior: Set[int] = set()       # annotation offsets (minus starts)
+        anchors: Set[int] = set()        # guarded anchor offsets
+        p6_guards: Set[int] = set()
+        ann_at: Dict[int, Tuple[str, int]] = {}   # start -> (kind, end off)
+
+        def end_offset(match: MatchResult) -> int:
+            if match.end_index < n:
+                return stream[match.end_index][0]
+            last_off, last_ins = stream[-1]
+            return last_off + last_ins.length
+
+        i = 0
+        while i < n:
+            off, ins = stream[i]
+            if ins.op == Op.TRAP:
+                i += 1
+                continue
+            kind, match = self._try_annotation(stream, i, trap_pads)
+            if kind is not None:
+                counts[kind] = counts.get(kind, 0) + 1
+                result.magic_slots.extend(match.magic_slots)
+                interior.update(match.interior_offsets[1:])
+                ann_at[off] = (kind, end_offset(match))
+                end = match.end_index
+                if kind == AnnotationKind.STORE_GUARD:
+                    anchor_off, anchor = self._anchor(stream, end, off)
+                    if not is_store(anchor) or \
+                            anchor.operands[0] != match.anchor_mem:
+                        raise VerificationError(
+                            "store guard not followed by the guarded "
+                            "store", anchor_off)
+                    anchors.add(anchor_off)
+                    i = end + 1
+                elif kind == AnnotationKind.INDIRECT:
+                    anchor_off, anchor = self._anchor(stream, end, off)
+                    if not is_indirect_branch(anchor) or \
+                            anchor.operands[0] != match.target_reg:
+                        raise VerificationError(
+                            "indirect-branch guard not followed by the "
+                            "guarded branch", anchor_off)
+                    anchors.add(anchor_off)
+                    i = end + 1
+                elif kind == AnnotationKind.EPILOGUE:
+                    anchor_off, anchor = self._anchor(stream, end, off)
+                    if anchor.op != Op.RET:
+                        raise VerificationError(
+                            "shadow epilogue not followed by RET",
+                            anchor_off)
+                    anchors.add(anchor_off)
+                    i = end + 1
+                elif kind.startswith("custom:"):
+                    policy = next(p for p in self.custom
+                                  if kind == f"custom:{p.name}")
+                    anchor_off, anchor = self._anchor(stream, end, off)
+                    if not policy.anchor(anchor):
+                        raise VerificationError(
+                            f"{policy.name} guard not followed by its "
+                            f"guarded instruction", anchor_off)
+                    for pos, reg in match.anchor_regs.items():
+                        if anchor.operands[pos] != reg:
+                            raise VerificationError(
+                                f"{policy.name} guard checks the wrong "
+                                f"operand", anchor_off)
+                    anchors.add(anchor_off)
+                    i = end + 1
+                else:
+                    if kind == AnnotationKind.P6_GUARD:
+                        p6_guards.add(off)
+                    i = end
+                continue
+
+            # -- plain program instruction -----------------------------
+            if self._instrumenting and self._uses_reserved(ins):
+                raise VerificationError(
+                    "program code touches annotation-reserved registers",
+                    off)
+            if is_store(ins) and policies.any_store_guard:
+                raise VerificationError("unguarded memory store", off)
+            if is_indirect_branch(ins) and policies.p5:
+                raise VerificationError("unguarded indirect branch", off)
+            if ins.op == Op.RET and policies.p5:
+                raise VerificationError(
+                    "RET without shadow-stack epilogue", off)
+            if ins.op == Op.SVC and \
+                    ins.operands[0] not in self.allowed_svcs:
+                raise VerificationError(
+                    f"SVC {ins.operands[0]} not allowed by the P0 "
+                    f"manifest", off)
+            for policy in self.custom:
+                if policy.anchor(ins):
+                    raise VerificationError(
+                        f"instruction lacks the {policy.name} guard",
+                        off)
+            if writes_rsp_explicitly(ins) and policies.p2:
+                match = match_pattern(self._rsp_pat, stream, i + 1,
+                                      trap_pads)
+                if not match.matched:
+                    raise VerificationError(
+                        f"stack-pointer write without RSP guard: "
+                        f"{match.reason}", off)
+                counts[AnnotationKind.RSP_GUARD] = \
+                    counts.get(AnnotationKind.RSP_GUARD, 0) + 1
+                result.magic_slots.extend(match.magic_slots)
+                interior.update(match.interior_offsets[1:])
+                i = match.end_index
+                continue
+            i += 1
+
+        self._legacy_check_control_flow(code, entry, branch_targets,
+                                        interior, anchors, p6_guards,
+                                        ann_at, trap_pads, result)
+        return result
+
+    def _legacy_check_control_flow(self, code: DisassembledCode,
+                                   entry: int,
+                                   branch_targets: List[int],
+                                   interior: Set[int],
+                                   anchors: Set[int],
+                                   p6_guards: Set[int],
+                                   ann_at: Dict[int, Tuple[str, int]],
+                                   trap_pads: Dict[int, int],
+                                   result: VerifiedBinary) -> None:
+        policies = self.policies
+        boundaries = code.index_of
+        jump_targets: Set[int] = set()
+        call_targets: Set[int] = set()
+        fallthroughs: Set[int] = set()
+        for off, ins in code.stream:
+            if off in interior:
+                continue
+            op = ins.op
+            if op == Op.JMP or op == Op.CALL or op in COND_JUMPS:
+                target = off + ins.length + ins.operands[0]
+                if target not in boundaries:
+                    raise VerificationError(
+                        f"branch into the middle of an instruction "
+                        f"({target:#x})", off)
+                if target in interior:
+                    raise VerificationError(
+                        f"branch into an annotation body ({target:#x})",
+                        off)
+                if target in anchors:
+                    raise VerificationError(
+                        f"branch bypasses a security annotation "
+                        f"({target:#x})", off)
+                if op == Op.CALL:
+                    call_targets.add(target)
+                else:
+                    jump_targets.add(target)
+                    if op in COND_JUMPS:
+                        fallthroughs.add(off + ins.length)
+
+        function_entries = call_targets | set(branch_targets)
+        result.function_entries = function_entries
+
+        for target in branch_targets:
+            if target not in boundaries:
+                raise VerificationError(
+                    "indirect-branch list entry is not an instruction "
+                    "boundary", target)
+
+        if policies.p6:
+            leaders = ({entry} | jump_targets | fallthroughs |
+                       function_entries)
+            for leader in sorted(leaders):
+                if leader in trap_pads:
+                    continue
+                if leader not in p6_guards:
+                    raise VerificationError(
+                        "basic-block leader lacks the P6 SSA-marker "
+                        "guard", leader)
+
+        if policies.p5:
+            for fe in sorted(function_entries):
+                pos = fe
+                if policies.p6:
+                    info = ann_at.get(pos)
+                    if info is None or \
+                            info[0] != AnnotationKind.P6_GUARD:
+                        raise VerificationError(
+                            "function entry lacks the P6 guard", fe)
+                    pos = info[1]
+                info = ann_at.get(pos)
+                if info is None or info[0] != AnnotationKind.PROLOGUE:
+                    raise VerificationError(
+                        "function entry lacks the shadow-stack prologue",
+                        fe)
+
+
+def legacy_rewrite(space, code_base: int, values: Dict[str, int],
+                   slots: Iterable[Tuple[int, str]]) -> int:
+    """Seed imm rewriter: one ``write_raw`` round-trip per slot, with
+    per-site address arithmetic."""
+    from ..errors import LoaderError
+    count = 0
+    for offset, name in slots:
+        value = values.get(name)
+        if value is None:
+            raise LoaderError(f"no value for magic {name!r}")
+        space.write_raw(code_base + offset,
+                        (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+        count += 1
+    return count

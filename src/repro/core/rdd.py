@@ -7,26 +7,109 @@ paper's algorithm.  Overlapping instructions (two decoded instructions
 sharing bytes at different starts) are rejected: on a fixed-per-opcode
 encoding every reachable byte has exactly one interpretation or the
 binary is refused.
+
+This is the *decode-once* pipeline head: the descent decodes every
+reachable instruction exactly once (via the per-opcode
+``DECODE_TABLE``) and, in the same pass, derives everything the
+downstream consumers used to re-derive per instruction — encoded
+lengths, direct-branch successors, trap-pad codes, reserved-register
+usage, and an op-category tag the verifier's dispatch table keys off.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import EncodingError, VerificationError
-from ..isa.encoding import decode_instruction
+from ..isa.encoding import DECODE_FN, DECODE_LEN
 from ..isa.instructions import (
-    COND_JUMPS, Instruction, NO_FALLTHROUGH_OPS, Op,
+    COND_JUMPS, INDIRECT_BRANCH_OPS, Instruction, NO_FALLTHROUGH_OPS, Op,
+    SPECS, STORE_OPS, _REG_DST_OPS,
 )
+from ..isa.registers import RSP
 
+# -- op-category tags --------------------------------------------------------
+#
+# Assigned once per instruction during the descent; the verifier's main
+# scan dispatches on them with one comparison/dict probe instead of
+# re-running the annotation-head predicate chain on every instruction.
+
+CAT_PLAIN = 0          # no policy relevance on its own
+CAT_TRAP = 1           # violation trap pad
+CAT_STORE = 2          # explicit memory store (P1/P3/P4 anchor)
+CAT_INDIRECT = 3       # indirect branch (P5 anchor)
+CAT_RET = 4            # return (P5 anchor)
+CAT_SVC = 5            # OCall gateway (P0)
+CAT_RSP_WRITE = 6      # explicit stack-pointer write (P2 trigger)
+CAT_HEAD_LEA = 7       # LEA r15, m   — candidate store-guard head
+CAT_HEAD_MARKER = 8    # MOV r14, imm — candidate marker-dispatch head
+CAT_HEAD_MOVRR = 9     # MOV r14, r   — candidate indirect-guard head
+CAT_HEAD_SUBRI = 10    # SUB r13, imm — candidate MT-epilogue head
+
+#: Lowest annotation-head category (``cat >= HEAD_CAT_MIN`` marks a
+#: potential annotation opening the verifier must dispatch on).
+HEAD_CAT_MIN = CAT_HEAD_LEA
+
+#: Dst-sensitive head openers: op -> (required dst register, category).
+_HEAD_SPEC = {
+    Op.LEA: (15, CAT_HEAD_LEA),
+    Op.MOV_RI: (14, CAT_HEAD_MARKER),
+    Op.MOV_RR: (14, CAT_HEAD_MOVRR),
+    Op.SUB_RI: (13, CAT_HEAD_SUBRI),
+}
+
+# Per-opcode classification codes (low nibble) for the descent loop;
+# bit 4 marks the end of fall-through execution.  Kinds 1-5 equal the
+# category they map to.
+_K_PLAIN, _K_BRANCH, _K_HEAD, _K_REGDST = 0, 6, 7, 8
+_NO_FALL = 16
+
+
+def _build_class_table() -> List[int]:
+    table = [_K_PLAIN] * 256
+    table[Op.TRAP] = CAT_TRAP
+    for op in STORE_OPS:
+        table[op] = CAT_STORE
+    for op in INDIRECT_BRANCH_OPS:
+        table[op] = CAT_INDIRECT
+    table[Op.RET] = CAT_RET
+    table[Op.SVC] = CAT_SVC
+    table[Op.JMP] = table[Op.CALL] = _K_BRANCH
+    for op in COND_JUMPS:
+        table[op] = _K_BRANCH
+    for op in _REG_DST_OPS:
+        table[op] = _K_HEAD if op in _HEAD_SPEC else _K_REGDST
+    for op in NO_FALLTHROUGH_OPS:
+        table[op] |= _NO_FALL
+    return table
+
+
+_CLASS = _build_class_table()
 
 @dataclass
 class DisassembledCode:
-    """RDD result: the reachable instruction stream in address order."""
+    """RDD result: the reachable instruction stream in address order.
+
+    Beyond the stream itself, the descent precomputes — once — the
+    per-instruction facts every downstream pass needs: ``lengths``
+    (encoded bytes), ``cats`` (op-category tags, ``CAT_*``),
+    ``targets`` (direct-branch successor offsets, ``None`` elsewhere),
+    ``reserved`` (whether the instruction touches an
+    annotation-reserved register), and the ``trap_pads`` map
+    (trap offset -> violation code).
+    """
 
     stream: List[Tuple[int, Instruction]] = field(default_factory=list)
     index_of: Dict[int, int] = field(default_factory=dict)
+    lengths: List[int] = field(default_factory=list)
+    cats: List[int] = field(default_factory=list)
+    targets: List[Optional[int]] = field(default_factory=list)
+    reserved: List[bool] = field(default_factory=list)
+    trap_pads: Dict[int, int] = field(default_factory=dict)
+    #: The raw text the stream was decoded from (byte-level template
+    #: matching in the verifier reads it directly).
+    text: bytes = b""
 
     def at_offset(self, offset: int) -> Instruction:
         return self.stream[self.index_of[offset]][1]
@@ -34,6 +117,10 @@ class DisassembledCode:
     @property
     def offsets(self) -> Iterable[int]:
         return self.index_of.keys()
+
+    def end_of(self, index: int) -> int:
+        """Text offset one past instruction ``index``."""
+        return self.stream[index][0] + self.lengths[index]
 
 
 def recursive_descent(text: bytes, entry: int,
@@ -43,43 +130,94 @@ def recursive_descent(text: bytes, entry: int,
     Raises :class:`VerificationError` on undecodable reachable bytes,
     control flow escaping the text section, or overlapping decodings.
     """
-    visited: Dict[int, int] = {}      # offset -> length
+    n_text = len(text)
+    decode_fns = DECODE_FN
+    decode_lens = DECODE_LEN
+    class_table = _CLASS
+    # offset -> (instruction, length, category, branch target, reserved)
+    info: Dict[int, tuple] = {}
+    trap_pads: Dict[int, int] = {}
     worklist: List[int] = [entry]
-    for root in roots:
-        worklist.append(root)
-    decoded: Dict[int, Instruction] = {}
+    worklist.extend(roots)
 
     while worklist:
         pos = worklist.pop()
-        while pos not in visited:
-            if not 0 <= pos < len(text):
+        while pos not in info:
+            if not 0 <= pos < n_text:
                 raise VerificationError(
                     "control flow escapes the text section", pos)
+            opbyte = text[pos]
+            decode = decode_fns[opbyte]
+            if decode is None:
+                raise VerificationError(
+                    f"undecodable: unknown opcode {opbyte:#x} "
+                    f"at {pos:#x}", pos)
+            length = decode_lens[opbyte]
+            if pos + length > n_text:
+                raise VerificationError(
+                    f"undecodable: truncated {SPECS[opbyte].name} "
+                    f"at {pos:#x}", pos)
             try:
-                instr, length = decode_instruction(text, pos)
+                instr, res = decode(text, pos)
             except EncodingError as exc:
                 raise VerificationError(f"undecodable: {exc}", pos) \
                     from exc
-            visited[pos] = length
-            decoded[pos] = instr
-            op = instr.op
-            if op == Op.JMP or op == Op.CALL or op in COND_JUMPS:
-                target = pos + length + instr.operands[0]
-                if not 0 <= target < len(text):
+
+            cls = class_table[opbyte]
+            if cls == 0:
+                # plain fall-through instruction — the common case
+                info[pos] = (instr, length, CAT_PLAIN, None, res)
+                pos += length
+                continue
+            operands = instr.operands
+            kind = cls & 15
+            cat = kind
+            target = None
+            if kind == _K_BRANCH:
+                cat = CAT_PLAIN
+                target = pos + length + operands[0]
+                if not 0 <= target < n_text:
                     raise VerificationError(
                         f"branch target {target:#x} outside text", pos)
-                worklist.append(target)
-            if op in NO_FALLTHROUGH_OPS:
+                if target not in info:
+                    worklist.append(target)
+            elif kind == _K_HEAD:
+                head_reg, head_cat = _HEAD_SPEC[opbyte]
+                dst = operands[0]
+                cat = head_cat if dst == head_reg else \
+                    (CAT_RSP_WRITE if dst == RSP else CAT_PLAIN)
+            elif kind == _K_REGDST:
+                cat = CAT_RSP_WRITE if operands[0] == RSP else CAT_PLAIN
+            elif kind == CAT_TRAP:
+                trap_pads[pos] = operands[0]
+
+            info[pos] = (instr, length, cat, target, res)
+            if cls & _NO_FALL:
                 break
             pos += length
 
-    result = DisassembledCode()
+    # -- one ordered pass: overlap check + pre-sized stream assembly ----
+    count = len(info)
+    stream: List[Tuple[int, Instruction]] = [None] * count
+    lengths = [0] * count
+    cats = [0] * count
+    targets: List[Optional[int]] = [None] * count
+    reserved = [False] * count
+    index_of: Dict[int, int] = {}
     last_end = 0
-    for offset in sorted(visited):
+    i = 0
+    for offset in sorted(info):
+        instr, length, cat, target, res = info[offset]
         if offset < last_end:
             raise VerificationError(
                 "overlapping instruction decodings", offset)
-        last_end = offset + visited[offset]
-        result.index_of[offset] = len(result.stream)
-        result.stream.append((offset, decoded[offset]))
-    return result
+        last_end = offset + length
+        index_of[offset] = i
+        stream[i] = (offset, instr)
+        lengths[i] = length
+        cats[i] = cat
+        targets[i] = target
+        reserved[i] = res
+        i += 1
+    return DisassembledCode(stream, index_of, lengths, cats, targets,
+                            reserved, trap_pads, bytes(text))

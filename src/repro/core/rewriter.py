@@ -69,14 +69,26 @@ class ImmRewriter:
               slots: Iterable[Tuple[int, str]]) -> int:
         """Write concrete values into ``slots`` (text offset, name).
 
+        Batched: all absolute patch offsets are precomputed, then the
+        covering text span is read once, every slot patched in place,
+        and the span written back with a single ``write_raw`` — one
+        round trip through the address space instead of one per slot.
         Returns the number of slots patched.
         """
-        count = 0
+        values = self.values
+        mask = (1 << 64) - 1
+        patches = []
         for offset, name in slots:
-            value = self.values.get(name)
+            value = values.get(name)
             if value is None:
                 raise LoaderError(f"no value for magic {name!r}")
-            space.write_raw(code_base + offset,
-                            (value & ((1 << 64) - 1)).to_bytes(8, "little"))
-            count += 1
-        return count
+            patches.append((offset, (value & mask).to_bytes(8, "little")))
+        if not patches:
+            return 0
+        lo = min(offset for offset, _ in patches)
+        hi = max(offset for offset, _ in patches) + 8
+        span = bytearray(space.read_raw(code_base + lo, hi - lo))
+        for offset, encoded in patches:
+            span[offset - lo:offset - lo + 8] = encoded
+        space.write_raw(code_base + lo, bytes(span))
+        return len(patches)

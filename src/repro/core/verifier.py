@@ -19,6 +19,13 @@ A forward scan over the recursive-descent disassembly that
   entry (direct call targets and listed indirect targets);
 * restricts SVC (OCall gateway) numbers to the P0 manifest.
 
+The scan is table-driven: at construction the verifier compiles the
+active :class:`~repro.policy.policies.PolicySet` (and any custom-policy
+markers) into two dispatch tables keyed off the RDD op-category tags —
+one per head category, one per 64-bit marker immediate — so recognizing
+an annotation head costs one dict probe instead of re-running the
+predicate chain on every instruction.
+
 The verifier only ever *reads*; the slots it records are patched later
 by the immediate rewriter.
 """
@@ -29,19 +36,20 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import VerificationError
-from ..isa.instructions import (
-    COND_JUMPS, Instruction, Mem, Op,
-    is_indirect_branch, is_store, writes_rsp_explicitly,
-)
-from ..isa.registers import RESERVED_REGS
+from ..isa.instructions import Op
 from ..policy.magic import MAGIC
 from ..policy.policies import PolicySet
 from ..policy.templates import (
-    AnnotationKind, MatchResult, match_pattern,
+    AnnotationKind, MatchResult, compile_fast, compile_pattern,
+    match_compiled, match_fast,
     indirect_branch_pattern, p6_guard_pattern, rsp_guard_pattern,
     shadow_epilogue_pattern, shadow_prologue_pattern, store_guard_pattern,
 )
-from .rdd import DisassembledCode, recursive_descent
+from .rdd import (
+    CAT_HEAD_LEA, CAT_HEAD_MARKER, CAT_HEAD_MOVRR, CAT_HEAD_SUBRI,
+    CAT_INDIRECT, CAT_PLAIN, CAT_RET, CAT_RSP_WRITE, CAT_STORE, CAT_SVC,
+    CAT_TRAP, DisassembledCode, HEAD_CAT_MIN, recursive_descent,
+)
 
 #: SVC numbers admissible under P0 (send / recv / report).
 DEFAULT_ALLOWED_SVCS = frozenset({1, 2, 3})
@@ -55,6 +63,11 @@ class VerifiedBinary:
     annotation_counts: Dict[str, int] = field(default_factory=dict)
     instruction_count: int = 0
     function_entries: Set[int] = field(default_factory=set)
+    #: The decode-once stream the evidence was derived from; carried so
+    #: downstream consumers (tracing, rewriting) never re-decode text.
+    #: Excluded from equality — evidence comparisons are about verdicts.
+    code: Optional[DisassembledCode] = field(default=None, compare=False,
+                                             repr=False)
 
 
 class PolicyVerifier:
@@ -75,6 +88,67 @@ class PolicyVerifier:
         self._p6_pat = p6_guard_pattern()
         self._instrumenting = any((policies.p1, policies.p2, policies.p3,
                                    policies.p4, policies.p5, policies.p6))
+        self._build_dispatch()
+
+    def _build_dispatch(self) -> None:
+        """Compile the policy set into the per-category dispatch tables.
+
+        ``_by_cat[category]`` / ``_by_marker[imm64]`` map an annotation
+        head to ``(error label, ((kind, compiled, custom policy), ...))``
+        — the candidate templates tried in order at that head.  Entries
+        exist only for enabled policies, so a disabled policy's head
+        falls through to the plain-instruction checks exactly as the
+        predicate chain did.  Custom markers are inserted last and win
+        marker collisions (the chain checked them first).
+        """
+        def cand(kind, pattern, cpolicy=None):
+            return (kind, compile_pattern(pattern), compile_fast(pattern),
+                    cpolicy)
+
+        p = self.policies
+        by_cat: Dict[int, tuple] = {}
+        by_marker: Dict[int, tuple] = {}
+        if p.any_store_guard:
+            by_cat[CAT_HEAD_LEA] = ("store guard", (
+                cand(AnnotationKind.STORE_GUARD, self._store_pat),))
+        if p.p5:
+            by_cat[CAT_HEAD_MOVRR] = ("indirect-branch guard", (
+                cand(AnnotationKind.INDIRECT, self._indirect_pat),))
+            epilogue = cand(AnnotationKind.EPILOGUE, self._epilogue_pat)
+            prologue = cand(AnnotationKind.PROLOGUE, self._prologue_pat)
+            if p.mt_safe:
+                by_cat[CAT_HEAD_SUBRI] = ("MT shadow epilogue",
+                                          (epilogue,))
+                by_marker[MAGIC["ss_top"]] = ("MT shadow prologue",
+                                              (prologue,))
+            else:
+                by_marker[MAGIC["ss_cell"]] = ("shadow-stack annotation",
+                                               (epilogue, prologue))
+        if p.p6:
+            by_marker[MAGIC["ssa_marker"]] = ("P6 guard", (
+                cand(AnnotationKind.P6_GUARD, self._p6_pat),))
+        if p.p2:
+            by_marker[MAGIC["stack_lo"]] = ("RSP guard", (
+                cand(AnnotationKind.RSP_GUARD, self._rsp_pat),))
+        for policy in self.custom:
+            by_marker[policy.marker] = (f"{policy.name} guard", (
+                cand(f"custom:{policy.name}", policy.guard_pattern(),
+                     policy),))
+        self._by_cat = by_cat
+        self._by_marker = by_marker
+        self._rsp_compiled = compile_pattern(self._rsp_pat)
+        self._rsp_fast = compile_fast(self._rsp_pat)
+
+    def _dispatch_digest(self) -> tuple:
+        """Hashable summary of the compiled dispatch tables."""
+        return (tuple(sorted((cat, label,
+                              tuple(k for k, _, _, _ in cands))
+                             for cat, (label, cands)
+                             in self._by_cat.items())),
+                tuple(sorted((marker, label,
+                              tuple(k for k, _, _, _ in cands))
+                             for marker, (label, cands)
+                             in self._by_marker.items())))
 
     def fingerprint(self) -> tuple:
         """Hashable digest of every input that can change the verdict.
@@ -82,10 +156,14 @@ class PolicyVerifier:
         Two verifiers with equal fingerprints accept/reject identical
         binaries with identical evidence — the precondition for reusing
         a cached provision (see :class:`repro.core.bootstrap.ProvisionCache`).
+        Includes a digest of the compiled dispatch tables so any change
+        that reshapes dispatch (policy set, custom markers) changes the
+        fingerprint even if other components were to collide.
         """
         return (self.policies.describe(),
                 tuple(sorted(self.allowed_svcs)),
-                tuple(sorted(policy.marker for policy in self.custom)))
+                tuple(sorted(policy.marker for policy in self.custom)),
+                self._dispatch_digest())
 
     # -- public API --------------------------------------------------------
 
@@ -95,95 +173,39 @@ class PolicyVerifier:
         policy-compliance failure."""
         branch_targets = sorted(set(branch_targets))
         code = recursive_descent(text, entry, branch_targets)
+        return self.verify_code(code, entry, branch_targets)
+
+    def verify_code(self, code: DisassembledCode, entry: int,
+                    branch_targets: Iterable[int] = ()) -> VerifiedBinary:
+        """Verify an already-disassembled stream (decode-once path).
+
+        ``code`` must come from :func:`~repro.core.rdd.recursive_descent`
+        over the same text/entry/targets; the returned evidence carries
+        it in ``.code`` so later stages can reuse the stream.
+        """
+        branch_targets = sorted(set(branch_targets))
         return self._verify_stream(code, entry, branch_targets)
-
-    # -- annotation recognition ------------------------------------------------
-
-    def _try_annotation(self, stream, index: int,
-                        trap_pads) -> Tuple[Optional[str],
-                                            Optional[MatchResult]]:
-        _, ins = stream[index]
-        op = ins.op
-        if op == Op.LEA and self.policies.any_store_guard and \
-                ins.operands[0] == 15:
-            m = match_pattern(self._store_pat, stream, index, trap_pads)
-            if m.matched:
-                return AnnotationKind.STORE_GUARD, m
-            raise VerificationError(
-                f"malformed store guard: {m.reason}", stream[index][0])
-        if op == Op.MOV_RI and ins.operands[0] == 14:
-            imm = ins.operands[1]
-            policy = self._custom_by_marker.get(imm)
-            if policy is not None:
-                m = match_pattern(policy.guard_pattern(), stream, index,
-                                  trap_pads)
-                if m.matched:
-                    return f"custom:{policy.name}", m
-                raise VerificationError(
-                    f"malformed {policy.name} guard: {m.reason}",
-                    stream[index][0])
-            if imm == MAGIC["ssa_marker"] and self.policies.p6:
-                m = match_pattern(self._p6_pat, stream, index, trap_pads)
-                if m.matched:
-                    return AnnotationKind.P6_GUARD, m
-                raise VerificationError(
-                    f"malformed P6 guard: {m.reason}", stream[index][0])
-            if imm == MAGIC["ss_cell"] and self.policies.p5 and \
-                    not self.policies.mt_safe:
-                m = match_pattern(self._epilogue_pat, stream, index,
-                                  trap_pads)
-                if m.matched:
-                    return AnnotationKind.EPILOGUE, m
-                m = match_pattern(self._prologue_pat, stream, index,
-                                  trap_pads)
-                if m.matched:
-                    return AnnotationKind.PROLOGUE, m
-                raise VerificationError(
-                    f"malformed shadow-stack annotation: {m.reason}",
-                    stream[index][0])
-            if imm == MAGIC["ss_top"] and self.policies.p5 and \
-                    self.policies.mt_safe:
-                m = match_pattern(self._prologue_pat, stream, index,
-                                  trap_pads)
-                if m.matched:
-                    return AnnotationKind.PROLOGUE, m
-                raise VerificationError(
-                    f"malformed MT shadow prologue: {m.reason}",
-                    stream[index][0])
-            if imm == MAGIC["stack_lo"] and self.policies.p2:
-                m = match_pattern(self._rsp_pat, stream, index, trap_pads)
-                if m.matched:
-                    return AnnotationKind.RSP_GUARD, m
-                raise VerificationError(
-                    f"malformed RSP guard: {m.reason}", stream[index][0])
-        if op == Op.MOV_RR and ins.operands[0] == 14 and self.policies.p5:
-            m = match_pattern(self._indirect_pat, stream, index, trap_pads)
-            if m.matched:
-                return AnnotationKind.INDIRECT, m
-            raise VerificationError(
-                f"malformed indirect-branch guard: {m.reason}",
-                stream[index][0])
-        if op == Op.SUB_RI and ins.operands[0] == 13 and \
-                self.policies.p5 and self.policies.mt_safe:
-            m = match_pattern(self._epilogue_pat, stream, index,
-                              trap_pads)
-            if m.matched:
-                return AnnotationKind.EPILOGUE, m
-            raise VerificationError(
-                f"malformed MT shadow epilogue: {m.reason}",
-                stream[index][0])
-        return None, None
 
     # -- main verification -----------------------------------------------------
 
     def _verify_stream(self, code: DisassembledCode, entry: int,
                        branch_targets: List[int]) -> VerifiedBinary:
         stream = code.stream
+        cats = code.cats
+        reserved = code.reserved
+        text = code.text
         n = len(stream)
         policies = self.policies
-        trap_pads = {off: ins.operands[0] for off, ins in stream
-                     if ins.op == Op.TRAP}
-        result = VerifiedBinary(instruction_count=n)
+        custom = self.custom
+        instrumenting = self._instrumenting
+        by_cat = self._by_cat
+        by_marker = self._by_marker
+        if code.lengths:
+            trap_pads = code.trap_pads
+        else:  # stream assembled without descent metadata
+            trap_pads = {off: ins.operands[0] for off, ins in stream
+                         if ins.op == Op.TRAP}
+        result = VerifiedBinary(instruction_count=n, code=code)
         counts = result.annotation_counts
 
         interior: Set[int] = set()       # annotation offsets (minus starts)
@@ -199,89 +221,124 @@ class PolicyVerifier:
 
         i = 0
         while i < n:
-            off, ins = stream[i]
-            if ins.op == Op.TRAP:
+            cat = cats[i]
+            if cat == CAT_PLAIN:
+                # Hot path: nothing policy-relevant beyond register
+                # hygiene and custom anchors.
+                if instrumenting and reserved[i]:
+                    raise VerificationError(
+                        "program code touches annotation-reserved "
+                        "registers", stream[i][0])
+                if custom:
+                    ins = stream[i][1]
+                    for policy in custom:
+                        if policy.anchor(ins):
+                            raise VerificationError(
+                                f"instruction lacks the {policy.name} "
+                                f"guard", stream[i][0])
                 i += 1
                 continue
-            kind, match = self._try_annotation(stream, i, trap_pads)
-            if kind is not None:
-                counts[kind] = counts.get(kind, 0) + 1
-                result.magic_slots.extend(match.magic_slots)
-                interior.update(match.interior_offsets[1:])
-                ann_at[off] = (kind, end_offset(match))
-                end = match.end_index
-                if kind == AnnotationKind.STORE_GUARD:
-                    anchor_off, anchor = self._anchor(stream, end, off)
-                    if not is_store(anchor) or \
-                            anchor.operands[0] != match.anchor_mem:
-                        raise VerificationError(
-                            "store guard not followed by the guarded "
-                            "store", anchor_off)
-                    anchors.add(anchor_off)
-                    i = end + 1
-                elif kind == AnnotationKind.INDIRECT:
-                    anchor_off, anchor = self._anchor(stream, end, off)
-                    if not is_indirect_branch(anchor) or \
-                            anchor.operands[0] != match.target_reg:
-                        raise VerificationError(
-                            "indirect-branch guard not followed by the "
-                            "guarded branch", anchor_off)
-                    anchors.add(anchor_off)
-                    i = end + 1
-                elif kind == AnnotationKind.EPILOGUE:
-                    anchor_off, anchor = self._anchor(stream, end, off)
-                    if anchor.op != Op.RET:
-                        raise VerificationError(
-                            "shadow epilogue not followed by RET",
-                            anchor_off)
-                    anchors.add(anchor_off)
-                    i = end + 1
-                elif kind.startswith("custom:"):
-                    policy = next(p for p in self.custom
-                                  if kind == f"custom:{p.name}")
-                    anchor_off, anchor = self._anchor(stream, end, off)
-                    if not policy.anchor(anchor):
-                        raise VerificationError(
-                            f"{policy.name} guard not followed by its "
-                            f"guarded instruction", anchor_off)
-                    for pos, reg in match.anchor_regs.items():
-                        if anchor.operands[pos] != reg:
-                            raise VerificationError(
-                                f"{policy.name} guard checks the wrong "
-                                f"operand", anchor_off)
-                    anchors.add(anchor_off)
-                    i = end + 1
-                else:
-                    if kind == AnnotationKind.P6_GUARD:
-                        p6_guards.add(off)
-                    i = end
+            if cat == CAT_TRAP:
+                i += 1
                 continue
+            off, ins = stream[i]
+            if cat >= HEAD_CAT_MIN:
+                entry_d = by_marker.get(ins.operands[1]) \
+                    if cat == CAT_HEAD_MARKER else by_cat.get(cat)
+                if entry_d is not None:
+                    label, candidates = entry_d
+                    for kind, compiled, fast, cpolicy in candidates:
+                        m = match_fast(fast, text, stream, i, trap_pads)
+                        if m is None:
+                            m = match_compiled(compiled, stream, i,
+                                               trap_pads)
+                        if m.matched:
+                            break
+                    if not m.matched:
+                        raise VerificationError(
+                            f"malformed {label}: {m.reason}", off)
+                    counts[kind] = counts.get(kind, 0) + 1
+                    result.magic_slots.extend(m.magic_slots)
+                    interior.update(m.interior_offsets[1:])
+                    ann_at[off] = (kind, end_offset(m))
+                    end = m.end_index
+                    if kind == AnnotationKind.STORE_GUARD:
+                        anchor_off, anchor = self._anchor(stream, end,
+                                                          off)
+                        if cats[end] != CAT_STORE or \
+                                anchor.operands[0] != m.anchor_mem:
+                            raise VerificationError(
+                                "store guard not followed by the guarded "
+                                "store", anchor_off)
+                        anchors.add(anchor_off)
+                        i = end + 1
+                    elif kind == AnnotationKind.INDIRECT:
+                        anchor_off, anchor = self._anchor(stream, end,
+                                                          off)
+                        if cats[end] != CAT_INDIRECT or \
+                                anchor.operands[0] != m.target_reg:
+                            raise VerificationError(
+                                "indirect-branch guard not followed by "
+                                "the guarded branch", anchor_off)
+                        anchors.add(anchor_off)
+                        i = end + 1
+                    elif kind == AnnotationKind.EPILOGUE:
+                        anchor_off, anchor = self._anchor(stream, end,
+                                                          off)
+                        if anchor.op != Op.RET:
+                            raise VerificationError(
+                                "shadow epilogue not followed by RET",
+                                anchor_off)
+                        anchors.add(anchor_off)
+                        i = end + 1
+                    elif cpolicy is not None:
+                        anchor_off, anchor = self._anchor(stream, end,
+                                                          off)
+                        if not cpolicy.anchor(anchor):
+                            raise VerificationError(
+                                f"{cpolicy.name} guard not followed by "
+                                f"its guarded instruction", anchor_off)
+                        for pos, reg in m.anchor_regs.items():
+                            if anchor.operands[pos] != reg:
+                                raise VerificationError(
+                                    f"{cpolicy.name} guard checks the "
+                                    f"wrong operand", anchor_off)
+                        anchors.add(anchor_off)
+                        i = end + 1
+                    else:
+                        if kind == AnnotationKind.P6_GUARD:
+                            p6_guards.add(off)
+                        i = end
+                    continue
 
             # -- plain program instruction ---------------------------------
-            if self._instrumenting and self._uses_reserved(ins):
+            if instrumenting and reserved[i]:
                 raise VerificationError(
                     "program code touches annotation-reserved registers",
                     off)
-            if is_store(ins) and policies.any_store_guard:
+            if cat == CAT_STORE and policies.any_store_guard:
                 raise VerificationError("unguarded memory store", off)
-            if is_indirect_branch(ins) and policies.p5:
+            if cat == CAT_INDIRECT and policies.p5:
                 raise VerificationError("unguarded indirect branch", off)
-            if ins.op == Op.RET and policies.p5:
+            if cat == CAT_RET and policies.p5:
                 raise VerificationError(
                     "RET without shadow-stack epilogue", off)
-            if ins.op == Op.SVC and \
+            if cat == CAT_SVC and \
                     ins.operands[0] not in self.allowed_svcs:
                 raise VerificationError(
                     f"SVC {ins.operands[0]} not allowed by the P0 "
                     f"manifest", off)
-            for policy in self.custom:
+            for policy in custom:
                 if policy.anchor(ins):
                     raise VerificationError(
                         f"instruction lacks the {policy.name} guard",
                         off)
-            if writes_rsp_explicitly(ins) and policies.p2:
-                match = match_pattern(self._rsp_pat, stream, i + 1,
-                                      trap_pads)
+            if cat == CAT_RSP_WRITE and policies.p2:
+                match = match_fast(self._rsp_fast, text, stream, i + 1,
+                                   trap_pads)
+                if match is None:
+                    match = match_compiled(self._rsp_compiled, stream,
+                                           i + 1, trap_pads)
                 if not match.matched:
                     raise VerificationError(
                         f"stack-pointer write without RSP guard: "
@@ -309,26 +366,6 @@ class PolicyVerifier:
                 "instruction", guard_off)
         return stream[index]
 
-    @staticmethod
-    def _uses_reserved(ins: Instruction) -> bool:
-        sig = ins.spec.sig
-        regs: List[int] = []
-        if sig == "r":
-            regs = [ins.operands[0]]
-        elif sig == "rr":
-            regs = list(ins.operands)
-        elif sig in ("ri64", "ri32", "rm"):
-            regs = [ins.operands[0]]
-        elif sig == "mr":
-            regs = [ins.operands[1]]
-        for operand in ins.operands:
-            if isinstance(operand, Mem):
-                if operand.base in RESERVED_REGS or \
-                        operand.index in RESERVED_REGS:
-                    return True
-        return any(reg in RESERVED_REGS for reg in regs
-                   if isinstance(reg, int))
-
     def _check_control_flow(self, code: DisassembledCode, entry: int,
                             branch_targets: List[int],
                             interior: Set[int], anchors: Set[int],
@@ -337,34 +374,38 @@ class PolicyVerifier:
                             trap_pads: Dict[int, int],
                             result: VerifiedBinary) -> None:
         policies = self.policies
+        stream = code.stream
+        targets = code.targets
+        lengths = code.lengths
         boundaries = code.index_of
         jump_targets: Set[int] = set()
         call_targets: Set[int] = set()
         fallthroughs: Set[int] = set()
-        for off, ins in code.stream:
+        for i, target in enumerate(targets):
+            if target is None:
+                continue
+            off, ins = stream[i]
             if off in interior:
                 continue
+            if target not in boundaries:
+                raise VerificationError(
+                    f"branch into the middle of an instruction "
+                    f"({target:#x})", off)
+            if target in interior:
+                raise VerificationError(
+                    f"branch into an annotation body ({target:#x})",
+                    off)
+            if target in anchors:
+                raise VerificationError(
+                    f"branch bypasses a security annotation "
+                    f"({target:#x})", off)
             op = ins.op
-            if op == Op.JMP or op == Op.CALL or op in COND_JUMPS:
-                target = off + ins.length + ins.operands[0]
-                if target not in boundaries:
-                    raise VerificationError(
-                        f"branch into the middle of an instruction "
-                        f"({target:#x})", off)
-                if target in interior:
-                    raise VerificationError(
-                        f"branch into an annotation body ({target:#x})",
-                        off)
-                if target in anchors:
-                    raise VerificationError(
-                        f"branch bypasses a security annotation "
-                        f"({target:#x})", off)
-                if op == Op.CALL:
-                    call_targets.add(target)
-                else:
-                    jump_targets.add(target)
-                    if op in COND_JUMPS:
-                        fallthroughs.add(off + ins.length)
+            if op == Op.CALL:
+                call_targets.add(target)
+            else:
+                jump_targets.add(target)
+                if op != Op.JMP:  # conditional: falls through too
+                    fallthroughs.add(off + lengths[i])
 
         function_entries = call_targets | set(branch_targets)
         result.function_entries = function_entries

@@ -8,7 +8,7 @@ messages, dumps and tests.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from .encoding import decode_instruction
 from .instructions import Instruction, Mem, Label, SymbolRef, SPECS
@@ -16,7 +16,8 @@ from .registers import reg_name
 
 
 def disassemble_linear(code, start: int = 0,
-                       end: int = None) -> Iterator[Tuple[int, Instruction]]:
+                       end: Optional[int] = None) \
+        -> Iterator[Tuple[int, Instruction]]:
     """Yield ``(offset, instruction)`` pairs, decoding sequentially.
 
     Stops at ``end`` (default: end of buffer).  Raises

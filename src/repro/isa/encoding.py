@@ -175,6 +175,153 @@ def decode_instruction(buf, pos: int = 0) -> Tuple[Instruction, int]:
     return Instruction(op, *operands), spec.length
 
 
+# -- fused stream decoding ---------------------------------------------------
+#
+# ``decode_instruction`` pays a dict probe, a signature-string if-chain
+# and a ``struct.unpack_from`` format parse on every call.  Bulk
+# consumers (the recursive-descent disassembler decodes every reachable
+# instruction of every delivered binary) instead index ``DECODE_TABLE``
+# by the opcode byte and call a per-opcode closure with the signature
+# dispatch already resolved and the struct codecs prebound.  The
+# closures enforce exactly the same rejections as ``decode_instruction``
+# (bad registers, bad scales) and the table carries the fixed length, so
+# callers can bounds-check before decoding instead of catching
+# truncation mid-parse.  Each closure also reports whether the
+# instruction touches one of the annotation-reserved registers
+# (R13–R15, see ``registers.RESERVED_REGS``) — the register values are
+# already in locals during decoding, so the flag is nearly free here and
+# saves the verifier a full per-instruction operand walk.
+
+#: Signature ids carried in ``DECODE_TABLE`` so stream consumers can
+#: classify operands (e.g. find register uses) without touching SPECS.
+SIG_IDS = {sig: i for i, sig in enumerate((
+    "", "r", "rr", "ri64", "ri32", "rm", "mr", "mi32",
+    "rel32", "i8", "i16", "i32"))}
+
+
+def _build_decode_table():
+    unpack_q = struct.Struct("<Q").unpack_from
+    unpack_i = struct.Struct("<i").unpack_from
+    unpack_h = struct.Struct("<H").unpack_from
+    unpack_mem = struct.Struct("<BBBi").unpack_from
+    none_reg, nregs = _NONE_REG, REG_COUNT
+
+    # Decoded Mem operands repeat heavily (annotation bodies reuse a
+    # handful of [reg] shapes), and frozen-dataclass construction is the
+    # single hottest step of a bulk decode — memoize on the raw field
+    # tuple the unpacker allocates anyway.  Mem is immutable, so sharing
+    # instances is safe.  Cached alongside: the reserved-register flag.
+    mem_cache = {}
+
+    def fast_mem(buf, pos):
+        key = unpack_mem(buf, pos)
+        hit = mem_cache.get(key)
+        if hit is not None:
+            return hit
+        base, index, scale, disp = key
+        if scale not in (1, 2, 4, 8):
+            raise EncodingError(f"bad scale {scale} at {pos:#x}")
+        if base == none_reg:
+            base = None
+        elif base >= nregs:
+            raise EncodingError(f"bad base register {base} at {pos:#x}")
+        if index == none_reg:
+            index = None
+        elif index >= nregs:
+            raise EncodingError(
+                f"bad index register {index} at {pos:#x}")
+        hit = (Mem(base, index, scale, disp),
+               (base is not None and base >= 13) or
+               (index is not None and index >= 13))
+        if len(mem_cache) >= 4096:
+            mem_cache.clear()
+        mem_cache[key] = hit
+        return hit
+
+    def reg(value, pos):
+        if value >= nregs:
+            raise EncodingError(f"bad register operand at {pos:#x}")
+        return value
+
+    def make(op, sig):
+        if sig == "":
+            bare = (Instruction(op), False)
+            return lambda buf, p: bare
+
+        if sig == "r":
+            def d_r(buf, p):
+                a = reg(buf[p + 1], p)
+                return Instruction(op, a), a >= 13
+            return d_r
+        if sig == "rr":
+            def d_rr(buf, p):
+                a = reg(buf[p + 1], p)
+                b = reg(buf[p + 2], p)
+                return Instruction(op, a, b), a >= 13 or b >= 13
+            return d_rr
+        if sig == "ri64":
+            def d_ri64(buf, p):
+                a = reg(buf[p + 1], p)
+                return (Instruction(op, a, unpack_q(buf, p + 2)[0]),
+                        a >= 13)
+            return d_ri64
+        if sig == "ri32":
+            def d_ri32(buf, p):
+                a = reg(buf[p + 1], p)
+                return (Instruction(op, a, unpack_i(buf, p + 2)[0]),
+                        a >= 13)
+            return d_ri32
+        if sig == "rm":
+            def d_rm(buf, p):
+                a = reg(buf[p + 1], p)
+                mem, mres = fast_mem(buf, p + 2)
+                return Instruction(op, a, mem), a >= 13 or mres
+            return d_rm
+        if sig == "mr":
+            def d_mr(buf, p):
+                mem, mres = fast_mem(buf, p + 1)
+                b = reg(buf[p + 8], p)
+                return Instruction(op, mem, b), b >= 13 or mres
+            return d_mr
+        if sig == "mi32":
+            def d_mi32(buf, p):
+                mem, mres = fast_mem(buf, p + 1)
+                return (Instruction(op, mem, unpack_i(buf, p + 8)[0]),
+                        mres)
+            return d_mi32
+        if sig == "rel32":
+            return lambda buf, p: (
+                Instruction(op, unpack_i(buf, p + 1)[0]), False)
+        if sig == "i8":
+            return lambda buf, p: (Instruction(op, buf[p + 1]), False)
+        if sig == "i16":
+            return lambda buf, p: (
+                Instruction(op, unpack_h(buf, p + 1)[0]), False)
+        if sig == "i32":
+            return lambda buf, p: (
+                Instruction(op, unpack_i(buf, p + 1)[0]), False)
+        raise AssertionError(sig)  # pragma: no cover - table is closed
+
+    table = [None] * 256
+    for op, spec in SPECS.items():
+        table[op] = (spec.length, SIG_IDS[spec.sig], make(op, spec.sig))
+    return table
+
+
+#: ``DECODE_TABLE[opcode] -> (length, sig_id, decode)`` or ``None`` for
+#: an unknown opcode; ``decode(buf, pos)`` returns
+#: ``(Instruction, uses_reserved_reg)`` (``pos`` is the opcode byte's
+#: offset; the flag is true when any register operand — including
+#: memory base/index — is in ``RESERVED_REGS``).
+DECODE_TABLE = _build_decode_table()
+
+#: Parallel-array view of ``DECODE_TABLE`` for the tightest loops:
+#: per-opcode length (0 for unknown opcodes) and decode closure
+#: (``None`` for unknown) without the tuple indirection.
+DECODE_LEN = [entry[0] if entry else 0 for entry in DECODE_TABLE]
+DECODE_FN = [entry[2] if entry else None for entry in DECODE_TABLE]
+
+
 def decode_block(buf, pos: int = 0,
                  max_instrs: int = 64) -> List[Tuple[Instruction, int]]:
     """Decode a straight-line superblock starting at ``buf[pos:]``.

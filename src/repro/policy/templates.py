@@ -26,10 +26,11 @@ Atom kinds
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..isa.encoding import MOV_RI_IMM_OFFSET
+from ..isa.encoding import MOV_RI_IMM_OFFSET, encode_instruction
 from ..isa.instructions import (
     Instruction, Label, LabelDef, Mem, Op, SPECS,
 )
@@ -332,6 +333,316 @@ class MatchResult:
     #: AnchorReg captures: pattern atom index -> observed register; the
     #: caller must compare them against the anchor's actual operands.
     anchor_regs: dict = field(default_factory=dict)
+
+
+# Atom codes for compiled patterns: the isinstance chain in
+# ``match_pattern`` is resolved once at compile time and the matcher
+# dispatches on small ints.
+_A_EXACT, _A_MAG, _A_IMM, _A_TRAP, _A_LOCAL, _A_TREG, _A_AMEM, \
+    _A_AREG = range(8)
+
+_COMPILE_CODES = ((Mag, _A_MAG), (ImmAtom, _A_IMM), (TrapTo, _A_TRAP),
+                  (LocalTo, _A_LOCAL), (TargetReg, _A_TREG),
+                  (AnchorMem, _A_AMEM), (AnchorReg, _A_AREG))
+
+
+@dataclass(frozen=True)
+class CompiledPattern:
+    """A template preprocessed for the verifier's hot loop.
+
+    ``rows[k] = (op, encoded_length, checks)`` with
+    ``checks = ((operand_pos, atom_code, payload), ...)`` — the atom
+    isinstance dispatch and ``SPECS`` length lookups are paid once at
+    verifier construction instead of on every match attempt.
+    """
+
+    rows: tuple
+    size: int
+
+
+def compile_pattern(pattern: Pattern) -> CompiledPattern:
+    """Precompile ``pattern`` for :func:`match_compiled`."""
+    rows = []
+    for pinstr in pattern:
+        checks = []
+        for pos, atom in enumerate(pinstr.atoms):
+            for cls, code in _COMPILE_CODES:
+                if isinstance(atom, cls):
+                    break
+            else:
+                code = _A_EXACT
+            if code == _A_MAG:
+                payload = (MAGIC[atom.name], atom.name)
+            elif code == _A_IMM:
+                payload = atom.value
+            elif code == _A_TRAP:
+                payload = atom.code
+            elif code in (_A_LOCAL, _A_AREG):
+                payload = atom.index
+            elif code == _A_EXACT:
+                payload = atom
+            else:
+                payload = None
+            checks.append((pos, code, payload))
+        rows.append((pinstr.op, SPECS[pinstr.op].length, tuple(checks)))
+    return CompiledPattern(tuple(rows), len(rows))
+
+
+def match_compiled(compiled: CompiledPattern, stream, index: int,
+                   trap_pads: Dict[int, int]) -> MatchResult:
+    """Match a precompiled template against ``stream[index:]``.
+
+    Behaviourally identical to :func:`match_pattern` on the source
+    pattern — same accept/reject decisions, same ``MatchResult``
+    contents, same rejection reasons.
+    """
+    result = MatchResult(matched=False)
+    captured_reg: Optional[int] = None
+    captured_mem: Optional[Mem] = None
+    n = len(stream)
+    if index + compiled.size > n:
+        result.reason = "stream too short for annotation"
+        return result
+    interior = result.interior_offsets
+    magic_slots = result.magic_slots
+    for k, (want_op, enc_len, checks) in enumerate(compiled.rows):
+        offset, instr = stream[index + k]
+        if instr.op != want_op:
+            result.reason = (f"annotation[{k}] opcode mismatch at "
+                             f"{offset:#x}")
+            return result
+        operands = instr.operands
+        for pos, code, payload in checks:
+            operand = operands[pos]
+            if code == _A_EXACT:
+                if operand != payload:
+                    result.reason = (f"annotation[{k}] operand mismatch "
+                                     f"at {offset:#x}")
+                    return result
+            elif code == _A_MAG:
+                if operand != payload[0]:
+                    result.reason = (f"annotation[{k}] expected magic "
+                                     f"{payload[1]} at {offset:#x}")
+                    return result
+                magic_slots.append(
+                    (offset + MOV_RI_IMM_OFFSET, payload[1]))
+            elif code == _A_IMM:
+                if operand != payload:
+                    result.reason = (f"annotation[{k}] bad immediate at "
+                                     f"{offset:#x}")
+                    return result
+            elif code == _A_TRAP:
+                if trap_pads.get(offset + enc_len + operand) != payload:
+                    result.reason = (f"annotation[{k}] does not trap to "
+                                     f"pad {payload} at {offset:#x}")
+                    return result
+            elif code == _A_LOCAL:
+                want_index = index + payload
+                if want_index >= n:
+                    result.reason = (f"annotation[{k}] local target past "
+                                     f"stream end")
+                    return result
+                if offset + enc_len + operand != stream[want_index][0]:
+                    result.reason = (f"annotation[{k}] bad local target "
+                                     f"at {offset:#x}")
+                    return result
+            elif code == _A_TREG:
+                if not isinstance(operand, int) or \
+                        operand in RESERVED_REGS or operand == RSP:
+                    result.reason = (f"annotation[{k}] illegal target "
+                                     f"register at {offset:#x}")
+                    return result
+                if captured_reg is None:
+                    captured_reg = operand
+                elif captured_reg != operand:
+                    result.reason = (f"annotation[{k}] inconsistent "
+                                     f"target register at {offset:#x}")
+                    return result
+            elif code == _A_AMEM:
+                if not isinstance(operand, Mem):
+                    result.reason = (f"annotation[{k}] expected memory "
+                                     f"operand at {offset:#x}")
+                    return result
+                captured_mem = operand
+            else:  # _A_AREG
+                if not isinstance(operand, int):
+                    result.reason = (f"annotation[{k}] expected register "
+                                     f"at {offset:#x}")
+                    return result
+                if payload in result.anchor_regs and \
+                        result.anchor_regs[payload] != operand:
+                    result.reason = (f"annotation[{k}] inconsistent "
+                                     f"anchor register at {offset:#x}")
+                    return result
+                result.anchor_regs[payload] = operand
+        interior.append(offset)
+    result.matched = True
+    result.end_index = index + compiled.size
+    result.target_reg = captured_reg
+    result.anchor_mem = captured_mem
+    return result
+
+
+# -- byte-template matching -------------------------------------------------
+#
+# On DX86's fixed-per-opcode encoding an annotation is *almost* a fixed
+# byte string: every atom except trap rel32s and captured registers /
+# memory operands (and the magic placeholders, which are themselves
+# fixed 64-bit constants before rewriting) encodes to known bytes at
+# known offsets — even LocalTo branches, whose rel32 is a constant
+# distance inside the template.  ``compile_fast`` folds all of that into
+# one (want, mask) big-int pair over the template's byte span, so the
+# verifier accepts a well-formed annotation with a single masked
+# comparison against the raw text plus a handful of field checks,
+# instead of walking the pattern row by row.  A fast-path miss proves
+# nothing by itself — callers fall back to :func:`match_compiled`, which
+# produces the authoritative verdict and the rejection reason.
+#
+# Soundness of reading raw text: the fast path is only consulted at a
+# decode-once stream index, and no template contains a non-fall-through
+# instruction, so if the bytes at ``stream[index]`` match the template
+# then the descent necessarily decoded exactly the template's
+# instructions at contiguous offsets — the byte view and the stream
+# view cannot disagree.
+
+#: Operand field layouts per signature: operand position -> (byte
+#: offset from the opcode byte, field width).
+_FIELD_OFFSETS = {
+    "": (), "r": ((1, 1),), "rr": ((1, 1), (2, 1)),
+    "ri64": ((1, 1), (2, 8)), "ri32": ((1, 1), (2, 4)),
+    "rm": ((1, 1), (2, 7)), "mr": ((1, 7), (8, 1)),
+    "mi32": ((1, 7), (8, 4)), "rel32": ((1, 4),), "i8": ((1, 1),),
+    "i16": ((1, 2),), "i32": ((1, 4),),
+}
+
+_UNPACK_REL32 = struct.Struct("<i").unpack_from
+
+
+@dataclass(frozen=True)
+class FastPattern:
+    """A template flattened to a masked byte image.
+
+    ``want``/``mask`` are little-endian big-ints over ``byte_len``
+    bytes; ``deltas`` are per-row byte offsets from the head;
+    ``magic``/``traps``/``captures`` describe the variable fields the
+    masked comparison cannot settle.
+    """
+
+    size: int
+    byte_len: int
+    want: int
+    mask: int
+    deltas: tuple
+    magic: tuple        # ((imm-field delta, magic name), ...)
+    traps: tuple        # ((rel32-field delta, row-end delta, code), ...)
+    captures: tuple     # ((row, operand pos, atom code, payload), ...)
+
+
+def compile_fast(pattern: Pattern) -> FastPattern:
+    """Flatten ``pattern`` into a :class:`FastPattern` byte template."""
+    lengths = [SPECS[pinstr.op].length for pinstr in pattern]
+    deltas = [0]
+    for length in lengths:
+        deltas.append(deltas[-1] + length)
+    want = bytearray()
+    mask = bytearray()
+    magic: list = []
+    traps: list = []
+    captures: list = []
+    for k, pinstr in enumerate(pattern):
+        offs = _FIELD_OFFSETS[SPECS[pinstr.op].sig]
+        operands: list = []
+        var_fields: list = []
+        for pos, atom in enumerate(pinstr.atoms):
+            start, width = offs[pos]
+            if isinstance(atom, Mag):
+                operands.append(MAGIC[atom.name])
+                magic.append((deltas[k] + start, atom.name))
+            elif isinstance(atom, ImmAtom):
+                operands.append(atom.value)
+            elif isinstance(atom, TrapTo):
+                operands.append(0)
+                var_fields.append((start, width))
+                traps.append((deltas[k] + start, deltas[k + 1],
+                              atom.code))
+            elif isinstance(atom, LocalTo):
+                # constant intra-template distance
+                operands.append(deltas[atom.index] - deltas[k + 1])
+            elif isinstance(atom, TargetReg):
+                operands.append(0)
+                var_fields.append((start, width))
+                captures.append((k, pos, _A_TREG, None))
+            elif isinstance(atom, AnchorMem):
+                operands.append(Mem())
+                var_fields.append((start, width))
+                captures.append((k, pos, _A_AMEM, None))
+            elif isinstance(atom, AnchorReg):
+                operands.append(0)
+                var_fields.append((start, width))
+                captures.append((k, pos, _A_AREG, atom.index))
+            else:
+                operands.append(atom)
+        row = bytearray(
+            encode_instruction(Instruction(pinstr.op, *operands)))
+        row_mask = bytearray(b"\xff" * len(row))
+        for start, width in var_fields:
+            zero = b"\x00" * width
+            row[start:start + width] = zero
+            row_mask[start:start + width] = zero
+        want += row
+        mask += row_mask
+    return FastPattern(len(pattern), deltas[-1],
+                       int.from_bytes(bytes(want), "little"),
+                       int.from_bytes(bytes(mask), "little"),
+                       tuple(deltas[:-1]), tuple(magic), tuple(traps),
+                       tuple(captures))
+
+
+def match_fast(fast: FastPattern, text: bytes, stream, index: int,
+               trap_pads: Dict[int, int]) -> Optional[MatchResult]:
+    """Byte-template match of ``fast`` at ``stream[index]``.
+
+    Returns a successful :class:`MatchResult` identical to what
+    :func:`match_compiled` would produce on the source pattern, or
+    ``None`` when the fast path cannot confirm a match (callers must
+    then consult the row-by-row matcher for the verdict and reason).
+    """
+    if index + fast.size > len(stream):
+        return None
+    off = stream[index][0]
+    end = off + fast.byte_len
+    if end > len(text):
+        return None
+    if int.from_bytes(text[off:end], "little") & fast.mask != fast.want:
+        return None
+    for field_delta, end_delta, code in fast.traps:
+        rel = _UNPACK_REL32(text, off + field_delta)[0]
+        if trap_pads.get(off + end_delta + rel) != code:
+            return None
+    target_reg: Optional[int] = None
+    anchor_mem: Optional[Mem] = None
+    anchor_regs: dict = {}
+    for row, pos, code, payload in fast.captures:
+        operand = stream[index + row][1].operands[pos]
+        if code == _A_TREG:
+            if operand in RESERVED_REGS or operand == RSP:
+                return None
+            if target_reg is None:
+                target_reg = operand
+            elif target_reg != operand:
+                return None
+        elif code == _A_AMEM:
+            anchor_mem = operand
+        else:  # _A_AREG
+            if payload in anchor_regs and anchor_regs[payload] != operand:
+                return None
+            anchor_regs[payload] = operand
+    return MatchResult(
+        matched=True, end_index=index + fast.size,
+        target_reg=target_reg, anchor_mem=anchor_mem,
+        magic_slots=[(off + d, name) for d, name in fast.magic],
+        interior_offsets=[off + d for d in fast.deltas],
+        anchor_regs=anchor_regs)
 
 
 def match_pattern(pattern: Pattern, stream, index: int,

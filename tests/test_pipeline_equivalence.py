@@ -1,0 +1,67 @@
+"""Decode-once pipeline vs the preserved seed pipeline (oracle).
+
+The optimized provisioning path (single-walk RDD with precomputed
+metadata, dispatch-table verifier with byte-template matching, batched
+rewriter) must be observably identical to the seed implementation kept
+in :mod:`repro.core.legacy`: same instruction streams, same verification
+evidence, same rewritten memory images — on every registered workload.
+"""
+
+import pytest
+
+from repro.bench.harness import compile_workload
+from repro.bench.provision import measure_cell
+from repro.compiler.objfile import ObjectFile
+from repro.core.legacy import (
+    LegacyPolicyVerifier, legacy_recursive_descent,
+)
+from repro.core.rdd import recursive_descent
+from repro.core.verifier import PolicyVerifier
+from repro.policy import PolicySet
+from repro.workloads.registry import WORKLOADS
+
+ALL_WORKLOADS = sorted(WORKLOADS)
+
+
+def _case(name, setting):
+    blob = compile_workload(name, setting, None)
+    obj = ObjectFile.parse(blob)
+    entry = obj.symbols[obj.entry].offset
+    targets = sorted({obj.symbol(n).offset for n in obj.branch_targets})
+    return bytes(obj.text), entry, targets
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+@pytest.mark.parametrize("setting", ["baseline", "P1-P6"])
+def test_streams_and_evidence_equal_on_every_workload(name, setting):
+    text, entry, targets = _case(name, setting)
+    new_code = recursive_descent(text, entry, targets)
+    old_code = legacy_recursive_descent(text, entry, targets)
+    assert new_code.stream == old_code.stream
+    assert new_code.index_of == old_code.index_of
+
+    policies = PolicySet.parse(setting)
+    new_evidence = PolicyVerifier(policies).verify(text, entry, targets)
+    old_evidence = LegacyPolicyVerifier(policies).verify(text, entry,
+                                                         targets)
+    assert new_evidence == old_evidence  # .code excluded from equality
+    assert new_evidence.code is not None
+    assert new_evidence.code.stream == old_code.stream
+
+
+@pytest.mark.parametrize("setting", ["P1", "P1+P2", "P1-P5"])
+def test_intermediate_settings_equivalent(setting):
+    text, entry, targets = _case("numeric_sort", setting)
+    policies = PolicySet.parse(setting)
+    new_evidence = PolicyVerifier(policies).verify(text, entry, targets)
+    old_evidence = LegacyPolicyVerifier(policies).verify(text, entry,
+                                                         targets)
+    assert new_evidence == old_evidence
+
+
+@pytest.mark.parametrize("setting", ["P1+P2", "P1-P6"])
+def test_rewritten_images_byte_identical(setting):
+    cell = measure_cell("huffman", setting, repeats=1)
+    assert cell.ok
+    assert cell.identical
+    assert cell.instructions > 0

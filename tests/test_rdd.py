@@ -128,3 +128,100 @@ def test_stream_index_lookup():
     result = recursive_descent(code, 0)
     assert result.at_offset(1).op == Op.HLT
     assert set(result.offsets) == {0, 1}
+
+
+def test_empty_roots_list_matches_no_roots():
+    code = _code([Instruction(Op.NOP), Instruction(Op.HLT)])
+    a = recursive_descent(code, 0)
+    b = recursive_descent(code, 0, roots=[])
+    assert a.stream == b.stream
+    assert a.index_of == b.index_of
+
+
+def test_indirect_root_mid_instruction_rejected():
+    # a legitimate-target list entry landing inside the MOV imm64 whose
+    # immediate bytes decode as valid instructions: both decodings are
+    # reachable, so the overlap check must refuse the binary
+    items = [
+        Instruction(Op.MOV_RI, RCX, 0),   # 10 bytes, imm patched below
+        Instruction(Op.HLT),
+    ]
+    asm = assemble(items)
+    blob = bytearray(asm.code)
+    imm = bytes([Op.TRAP, 1, Op.HLT, Op.HLT, Op.HLT, Op.HLT, Op.HLT,
+                 Op.HLT])
+    blob[2:10] = imm
+    with pytest.raises(VerificationError, match="overlapping"):
+        recursive_descent(bytes(blob), 0, roots=[2])
+
+
+def test_branch_target_at_text_end_rejected():
+    # target == len(text) is one past the last byte: no instruction
+    # can live there, so it is out, not a boundary case
+    code = _code([Instruction(Op.JMP, 0)])
+    with pytest.raises(VerificationError, match="outside text"):
+        recursive_descent(code, 0)
+
+
+def test_shared_branch_target_visited_once():
+    items = [
+        Instruction(Op.JE, Label("done")),
+        Instruction(Op.JMP, Label("done")),
+        LabelDef("done"),
+        Instruction(Op.HLT),
+    ]
+    asm = assemble(items)
+    result = recursive_descent(asm.code, 0)
+    offsets = [off for off, _ in result.stream]
+    assert offsets == sorted(set(offsets))
+    assert asm.labels["done"] in result.index_of
+
+
+def test_descent_metadata_populated():
+    from repro.core.rdd import (
+        CAT_PLAIN, CAT_STORE, CAT_TRAP, CAT_HEAD_MARKER,
+    )
+    from repro.isa import Mem, R14
+    items = [
+        Instruction(Op.NOP),
+        Instruction(Op.MOV_RI, R14, 0x1234),
+        Instruction(Op.MOV_MR, Mem(base=RAX), RCX),
+        Instruction(Op.JMP, Label("pad")),
+        LabelDef("pad"),
+        Instruction(Op.TRAP, 3),
+        Instruction(Op.HLT),
+    ]
+    asm = assemble(items)
+    result = recursive_descent(asm.code, 0)
+    n = len(result.stream)
+    assert len(result.lengths) == n
+    assert len(result.cats) == n
+    assert len(result.targets) == n
+    assert len(result.reserved) == n
+    for i, (off, ins) in enumerate(result.stream):
+        assert result.lengths[i] == ins.length
+        assert result.end_of(i) == off + ins.length
+    cats = {off: result.cats[i]
+            for i, (off, _) in enumerate(result.stream)}
+    assert cats[0] == CAT_PLAIN
+    assert cats[asm.instr_offsets[1]] == CAT_HEAD_MARKER
+    assert cats[asm.instr_offsets[2]] == CAT_STORE
+    assert cats[asm.labels["pad"]] == CAT_TRAP
+    jmp_off = asm.instr_offsets[3]
+    assert result.targets[result.index_of[jmp_off]] == \
+        asm.labels["pad"]
+    # MOV_RI R14 touches a reserved register; NOP does not
+    assert result.reserved[result.index_of[asm.instr_offsets[1]]]
+    assert not result.reserved[0]
+    assert result.trap_pads == {asm.labels["pad"]: 3}
+
+
+def test_linear_disassembly_matches_descent_on_straight_line():
+    from repro.isa.disassembler import disassemble_linear
+    code = _code([Instruction(Op.NOP),
+                  Instruction(Op.MOV_RI, RCX, 7),
+                  Instruction(Op.ADD_RR, RAX, RCX),
+                  Instruction(Op.HLT)])
+    linear = list(disassemble_linear(code))
+    descent = recursive_descent(code, 0)
+    assert descent.stream == linear

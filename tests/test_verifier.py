@@ -366,3 +366,33 @@ def test_indirect_guard_for_wrong_register_rejected():
         [Instruction(Op.JMP_R, RAX)]
     with pytest.raises(VerificationError, match="guarded\\s+branch"):
         _verify_items(items, "P1-P5")
+
+
+# -- dispatch-table fingerprint ----------------------------------------------
+
+def test_fingerprint_tracks_policy_set():
+    fps = {PolicyVerifier(PolicySet.parse(s)).fingerprint()
+           for s in ("baseline", "P1", "P1+P2", "P1-P5", "P1-P6")}
+    assert len(fps) == 5
+
+
+def test_fingerprint_stable_for_equal_construction():
+    a = PolicyVerifier(PolicySet.parse("P1-P6"))
+    b = PolicyVerifier(PolicySet.parse("P1-P6"))
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_tracks_custom_markers():
+    from repro.policy.custom import div_by_zero_guard
+    plain = PolicyVerifier(PolicySet.parse("P1+P2"))
+    custom = PolicyVerifier(PolicySet.parse("P1+P2"),
+                            custom=[div_by_zero_guard()])
+    assert plain.fingerprint() != custom.fingerprint()
+    # the dispatch tables themselves differ, not just the marker list
+    assert plain._dispatch_digest() != custom._dispatch_digest()
+
+
+def test_dispatch_digest_tracks_policy_set():
+    digests = {PolicyVerifier(PolicySet.parse(s))._dispatch_digest()
+               for s in ("baseline", "P1", "P1+P2", "P1-P5", "P1-P6")}
+    assert len(digests) == 5
