@@ -232,6 +232,67 @@ def _bench_provision(args, workloads, settings) -> int:
     return 0
 
 
+def _bench_checkpoint(args, workloads, settings) -> int:
+    """``repro bench --checkpoint``: resume-equivalence property sweep
+    plus sealing-overhead measurement per ``checkpoint_every``."""
+    from .bench.checkpointing import CheckpointMatrix
+    from .workloads.registry import WORKLOADS
+
+    if args.workloads is None:
+        workloads = sorted(WORKLOADS)   # the full registry, not NBench
+    if args.smoke:
+        workloads = workloads[:1]
+    matrix = CheckpointMatrix.collect(workloads, setting=settings[-1],
+                                      param=args.param)
+    doc = matrix.to_json()
+    if args.json:
+        out = Path(args.out or "BENCH_checkpoint.json")
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    rows = []
+    for c in matrix.cells:
+        ovh = " ".join(f"{p.checkpoint_every}:{p.overhead_pct:+.0f}%"
+                       for p in c.overhead)
+        rows.append([
+            c.workload, f"{c.steps:,}", f"{c.plain_wall_s * 1e3:.1f}",
+            ovh,
+            f"{sum(1 for r in c.resumes if r.identical)}"
+            f"/{len(c.resumes)}",
+            "yes" if all(r.rollback_rejected for r in c.resumes)
+            and c.resumes else "NO",
+            c.status])
+    print(format_table(
+        f"checkpoint/restore ({doc['setting']}, intervals "
+        f"{doc['checkpoint_settings']})",
+        ["workload", "steps", "plain ms", "ckpt overhead",
+         "resume ==", "rollback rej", "status"], rows))
+    totals = doc["totals"]
+    print(f"\nmean sealing overhead per interval: "
+          + ", ".join(f"every {k}: {v:+.1f}%"
+                      for k, v in totals["mean_overhead_pct"].items()))
+    failed = False
+    if totals["resume_mismatches"]:
+        print(f"RESUME DIVERGENCE in: "
+              f"{', '.join(totals['resume_mismatches'])}")
+        failed = True
+    if totals["rollbacks_accepted"]:
+        print(f"ROLLBACK ACCEPTED in: "
+              f"{', '.join(totals['rollbacks_accepted'])}")
+        failed = True
+    other = [w for w in totals["failures"]
+             if w not in totals["resume_mismatches"]
+             and w not in totals["rollbacks_accepted"]]
+    if other:
+        print(f"FAILED cells ({len(other)}): {', '.join(other)}")
+        failed = True
+    if failed:
+        return 1
+    print(f"all {totals['resume_points']} interrupted runs resumed "
+          f"byte-identically; every rollback replay rejected")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench.harness import PAPER_SETTINGS, RunMatrix, run_workload
     from .core.bootstrap import PROVISION_CACHE
@@ -253,6 +314,9 @@ def cmd_bench(args) -> int:
 
     if args.provision:
         return _bench_provision(args, workloads, settings)
+
+    if args.checkpoint:
+        return _bench_checkpoint(args, workloads, settings)
 
     if args.smoke:
         name = workloads[0]
@@ -371,12 +435,14 @@ def cmd_bench(args) -> int:
 #: Error kinds that must never show up among *retried* errors — a
 #: campaign that retried one of these has broken the fail-closed rule.
 _NEVER_RETRY = ("PolicyViolation", "VerificationError",
-                "AttestationError", "RetryBudgetExceeded")
+                "AttestationError", "RetryBudgetExceeded",
+                "RollbackError", "DeadlineExceeded")
 
 
 def cmd_chaos(args) -> int:
     from .service.faults import run_campaign
-    report = run_campaign(seed=args.seed, trials=args.trials)
+    report = run_campaign(seed=args.seed, trials=args.trials,
+                          mid_run=args.mid_run)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -385,21 +451,29 @@ def cmd_chaos(args) -> int:
     badly_retried = sorted(
         kind for kind in report["retried_error_kinds"]
         if kind in _NEVER_RETRY)
-    print(f"\nchaos seed={args.seed} trials={args.trials}: "
+    print(f"\nchaos seed={args.seed} trials={args.trials}"
+          f"{' mid-run' if args.mid_run else ''}: "
           f"{totals['ok']} ok, {totals['violation']} violations "
           f"trapped, {totals['aborted']} aborted | "
           f"{totals['faults_injected']} faults injected, "
           f"{totals['retries']} retries, "
           f"{totals['reconnects']} reconnects, "
-          f"{totals['recoveries']} enclave recoveries")
+          f"{totals['recoveries']} enclave recoveries, "
+          f"{totals['resumes']} checkpoint resumes, "
+          f"{totals['rollbacks_rejected']} rollbacks rejected")
     if totals["unrecovered"]:
         print(f"UNRECOVERED transient failures: "
               f"{totals['unrecovered']}")
         return 1
+    if totals["corrupt"]:
+        print(f"CORRUPT OUTCOMES (resumed run diverged or tampered "
+              f"state was accepted): {totals['corrupt']}")
+        return 1
     if badly_retried:
         print(f"FATAL CLASSES RETRIED: {', '.join(badly_retried)}")
         return 1
-    print("all transient faults recovered; no fatal class retried")
+    print("all transient faults recovered; no fatal class retried; "
+          "every completed run produced the expected result")
     return 0
 
 
@@ -468,8 +542,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="write machine-readable results to --out")
     p.add_argument("-o", "--out", default=None,
-                   help="result file (default: BENCH_vm.json, or "
-                        "BENCH_provision.json with --provision)")
+                   help="result file (default: BENCH_vm.json; "
+                        "BENCH_provision.json with --provision; "
+                        "BENCH_checkpoint.json with --checkpoint)")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="measure sealed checkpoint/restore instead of "
+                        "raw execution: per workload, interrupt the "
+                        "run at seeded safe points, resume from the "
+                        "sealed chain and demand a byte-identical "
+                        "outcome (plus rollback-replay rejection), and "
+                        "sweep the sealing overhead per "
+                        "checkpoint_every interval; exit nonzero on "
+                        "any divergence or accepted rollback")
     p.add_argument("--provision", action="store_true",
                    help="measure delegation latency instead of "
                         "execution: time the legacy vs decode-once "
@@ -503,6 +587,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("chaos", help="seeded fault-injection campaign")
     p.add_argument("--seed", type=int, default=2021)
     p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--mid-run", action="store_true",
+                   help="checkpoint the runs and additionally inject "
+                        "mid-execution teardowns, checkpoint-chain "
+                        "corruption and rollback replays; fails on any "
+                        "non-identical resumed outcome or accepted "
+                        "rollback")
     p.add_argument("-o", "--out", default=None,
                    help="also write the JSON report to this file")
     p.set_defaults(func=cmd_chaos)

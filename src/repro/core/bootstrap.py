@@ -28,8 +28,8 @@ from typing import Dict, List, Optional
 from ..compiler.objfile import ObjectFile
 from ..crypto.channel import SecureChannel
 from ..errors import (
-    CpuFault, EnclaveError, MemoryFault, PolicyViolation, ProtocolError,
-    VerificationError,
+    CpuFault, DeadlineExceeded, EnclaveError, MemoryFault,
+    PolicyViolation, ProtocolError, RollbackError, VerificationError,
 )
 from ..isa.disassembler import format_instruction
 from ..isa.encoding import decode_instruction
@@ -37,11 +37,16 @@ from ..policy.magic import MARKER_VALUE, VIOL_P0, VIOLATION_NAMES
 from ..policy.policies import PolicySet
 from ..sgx.enclave import Enclave
 from ..sgx.layout import EnclaveConfig
+from ..sgx.memory import PAGE_SHIFT
 from ..sgx.quote import PlatformKey, Quote
 from ..vm.costmodel import CostModel
 from ..vm.cpu import CPU, ExecResult
 from ..vm.interrupts import AexSchedule
 from .audit import AuditLog
+from .checkpoint import (
+    COUNTER_LABEL, CheckpointPayload, Watchdog, derive_seal_key,
+    seal_checkpoint, verify_chain,
+)
 from .loader import DynamicLoader, LoadedBinary, ProvisionedImage
 from .rdd import recursive_descent
 from .rewriter import ImmRewriter, build_value_map
@@ -93,8 +98,8 @@ class ProvisionCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
-    def invalidate(self, blob: bytes = None,
-                   digest: bytes = None) -> int:
+    def invalidate(self, blob: Optional[bytes] = None,
+                   digest: Optional[bytes] = None) -> int:
         """Drop entries for one blob (under every policy/config), or —
         with no argument — every entry.  Returns the eviction count."""
         if blob is not None:
@@ -188,6 +193,11 @@ class RunOutcome:
     #: Cycle count as observed by the untrusted host: the true count
     #: rounded up to the padding quantum when time blurring is on.
     observable_cycles: float = 0.0
+    #: Sealed checkpoints taken during this call (0 when checkpointing
+    #: is off), and — for a resumed run — the step count the restored
+    #: snapshot started from (None for a from-scratch run).
+    checkpoints_taken: int = 0
+    resumed_at_step: Optional[int] = None
     #: How many provisionings of this enclave were served from the
     #: provision cache (0 when the cache is off or every load verified).
     provision_cache_hits: int = 0
@@ -215,16 +225,25 @@ class _ThreadIO:
     outcome: RunOutcome
 
 
+@dataclass
+class _CheckpointChain:
+    """In-flight sealing state of one checkpoint chain."""
+
+    key: bytes
+    prev_mac: bytes
+    blobs: List[bytes]
+
+
 class BootstrapEnclave:
     """Code consumer + P0 wrappers, hosted in a simulated enclave."""
 
-    def __init__(self, policies: PolicySet = None,
-                 config: EnclaveConfig = None,
-                 platform: PlatformKey = None,
-                 p0: P0Config = None,
+    def __init__(self, policies: Optional[PolicySet] = None,
+                 config: Optional[EnclaveConfig] = None,
+                 platform: Optional[PlatformKey] = None,
+                 p0: Optional[P0Config] = None,
                  aex_threshold: int = 10,
                  custom=(),
-                 provision_cache: ProvisionCache = None):
+                 provision_cache: Optional[ProvisionCache] = None):
         self.policies = policies if policies is not None \
             else PolicySet.full()
         self.p0 = p0 or P0Config()
@@ -257,6 +276,9 @@ class BootstrapEnclave:
         self.handshake_keys = set()
         self._input: bytes = b""
         self._input_cursor = 0
+        #: sha256 of the currently provisioned blob — the session secret
+        #: of the checkpoint sealing key (None until a binary verifies).
+        self._provision_digest: Optional[bytes] = None
 
     def _attach_enclave(self) -> None:
         """Measure + EINIT ``self.enclave`` and wire the ECall table and
@@ -269,6 +291,7 @@ class BootstrapEnclave:
         self.enclave.register_ecall("ecall_receive_userdata",
                                     self.receive_userdata)
         self.enclave.register_ecall("ecall_run", self.run)
+        self.enclave.register_ecall("ecall_resume", self.resume)
 
     def recover(self, reason: str = "teardown") -> bytes:
         """Rebuild the enclave after a platform teardown.
@@ -291,6 +314,7 @@ class BootstrapEnclave:
         self.channels = {}
         self._input = b""
         self._input_cursor = 0
+        self._provision_digest = None
         self.audit.record("recovered", reason=reason,
                           mrenclave=self.enclave.mrenclave.hex())
         return self.enclave.mrenclave
@@ -349,8 +373,10 @@ class BootstrapEnclave:
                 self.verified = image.verified
                 self.provision_cache_hits += 1
                 self.provision_stages = {"install": perf_counter() - t0}
+                self._provision_digest = digest
                 self.audit.record(
                     "binary_provisioned_cached", hash=blob_hash,
+                    mrenclave=self.enclave.mrenclave.hex(),
                     instructions=image.verified.instruction_count)
                 return digest
         try:
@@ -386,6 +412,7 @@ class BootstrapEnclave:
         }
         self.loaded = loaded
         self.verified = verified
+        self._provision_digest = digest
         self.audit.record(
             "binary_verified", hash=blob_hash,
             annotations=sum(verified.annotation_counts.values()),
@@ -398,8 +425,13 @@ class BootstrapEnclave:
     def _provision_key(self, digest: bytes) -> tuple:
         """Cache key: blob digest + every pipeline input that shapes
         the provisioned image (verifier verdict inputs, enclave layout,
-        rewriter values)."""
+        rewriter values).  MRENCLAVE is part of the key so a cached
+        image can only ever be replayed into an enclave running the
+        exact same measured consumer code — a re-built (recovered)
+        enclave keeps its MRENCLAVE and keeps hitting, while any
+        different bootstrap build misses and re-verifies."""
         return (digest,
+                self.enclave.mrenclave,
                 self.verifier.fingerprint(),
                 dataclasses.astuple(self.enclave.config),
                 self.aex_threshold)
@@ -431,8 +463,8 @@ class BootstrapEnclave:
         space.write_raw(layout.aex_count_cell, b"\x00" * 8)
 
     def _make_cpu(self, tid: int, io: "_ThreadIO",
-                  aex_schedule: AexSchedule,
-                  cost_model: CostModel) -> CPU:
+                  aex_schedule: Optional[AexSchedule],
+                  cost_model: Optional[CostModel]) -> CPU:
         layout = self.enclave.layout
         cpu = CPU(self.enclave.space, self.loaded.entry_addr,
                   cost_model=cost_model,
@@ -446,12 +478,65 @@ class BootstrapEnclave:
             cpu.regs[13] = layout.shadow_slice_base(tid)
         return cpu
 
-    def run(self, aex_schedule: AexSchedule = None,
-            cost_model: CostModel = None,
-            max_steps: int = 200_000_000) -> RunOutcome:
-        """``ecall_run``: execute the verified target binary."""
+    def run(self, aex_schedule: Optional[AexSchedule] = None,
+            cost_model: Optional[CostModel] = None,
+            max_steps: int = 200_000_000,
+            checkpoint_every: Optional[int] = None,
+            watchdog: Optional[Watchdog] = None,
+            checkpoint_sink=None,
+            interrupt=None) -> RunOutcome:
+        """``ecall_run``: execute the verified target binary.
+
+        With ``checkpoint_every=N``, execution pauses at every Nth
+        instruction boundary (a safe point) and seals an incremental
+        checkpoint — delivered to ``checkpoint_sink(blob)`` when given
+        — so a platform teardown loses at most N instructions of work
+        (see :meth:`resume`).  ``watchdog`` budgets are enforced
+        cooperatively at the same safe points, raising
+        :class:`DeadlineExceeded` with the final chain attached.
+        ``interrupt(cpu)``, when given, is polled at each safe point
+        and may raise (the fault-injection harness models mid-run
+        teardown with it).  With none of these, this is the plain
+        single-shot run.
+        """
         if self.loaded is None or self.verified is None:
             raise EnclaveError("no verified binary provisioned")
+        checkpointing = (checkpoint_every is not None
+                         or watchdog is not None
+                         or interrupt is not None)
+        if not checkpointing:
+            self._reset_runtime_cells()
+            outcome = RunOutcome(
+                status="ok",
+                provision_cache_hits=self.provision_cache_hits,
+                provision_stages=dict(self.provision_stages))
+            io = _ThreadIO(self._input, 0, outcome)
+            self._budget = self.p0.max_output_bytes
+            cpu = self._make_cpu(0, io, aex_schedule, cost_model)
+            try:
+                outcome.result = cpu.run(max_steps=max_steps)
+                self.enclave.hw_aex_count += cpu.aex_events
+            except PolicyViolation as exc:
+                outcome.status = "violation"
+                outcome.violation_code = exc.code
+                outcome.detail = str(exc)
+                outcome.result = ExecResult(cpu.steps, cpu.cycles,
+                                            cpu.rip, cpu.aex_events,
+                                            cpu.regs[0])
+            except (MemoryFault, CpuFault) as exc:
+                outcome.status = "fault"
+                outcome.detail = str(exc)
+                outcome.result = ExecResult(cpu.steps, cpu.cycles,
+                                            cpu.rip, cpu.aex_events,
+                                            cpu.regs[0])
+            return self._finish_run(outcome)
+        # Checkpointed path.  Dirty tracking must be on before the CPU
+        # exists (the translator bakes the decision into its blocks);
+        # the drain resets the delta baseline to the post-provision
+        # image, which a resuming enclave reproduces via re-provision.
+        space = self.enclave.space
+        space.track_dirty(True)
+        space.drain_dirty()
         self._reset_runtime_cells()
         outcome = RunOutcome(status="ok",
                              provision_cache_hits=self.provision_cache_hits,
@@ -459,9 +544,120 @@ class BootstrapEnclave:
         io = _ThreadIO(self._input, 0, outcome)
         self._budget = self.p0.max_output_bytes
         cpu = self._make_cpu(0, io, aex_schedule, cost_model)
+        chain = _CheckpointChain(key=self._seal_key(),
+                                 prev_mac=b"\x00" * 32, blobs=[])
+        return self._checkpointed_loop(
+            cpu, io, outcome, chain, max_steps, checkpoint_every,
+            watchdog, checkpoint_sink, interrupt)
+
+    def resume(self, blobs,
+               aex_schedule: Optional[AexSchedule] = None,
+               cost_model: Optional[CostModel] = None,
+               max_steps: int = 200_000_000,
+               checkpoint_every: Optional[int] = None,
+               watchdog: Optional[Watchdog] = None,
+               checkpoint_sink=None,
+               interrupt=None) -> RunOutcome:
+        """``ecall_resume``: continue a run from a sealed checkpoint chain.
+
+        The caller must have re-provisioned the *same* binary and
+        re-staged the *same* user data first (both are checked: the
+        sealing key embeds the provision digest, the chain embeds the
+        input digest).  The chain is authenticated against the platform
+        monotonic counter before a single byte of it is trusted; any
+        corruption, cross-enclave blob, gap, or stale head fails closed
+        with :class:`RollbackError` — resuming from host-chosen state
+        would be a rollback attack, so there is deliberately no
+        best-effort path.  On success the memory deltas are replayed
+        onto the freshly provisioned image, the CPU adopts the
+        safe-point snapshot (including the seeded AEX schedule state),
+        and execution continues bit-identically to the uninterrupted
+        run — taking further checkpoints on the same chain when
+        ``checkpoint_every`` is set.
+        """
+        if self.loaded is None or self.verified is None:
+            raise EnclaveError("no verified binary provisioned")
+        blobs = list(blobs)
+        key = self._seal_key()
+        head = self.enclave.platform.counter_read(COUNTER_LABEL)
+        payloads = verify_chain(key, blobs, head)
+        last = payloads[-1]
+        if hashlib.sha256(self._input).digest() != last.input_digest:
+            self.audit.record("resume_rejected", reason="input-mismatch")
+            raise RollbackError(
+                "checkpoint rejected: staged user data does not match "
+                "the checkpointed input")
+        space = self.enclave.space
+        space.track_dirty(True)
+        base = space.enclave_base
+        for payload in payloads:
+            for index, data in payload.enclave_pages:
+                space.write_page(base + (index << PAGE_SHIFT), data)
+            for addr, data in payload.outside_pages:
+                space.write_page(addr, data)
+        space.drain_dirty()
+        outcome = RunOutcome(status="ok",
+                             provision_cache_hits=self.provision_cache_hits,
+                             provision_stages=dict(self.provision_stages))
+        outcome.reports = list(last.reports)
+        outcome.sent_plaintext = [bytes(d) for d in last.sent_plaintext]
+        outcome.sent_wire = [self._wire_for(d)
+                             for d in outcome.sent_plaintext]
+        outcome.resumed_at_step = last.cpu.steps
+        io = _ThreadIO(self._input, last.io_cursor, outcome)
+        self._budget = last.budget
+        cpu = self._make_cpu(0, io, aex_schedule, cost_model)
+        cpu.restore(last.cpu)
+        self.audit.record("resumed", steps=last.cpu.steps,
+                          counter=head, chain=len(blobs))
+        chain = _CheckpointChain(key=key, prev_mac=blobs[-1][-32:],
+                                 blobs=blobs)
+        return self._checkpointed_loop(
+            cpu, io, outcome, chain, max_steps, checkpoint_every,
+            watchdog, checkpoint_sink, interrupt)
+
+    def _seal_key(self) -> bytes:
+        if self._provision_digest is None:
+            raise EnclaveError(
+                "no provisioned binary to derive a sealing key from")
+        return derive_seal_key(self.enclave.platform.seal_fuse(),
+                               self.enclave.mrenclave,
+                               self._provision_digest)
+
+    #: Safe-point poll granularity when only a watchdog (no
+    #: ``checkpoint_every``) asks for cooperative pauses.
+    _WATCHDOG_SLICE = 10_000
+
+    def _checkpointed_loop(self, cpu: CPU, io: "_ThreadIO",
+                           outcome: RunOutcome,
+                           chain: "_CheckpointChain", max_steps: int,
+                           checkpoint_every: Optional[int],
+                           watchdog: Optional[Watchdog],
+                           checkpoint_sink, interrupt) -> RunOutcome:
+        """Slice-execute to safe points, checkpointing between slices."""
+        slice_n = checkpoint_every or self._WATCHDOG_SLICE
         try:
-            outcome.result = cpu.run(max_steps=max_steps)
-            self.enclave.hw_aex_count += cpu.aex_events
+            while True:
+                if interrupt is not None:
+                    interrupt(cpu)
+                if watchdog is not None:
+                    reason = watchdog.exceeded(cpu)
+                    if reason is not None:
+                        if checkpoint_every is not None:
+                            self._take_checkpoint(cpu, io, outcome,
+                                                  chain, checkpoint_sink)
+                        self.audit.record("watchdog_expired",
+                                          reason=reason, steps=cpu.steps)
+                        raise DeadlineExceeded(reason, chain.blobs)
+                result = cpu.run(max_steps=max_steps,
+                                 slice_steps=slice_n)
+                if cpu.halted:
+                    outcome.result = result
+                    self.enclave.hw_aex_count += cpu.aex_events
+                    break
+                if checkpoint_every is not None:
+                    self._take_checkpoint(cpu, io, outcome, chain,
+                                          checkpoint_sink)
         except PolicyViolation as exc:
             outcome.status = "violation"
             outcome.violation_code = exc.code
@@ -473,6 +669,40 @@ class BootstrapEnclave:
             outcome.detail = str(exc)
             outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
                                         cpu.aex_events, cpu.regs[0])
+        return self._finish_run(outcome)
+
+    def _take_checkpoint(self, cpu: CPU, io: "_ThreadIO",
+                         outcome: RunOutcome,
+                         chain: "_CheckpointChain",
+                         checkpoint_sink) -> None:
+        """Seal one incremental checkpoint at the current safe point."""
+        space = self.enclave.space
+        dirty, outside = space.drain_dirty()
+        base = space.enclave_base
+        payload = CheckpointPayload(
+            cpu=cpu.snapshot(),
+            io_cursor=io.cursor,
+            budget=self._budget,
+            input_digest=hashlib.sha256(io.input).digest(),
+            reports=tuple(outcome.reports),
+            sent_plaintext=tuple(outcome.sent_plaintext),
+            enclave_pages=tuple(
+                (index, space.read_page(base + (index << PAGE_SHIFT)))
+                for index in sorted(dirty)),
+            outside_pages=tuple(
+                (addr, space.read_page(addr))
+                for addr in sorted(outside)))
+        counter = self.enclave.platform.counter_bump(COUNTER_LABEL)
+        blob = seal_checkpoint(chain.key, counter, chain.prev_mac,
+                               payload)
+        chain.prev_mac = blob[-32:]
+        chain.blobs.append(blob)
+        outcome.checkpoints_taken += 1
+        if checkpoint_sink is not None:
+            checkpoint_sink(blob)
+
+    def _finish_run(self, outcome: RunOutcome) -> RunOutcome:
+        """Shared run epilogue: time blurring + the audit record."""
         outcome.observable_cycles = self._pad_time(
             outcome.result.cycles if outcome.result else 0.0)
         self.audit.record(
@@ -480,11 +710,12 @@ class BootstrapEnclave:
             violation=outcome.violation_name,
             steps=outcome.result.steps,
             observable_cycles=int(outcome.observable_cycles),
-            outputs=len(outcome.sent_wire) + len(outcome.reports))
+            outputs=len(outcome.sent_wire) + len(outcome.reports),
+            checkpoints=outcome.checkpoints_taken)
         return outcome
 
     def run_traced(self, max_instructions: int = 200,
-                   cost_model: CostModel = None):
+                   cost_model: Optional[CostModel] = None):
         """Single-step the target, returning ``(outcome, trace)``.
 
         ``trace`` is a list of disassembly lines (``addr: mnemonic``)
@@ -541,7 +772,7 @@ class BootstrapEnclave:
         return outcome, trace
 
     def run_threads(self, inputs, quantum: int = 500,
-                    cost_model: CostModel = None,
+                    cost_model: Optional[CostModel] = None,
                     max_steps: int = 50_000_000) -> List[RunOutcome]:
         """``ecall_run`` over N TCS slots (§VII multi-threading).
 
@@ -610,6 +841,17 @@ class BootstrapEnclave:
             raise PolicyViolation(
                 VIOL_P0, 0, "P0: output entropy budget exhausted")
 
+    def _wire_for(self, data: bytes) -> bytes:
+        """Wire form of one P0 output record.  Without a session the
+        record is padded but cleartext — deterministic, which is what
+        lets a resumed run regenerate pre-checkpoint wire records
+        byte-identically."""
+        if self.channel is not None:
+            return self.channel.seal(data)
+        pad = self.p0.record_size
+        padded = max(pad, (len(data) + pad - 1) // pad * pad)
+        return data + b"\x00" * (padded - len(data))
+
     def _svc(self, cpu: CPU, num: int, io: "_ThreadIO") -> None:
         outcome = io.outcome
         if num == SVC_SEND:
@@ -620,15 +862,7 @@ class BootstrapEnclave:
             self._charge_budget(length)
             data = self.enclave.space.read_raw(ptr, length)
             outcome.sent_plaintext.append(data)
-            if self.channel is not None:
-                wire = self.channel.seal(data)
-            else:
-                # no session: still pad to fixed records (covert-channel
-                # control), just unencrypted
-                pad = self.p0.record_size
-                padded = max(pad, (len(data) + pad - 1) // pad * pad)
-                wire = data + b"\x00" * (padded - len(data))
-            outcome.sent_wire.append(wire)
+            outcome.sent_wire.append(self._wire_for(data))
             cpu.regs[0] = length
         elif num == SVC_RECV:
             ptr, length = cpu.regs[_RDI], cpu.regs[_RSI]

@@ -69,6 +69,15 @@ class SigningKey:
         self._x = x % Q or 2
         self.verifying_key = VerifyingKey(pow(G, self._x, P))
 
+    def derive_secret(self, label: bytes) -> bytes:
+        """Derive a 32-byte secret bound to this private key.
+
+        Used for key material that must be reproducible on the same
+        platform but underivable from anything public (the sealing-fuse
+        stand-in): HMAC over the label with the private scalar."""
+        return hmac.new(self._x.to_bytes(_Q_BYTES, "big"), label,
+                        hashlib.sha256).digest()
+
     def sign(self, message: bytes) -> bytes:
         """Produce ``e || s`` with a message-bound deterministic nonce."""
         key_bytes = self._x.to_bytes(_Q_BYTES, "big")

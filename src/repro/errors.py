@@ -103,3 +103,27 @@ class EnclaveTeardown(EnclaveError):
 class RetryBudgetExceeded(ReproError):
     """A resilient session exhausted its retry budget on transient
     failures without completing the operation."""
+
+
+class RollbackError(ReproError):
+    """A sealed checkpoint failed authentication or freshness.
+
+    Raised when a checkpoint's MAC does not verify (corruption, or a
+    blob sealed by a different enclave/platform), when the chain is
+    broken, or when the presented chain is *stale* — its head counter
+    does not match the platform's monotonic counter, i.e. the host
+    replayed checkpoint ``n-1`` after ``n`` was taken.  Always treated
+    as a trust failure: resuming from unauthenticated state would hand
+    the host a rollback channel, so this is never retried."""
+
+
+class DeadlineExceeded(ReproError):
+    """A watchdog budget (cycles or steps) ran out at a safe point.
+
+    Carries the sealed checkpoint chain taken at the final safe point in
+    :attr:`checkpoint`, so the caller can resume with a larger budget
+    instead of losing the completed work."""
+
+    def __init__(self, message: str, checkpoint=None):
+        self.checkpoint = list(checkpoint) if checkpoint else []
+        super().__init__(message)

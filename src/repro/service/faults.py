@@ -106,6 +106,10 @@ class FaultPlan:
                  p_teardown: float = 0.10,
                  p_outage: float = 0.15,
                  p_storm: float = 0.25,
+                 mid_run: bool = False,
+                 p_midrun: float = 0.45,
+                 p_chain_corrupt: float = 0.20,
+                 p_rollback: float = 0.20,
                  max_faults: int = 8):
         self.seed = seed
         self.p_wire = p_wire
@@ -113,6 +117,15 @@ class FaultPlan:
         self.p_teardown = p_teardown
         self.p_outage = p_outage
         self.p_storm = p_storm
+        #: Mid-run fault family (teardown after k instructions,
+        #: checkpoint-chain corruption, rollback replay).  Gated behind
+        #: a flag — not merely zero probabilities — so plans built
+        #: without it draw the exact same random sequence as before the
+        #: feature existed (campaign replays stay byte-identical).
+        self.mid_run = mid_run
+        self.p_midrun = p_midrun
+        self.p_chain_corrupt = p_chain_corrupt
+        self.p_rollback = p_rollback
         self.max_faults = max_faults
         self.faults_remaining = max_faults
         #: Ordered log of every injected fault (replay evidence).
@@ -157,6 +170,32 @@ class FaultPlan:
             storm_seed = self._rng.randrange(1 << 30)
             self._charge(f"aex_storm(mean={mean})")
             return AexSchedule(mean, jitter=0.3, seed=storm_seed)
+        return None
+
+    def draw_midrun_teardown(self) -> Optional[int]:
+        """One checkpointed run: maybe tear the enclave down after
+        ``k`` more instructions (realized at the next safe point)."""
+        if not self.mid_run:
+            return None
+        if self._chance(self.p_midrun):
+            k = self._rng.randint(30, 250)
+            self._charge(f"midrun_teardown(k={k})")
+            return k
+        return None
+
+    def draw_chain_attack(self) -> Optional[str]:
+        """One ``ecall_resume``: maybe doctor the relayed chain —
+        ``"corrupt"`` (bit-flip a sealed blob) or ``"rollback"``
+        (withhold the newest checkpoint, replaying chain ``n-1``).
+        Both must be rejected fail-closed by the enclave."""
+        if not self.mid_run:
+            return None
+        if self._chance(self.p_chain_corrupt):
+            self._charge("checkpoint_corrupt")
+            return "corrupt"
+        if self._chance(self.p_rollback):
+            self._charge("rollback_replay")
+            return "rollback"
         return None
 
     def mangle_wire(self, wire: bytes,
@@ -267,13 +306,54 @@ class FaultyHost:
         self._gate("ecall_receive_userdata")
         return self.host.ecall_receive_userdata(data, encrypted=encrypted)
 
+    def _arm_midrun(self, kwargs: dict) -> dict:
+        """Maybe schedule a teardown ``k`` instructions into the run,
+        realized cooperatively at the next checkpoint safe point (the
+        simulator cannot interrupt the VM asynchronously)."""
+        if kwargs.get("checkpoint_every") is None or \
+                "interrupt" in kwargs:
+            return kwargs
+        k = self.plan.draw_midrun_teardown()
+        if k is None:
+            return kwargs
+        bootstrap = self.host.bootstrap
+        start = None
+
+        def interrupt(cpu):
+            nonlocal start
+            if start is None:
+                start = cpu.steps
+            if cpu.steps >= start + k:
+                bootstrap.enclave.destroy()
+                raise EnclaveTeardown(
+                    f"injected mid-run teardown at step {cpu.steps}")
+
+        kwargs = dict(kwargs)
+        kwargs["interrupt"] = interrupt
+        return kwargs
+
     def ecall_run(self, **kwargs):
         self._gate("ecall_run")
         if "aex_schedule" not in kwargs:
             storm = self.plan.draw_storm()
             if storm is not None:
                 kwargs["aex_schedule"] = storm
-        return self.host.ecall_run(**kwargs)
+        return self.host.ecall_run(**self._arm_midrun(kwargs))
+
+    def ecall_resume(self, blobs, **kwargs):
+        """Relay a checkpoint chain — possibly doctored: a corrupt blob
+        or a rollback replay (chain with the newest checkpoint
+        withheld).  Detection is enclave-side, exactly where it must
+        be: the chain MACs and the platform monotonic counter."""
+        self._gate("ecall_resume")
+        blobs = list(blobs)
+        attack = self.plan.draw_chain_attack()
+        if attack == "corrupt" and blobs:
+            victim = self.plan._rng.randrange(len(blobs))
+            blobs[victim] = corrupt_wire(blobs[victim], self.plan._rng)
+        elif attack == "rollback":
+            blobs = blobs[:-1]
+        return self.host.ecall_resume(blobs, **self._arm_midrun(kwargs))
 
 
 # -- the scripted chaos campaign (``repro chaos``) -----------------------
@@ -297,9 +377,18 @@ int main() {
 def run_campaign(seed: int = 2021, trials: int = 20,
                  data: bytes = bytes(range(16)),
                  aex_threshold: int = 25,
-                 max_faults: int = 8) -> dict:
+                 max_faults: int = 8,
+                 mid_run: bool = False,
+                 checkpoint_every: int = 25) -> dict:
     """Run ``trials`` independent faulted two-party flows; return a
     deterministic JSON-ready report.
+
+    With ``mid_run=True`` the runs are checkpointed
+    (``checkpoint_every`` instructions per sealed checkpoint) and the
+    fault plan additionally tears the enclave down *mid-execution*,
+    corrupts relayed checkpoint chains, and replays stale ones — so the
+    campaign exercises resume-from-checkpoint recovery and fail-closed
+    rollback rejection on top of the boundary faults.
 
     Each trial gets its own bootstrap, host and seeded
     :class:`FaultPlan`; all trials share one
@@ -325,13 +414,16 @@ def run_campaign(seed: int = 2021, trials: int = 20,
     totals = {"ok": 0, "violation": 0, "fault": 0, "corrupt": 0,
               "aborted": 0, "retries": 0, "reconnects": 0,
               "recoveries": 0, "fatal_errors": 0, "faults_injected": 0,
-              "audit_recoveries": 0}
+              "audit_recoveries": 0, "resumes": 0,
+              "rollbacks_rejected": 0}
     retried_kinds: dict = {}
     fatal_kinds: dict = {}
+    run_kwargs = {"checkpoint_every": checkpoint_every} if mid_run \
+        else {}
 
     for trial in range(trials):
         plan = FaultPlan(seed * 1_000_003 + trial,
-                         max_faults=max_faults)
+                         max_faults=max_faults, mid_run=mid_run)
         boot = BootstrapEnclave(policies=policies,
                                 aex_threshold=aex_threshold,
                                 provision_cache=cache)
@@ -345,7 +437,7 @@ def run_campaign(seed: int = 2021, trials: int = 20,
             retry=RetryPolicy(max_attempts=max_faults + 2,
                               seed=seed + trial))
         try:
-            outcome, plaintext = workflow.execute()
+            outcome, plaintext = workflow.execute(**run_kwargs)
             if outcome.ok:
                 good = (plaintext == [expected_plain]
                         and outcome.reports == [expected_sum])
@@ -358,7 +450,7 @@ def run_campaign(seed: int = 2021, trials: int = 20,
         key = status.split(":", 1)[0]
         totals[key] = totals.get(key, 0) + 1
         for field in ("retries", "reconnects", "recoveries",
-                      "fatal_errors"):
+                      "fatal_errors", "resumes", "rollbacks_rejected"):
             totals[field] += getattr(stats, field)
         for kind, count in stats.retried_kinds.items():
             retried_kinds[kind] = retried_kinds.get(kind, 0) + count
@@ -373,6 +465,8 @@ def run_campaign(seed: int = 2021, trials: int = 20,
             "retries": stats.retries,
             "reconnects": stats.reconnects,
             "recoveries": stats.recoveries,
+            "resumes": stats.resumes,
+            "rollbacks_rejected": stats.rollbacks_rejected,
             "audit_chain_ok": boot.audit.verify_chain(),
             "audit_recovered_events": boot.audit.count("recovered"),
         })
@@ -384,6 +478,7 @@ def run_campaign(seed: int = 2021, trials: int = 20,
         "schema": "deflection-chaos/1",
         "seed": seed,
         "trials": trials,
+        "mid_run": mid_run,
         "totals": totals,
         "retried_error_kinds": dict(sorted(retried_kinds.items())),
         "fatal_error_kinds": dict(sorted(fatal_kinds.items())),

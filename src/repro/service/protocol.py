@@ -51,6 +51,13 @@ class CCaaSHost:
     def ecall_run(self, **kwargs):
         return self.bootstrap.enclave.ecall("ecall_run", **kwargs)
 
+    def ecall_resume(self, blobs, **kwargs):
+        """Relay a sealed checkpoint chain back into the enclave.  The
+        host merely stores and forwards the blobs; the enclave
+        authenticates them against the platform monotonic counter."""
+        return self.bootstrap.enclave.ecall("ecall_resume", blobs,
+                                            **kwargs)
+
     def ensure_alive(self) -> bool:
         """The operator's recovery path: restart a torn-down bootstrap
         (same platform, same measured image, so the MRENCLAVE pin still

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import (
-    AttestationError, AttestationOutage, EnclaveError, PolicyViolation,
-    ProtocolError, ReproError, RetryBudgetExceeded, VerificationError,
+    AttestationError, AttestationOutage, DeadlineExceeded, EnclaveError,
+    PolicyViolation, ProtocolError, ReproError, RetryBudgetExceeded,
+    RollbackError, VerificationError,
 )
 
 #: Error classes a resilient session retries after re-establishing the
@@ -35,7 +36,14 @@ TRANSIENT = (AttestationOutage, ProtocolError, EnclaveError)
 
 #: Error classes that must never be retried: the failure is a verdict
 #: (violation, rejected binary, broken trust chain), not bad luck.
-FATAL = (PolicyViolation, VerificationError, AttestationError)
+#: :class:`RollbackError` is the checkpoint layer's trust verdict —
+#: blindly retrying a resume would re-present host-chosen state; a
+#: caller that wants availability must *discard the chain* and restart
+#: from scratch (what :class:`TwoPartyWorkflow` does explicitly).
+#: :class:`DeadlineExceeded` is a budget verdict: only resuming with a
+#: larger budget can make progress, so the retry loop must not spin.
+FATAL = (PolicyViolation, VerificationError, AttestationError,
+         RollbackError, DeadlineExceeded)
 
 
 def classify_error(exc: BaseException) -> str:
@@ -88,6 +96,11 @@ class SessionStats:
     reconnects: int = 0
     recoveries: int = 0
     fatal_errors: int = 0
+    #: Runs continued from a sealed checkpoint instead of from scratch.
+    resumes: int = 0
+    #: Checkpoint chains the enclave refused (corrupt / stale / replay);
+    #: each one forced a discard-and-restart, never a blind retry.
+    rollbacks_rejected: int = 0
     slept_s: float = 0.0
     retried_kinds: Dict[str, int] = field(default_factory=dict)
     fatal_kinds: Dict[str, int] = field(default_factory=dict)
@@ -105,6 +118,8 @@ class SessionStats:
             "reconnects": self.reconnects,
             "recoveries": self.recoveries,
             "fatal_errors": self.fatal_errors,
+            "resumes": self.resumes,
+            "rollbacks_rejected": self.rollbacks_rejected,
             "retried_kinds": dict(sorted(self.retried_kinds.items())),
             "fatal_kinds": dict(sorted(self.fatal_kinds.items())),
         }
@@ -235,15 +250,44 @@ class TwoPartyWorkflow:
 
         ``plaintexts`` are the decrypted result records when the run
         completed (``outcome.ok``), else empty.
+
+        With ``checkpoint_every=N`` in ``run_kwargs``, the workflow
+        stores every sealed checkpoint the enclave emits and switches
+        its teardown recovery from re-run-from-scratch to
+        resume-from-latest-checkpoint: after re-attesting and
+        re-provisioning, the stored chain goes back in through
+        ``ecall_resume`` and only the tail of the computation re-runs.
+        If the enclave rejects the chain (:class:`RollbackError` —
+        corrupted, stale, or replayed by the host), the chain is
+        *discarded* and that attempt falls back to a full re-run: the
+        trust decision stays fail-closed inside the enclave, while the
+        workflow keeps its availability by paying the from-scratch
+        cost.  Rejected chains are counted in
+        ``stats.rollbacks_rejected`` and are never blindly re-presented.
         """
         self.provision()
+        checkpoints: List[bytes] = []
+        if run_kwargs.get("checkpoint_every") is not None:
+            run_kwargs = dict(run_kwargs)
+            run_kwargs["checkpoint_sink"] = checkpoints.append
         last: Optional[BaseException] = None
         for attempt in range(self.retry.max_attempts):
             if attempt:
                 self.owner_session.backoff(attempt - 1)
             try:
                 self.stats.attempts += 1
-                outcome = self.host.ecall_run(**run_kwargs)
+                if checkpoints:
+                    try:
+                        outcome = self.host.ecall_resume(
+                            list(checkpoints), **run_kwargs)
+                        self.stats.resumes += 1
+                    except RollbackError as exc:
+                        self.stats.note(exc, "fatal")
+                        self.stats.rollbacks_rejected += 1
+                        checkpoints.clear()
+                        outcome = self.host.ecall_run(**run_kwargs)
+                else:
+                    outcome = self.host.ecall_run(**run_kwargs)
             except ReproError as exc:
                 verdict = classify_error(exc)
                 self.stats.note(exc, verdict)

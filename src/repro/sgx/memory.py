@@ -51,6 +51,18 @@ class AddressSpace:
         #: VM can invalidate its decoded-instruction cache.
         self.code_version = 0
         self._code_watch = (0, 0)
+        #: Dirty-page tracking (checkpoint support).  When enabled,
+        #: every write records the 4 KiB pages it touched: enclave
+        #: pages as *page indices* (ELRANGE offset >> 12, matching the
+        #: single shift the translator's fast-path stores emit) in
+        #: :attr:`_dirty`, untrusted pages as absolute page-base
+        #: addresses in :attr:`_dirty_outside`.  The two sets are
+        #: cleared only via :meth:`drain_dirty`, and the set objects
+        #: themselves are never replaced — the translator bakes direct
+        #: references to them into generated code.
+        self.dirty_tracking = False
+        self._dirty = set()
+        self._dirty_outside = set()
         #: Write-invalidation hooks: called as ``hook(addr, size)`` for
         #: every store that lands in the watched code range.  A hook that
         #: returns ``False`` is dropped (lets block caches register via
@@ -97,6 +109,32 @@ class AddressSpace:
         code range (the translator's block-invalidation protocol)."""
         self._code_write_hooks.append(hook)
 
+    # -- dirty-page tracking (incremental checkpoints) ------------------
+
+    def track_dirty(self, enabled: bool = True) -> None:
+        """Switch dirty-page tracking on (or off).
+
+        Must be enabled *before* any CPU whose translated blocks should
+        record their fast-path stores is created: the translator bakes
+        the tracking decision into generated code at compile time."""
+        self.dirty_tracking = enabled
+
+    def _mark_dirty(self, addr: int, size: int) -> None:
+        first = (addr - self.enclave_base) >> PAGE_SHIFT
+        last = (addr + max(size, 1) - 1 - self.enclave_base) >> PAGE_SHIFT
+        for index in range(first, last + 1):
+            self._dirty.add(index)
+
+    def drain_dirty(self):
+        """Return ``(enclave_page_indices, outside_page_addrs)``
+        dirtied since the last drain (frozen sets) and reset the
+        tracking sets *in place* (baked references stay live)."""
+        dirty = frozenset(self._dirty)
+        outside = frozenset(self._dirty_outside)
+        self._dirty.clear()
+        self._dirty_outside.clear()
+        return dirty, outside
+
     # -- raw access (loader / bootstrap use; no permission checks) -----
 
     def write_raw(self, addr: int, data: bytes) -> None:
@@ -104,7 +142,14 @@ class AddressSpace:
         if self.in_enclave(addr, len(data)):
             off = addr - self.enclave_base
             self._mem[off:off + len(data)] = data
+            if self.dirty_tracking:
+                self._mark_dirty(addr, len(data))
         else:
+            if self.dirty_tracking and data:
+                for i in range(0, len(data) + (addr & (PAGE_SIZE - 1)),
+                               PAGE_SIZE):
+                    self._dirty_outside.add(
+                        (addr + i) & ~(PAGE_SIZE - 1))
             for i, b in enumerate(data):
                 self._store_outside_u8(addr + i, b)
 
@@ -167,6 +212,8 @@ class AddressSpace:
             off = addr - self.enclave_base
             self._mem[off:off + size] = (value & ((1 << (8 * size)) - 1)) \
                 .to_bytes(size, "little")
+            if self.dirty_tracking:
+                self._mark_dirty(addr, size)
             lo, hi = self._code_watch
             if lo < addr + size and addr < hi:
                 self.code_version += 1
@@ -176,6 +223,10 @@ class AddressSpace:
                         if h(addr, size) is not False]
         else:
             self.untrusted_writes.append((addr, size))
+            if self.dirty_tracking:
+                self._dirty_outside.add(addr & ~(PAGE_SIZE - 1))
+                self._dirty_outside.add(
+                    (addr + size - 1) & ~(PAGE_SIZE - 1))
             for i in range(size):
                 self._store_outside_u8(addr + i, (value >> (8 * i)) & 0xFF)
 
@@ -200,6 +251,37 @@ class AddressSpace:
     def check_exec(self, addr: int, size: int) -> None:
         """Raise unless all of [addr, addr+size) is executable."""
         self._check(addr, size, PERM_X, "fetch")
+
+    def read_page(self, page_addr: int) -> bytes:
+        """Whole-page read for checkpointing (enclave or untrusted)."""
+        if page_addr & (PAGE_SIZE - 1):
+            raise MemoryFault("page read must be aligned", page_addr)
+        if self.in_enclave(page_addr, PAGE_SIZE):
+            off = page_addr - self.enclave_base
+            return bytes(self._mem[off:off + PAGE_SIZE])
+        return bytes(self._outside_page(page_addr))
+
+    def write_page(self, page_addr: int, data: bytes) -> None:
+        """Whole-page restore for checkpointing (privileged path)."""
+        if page_addr & (PAGE_SIZE - 1) or len(data) != PAGE_SIZE:
+            raise MemoryFault("page write must be one aligned page",
+                              page_addr)
+        if self.in_enclave(page_addr, PAGE_SIZE):
+            off = page_addr - self.enclave_base
+            self._mem[off:off + PAGE_SIZE] = data
+            if self.dirty_tracking:
+                self._dirty.add(off >> PAGE_SHIFT)
+            lo, hi = self._code_watch
+            if lo < page_addr + PAGE_SIZE and page_addr < hi:
+                self.code_version += 1
+                if self._code_write_hooks:
+                    self._code_write_hooks = [
+                        h for h in self._code_write_hooks
+                        if h(page_addr, PAGE_SIZE) is not False]
+        else:
+            self._outside_page(page_addr)[:] = data
+            if self.dirty_tracking:
+                self._dirty_outside.add(page_addr)
 
     def enclave_view(self) -> memoryview:
         """Zero-copy view of the whole ELRANGE backing store.

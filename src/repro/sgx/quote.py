@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 from ..errors import AttestationError
 from ..crypto.sig import SigningKey, VerifyingKey
@@ -84,12 +85,19 @@ class Quote:
 
 
 class PlatformKey:
-    """The per-platform attestation key, provisioned to the AS."""
+    """The per-platform attestation key, provisioned to the AS.
 
-    def __init__(self, seed: bytes = None):
+    Also carries the two durable per-platform facilities a real CPU
+    package provides and that survive enclave teardown: the sealing
+    fuse (a secret only code on this platform can derive keys from)
+    and monotonic counters (the rollback-protection primitive — read
+    and bump only, never decrement)."""
+
+    def __init__(self, seed: Optional[bytes] = None):
         self._key = SigningKey(seed)
         self.platform_id = hashlib.sha256(
             b"platform" + self._key.verifying_key.to_bytes()).digest()[:16]
+        self._counters: Dict[bytes, int] = {}
 
     @property
     def verifying_key(self) -> VerifyingKey:
@@ -98,3 +106,26 @@ class PlatformKey:
     def quote(self, report: Report) -> Quote:
         signature = self._key.sign(report.serialize())
         return Quote(report, self.platform_id, signature)
+
+    # -- sealing + rollback protection ---------------------------------
+
+    def seal_fuse(self, label: bytes = b"seal-fuse") -> bytes:
+        """Per-platform sealing secret (models the SGX fuse key).
+
+        Deterministic for a given platform, so an enclave rebuilt after
+        teardown on the *same* platform re-derives the same sealing
+        keys; a different platform (different attestation key) cannot.
+        """
+        return self._key.derive_secret(b"sgx-" + label)
+
+    def counter_read(self, label: bytes) -> int:
+        """Current value of the monotonic counter ``label`` (0 if never
+        bumped)."""
+        return self._counters.get(bytes(label), 0)
+
+    def counter_bump(self, label: bytes) -> int:
+        """Increment monotonic counter ``label`` and return the new
+        value.  There is deliberately no way to decrement or reset."""
+        value = self._counters.get(bytes(label), 0) + 1
+        self._counters[bytes(label)] = value
+        return value

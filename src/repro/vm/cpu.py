@@ -63,6 +63,41 @@ class ExecResult:
     return_value: int
 
 
+@dataclass(frozen=True)
+class CpuState:
+    """Complete architectural + accounting state at a safe point.
+
+    Captured by :meth:`CPU.snapshot` only *between* ``run`` calls —
+    superblock boundaries on the translating executor, instruction
+    boundaries on the step engine — where the locals of the dispatch
+    loops have been written back and flags are materialized.  Restoring
+    it into a freshly built CPU over identical memory resumes execution
+    bit-identically, including the seeded AEX schedule (the Mersenne
+    Twister state rides along so post-resume interrupt arrivals match
+    the uninterrupted run).
+    """
+
+    regs: tuple                 # 16 x u64
+    rip: int
+    f_eq: bool
+    f_lt_s: bool
+    f_lt_u: bool
+    steps: int
+    cycles: float
+    aex_events: int
+    epc_faults: int
+    halted: bool
+    #: EPC residency in LRU order (oldest first) and the ever-loaded
+    #: set; both ``None`` when the cost model has no EPC cap.
+    epc_resident: tuple = None
+    epc_ever: frozenset = None
+    #: Instructions left until the next AEX fires.
+    aex_countdown: int = 0
+    #: ``random.Random.getstate()`` of the schedule's RNG (None when
+    #: AEX injection is disabled).
+    aex_rng_state: tuple = None
+
+
 class CPU:
     """One hardware thread executing inside the enclave."""
 
@@ -213,6 +248,71 @@ class CPU:
     @property
     def halted(self) -> bool:
         return self._halted
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> CpuState:
+        """Capture the full architectural + accounting state.
+
+        Only valid at a safe point: between :meth:`run` calls (the
+        ``finally`` blocks of both engines write the loop locals back
+        and materialize lazy flags), never from inside an SVC handler
+        or translated block.
+        """
+        schedule = self.aex_schedule
+        return CpuState(
+            regs=tuple(self.regs),
+            rip=self.rip,
+            f_eq=self.f_eq,
+            f_lt_s=self.f_lt_s,
+            f_lt_u=self.f_lt_u,
+            steps=self.steps,
+            cycles=self.cycles,
+            aex_events=self.aex_events,
+            epc_faults=self.epc_faults,
+            halted=self._halted,
+            epc_resident=(tuple(self._epc_resident)
+                          if self._epc_resident is not None else None),
+            epc_ever=(frozenset(self._epc_ever)
+                      if self._epc_ever is not None else None),
+            aex_countdown=self._aex_timer.countdown,
+            aex_rng_state=(schedule._rng.getstate()
+                           if schedule.enabled else None),
+        )
+
+    def restore(self, state: CpuState) -> None:
+        """Adopt a snapshot taken by an identically configured CPU.
+
+        The memory image must already hold the bytes it held at
+        snapshot time (the bootstrap re-provisions and replays page
+        deltas first); this call only rewrites CPU-side state.  The
+        AEX RNG state is installed *after* the timer was built, because
+        ``AexTimer.__init__`` itself draws from the schedule.
+        """
+        self.regs[:] = state.regs
+        self.rip = state.rip
+        self.f_eq = state.f_eq
+        self.f_lt_s = state.f_lt_s
+        self.f_lt_u = state.f_lt_u
+        self.steps = state.steps
+        self.cycles = state.cycles
+        self.aex_events = state.aex_events
+        self.epc_faults = state.epc_faults
+        self._halted = state.halted
+        if state.epc_resident is not None:
+            from collections import OrderedDict
+            self._epc_resident = OrderedDict(
+                (page, None) for page in state.epc_resident)
+            self._epc_ever = set(state.epc_ever)
+        if state.aex_rng_state is not None:
+            self.aex_schedule._rng.setstate(state.aex_rng_state)
+        self._aex_timer.countdown = state.aex_countdown
+        # Decoded-instruction and block caches are rebuilt lazily; drop
+        # anything a previous life of this CPU object may have cached.
+        self._icache.clear()
+        self._icache_version = self.space.code_version
+        self._blocks = None
+        self._cf = None
 
     # -- execution -----------------------------------------------------------
 

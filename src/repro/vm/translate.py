@@ -328,6 +328,12 @@ class BlockCache:
         ebase = space.enclave_base
         esize = space.enclave_size
         wlo, whi = space._code_watch
+        # Dirty-page tracking (checkpoint support) is baked at compile
+        # time: fast-path stores bypass AddressSpace.store, so when
+        # tracking is on they record the touched page themselves — one
+        # set.add on the offset the store already computed.  The
+        # fallback path (store_u64/store_u8) marks inside AddressSpace.
+        dirty_on = space.dirty_tracking
 
         def emit_load64(dst, var="a"):
             emit(f"o = {var} - {ebase}")
@@ -346,6 +352,9 @@ class BlockCache:
                 cond += f" and ({var} >= {whi} or {var} + 8 <= {wlo})"
             emit(f"if {cond}:")
             emit(f"    pck_q(smem, o, {value})")
+            if dirty_on:
+                emit("    dirty_add(o >> 12)")
+                emit("    dirty_add((o + 7) >> 12)")
             emit("else:")
             emit(f"    store_u64({var}, {value})")
 
@@ -364,6 +373,8 @@ class BlockCache:
                 cond += f" and not {wlo} <= a < {whi}"
             emit(f"if {cond}:")
             emit(f"    smem[o] = {value}")
+            if dirty_on:
+                emit("    dirty_add(o >> 12)")
             emit("else:")
             emit(f"    store_u8(a, {value})")
 
@@ -588,7 +599,7 @@ class BlockCache:
             "         load_u8=load_u8, store_u8=store_u8,",
             "         smem=smem, perms=perms, upk_q=upk_q, pck_q=pck_q,",
             "         epc_touch=epc_touch, cache=cache,",
-            "         fault=fault, jcc=jcc):",
+            "         fault=fault, jcc=jcc, dirty_add=dirty_add):",
             "    i_ = 0",
             "    try:",
         ]
@@ -611,6 +622,7 @@ class BlockCache:
             "pck_q": _STRUCT_Q.pack_into,
             "epc_touch": cpu._epc_touch,
             "cache": self,
+            "dirty_add": space._dirty.add,
             "fault": cpu._set_closure_fault,
             "jcc": eval_jcc,
             "CpuFault": CpuFault,

@@ -141,7 +141,8 @@ def test_encrypted_paths_require_channels():
 def test_ecall_table_is_exactly_the_p0_interface():
     boot = BootstrapEnclave(policies=PolicySet.p1_only())
     assert boot.enclave.ecall_names == (
-        "ecall_receive_binary", "ecall_receive_userdata", "ecall_run")
+        "ecall_receive_binary", "ecall_receive_userdata",
+        "ecall_resume", "ecall_run")
 
 
 def test_hw_aex_counter_accumulates():

@@ -244,3 +244,28 @@ def test_scheduler_totals():
     assert all(t.status == "halted" for t in threads)
     assert sched.total_steps == 3 * 21
     assert sched.total_cycles > 0
+
+
+def test_quantum_larger_than_total_instructions():
+    """A quantum exceeding every thread's full run degenerates into
+    serial execution: each thread halts inside its first slice and the
+    scheduler must notice the early halt rather than spin the slice."""
+    boot = _mt_boot()
+    outcomes = boot.run_threads([b"\x05", b"\x06"],
+                                quantum=10_000_000)
+    assert [o.status for o in outcomes] == ["ok", "ok"]
+    assert [o.reports for o in outcomes] == [[5, 5], [6, 8]]
+
+
+def test_thread_finishing_exactly_on_quantum_boundary():
+    """A thread whose instruction count is an exact multiple of the
+    quantum halts on the boundary itself; the scheduler must retire it
+    there, not schedule a ghost slice (which would miscount steps or
+    re-run a halted CPU)."""
+    boot = _mt_boot()
+    solo = boot.run_threads([b"\x04"])[0]
+    steps = solo.result.steps
+    outcomes = boot.run_threads([b"\x04", b"\x04"], quantum=steps)
+    assert [o.status for o in outcomes] == ["ok", "ok"]
+    assert [o.reports for o in outcomes] == [[4, 3], [4, 3]]
+    assert [o.result.steps for o in outcomes] == [steps, steps]

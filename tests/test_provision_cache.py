@@ -164,3 +164,49 @@ def test_cache_off_by_default():
     boot2.receive_binary(blob)
     assert boot2.provision_cache_hits == 0
     assert "binary_verified" in [e.kind for e in boot2.audit.events]
+
+
+def test_cache_hit_after_recover_keyed_to_mrenclave_and_audited():
+    """Regression: a re-delivery after ``recover()`` must only hit the
+    cache because MRENCLAVE is provably unchanged (the key embeds it),
+    and the hit must leave an audit record naming that measurement —
+    a remote party replaying the log can check the pin held across the
+    restart."""
+    policies = PolicySet.full()
+    cache = ProvisionCache()
+    blob = _blob(policies)
+    boot = _boot(policies, cache)
+    boot.receive_binary(blob)
+    before = boot.mrenclave
+    boot.enclave.destroy()
+    boot.recover()
+    assert boot.mrenclave == before      # same platform + image
+    boot.receive_binary(blob)
+    assert cache.hits == 1
+    cached = [e for e in boot.audit.events
+              if e.kind == "binary_provisioned_cached"]
+    assert len(cached) == 1
+    assert cached[0].detail["mrenclave"] == before.hex()
+    # a recovery is visible between the cold provision and the hit
+    kinds = [e.kind for e in boot.audit.events]
+    assert kinds.index("binary_verified") \
+        < kinds.index("recovered") \
+        < kinds.index("binary_provisioned_cached")
+
+
+def test_cache_does_not_leak_across_differing_enclave_builds():
+    """A bootstrap built with a different runtime shape (different
+    aex_threshold => different rewrite) shares nothing with the cached
+    entry even after the first enclave recovered — the MRENCLAVE/config
+    part of the key, not mere blob identity, gates the replay."""
+    policies = PolicySet.full()
+    cache = ProvisionCache()
+    blob = _blob(policies)
+    first = _boot(policies, cache)
+    first.receive_binary(blob)
+    first.enclave.destroy()
+    first.recover()
+    other = _boot(policies, cache, aex_threshold=7)
+    other.receive_binary(blob)
+    assert cache.hits == 0               # different build must miss
+    assert cache.misses == 2
