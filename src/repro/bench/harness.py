@@ -49,6 +49,11 @@ from ..workloads import Workload, get_workload
 #: The evaluation columns of Table II / Figs 7-9.
 PAPER_SETTINGS = ("baseline", "P1", "P1+P2", "P1-P5", "P1-P6")
 
+#: Timed repetitions per steady-state cell (minimum wall wins).  The
+#: repetitions are bit-identical replays of one warm execution, so
+#: their spread is host-scheduler noise, not workload variance.
+WARM_REPS = 3
+
 
 @dataclass
 class BenchResult:
@@ -77,6 +82,10 @@ class BenchResult:
     #: injected fault, and enclave rebuilds after injected teardowns.
     retries: int = 0
     recoveries: int = 0
+    #: Translating-executor counters for the measured run (chain hops,
+    #: IC hits, compiles, invalidations, mean instructions retired per
+    #: dispatch); None under the step engine.
+    jit: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -110,6 +119,7 @@ class BenchResult:
             "provision_cache_hits": self.provision_cache_hits,
             "retries": self.retries,
             "recoveries": self.recoveries,
+            **({"jit": self.jit} if self.jit is not None else {}),
         }
 
 
@@ -186,6 +196,21 @@ def _chaos_cell(boot: BootstrapEnclave, blob: bytes, input_bytes: bytes,
         f"(last: {type(last).__name__}: {last})") from last
 
 
+def snapshot_run_state(boot: BootstrapEnclave):
+    """Capture everything a warm re-run must rewind: the enclave RAM
+    image plus platform AEX bookkeeping.  Take it *after* provisioning
+    (and userdata delivery); restore between the untimed warm-up run
+    and each measured repetition.  Measurement machinery — it lives
+    here rather than on the enclave so the TCB stays benchmark-free."""
+    return boot.enclave.space.snapshot_ram(), boot.enclave.hw_aex_count
+
+
+def restore_run_state(boot: BootstrapEnclave, snap) -> None:
+    """Restore a :func:`snapshot_run_state` image in place."""
+    boot.enclave.space.restore_ram(snap[0])
+    boot.enclave.hw_aex_count = snap[1]
+
+
 def compile_workload(workload: Union[str, Workload], setting: str,
                      param: Optional[int] = None) -> bytes:
     if isinstance(workload, str):
@@ -202,13 +227,24 @@ def run_workload(workload: Union[str, Workload], setting: str,
                  aex_threshold: int = 1000,
                  strict: bool = True,
                  provision_cache: bool = True,
-                 chaos_seed: Optional[int] = None) -> BenchResult:
+                 chaos_seed: Optional[int] = None,
+                 warmup: bool = False) -> BenchResult:
     """Full-pipeline execution of one workload under one setting.
 
     ``strict=True`` (the default) raises on any failure — violation,
     fault, rejected binary, failed self-check.  ``strict=False``
     records the failure in ``status``/``detail`` and returns the cell,
     so a sweep survives one bad cell.
+
+    ``warmup=True`` measures *steady state*: the cell executes once
+    untimed (populating the translating executor's block cache, chain
+    edges and inline caches), the enclave image is restored bit-exact,
+    and the timed run repeats the identical execution on the warm CPU.
+    Applied uniformly to every executor — the step engine gains
+    nothing, the tier-1 translator recoups its small compile cost, the
+    tier-2 translator recoups chaining warm-up — so cross-executor
+    ratios compare pure execution.  The two runs are bit-identical
+    (same steps, cycles, AEX arrivals); ignored under ``chaos_seed``.
 
     ``chaos_seed`` runs the cell under deterministic fault injection
     (see :mod:`repro.service.faults`): deliveries get corrupted, ECalls
@@ -233,11 +269,37 @@ def run_workload(workload: Union[str, Workload], setting: str,
             boot.receive_binary(blob)
             if input_bytes:
                 boot.receive_userdata(input_bytes)
-            t0 = time.perf_counter()
-            outcome: RunOutcome = boot.run(aex_schedule=aex_schedule,
-                                           cost_model=cost_model,
-                                           max_steps=max_steps)
-            wall_s = time.perf_counter() - t0
+            if warmup:
+                # Eager JIT on the priming run: the block cache hits
+                # its fixed point in one pass (the lazy threshold
+                # otherwise keeps crossing for many runs on stubs born
+                # at AEX-resume rips), so the timed runs compile
+                # nothing and measure pure warm execution.  Three
+                # timed repetitions, minimum wall: the repetitions are
+                # bit-identical, so the spread is pure scheduler noise
+                # and the minimum is the least-disturbed measurement.
+                snap = snapshot_run_state(boot)
+                boot.run(aex_schedule=aex_schedule,
+                         cost_model=cost_model,
+                         max_steps=max_steps, reuse_cpu=True,
+                         jit_eager=True)
+                wall_s = None
+                for rep in range(WARM_REPS):
+                    restore_run_state(boot, snap)
+                    t0 = time.perf_counter()
+                    outcome: RunOutcome = boot.run(
+                        aex_schedule=aex_schedule,
+                        cost_model=cost_model,
+                        max_steps=max_steps, reuse_cpu=True)
+                    rep_wall = time.perf_counter() - t0
+                    if wall_s is None or rep_wall < wall_s:
+                        wall_s = rep_wall
+            else:
+                t0 = time.perf_counter()
+                outcome = boot.run(aex_schedule=aex_schedule,
+                                   cost_model=cost_model,
+                                   max_steps=max_steps)
+                wall_s = time.perf_counter() - t0
         else:
             # Imported lazily: repro.service pulls in this module via
             # the HTTPS simulator, so a top-level import would cycle.
@@ -268,7 +330,8 @@ def run_workload(workload: Union[str, Workload], setting: str,
         wall_s=wall_s,
         provision_cache_hits=outcome.provision_cache_hits,
         retries=retries,
-        recoveries=recoveries)
+        recoveries=recoveries,
+        jit=outcome.jit_stats)
     if outcome.status != "ok":
         if strict:
             raise RuntimeError(
@@ -507,6 +570,7 @@ class RunMatrix(dict):
                 "recoveries": sum(r.recoveries for row in self.values()
                                   for r in row.values()),
                 "failed_cells": self.failures,
+                **self._jit_totals(),
             },
             "workloads": {
                 name: {setting: result.to_dict()
@@ -514,6 +578,28 @@ class RunMatrix(dict):
                 for name, row in self.items()
             },
         }
+
+    def _jit_totals(self) -> dict:
+        """Sweep-level JIT aggregates (empty under the step engine)."""
+        cells = [r.jit for row in self.values() for r in row.values()
+                 if r.jit]
+        if not cells:
+            return {}
+        total = {key: sum(c.get(key, 0) for c in cells)
+                 for key in ("compiled", "template_hits",
+                             "dispatch_calls", "chain_links",
+                             "chain_hops", "ic_hits", "ic_misses",
+                             "ic_fills", "invalidated_blocks",
+                             "severed_edges", "evicted_blocks",
+                             "elided_flag_writes", "hoisted_regs")}
+        steps = sum(c.get("steps", 0) for c in cells)
+        disp = total["dispatch_calls"]
+        total["mean_instrs_per_dispatch"] = \
+            round(steps / disp, 2) if disp else 0.0
+        probes = total["ic_hits"] + total["ic_misses"]
+        total["ic_hit_rate"] = \
+            round(total["ic_hits"] / probes, 4) if probes else 0.0
+        return {"jit": total}
 
     def write_json(self, path) -> None:
         with open(path, "w") as fh:

@@ -322,17 +322,24 @@ def cmd_bench(args) -> int:
         name = workloads[0]
         setting = settings[-1]
         cells = {}
-        for executor in ("step", "translate"):
+        # Three engines: the oracle, the unchained tier-1 translator,
+        # and the chained tier-2 translator — one cell each, diffed
+        # bit-exact, so CI catches a chaining divergence in seconds.
+        for executor in ("step", "translate-t1", "translate"):
             cells[executor] = run_workload(
                 name, setting, args.param,
                 aex_schedule=AexSchedule(400_000),
-                cost_model=CostModel(executor=executor),
+                cost_model=CostModel.for_executor(executor),
                 provision_cache=use_cache,
-                chaos_seed=args.chaos)
+                chaos_seed=args.chaos,
+                warmup=not args.cold and args.chaos is None)
         step, fast = cells["step"], cells["translate"]
-        diverged = [key for key in
-                    ("steps", "cycles", "aex_events", "reports", "status")
-                    if getattr(step, key) != getattr(fast, key)]
+        diverged = [
+            f"{key}[{executor}]"
+            for executor in ("translate-t1", "translate")
+            for key in ("steps", "cycles", "aex_events", "reports",
+                        "status")
+            if getattr(step, key) != getattr(cells[executor], key)]
         print(f"smoke {name}/{setting}: "
               f"step={step.steps:,} steps / {step.cycles:,.0f} cycles, "
               f"translate={fast.steps:,} steps / "
@@ -340,49 +347,84 @@ def cmd_bench(args) -> int:
         if diverged:
             print(f"DIVERGENCE: {', '.join(diverged)}")
             return 1
-        print(f"cycle accounts identical "
-              f"(speedup {step.wall_s / fast.wall_s:.2f}x)")
+        print(f"cycle accounts identical across 3 engines "
+              f"(speedup {step.wall_s / fast.wall_s:.2f}x, "
+              f"tier2 vs tier1 "
+              f"{cells['translate-t1'].wall_s / fast.wall_s:.2f}x)")
         if args.jobs > 1:
             return _smoke_parallel_equality(name, settings, args.param,
                                             args.jobs)
         return 0
 
-    executors = (["step", "translate"] if args.executor == "both"
-                 else [args.executor])
-    matrices = {executor: RunMatrix.collect(workloads, settings=settings,
-                                            executor=executor,
-                                            param=args.param,
-                                            jobs=args.jobs,
-                                            strict=False,
-                                            provision_cache=use_cache,
-                                            chaos_seed=args.chaos)
+    if args.executor == "both":
+        executors = ["step", "translate"]
+    elif args.executor == "all":
+        executors = ["step", "translate-t1", "translate"]
+    else:
+        executors = [args.executor]
+    warmup = not args.cold
+    matrices = {executor: RunMatrix.collect(
+                    workloads, settings=settings,
+                    executor="step" if executor == "step" else "translate",
+                    cost_model=CostModel.for_executor(executor),
+                    param=args.param,
+                    jobs=args.jobs,
+                    strict=False,
+                    provision_cache=use_cache,
+                    chaos_seed=args.chaos,
+                    warmup=warmup)
                 for executor in executors}
 
     divergent: list = []
     if len(matrices) == 1:
         doc = matrices[executors[0]].to_json()
     else:
+        # Every non-oracle executor diffs bit-exact against the step
+        # oracle; speedups quote the tier-2 translator.
         oracle, fast = matrices["step"], matrices["translate"]
+        for ex, m in matrices.items():
+            if ex == "step":
+                continue
+            for name in workloads:
+                for setting in settings:
+                    a, b = oracle[name][setting], m[name][setting]
+                    if (a.steps, a.cycles, a.aex_events) != \
+                            (b.steps, b.cycles, b.aex_events):
+                        cell = f"{name}/{setting}"
+                        if ex != "translate":
+                            cell += f" [{ex}]"
+                        divergent.append(cell)
         speedup = {}
         for name in workloads:
-            for setting in settings:
-                a, b = oracle[name][setting], fast[name][setting]
-                if (a.steps, a.cycles, a.aex_events) != \
-                        (b.steps, b.cycles, b.aex_events):
-                    divergent.append(f"{name}/{setting}")
             wall_o = sum(r.wall_s for r in oracle[name].values())
             wall_f = sum(r.wall_s for r in fast[name].values())
             speedup[name] = round(wall_o / wall_f, 2) if wall_f else 0.0
+        comparison = {
+            "aggregate_speedup": round(
+                oracle.total_wall_s / fast.total_wall_s, 2),
+            "per_workload_speedup": speedup,
+            "divergent_cells": divergent,
+        }
+        if "translate-t1" in matrices:
+            # Attribute the win per tier: chained tier 2 over the
+            # block-at-a-time tier-1 translator.
+            t1 = matrices["translate-t1"]
+            per_wl = {}
+            for name in workloads:
+                w1 = sum(r.wall_s for r in t1[name].values())
+                w2 = sum(r.wall_s for r in fast[name].values())
+                per_wl[name] = round(w1 / w2, 2) if w2 else 0.0
+            comparison["tier2_vs_tier1"] = {
+                "aggregate_speedup": round(
+                    t1.total_wall_s / fast.total_wall_s, 2),
+                "per_workload_speedup": per_wl,
+            }
         doc = {
             "schema": "deflection-bench/1",
             "parallelism": args.jobs,
+            "steady_state": warmup,
             "executors": {ex: m.to_json() for ex, m in matrices.items()},
-            "comparison": {
-                "aggregate_speedup": round(
-                    oracle.total_wall_s / fast.total_wall_s, 2),
-                "per_workload_speedup": speedup,
-                "divergent_cells": divergent,
-            },
+            "comparison": comparison,
         }
     # Parent-process cache stats plus per-cell hit counts (with --jobs,
     # hits happen inside the pool workers and ride back on the cells).
@@ -416,9 +458,13 @@ def cmd_bench(args) -> int:
             f"bench ({executor} executor, jobs={args.jobs})",
             ["workload", "setting", "steps", "cycles", "wall s",
              "instr/s", "ovh %", "status"], rows))
-    if len(matrices) == 2:
+    if len(matrices) > 1:
         print(f"\naggregate speedup (step wall / translate wall): "
               f"{doc['comparison']['aggregate_speedup']}x")
+        tier = doc["comparison"].get("tier2_vs_tier1")
+        if tier:
+            print(f"tier-2 chained vs tier-1 translator: "
+                  f"{tier['aggregate_speedup']}x")
         if divergent:
             print(f"DIVERGENCE in {len(divergent)} cells: "
                   f"{', '.join(divergent)}")
@@ -538,7 +584,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="policy settings (default: Table II columns)")
     p.add_argument("--param", type=int, default=None)
     p.add_argument("--executor",
-                   choices=["translate", "step", "both"], default="both")
+                   choices=["translate", "step", "both",
+                            "translate-t1", "all"], default="both",
+                   help="engine(s) to sweep: 'both' = step + tier-2 "
+                        "translator, 'all' adds the unchained tier-1 "
+                        "translator so the speedup attributes per tier")
+    p.add_argument("--cold", action="store_true",
+                   help="skip the per-cell warm-up run: report "
+                        "first-run walls (compile + cold dispatch "
+                        "included) instead of steady state")
     p.add_argument("--json", action="store_true",
                    help="write machine-readable results to --out")
     p.add_argument("-o", "--out", default=None,

@@ -205,6 +205,10 @@ class RunOutcome:
     #: the executed binary: ``parse``/``load``/``rdd``/``verify``/
     #: ``rewrite`` for a cold provision, ``install`` for a cache hit.
     provision_stages: Dict[str, float] = field(default_factory=dict)
+    #: Translating-executor counters for this run (compile, dispatch,
+    #: chain-hop, inline-cache and invalidation counts — see
+    #: :meth:`repro.vm.cpu.CPU.jit_stats`); None under the step engine.
+    jit_stats: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -258,6 +262,9 @@ class BootstrapEnclave:
                                        custom=self.custom)
         self.loaded: Optional[LoadedBinary] = None
         self.verified: Optional[VerifiedBinary] = None
+        #: Thread-0 CPU kept across ``run(reuse_cpu=True)`` calls so a
+        #: warm re-run inherits the translated-block cache.
+        self._cpu0: Optional[CPU] = None
         #: Stage timings (seconds) of the most recent provisioning.
         self.provision_stages: Dict[str, float] = {}
         #: Tamper-evident event chain (attestation evidence).
@@ -462,17 +469,33 @@ class BootstrapEnclave:
                         MARKER_VALUE.to_bytes(8, "little"))
         space.write_raw(layout.aex_count_cell, b"\x00" * 8)
 
-    def _make_cpu(self, tid: int, io: "_ThreadIO",
-                  aex_schedule: Optional[AexSchedule],
-                  cost_model: Optional[CostModel]) -> CPU:
+    def _make_cpu(self, tid: int, io: "_ThreadIO", aex_schedule,
+                  cost_model, reuse: bool = False) -> CPU:
         layout = self.enclave.layout
-        cpu = CPU(self.enclave.space, self.loaded.entry_addr,
-                  cost_model=cost_model,
-                  aex_schedule=aex_schedule,
+        kw = dict(aex_schedule=aex_schedule,
                   svc_handler=lambda c, num: self._svc(c, num, io),
-                  initial_rsp=layout.initial_rsp_of(tid),
-                  ssa_addr=layout.ssa_addr_of(tid),
-                  hot_range=(layout.crit_lo, layout.crit_hi))
+                  initial_rsp=layout.initial_rsp_of(tid))
+        if reuse and tid == 0 and self._cpu0 is not None \
+                and self._cpu0.cost_model is cost_model:
+            # Warm re-run: rewind the architectural state but keep the
+            # translated-block cache (steady-state benchmarking).  Only
+            # taken when the cost model is the *same object* — cycle
+            # constants are baked into compiled blocks.
+            cpu = self._cpu0
+            cpu.reset_for_run(**kw)
+        else:
+            fk = frozenset(self.loaded.code_base + off for off in
+                           self.verified.flag_kill_offsets) \
+                if self.verified is not None else None
+            cpu = CPU(self.enclave.space, self.loaded.entry_addr,
+                      cost_model=cost_model,
+                      ssa_addr=layout.ssa_addr_of(tid),
+                      hot_range=(layout.crit_lo, layout.crit_hi),
+                      branch_targets=frozenset(
+                          self.loaded.branch_target_addrs),
+                      flag_kill=fk, **kw)
+            if reuse and tid == 0:
+                self._cpu0 = cpu
         if self.policies.mt_safe:
             # §VII: the shadow-stack pointer lives in R13, per thread
             cpu.regs[13] = layout.shadow_slice_base(tid)
@@ -484,7 +507,8 @@ class BootstrapEnclave:
             checkpoint_every: Optional[int] = None,
             watchdog: Optional[Watchdog] = None,
             checkpoint_sink=None,
-            interrupt=None) -> RunOutcome:
+            interrupt=None, reuse_cpu: bool = False,
+            jit_eager: bool = False) -> RunOutcome:
         """``ecall_run``: execute the verified target binary.
 
         With ``checkpoint_every=N``, execution pauses at every Nth
@@ -498,6 +522,19 @@ class BootstrapEnclave:
         and may raise (the fault-injection harness models mid-run
         teardown with it).  With none of these, this is the plain
         single-shot run.
+
+        ``reuse_cpu=True`` keeps the thread-0 CPU (and its translated
+        block cache) across calls: a second ``run`` after restoring the
+        enclave RAM image (``repro.bench.harness.snapshot_run_state``)
+        then measures warm steady-state execution.  Only honored on the
+        plain path and only when the same ``cost_model`` object is
+        passed again.
+
+        ``jit_eager=True`` makes the translating executor compile
+        every block on first dispatch instead of after its cold-run
+        threshold.  Semantically invisible; pairs with ``reuse_cpu``
+        so one untimed priming run drives the block cache to its
+        fixed point before a measured run.
         """
         if self.loaded is None or self.verified is None:
             raise EnclaveError("no verified binary provisioned")
@@ -512,7 +549,9 @@ class BootstrapEnclave:
                 provision_stages=dict(self.provision_stages))
             io = _ThreadIO(self._input, 0, outcome)
             self._budget = self.p0.max_output_bytes
-            cpu = self._make_cpu(0, io, aex_schedule, cost_model)
+            cpu = self._make_cpu(0, io, aex_schedule, cost_model,
+                                 reuse=reuse_cpu)
+            cpu.jit_eager = jit_eager
             try:
                 outcome.result = cpu.run(max_steps=max_steps)
                 self.enclave.hw_aex_count += cpu.aex_events
@@ -529,6 +568,7 @@ class BootstrapEnclave:
                 outcome.result = ExecResult(cpu.steps, cpu.cycles,
                                             cpu.rip, cpu.aex_events,
                                             cpu.regs[0])
+            outcome.jit_stats = cpu.jit_stats()
             return self._finish_run(outcome)
         # Checkpointed path.  Dirty tracking must be on before the CPU
         # exists (the translator bakes the decision into its blocks);
@@ -669,6 +709,7 @@ class BootstrapEnclave:
             outcome.detail = str(exc)
             outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
                                         cpu.aex_events, cpu.regs[0])
+        outcome.jit_stats = cpu.jit_stats()
         return self._finish_run(outcome)
 
     def _take_checkpoint(self, cpu: CPU, io: "_ThreadIO",

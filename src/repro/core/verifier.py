@@ -33,7 +33,7 @@ by the immediate rewriter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import VerificationError
 from ..isa.instructions import Op
@@ -48,7 +48,7 @@ from ..policy.templates import (
 from .rdd import (
     CAT_HEAD_LEA, CAT_HEAD_MARKER, CAT_HEAD_MOVRR, CAT_HEAD_SUBRI,
     CAT_INDIRECT, CAT_PLAIN, CAT_RET, CAT_RSP_WRITE, CAT_STORE, CAT_SVC,
-    CAT_TRAP, DisassembledCode, HEAD_CAT_MIN, recursive_descent,
+    CAT_TRAP, DisassembledCode, HEAD_CAT_MIN, flag_liveness, recursive_descent,
 )
 
 #: SVC numbers admissible under P0 (send / recv / report).
@@ -68,6 +68,14 @@ class VerifiedBinary:
     #: Excluded from equality — evidence comparisons are about verdicts.
     code: Optional[DisassembledCode] = field(default=None, compare=False,
                                              repr=False)
+    #: Text offsets whose incoming flag state is provably dead (see
+    #: :func:`~repro.core.rdd.flag_liveness`).  Computed once on the
+    #: verified stream; the tier-2 translator uses it as a whole-program
+    #: veto when eliding flag materialization across chain edges.
+    #: Rewriting only patches MOV_RI immediates (flag-neutral), so the
+    #: set stays valid for the rewritten image.
+    flag_kill_offsets: FrozenSet[int] = field(default=frozenset(),
+                                              compare=False, repr=False)
 
 
 class PolicyVerifier:
@@ -354,6 +362,8 @@ class PolicyVerifier:
         self._check_control_flow(code, entry, branch_targets, interior,
                                  anchors, p6_guards, ann_at, trap_pads,
                                  result)
+        if code.lengths:   # descent metadata present (decode-once path)
+            result.flag_kill_offsets = flag_liveness(code)
         return result
 
     # -- helpers --------------------------------------------------------------

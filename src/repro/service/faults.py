@@ -110,6 +110,7 @@ class FaultPlan:
                  p_midrun: float = 0.45,
                  p_chain_corrupt: float = 0.20,
                  p_rollback: float = 0.20,
+                 p_smc: float = 0.25,
                  max_faults: int = 8):
         self.seed = seed
         self.p_wire = p_wire
@@ -126,6 +127,7 @@ class FaultPlan:
         self.p_midrun = p_midrun
         self.p_chain_corrupt = p_chain_corrupt
         self.p_rollback = p_rollback
+        self.p_smc = p_smc
         self.max_faults = max_faults
         self.faults_remaining = max_faults
         #: Ordered log of every injected fault (replay evidence).
@@ -180,6 +182,22 @@ class FaultPlan:
         if self._chance(self.p_midrun):
             k = self._rng.randint(30, 250)
             self._charge(f"midrun_teardown(k={k})")
+            return k
+        return None
+
+    def draw_midrun_smc(self) -> Optional[int]:
+        """One checkpointed run: maybe force a full code-cache flush
+        after ``k`` more instructions (the self-modifying-code chaos
+        knob).  The flush severs every chain edge and empties the
+        inline caches mid-execution, yet is architecturally invisible
+        — the run must retire the exact same steps and cycles.  Drawn
+        after the teardown draw so teardown-only replays from earlier
+        plans keep their injection points."""
+        if not self.mid_run:
+            return None
+        if self._chance(self.p_smc):
+            k = self._rng.randint(30, 250)
+            self._charge(f"midrun_smc(k={k})")
             return k
         return None
 
@@ -314,16 +332,26 @@ class FaultyHost:
                 "interrupt" in kwargs:
             return kwargs
         k = self.plan.draw_midrun_teardown()
-        if k is None:
+        k_smc = self.plan.draw_midrun_smc()
+        if k is None and k_smc is None:
             return kwargs
         bootstrap = self.host.bootstrap
         start = None
+        smc_pending = k_smc is not None
 
         def interrupt(cpu):
-            nonlocal start
+            nonlocal start, smc_pending
             if start is None:
                 start = cpu.steps
-            if cpu.steps >= start + k:
+            if smc_pending and cpu.steps >= start + k_smc:
+                # SMC chaos: flush the whole text segment's translated
+                # code.  Chains sever, inline caches drop, and the run
+                # must still retire bit-identically.
+                smc_pending = False
+                loaded = bootstrap.loaded
+                cpu.space.invalidate_code_range(loaded.code_base,
+                                                loaded.code_len)
+            if k is not None and cpu.steps >= start + k:
                 bootstrap.enclave.destroy()
                 raise EnclaveTeardown(
                     f"injected mid-run teardown at step {cpu.steps}")
@@ -415,7 +443,7 @@ def run_campaign(seed: int = 2021, trials: int = 20,
               "aborted": 0, "retries": 0, "reconnects": 0,
               "recoveries": 0, "fatal_errors": 0, "faults_injected": 0,
               "audit_recoveries": 0, "resumes": 0,
-              "rollbacks_rejected": 0}
+              "rollbacks_rejected": 0, "smc_flushes": 0}
     retried_kinds: dict = {}
     fatal_kinds: dict = {}
     run_kwargs = {"checkpoint_every": checkpoint_every} if mid_run \
@@ -457,6 +485,9 @@ def run_campaign(seed: int = 2021, trials: int = 20,
         for kind, count in stats.fatal_kinds.items():
             fatal_kinds[kind] = fatal_kinds.get(kind, 0) + count
         totals["faults_injected"] += len(plan.injected)
+        totals["smc_flushes"] += sum(
+            1 for label in plan.injected
+            if label.startswith("midrun_smc"))
         totals["audit_recoveries"] += boot.audit.count("recovered")
         trial_rows.append({
             "trial": trial,

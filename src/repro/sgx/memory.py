@@ -43,6 +43,20 @@ class AddressSpace:
         self.enclave_end = enclave_base + enclave_size
         self._mem = bytearray(enclave_size)
         self._perms: List[int] = [0] * (enclave_size >> PAGE_SHIFT)
+        #: Per-page fast-access masks consumed by the tier-2 translator:
+        #: ``_rpage[i]`` is 1 iff page *i* is readable, ``_wpage[i]`` iff
+        #: it is writable *and* outside the watched code range (so a
+        #: fast-path store can skip the SMC check entirely).  Both are
+        #: maintained in place — generated code bakes direct references —
+        #: and are sound to bake because :meth:`seal` freezes page
+        #: permissions for the life of the enclave (SGXv1 EINIT).
+        #: Aligned 8-byte accesses never straddle pages, so one byte per
+        #: page suffices.
+        self._rpage = bytearray(enclave_size >> PAGE_SHIFT)
+        self._wpage = bytearray(enclave_size >> PAGE_SHIFT)
+        #: Native-order aligned u64 lane over the enclave backing store
+        #: (the translator guards its use on a little-endian host).
+        self._mem_q = memoryview(self._mem).cast("Q")
         self._sealed = False
         self._outside: Dict[int, bytearray] = {}
         #: (address, length) log of every store outside ELRANGE.
@@ -86,6 +100,17 @@ class AddressSpace:
         first = (addr - self.enclave_base) >> PAGE_SHIFT
         for i in range(first, first + (size >> PAGE_SHIFT)):
             self._perms[i] = perms
+        self._refresh_page_masks()
+
+    def _refresh_page_masks(self) -> None:
+        """Recompute the per-page fast-access masks *in place*."""
+        lo, hi = self._code_watch
+        base = self.enclave_base
+        for i, perms in enumerate(self._perms):
+            self._rpage[i] = 1 if perms & PERM_R else 0
+            pstart = base + (i << PAGE_SHIFT)
+            watched = lo < pstart + PAGE_SIZE and pstart < hi
+            self._wpage[i] = 1 if perms & PERM_W and not watched else 0
 
     def seal(self) -> None:
         """Freeze page permissions — models EINIT under SGXv1."""
@@ -103,11 +128,23 @@ class AddressSpace:
     def watch_code_range(self, start: int, size: int) -> None:
         """Invalidate the VM's icache when stores hit [start, start+size)."""
         self._code_watch = (start, start + size)
+        self._refresh_page_masks()
 
     def add_code_write_hook(self, hook) -> None:
         """Register ``hook(addr, size)`` for stores into the watched
         code range (the translator's block-invalidation protocol)."""
         self._code_write_hooks.append(hook)
+
+    def invalidate_code_range(self, addr: int, size: int) -> None:
+        """Force code-cache invalidation for [addr, addr+size) without
+        writing any bytes — the fault injector's SMC chaos knob and the
+        hypervisor's post-restore flush both use this to exercise the
+        translator's invalidation protocol on demand."""
+        self.code_version += 1
+        if self._code_write_hooks:
+            self._code_write_hooks = [
+                h for h in self._code_write_hooks
+                if h(addr, max(size, 1)) is not False]
 
     # -- dirty-page tracking (incremental checkpoints) ------------------
 
@@ -134,6 +171,27 @@ class AddressSpace:
         self._dirty.clear()
         self._dirty_outside.clear()
         return dirty, outside
+
+    def snapshot_ram(self) -> bytes:
+        """Copy of the full enclave image (text + data + stack).
+
+        Paired with :meth:`restore_ram` for warm re-runs: permissions,
+        page masks and ``code_version`` are deliberately *not* part of
+        the snapshot — restoring the same bytes under the same
+        permissions leaves every translated block valid, which is the
+        point."""
+        return bytes(self._mem)
+
+    def restore_ram(self, image: bytes) -> None:
+        """Restore an image taken by :meth:`snapshot_ram` in place.
+
+        In-place so live ``memoryview``/closure references into the
+        buffer (the translator's fast paths) stay valid."""
+        if len(image) != len(self._mem):
+            raise ValueError("snapshot size mismatch")
+        self._mem[:] = image
+        self._dirty.clear()
+        self._dirty_outside.clear()
 
     # -- raw access (loader / bootstrap use; no permission checks) -----
 

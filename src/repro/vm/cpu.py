@@ -39,8 +39,8 @@ from ..isa.instructions import Op
 from ..sgx.memory import AddressSpace
 from .costmodel import CostModel
 from .interrupts import AexSchedule, AexTimer
-from .translate import COLD_RUNS, BlockCache, materialize_flags, \
-    pack_flags
+from .translate import CHAIN_COLD_RUNS, CHAIN_DEPTH, COLD_RUNS, \
+    BlockCache, materialize_flags, pack_flags
 
 _U64 = (1 << 64) - 1
 _SIGN = 1 << 63
@@ -108,8 +108,11 @@ class CPU:
                  initial_rsp: int = 0,
                  ssa_addr: int = 0,
                  hot_range=(0, 0),
-                 executor: str = None):
+                 executor: str = None,
+                 branch_targets=None,
+                 flag_kill=None):
         self.space = space
+        self.entry = entry
         self.regs = [0] * 16
         self.rip = entry
         self.regs[4] = initial_rsp  # RSP
@@ -123,9 +126,26 @@ class CPU:
         #: [lo, hi) of the loader's hot cells (shadow stack, marker,
         #: branch map): memory ops there cost ``hot_mem_cost``.
         self.hot_range = hot_range
+        #: Verifier-trusted indirect-branch targets (absolute; the P5
+        #: branch-target list) — gates inline-cache fills for JMP_R and
+        #: CALL_R sites.  None when no loader metadata is available.
+        self.branch_targets = branch_targets
+        #: Leaders whose flags are dead on entry per the verified RDD
+        #: liveness pass (absolute addresses); extra veto on the
+        #: translator's block-local kill-clean analysis.
+        self.flag_kill = flag_kill
         self.executor = executor or self.cost_model.executor
         if self.executor not in ("translate", "step"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        #: Compile every translatable block on first dispatch instead
+        #: of after the cold-run threshold.  Off by default: cold
+        #: first-run latency suffers (single-shot traces pay full
+        #: codegen for one execution).  Steady-state warm-up flips it
+        #: on for the untimed priming run so the block cache reaches a
+        #: fixed point in one pass — under AEX schedules the lazy
+        #: threshold otherwise keeps crossing on stubs born at
+        #: interrupt-resume rips for dozens of runs.
+        self.jit_eager = False
         self.steps = 0
         self.cycles = 0.0
         self.aex_events = 0
@@ -143,9 +163,10 @@ class CPU:
         self._aex_timer = AexTimer(self.aex_schedule)
         #: Superblock cache (translating executor); built lazily.
         self._blocks = None
-        #: (instr index, cycles, fk, fa, fb) recorded by a translated
-        #: block's exception hook so the dispatch loop can reconstruct
-        #: the architectural fault state.
+        #: (block, instr index, chain-predecessor retires, cycles, fk,
+        #: fa, fb) recorded by a translated block's exception hook so
+        #: the dispatch loop can reconstruct the architectural fault
+        #: state (first-wins across chained frames).
         self._cf = None
 
     # -- helpers -----------------------------------------------------------
@@ -207,9 +228,21 @@ class CPU:
         self.cycles += delta
         return value
 
-    def _set_closure_fault(self, index, cycles, fk, fa, fb) -> None:
-        """Exception hook called by translated blocks before re-raising."""
-        self._cf = (index, cycles, fk, fa, fb)
+    def _set_closure_fault(self, block, index, ns, cycles,
+                           fk, fa, fb) -> None:
+        """Exception hook called by translated blocks before re-raising.
+
+        First-wins: with chained blocks the exception unwinds through
+        every frame of the chain and each one calls this hook — only
+        the innermost (the faulting block) carries the architectural
+        fault state.  Returns True to that innermost frame, telling it
+        to flush its localized registers back to the shared ``regs``
+        list (outer frames must NOT flush: their locals are stale
+        copies from before they invoked the successor)."""
+        if self._cf is None:
+            self._cf = (block, index, ns, cycles, fk, fa, fb)
+            return True
+        return False
 
     def _do_aex(self) -> None:
         """Asynchronous exit: dump thread context into the SSA.
@@ -314,6 +347,47 @@ class CPU:
         self._blocks = None
         self._cf = None
 
+    def reset_for_run(self, aex_schedule: AexSchedule = None,
+                      svc_handler=None, initial_rsp: int = 0) -> None:
+        """Rewind architectural state to power-on, keeping the JIT.
+
+        The opposite trade-off from :meth:`restore`: checkpoints adopt
+        *mid-run* state and rebuild caches, this rewinds to the *entry*
+        state and deliberately keeps the translated-block cache and
+        decoded-instruction cache warm.  It exists for steady-state
+        benchmarking — a warm-up run populates and chains the block
+        cache, the bootstrap restores the memory image, and the timed
+        run then measures pure execution with zero compile or cold-run
+        cost.  The AEX jitter stream is rewound too, so the timed run
+        sees the exact interrupt arrivals of a cold run and stays
+        bit-comparable with the single-step oracle.
+        """
+        self.regs[:] = [0] * 16
+        self.regs[4] = initial_rsp
+        self.rip = self.entry
+        self.f_eq = self.f_lt_s = self.f_lt_u = False
+        self.steps = 0
+        self.cycles = 0.0
+        self.aex_events = 0
+        self.epc_faults = 0
+        if self._epc_resident is not None:
+            self._epc_resident.clear()
+            self._epc_ever.clear()
+        self._halted = False
+        self._cf = None
+        self.aex_schedule = aex_schedule or AexSchedule.disabled()
+        self.aex_schedule.reset()
+        self._aex_timer = AexTimer(self.aex_schedule)
+        if svc_handler is not None:
+            self.svc_handler = svc_handler
+        cache = self._blocks
+        if cache is not None:
+            # Dynamic counters describe the measured run; the compiled
+            # blocks, chain edges and inline caches stay — that warm
+            # structure is what the reset exists to preserve.
+            cache.cstat[0] = cache.cstat[1] = 0
+            cache.disp_calls = 0
+
     # -- execution -----------------------------------------------------------
 
     def run(self, max_steps: int = 200_000_000,
@@ -362,8 +436,23 @@ class CPU:
         self._halted = False
         self._cf = None
         cache.abort = False
-        blocks_get = cache.blocks.get
+        cache.ic_miss = None
+        blocks = cache.blocks
+        blocks_get = blocks.get
+        move_to_end = blocks.move_to_end
         translate = cache.translate
+        chain_depth = CHAIN_DEPTH if cache.chain_on else 0
+        # Tier 2 fuses much earlier: the structural code cache makes
+        # codegen cost mostly string assembly, so the warm-up economics
+        # that justify COLD_RUNS interpreter replays for tier 1 do not
+        # hold.  Read through the module globals so tests pinning
+        # COLD_RUNS keep their meaning for both tiers.
+        if self.jit_eager:
+            cold_runs = 0
+        else:
+            cold_runs = min(COLD_RUNS, CHAIN_COLD_RUNS) \
+                if cache.chain_on else COLD_RUNS
+        disp = 0
         try:
             while True:
                 if steps >= max_steps:
@@ -375,45 +464,60 @@ class CPU:
                 block = blocks_get(rip)
                 if block is None:
                     block = translate(rip)
+                else:
+                    move_to_end(rip)   # LRU refresh
                 if block is not None:
                     n = block.n
                     fn = block.fn
-                    if fn is None and block.warm >= COLD_RUNS:
+                    if fn is None and block.warm >= cold_runs:
                         fn = cache.compile_block(block)
                     if fn is not None:
-                        if (steps + n <= budget
-                                and (not aex_enabled
-                                     or timer.countdown > n)):
+                        # Headroom: instructions this invocation (the
+                        # block plus any chained successors) may retire
+                        # before the next event boundary.
+                        hd = budget - steps
+                        if aex_enabled:
+                            c = timer.countdown - 1
+                            if c < hd:
+                                hd = c
+                        if n <= hd:
                             cache.current = block
+                            disp += 1
                             try:
                                 (rip, fk, fa, fb, cycles,
                                  kind, aux, nexec) = fn(
-                                    regs, fk, fa, fb, cycles)
+                                    regs, fk, fa, fb, cycles,
+                                    hd, 0, chain_depth)
                             except BaseException:
                                 state = self._cf
                                 if state is not None:
-                                    index, cycles, fk, fa, fb = state
+                                    (fblk, index, fns, cycles,
+                                     fk, fa, fb) = state
                                     self._cf = None
-                                    steps += index + 1
-                                    rip = block.rips[index]
+                                    steps += fns + index + 1
+                                    rip = fblk.rips[index]
                                     if aex_enabled:
-                                        timer.debit(index + 1)
+                                        timer.debit(fns + index + 1)
                                 raise
                             steps += nexec
                             if aex_enabled:
                                 timer.debit(nexec)
+                            if cache.ic_miss is not None:
+                                cache.fill_ic()
                             if kind == 0:      # plain control transfer
                                 continue
                             if kind == 2:      # HLT
                                 self._halted = True
                                 break
-                            # kind == 1: SVC escape
-                            next_rip = rip
-                            rip = block.rips[n - 1]
+                            # kind == 1: SVC escape (rip holds the
+                            # return address; the chain may have ended
+                            # in any block, so the SVC's own address
+                            # comes from cache.svc_rip)
                             if self.svc_handler is None:
+                                rip = cache.svc_rip
                                 raise CpuFault(f"SVC {aux:#x} with no "
                                                f"handler at {rip:#x}")
-                            self.rip = next_rip
+                            self.rip = rip
                             self.steps = steps
                             self.cycles = cycles
                             self.f_eq, self.f_lt_s, self.f_lt_u = \
@@ -462,6 +566,7 @@ class CPU:
                 if self._halted:
                     break
         finally:
+            cache.disp_calls += disp
             self.rip = rip
             self.steps = steps
             self.cycles = cycles
@@ -469,6 +574,22 @@ class CPU:
                 materialize_flags(fk, fa, fb)
         return ExecResult(steps, cycles, rip, self.aex_events,
                           regs[0])
+
+    def jit_stats(self):
+        """Counter snapshot of the translating executor's block cache
+        (None when it never ran): compile/dispatch/chain/IC/invalidation
+        counters plus the mean instructions retired per dispatch-loop
+        closure entry — the direct measure of how much interpreter-exit
+        tax chaining removed."""
+        cache = self._blocks
+        if cache is None:
+            return None
+        stats = cache.stats()
+        disp = stats["dispatch_calls"]
+        stats["steps"] = self.steps
+        stats["mean_instrs_per_dispatch"] = \
+            round(self.steps / disp, 2) if disp else 0.0
+        return stats
 
     # -- single-step engine (the differential oracle) ------------------------
 

@@ -28,7 +28,16 @@ class AexSchedule:
             raise ValueError(f"jitter must be within [0, 1] (got {jitter})")
         self.mean_interval = mean_interval
         self.jitter = jitter
+        self._seed = seed
         self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Rewind the jitter stream to its initial state.
+
+        A warmed re-run (JIT steady-state measurement) must see the
+        exact same AEX arrival sequence as a cold run, or the two stop
+        being bit-comparable."""
+        self._rng = random.Random(self._seed)
 
     @classmethod
     def disabled(cls) -> "AexSchedule":

@@ -1,0 +1,105 @@
+"""Exhaustive checks of the lazy-flag encoding helpers.
+
+The translated executor carries flags symbolically as ``(fk, fa, fb)``
+— concrete bits, a pending CMP, or a pending TEST — and collapses them
+only when observed.  These tests pin the encoding against a direct
+architectural model over every condition code and the unsigned 64-bit
+boundary operands, so any drift in the lazy encoding shows up here
+before it shows up as a one-bit divergence deep inside a benchmark.
+"""
+
+import itertools
+
+import pytest
+
+from repro.isa.instructions import COND_JUMPS, Op
+from repro.vm.translate import eval_jcc, materialize_flags, pack_flags
+
+_U64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+#: Unsigned boundary operands: zero, one, the signed-positive maximum,
+#: the signed minimum, and the unsigned maximum (-1).
+BOUNDARY = (0, 1, (1 << 63) - 1, 1 << 63, (1 << 64) - 1)
+
+
+def _signed(v: int) -> int:
+    return v - (1 << 64) if v & _SIGN else v
+
+
+def _cmp_flags(a: int, b: int):
+    """Architectural flags after ``CMP a, b``."""
+    return a == b, _signed(a) < _signed(b), a < b
+
+
+def _test_flags(a: int, b: int):
+    """Architectural flags after ``TEST a, b``."""
+    v = a & b
+    return v == 0, bool(v & _SIGN), False
+
+
+def _ref_pred(op: int, f_eq: bool, f_lt_s: bool, f_lt_u: bool) -> bool:
+    """Condition-code semantics straight from the x86 tables."""
+    return {
+        Op.JE: f_eq,
+        Op.JNE: not f_eq,
+        Op.JL: f_lt_s,
+        Op.JLE: f_lt_s or f_eq,
+        Op.JG: not (f_lt_s or f_eq),
+        Op.JGE: not f_lt_s,
+        Op.JB: f_lt_u,
+        Op.JBE: f_lt_u or f_eq,
+        Op.JA: not (f_lt_u or f_eq),
+        Op.JAE: not f_lt_u,
+    }[op]
+
+
+def test_pack_materialize_roundtrip_all_combinations():
+    for f_eq, f_lt_s, f_lt_u in itertools.product((False, True),
+                                                  repeat=3):
+        packed = pack_flags(f_eq, f_lt_s, f_lt_u)
+        assert materialize_flags(0, packed, 0) == (f_eq, f_lt_s, f_lt_u)
+
+
+def test_pack_is_dense_and_stable():
+    # The three booleans map to bits 0..2; nothing else may leak in.
+    seen = {pack_flags(*combo) for combo in
+            itertools.product((False, True), repeat=3)}
+    assert seen == set(range(8))
+
+
+@pytest.mark.parametrize("a", BOUNDARY)
+@pytest.mark.parametrize("b", BOUNDARY)
+def test_pending_cmp_matches_architectural_model(a, b):
+    assert materialize_flags(1, a, b) == _cmp_flags(a, b)
+
+
+@pytest.mark.parametrize("a", BOUNDARY)
+@pytest.mark.parametrize("b", BOUNDARY)
+def test_pending_test_matches_architectural_model(a, b):
+    assert materialize_flags(2, a & b, 0) == _test_flags(a, b)
+
+
+@pytest.mark.parametrize("op", sorted(COND_JUMPS))
+@pytest.mark.parametrize("a", BOUNDARY)
+@pytest.mark.parametrize("b", BOUNDARY)
+def test_eval_jcc_pending_cmp_all_codes(op, a, b):
+    assert eval_jcc(op, 1, a, b) == _ref_pred(op, *_cmp_flags(a, b))
+
+
+@pytest.mark.parametrize("op", sorted(COND_JUMPS))
+@pytest.mark.parametrize("a", BOUNDARY)
+@pytest.mark.parametrize("b", BOUNDARY)
+def test_eval_jcc_pending_test_all_codes(op, a, b):
+    assert eval_jcc(op, 2, a & b, 0) == _ref_pred(op, *_test_flags(a, b))
+
+
+@pytest.mark.parametrize("op", sorted(COND_JUMPS))
+def test_eval_jcc_concrete_agrees_with_lazy(op):
+    # Materializing first and evaluating concrete must agree with
+    # evaluating the lazy state directly — the two paths generated
+    # code can take across a block boundary.
+    for a, b in itertools.product(BOUNDARY, repeat=2):
+        lazy = eval_jcc(op, 1, a, b)
+        packed = pack_flags(*materialize_flags(1, a, b))
+        assert eval_jcc(op, 0, packed, 0) == lazy
