@@ -4,11 +4,15 @@ from .harness import (
     BenchResult, RunMatrix, attach_overheads, compile_workload,
     run_workload, overhead_matrix, PAPER_SETTINGS,
 )
+from .gates import GateReport, evaluate, rolling_baseline
 from .provision import ProvisionMatrix, ProvisionResult, measure_cell
+from .store import CellKey, Record, ResultsStore, records_from_doc
 from .tables import format_series, format_table, percent
 
 __all__ = ["BenchResult", "RunMatrix", "attach_overheads",
            "compile_workload", "run_workload",
            "overhead_matrix", "PAPER_SETTINGS",
            "ProvisionMatrix", "ProvisionResult", "measure_cell",
-           "format_series", "format_table", "percent"]
+           "format_series", "format_table", "percent",
+           "CellKey", "Record", "ResultsStore", "records_from_doc",
+           "GateReport", "evaluate", "rolling_baseline"]

@@ -291,6 +291,10 @@ class CheckpointMatrix:
 
     cells: List[CheckpointCell]
     total_wall_s: float
+    #: Interrupt-point seed the sweep ran under — recorded in the
+    #: document so archived runs (and results-store records built from
+    #: them) state which deterministic sweep they measured.
+    seed: int = 2021
 
     @classmethod
     def collect(cls, workloads: Sequence[str], setting: str = "P1-P6",
@@ -304,7 +308,8 @@ class CheckpointMatrix:
                               seed=seed)
                  for name in workloads]
         return cls(cells=cells,
-                   total_wall_s=time.perf_counter() - t0)
+                   total_wall_s=time.perf_counter() - t0,
+                   seed=seed)
 
     @property
     def failures(self) -> List[str]:
@@ -333,6 +338,7 @@ class CheckpointMatrix:
     def to_json(self) -> dict:
         return {
             "schema": "deflection-checkpoint-bench/1",
+            "seed": self.seed,
             "setting": self.cells[0].setting if self.cells else "",
             "checkpoint_settings": [
                 p.checkpoint_every

@@ -385,6 +385,9 @@ def attach_overheads(results: Dict[str, BenchResult],
                 raise RuntimeError(message)
             result.status = "divergent"
             result.detail = message
+            # A downgraded cell must read like a failed one: drop any
+            # overhead attached by an earlier pass over this row.
+            result.overhead_pct = 0.0
             continue
         result.overhead_pct = (result.overhead_vs(baseline)
                                if baseline and setting != "baseline"
@@ -501,6 +504,15 @@ class RunMatrix(dict):
 
         tasks = [(name, setting) for name in workloads
                  for setting in settings]
+        if not tasks:
+            # An empty cell set must not reach the pool —
+            # ``Pool(processes=0)`` raises — and the empty matrix must
+            # match what the serial path builds: one empty row per
+            # workload when ``settings`` is empty, no rows at all when
+            # ``workloads`` is.
+            for name in workloads:
+                matrix[name] = {}
+            return matrix
         # Compile every cell in the parent so forked workers inherit a
         # warm compile cache and never duplicate the compile work.
         param = kwargs.get("param")

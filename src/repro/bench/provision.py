@@ -43,6 +43,7 @@ from ..core.legacy import (
 from ..core.rewriter import build_value_map
 from ..errors import ReproError
 from ..policy.policies import PolicySet
+from ..workloads import get_workload
 from .harness import PAPER_SETTINGS, compile_workload
 
 #: The pipeline stages every cold provisioning is decomposed into.
@@ -55,6 +56,10 @@ class ProvisionResult:
 
     workload: str
     setting: str
+    #: Effective workload parameter (the registry default when the
+    #: sweep did not override it) — part of the results-store key, so
+    #: sweeps at different sizes never share a baseline.
+    param: Optional[int] = None
     text_bytes: int = 0
     instructions: int = 0
     #: Per-stage minima (seconds) over the repeats, keys = ``STAGES``.
@@ -81,6 +86,7 @@ class ProvisionResult:
         return {
             "workload": self.workload,
             "setting": self.setting,
+            "param": self.param,
             "text_bytes": self.text_bytes,
             "instructions": self.instructions,
             "legacy_stages_ms": {k: ms(v)
@@ -148,7 +154,10 @@ def measure_cell(workload: str, setting: str,
     """
     blob = compile_workload(workload, setting, param)
     policies = PolicySet.parse(setting)
-    result = ProvisionResult(workload=workload, setting=setting)
+    effective = param if param is not None \
+        else get_workload(workload).default_param
+    result = ProvisionResult(workload=workload, setting=setting,
+                             param=effective)
 
     boot_l = BootstrapEnclave(policies=policies,
                               aex_threshold=aex_threshold)

@@ -1,0 +1,358 @@
+"""Continuous benchmark results store — the tko-style trajectory.
+
+The ``BENCH_*.json`` documents are point-in-time snapshots: each sweep
+overwrites the last, so six PRs of perf work leave no machine-checkable
+history and a regression in any hot path lands silently.  This module
+is the append-only complement: every bench run — VM run matrices,
+provisioning sweeps, checkpoint sweeps, the CI smoke cells — is
+*ingested* into a JSONL store, one line per matrix cell, keyed by the
+full measurement context::
+
+    (kind, executor, jit tier, workload, setting, param)
+
+plus run metadata (commit, run id, timestamp).  The store never
+rewrites history; a new sweep appends a new generation of records, and
+the rolling baseline for a cell is the **median of the last K accepted
+runs** of that exact key (accepted = the cell completed ``ok``).
+:mod:`repro.bench.gates` consumes the ordered record stream and turns
+it into improved / flat / regressed classifications with per-metric
+noise bands.
+
+Design notes:
+
+* JSONL, not a database: append is a single ``O_APPEND`` write, the
+  file diffs cleanly in review, and a truncated tail line (a crashed
+  writer) damages one record, not the store.
+* Metric *names* encode semantics for the gate layer: deterministic
+  metrics (``cycles``, ``steps``, ``aex_events``, byte counts,
+  booleans) carry a zero noise band — the simulation is deterministic,
+  so any drift is a real behaviour change — while wall-clock metrics
+  (``wall_s``, ``*_cold_ms``, ``warm_ms``, ``plain_wall_s``,
+  ``overhead_pct@N``) are host noise and get a percentage band.
+* One record per cell, not per run: baselines are per-cell, and a cell
+  that disappears from later sweeps simply stops generating records
+  instead of poisoning run-level comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..errors import ReproError
+
+#: Store line schema tag.
+SCHEMA = "deflection-results/1"
+
+#: JIT tier per bench executor label (the label, not
+#: ``CostModel.executor`` — ``translate-t1`` resolves to the translate
+#: engine with chaining off, so only the label still knows the tier).
+TIERS = {"step": 0, "translate-t1": 1, "translate": 2}
+
+Metric = Union[int, float, bool]
+
+
+class StoreError(ReproError):
+    """A results-store line could not be parsed or ingested."""
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """The measurement context a baseline is rolled over."""
+
+    kind: str                    # "vm" | "provision" | "checkpoint"
+    executor: str                # bench executor label; "" when n/a
+    tier: int                    # jit tier; -1 when n/a
+    workload: str
+    setting: str
+    param: Optional[int]
+
+    def label(self) -> str:
+        """Human-oriented cell label for tables and error messages."""
+        bits = [self.kind]
+        if self.executor:
+            bits.append(self.executor)
+        bits.append(f"{self.workload}/{self.setting}")
+        if self.param is not None:
+            bits.append(str(self.param))
+        return ":".join(bits)
+
+
+@dataclass
+class Record:
+    """One cell observation — one JSONL line."""
+
+    key: CellKey
+    metrics: Dict[str, Metric]
+    status: str = "ok"
+    commit: str = "unknown"
+    run_id: str = ""
+    ts: float = 0.0
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        """Only clean cells feed the rolling baseline."""
+        return self.status == "ok"
+
+    def to_line(self) -> str:
+        doc = {
+            "schema": SCHEMA,
+            "run_id": self.run_id,
+            "commit": self.commit,
+            "ts": round(self.ts, 3),
+            "kind": self.key.kind,
+            "executor": self.key.executor,
+            "tier": self.key.tier,
+            "workload": self.key.workload,
+            "setting": self.key.setting,
+            "param": self.key.param,
+            "status": self.status,
+            "metrics": self.metrics,
+        }
+        if self.detail:
+            doc["detail"] = self.detail
+        return json.dumps(doc, sort_keys=False)
+
+    @classmethod
+    def from_line(cls, line: str, lineno: int = 0) -> "Record":
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"results store line {lineno}: not JSON ({exc})") \
+                from exc
+        if doc.get("schema") != SCHEMA:
+            raise StoreError(
+                f"results store line {lineno}: schema "
+                f"{doc.get('schema')!r}, want {SCHEMA!r}")
+        try:
+            key = CellKey(kind=doc["kind"], executor=doc["executor"],
+                          tier=int(doc["tier"]),
+                          workload=doc["workload"],
+                          setting=doc["setting"], param=doc["param"])
+            return cls(key=key, metrics=dict(doc["metrics"]),
+                       status=doc["status"], commit=doc["commit"],
+                       run_id=doc["run_id"], ts=float(doc["ts"]),
+                       detail=doc.get("detail", ""))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(
+                f"results store line {lineno}: missing/invalid field "
+                f"({exc})") from exc
+
+
+class ResultsStore:
+    """Append-only JSONL store of :class:`Record` lines.
+
+    File order *is* history order: the last record of a key is its
+    latest observation, earlier records are its baseline window.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, records: Iterable[Record]) -> int:
+        records = list(records)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            for record in records:
+                fh.write(record.to_line() + "\n")
+        return len(records)
+
+    def load(self) -> List[Record]:
+        if not self.path.exists():
+            return []
+        records = []
+        with open(self.path) as fh:
+            for lineno, line in enumerate(fh, 1):
+                if line.strip():
+                    records.append(Record.from_line(line, lineno))
+        return records
+
+    def runs(self) -> List[str]:
+        """Distinct run ids, in first-appearance (= history) order."""
+        seen: Dict[str, None] = {}
+        for record in self.load():
+            seen.setdefault(record.run_id, None)
+        return list(seen)
+
+
+def new_run_id(kind: str, commit: str,
+               ts: Optional[float] = None) -> str:
+    ts = time.time() if ts is None else ts
+    return f"{kind}-{commit}-{int(ts * 1000):x}"
+
+
+# --------------------------------------------------------------------
+# Ingest builders: BENCH_* documents -> per-cell records
+# --------------------------------------------------------------------
+
+def stamp_run(records: List[Record], commit: str, run_id: str = "",
+              ts: Optional[float] = None) -> List[Record]:
+    """Stamp one ingest's run metadata onto every record."""
+    ts = time.time() if ts is None else ts
+    if not run_id:
+        kind = records[0].key.kind if records else "run"
+        run_id = new_run_id(kind, commit, ts)
+    for record in records:
+        record.commit = commit
+        record.run_id = run_id
+        record.ts = ts
+    return records
+
+
+def vm_cell_record(executor_label: str, cell: dict) -> Record:
+    """One ``RunMatrix`` cell dict (``BenchResult.to_dict``) as a
+    record.  ``cycles``/``steps``/``aex_events``/``overhead_pct`` are
+    deterministic (the cost model is simulated); ``wall_s`` is host
+    time."""
+    key = CellKey(kind="vm", executor=executor_label,
+                  tier=TIERS.get(executor_label, -1),
+                  workload=cell["workload"], setting=cell["setting"],
+                  param=cell.get("param"))
+    metrics: Dict[str, Metric] = {
+        "cycles": cell["cycles"],
+        "steps": cell["steps"],
+        "aex_events": cell["aex_events"],
+        "text_bytes": cell.get("text_bytes", 0),
+        "overhead_pct": cell.get("overhead_pct", 0.0),
+        "wall_s": cell.get("wall_s", 0.0),
+    }
+    return Record(key=key, metrics=metrics,
+                  status=cell.get("status", "ok"),
+                  detail=cell.get("detail", ""))
+
+
+def records_from_vm_doc(doc: dict,
+                        executor_label: Optional[str] = None
+                        ) -> List[Record]:
+    """Ingest a ``BENCH_vm.json`` document — either a single-executor
+    ``RunMatrix.to_json()`` or the multi-executor comparison wrapper.
+    ``executor_label`` overrides the document's executor field for
+    single-matrix docs (the tier-1 label is erased by the cost model).
+    """
+    records = []
+    if "executors" in doc:
+        for label, sub in doc["executors"].items():
+            for row in sub.get("workloads", {}).values():
+                for cell in row.values():
+                    records.append(vm_cell_record(label, cell))
+        return records
+    label = executor_label or doc.get("executor", "translate")
+    for row in doc.get("workloads", {}).values():
+        for cell in row.values():
+            records.append(vm_cell_record(label, cell))
+    return records
+
+
+def records_from_smoke_cells(cells: Dict[str, "object"]
+                             ) -> List[Record]:
+    """Ingest the ``repro bench --smoke`` cells — one
+    :class:`~repro.bench.harness.BenchResult` per executor label."""
+    return [vm_cell_record(label, result.to_dict())
+            for label, result in cells.items()]
+
+
+def records_from_provision_doc(doc: dict) -> List[Record]:
+    """Ingest a ``BENCH_provision.json`` document.  Byte-identity and
+    size/instruction counts are deterministic; the stage timings and
+    cold/warm totals are wall clock."""
+    records = []
+    for row in doc.get("workloads", {}).values():
+        for cell in row.values():
+            key = CellKey(kind="provision", executor="", tier=-1,
+                          workload=cell["workload"],
+                          setting=cell["setting"],
+                          param=cell.get("param"))
+            metrics: Dict[str, Metric] = {
+                "identical": bool(cell.get("identical", False)),
+                "text_bytes": cell.get("text_bytes", 0),
+                "instructions": cell.get("instructions", 0),
+                "legacy_cold_ms": cell.get("legacy_cold_ms", 0.0),
+                "new_cold_ms": cell.get("new_cold_ms", 0.0),
+                "warm_ms": cell.get("warm_ms", 0.0),
+            }
+            records.append(Record(key=key, metrics=metrics,
+                                  status=cell.get("status", "ok"),
+                                  detail=cell.get("detail", "")))
+    return records
+
+
+def records_from_checkpoint_doc(doc: dict) -> List[Record]:
+    """Ingest a ``BENCH_checkpoint.json`` document.  Resume identity,
+    rollback rejection, step counts and sealed-chain sizes are
+    deterministic; the per-interval overhead is wall clock."""
+    records = []
+    for cell in doc.get("cells", []):
+        resumes = cell.get("resumes", [])
+        identical = all(r.get("identical") for r in resumes) \
+            and bool(resumes)
+        rejected = all(r.get("rollback_rejected") for r in resumes) \
+            and bool(resumes)
+        status = cell.get("status", "ok")
+        if status == "ok" and not (identical and rejected):
+            # CheckpointCell.status stays "ok" on a mismatch; the
+            # store must not accept such a cell into the baseline.
+            status = "divergent"
+        metrics: Dict[str, Metric] = {
+            "steps": cell.get("steps", 0),
+            "resume_identical": identical,
+            "rollbacks_rejected": rejected,
+            "resume_points": len(resumes),
+            "plain_wall_s": cell.get("plain_wall_s", 0.0),
+        }
+        for point in cell.get("overhead", []):
+            every = point["checkpoint_every"]
+            metrics[f"chain_bytes@{every}"] = point.get(
+                "chain_bytes", 0)
+            metrics[f"checkpoints@{every}"] = point.get(
+                "checkpoints", 0)
+            metrics[f"overhead_pct@{every}"] = point.get(
+                "overhead_pct", 0.0)
+        key = CellKey(kind="checkpoint", executor="", tier=-1,
+                      workload=cell["workload"],
+                      setting=cell.get("setting", ""),
+                      param=cell.get("param"))
+        records.append(Record(key=key, metrics=metrics, status=status,
+                              detail=cell.get("detail", "")))
+    return records
+
+
+#: Document schema -> ingest builder (the multi-executor VM wrapper
+#: shares the RunMatrix schema tag, handled inside the builder).
+_INGESTERS = {
+    "deflection-bench/1": records_from_vm_doc,
+    "deflection-provision/1": records_from_provision_doc,
+    "deflection-checkpoint-bench/1": records_from_checkpoint_doc,
+}
+
+
+def records_from_doc(doc: dict, commit: str = "unknown",
+                     run_id: str = "", ts: Optional[float] = None,
+                     executor_label: Optional[str] = None
+                     ) -> List[Record]:
+    """Dispatch a BENCH_* document to its ingest builder and stamp the
+    run metadata onto every resulting record."""
+    schema = doc.get("schema")
+    ingest = _INGESTERS.get(schema)
+    if ingest is None:
+        raise StoreError(f"cannot ingest document schema {schema!r}")
+    if ingest is records_from_vm_doc:
+        records = records_from_vm_doc(doc, executor_label=executor_label)
+    else:
+        records = ingest(doc)
+    return stamp_run(records, commit, run_id=run_id, ts=ts)
+
+
+def ingest_document(store: ResultsStore, doc: dict,
+                    commit: str = "unknown",
+                    executor_label: Optional[str] = None) -> int:
+    """Append every cell of ``doc`` to ``store``; returns the count."""
+    return store.append(records_from_doc(
+        doc, commit=commit, executor_label=executor_label))

@@ -19,7 +19,10 @@ def format_table(title: str, headers: Sequence[str],
     for row in rendered:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
-    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    # Joined rows are sum(widths) plus a two-space gap per boundary
+    # (one fewer than the column count), and the rule must match.
+    row_width = sum(widths) + 2 * (len(widths) - 1)
+    lines = [title, "=" * max(len(title), row_width)]
     lines.append("  ".join(h.ljust(widths[i])
                            for i, h in enumerate(headers)))
     lines.append("  ".join("-" * widths[i]

@@ -9,7 +9,9 @@ Developer-facing tooling around the library:
   annotation inventory or the rejection reason;
 * ``run``     — full pipeline: load, verify, rewrite, execute;
 * ``bench``   — Table II sweep with a machine-readable result file,
-  plus a two-executor smoke/divergence check for CI;
+  plus a two-executor smoke/divergence check for CI; ``--record``
+  appends every cell to the continuous results store and
+  ``bench gate`` fails on regressions vs the rolling baseline;
 * ``chaos``   — seeded fault-injection campaign over the two-party
   protocol; nonzero when any transient failure goes unrecovered or a
   fatal class was retried;
@@ -33,8 +35,96 @@ from .policy import PolicySet
 from .vm.interrupts import AexSchedule
 
 
+#: Default continuous-results store (committed bench history).
+DEFAULT_STORE = "benchmarks/results/history.jsonl"
+
+
 def _policies(label: str) -> PolicySet:
     return PolicySet.parse(label)
+
+
+def _git_commit() -> str:
+    """Short commit id of the working tree, ``"unknown"`` outside a
+    checkout — store metadata, never part of a cell key."""
+    import subprocess
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True,
+                              timeout=10)
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def _sweep_records(args, doc=None, smoke_cells=None,
+                   executor_label=None):
+    """This sweep's cells as results-store records."""
+    from .bench.store import (
+        records_from_doc, records_from_smoke_cells, stamp_run,
+    )
+    commit = args.commit or _git_commit()
+    if smoke_cells is not None:
+        return stamp_run(records_from_smoke_cells(smoke_cells), commit)
+    return records_from_doc(doc, commit=commit,
+                            executor_label=executor_label)
+
+
+def _bench_store_hook(args, records) -> None:
+    """``--record``: append this sweep's cells to the store.
+    ``--baseline``: print the delta report of these cells against the
+    stored rolling baseline (informational — ``bench gate`` is the
+    enforcing path)."""
+    if not (args.record or args.baseline):
+        return
+    from .bench import gates
+    from .bench.store import ResultsStore
+    store = ResultsStore(args.store)
+    if args.record:
+        count = store.append(records)
+        print(f"recorded {count} cells -> {store.path}")
+    if args.baseline:
+        history = store.load() if args.record \
+            else store.load() + list(records)
+        report = gates.evaluate(history, window=args.window,
+                                wall_band_pct=args.band)
+        print(report.render())
+
+
+def cmd_bench_gate(args) -> int:
+    """``repro bench gate``: classify the latest run of every stored
+    cell against its rolling baseline; nonzero on any blocking
+    regression."""
+    from .bench import gates
+    from .bench.store import ResultsStore
+    store = ResultsStore(args.store)
+    if not store.exists():
+        print(f"error: no results store at {store.path} "
+              f"(run `repro bench --record` first)", file=sys.stderr)
+        return 1
+    records = store.load()
+    if not records:
+        print(f"error: results store {store.path} is empty",
+              file=sys.stderr)
+        return 1
+    if args.synthetic_regression:
+        records = gates.inject_synthetic_regression(
+            records, args.synthetic_regression)
+        print(f"[self-test] appended a synthetic run degrading every "
+              f"numeric metric by {args.synthetic_regression:g}%")
+    report = gates.evaluate(records, window=args.window,
+                            wall_band_pct=args.band,
+                            gate_wall=args.gate_wall,
+                            kinds=args.kind or None)
+    print(report.render(verbose=args.verbose))
+    if report.regressions:
+        cells = sorted({d.key.label() for d in report.regressions
+                        if d.key is not None})
+        print(f"REGRESSED cells ({len(cells)}): {', '.join(cells)}")
+        return 1
+    print("gate passed: no blocking regression vs rolling baseline")
+    return 0
 
 
 def cmd_compile(args) -> int:
@@ -191,6 +281,8 @@ def _bench_provision(args, workloads, settings) -> int:
         workloads, settings=settings, param=args.param,
         repeats=repeats, jobs=args.jobs, strict=False)
     doc = matrix.to_json()
+    if args.record or args.baseline:
+        _bench_store_hook(args, _sweep_records(args, doc))
     if args.json:
         out = Path(args.out or "BENCH_provision.json")
         out.write_text(json.dumps(doc, indent=2) + "\n")
@@ -245,6 +337,8 @@ def _bench_checkpoint(args, workloads, settings) -> int:
     matrix = CheckpointMatrix.collect(workloads, setting=settings[-1],
                                       param=args.param)
     doc = matrix.to_json()
+    if args.record or args.baseline:
+        _bench_store_hook(args, _sweep_records(args, doc))
     if args.json:
         out = Path(args.out or "BENCH_checkpoint.json")
         out.write_text(json.dumps(doc, indent=2) + "\n")
@@ -333,6 +427,9 @@ def cmd_bench(args) -> int:
                 provision_cache=use_cache,
                 chaos_seed=args.chaos,
                 warmup=not args.cold and args.chaos is None)
+        if args.record or args.baseline:
+            _bench_store_hook(args,
+                              _sweep_records(args, smoke_cells=cells))
         step, fast = cells["step"], cells["translate"]
         diverged = [
             f"{key}[{executor}]"
@@ -443,6 +540,11 @@ def cmd_bench(args) -> int:
                               for r in row.values()),
         }
 
+    if args.record or args.baseline:
+        _bench_store_hook(args, _sweep_records(
+            args, doc,
+            executor_label=executors[0] if len(executors) == 1
+            else None))
     if args.json:
         out = Path(args.out or "BENCH_vm.json")
         out.write_text(json.dumps(doc, indent=2) + "\n")
@@ -636,7 +738,65 @@ def build_parser() -> argparse.ArgumentParser:
                         "failures, enclave teardowns); cell values must "
                         "be unchanged, the extra retry/recovery work is "
                         "recorded in the JSON document")
+    p.add_argument("--record", action="store_true",
+                   help="append every cell of this sweep to the "
+                        "continuous results store (--store), keyed by "
+                        "(commit, executor, tier, workload, setting, "
+                        "param)")
+    p.add_argument("--baseline", action="store_true",
+                   help="after the sweep, print the delta report of "
+                        "its cells vs the rolling baseline in the "
+                        "store (informational; `bench gate` enforces)")
+    p.add_argument("--store", default=DEFAULT_STORE,
+                   help=f"results store path (default: {DEFAULT_STORE})")
+    p.add_argument("--commit", default=None,
+                   help="commit id stamped on recorded cells "
+                        "(default: `git rev-parse --short HEAD`)")
+    p.add_argument("--window", type=int, default=5,
+                   help="rolling-baseline window: median of the last "
+                        "N accepted runs per cell (default: 5)")
+    p.add_argument("--band", type=float, default=25.0,
+                   help="wall-clock noise band in percent; "
+                        "deterministic metrics always use a zero band "
+                        "(default: 25)")
     p.set_defaults(func=cmd_bench)
+
+    bench_sub = p.add_subparsers(dest="bench_command", metavar="gate")
+    g = bench_sub.add_parser(
+        "gate",
+        help="classify the latest stored run of every cell vs its "
+             "rolling baseline; exit nonzero on regression",
+        description="Regression gate over the continuous results "
+                    "store: the latest observation of every "
+                    "(executor, tier, workload, setting, param) cell "
+                    "is classified improved/flat/regressed against "
+                    "the median of its last --window accepted runs. "
+                    "Deterministic metrics (cycles, steps, AEX "
+                    "counts, byte-identity) gate with a zero noise "
+                    "band; wall-clock metrics are advisory within "
+                    "--band percent unless --gate-wall.")
+    g.add_argument("--store", default=DEFAULT_STORE,
+                   help=f"results store path (default: {DEFAULT_STORE})")
+    g.add_argument("--window", type=int, default=5,
+                   help="rolling-baseline window (default: 5)")
+    g.add_argument("--band", type=float, default=25.0,
+                   help="wall-clock noise band in percent (default: 25)")
+    g.add_argument("--gate-wall", action="store_true",
+                   help="make wall-clock regressions beyond the band "
+                        "blocking instead of advisory")
+    g.add_argument("--kind", nargs="*", default=None,
+                   choices=["vm", "provision", "checkpoint"],
+                   help="restrict the gate to these record kinds")
+    g.add_argument("--synthetic-regression", type=float, default=None,
+                   metavar="PCT",
+                   help="self-test: evaluate as if a new run degraded "
+                        "every numeric metric by PCT percent (the "
+                        "store file is not modified); the gate must "
+                        "fail for PCT beyond the band")
+    g.add_argument("--verbose", action="store_true",
+                   help="list flat/new cells too, not only "
+                        "regressions and improvements")
+    g.set_defaults(func=cmd_bench_gate)
 
     p = sub.add_parser("chaos", help="seeded fault-injection campaign")
     p.add_argument("--seed", type=int, default=2021)

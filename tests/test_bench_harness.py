@@ -129,6 +129,73 @@ def test_compilation_cache_reused():
     assert info.misses == 1
 
 
+def test_parallel_collect_of_empty_cell_set_returns_empty_matrix():
+    # Regression: Pool(processes=0) raised ValueError before the
+    # empty-task early return; both empty axes must match serial.
+    for kwargs in (dict(workloads=[]),
+                   dict(workloads=["numeric_sort"], settings=())):
+        serial = RunMatrix.collect(jobs=1, **kwargs)
+        parallel = RunMatrix.collect(jobs=2, **kwargs)
+        assert dict(parallel) == dict(serial)
+    assert dict(RunMatrix.collect([], jobs=2)) == {}
+    empty_row = RunMatrix.collect(["numeric_sort"], settings=(),
+                                  jobs=2)
+    assert dict(empty_row) == {"numeric_sort": {}}
+    assert empty_row.failures == []
+    assert empty_row.to_json()["totals"]["steps"] == 0
+
+
+def _divergent_row():
+    from repro.bench import attach_overheads
+    row = {
+        "baseline": BenchResult("w", "baseline", 0, steps=10,
+                                cycles=100.0, reports=[1, 7]),
+        "P1": BenchResult("w", "P1", 0, steps=10, cycles=120.0,
+                          reports=[1, 7]),
+        "P1+P2": BenchResult("w", "P1+P2", 0, steps=10, cycles=130.0,
+                             reports=[1, 8]),
+    }
+    return attach_overheads, row
+
+
+def test_attach_overheads_strict_raises_on_divergence():
+    attach_overheads, row = _divergent_row()
+    with pytest.raises(RuntimeError, match="diverge"):
+        attach_overheads(row, strict=True)
+
+
+def test_attach_overheads_zeroes_divergent_cells_non_strict():
+    attach_overheads, row = _divergent_row()
+    # First pass with matching reports attaches a real overhead...
+    row["P1+P2"].reports = [1, 7]
+    attach_overheads(row, strict=False)
+    assert row["P1+P2"].overhead_pct == pytest.approx(30.0)
+    # ...then the cell diverges and is re-attached: the downgrade must
+    # drop the stale overhead, matching the docstring's contract.
+    row["P1+P2"].reports = [1, 8]
+    attach_overheads(row, strict=False)
+    assert row["P1+P2"].status == "divergent"
+    assert "diverge" in row["P1+P2"].detail
+    assert row["P1+P2"].overhead_pct == 0.0
+    # the well-behaved cells are untouched
+    assert row["P1"].status == "ok"
+    assert row["P1"].overhead_pct == pytest.approx(20.0)
+
+
+def test_format_table_rule_matches_row_width():
+    # Regression: the title rule was sized 2*len(widths), two wider
+    # than the joined rows (gaps = columns - 1).
+    table = format_table("T", ["aa", "bb"],
+                         [["xxxx", "yyyyyy"], ["x", "y"]])
+    title, rule, header, sep, *rows = table.splitlines()
+    assert len(rule) == len(header)
+    assert len(rule) == len(sep)
+    assert all(len(row) <= len(rule) for row in rows)
+    # a long title still wins the rule width
+    wide = format_table("a very long title indeed", ["a"], [["b"]])
+    assert len(wide.splitlines()[1]) == len("a very long title indeed")
+
+
 def test_percent_and_table_formatting():
     assert percent(12.345) == "+12.3%"
     assert percent(-3.21) == "-3.2%"

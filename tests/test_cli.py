@@ -135,3 +135,107 @@ def test_bench_smoke_with_parallel_equality(capsys):
 def test_bench_rejects_unknown_workload(capsys):
     assert main(["bench", "--workloads", "nope"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+# -- exit-code contracts: every bad cell class must fail the sweep ----
+
+def _provision_cell(status="ok", stages=True, identical=True):
+    from repro.bench.provision import STAGES, ProvisionResult
+    cell = ProvisionResult(workload="numeric_sort", setting="P1",
+                           param=40, identical=identical,
+                           status=status,
+                           detail="" if status == "ok" else status)
+    if stages:
+        cell.legacy_stages = {s: 0.001 for s in STAGES}
+        cell.new_stages = {s: 0.001 for s in STAGES}
+        cell.legacy_cold_s = cell.new_cold_s = 0.005
+        cell.speedup = 1.0
+    return cell
+
+
+def _patch_provision_collect(monkeypatch, cell):
+    from repro.bench.provision import ProvisionMatrix
+
+    def fake_collect(cls, workloads, **kwargs):
+        matrix = cls()
+        matrix.setdefault(cell.workload, {})[cell.setting] = cell
+        return matrix
+
+    monkeypatch.setattr(ProvisionMatrix, "collect",
+                        classmethod(fake_collect))
+
+
+PROVISION_ARGS = ["bench", "--provision",
+                  "--workloads", "numeric_sort", "--settings", "P1"]
+
+
+def test_bench_provision_ok_cells_exit_zero(monkeypatch, capsys):
+    _patch_provision_collect(monkeypatch, _provision_cell())
+    assert main(PROVISION_ARGS) == 0
+    assert "byte-identical" in capsys.readouterr().out
+
+
+def test_bench_provision_divergent_cell_exits_nonzero(monkeypatch,
+                                                      capsys):
+    _patch_provision_collect(
+        monkeypatch, _provision_cell(status="divergent",
+                                     identical=False))
+    assert main(PROVISION_ARGS) == 1
+    assert "DIVERGENT" in capsys.readouterr().out
+
+
+def test_bench_provision_incomplete_stages_exit_nonzero(monkeypatch,
+                                                        capsys):
+    cell = _provision_cell()
+    del cell.new_stages["verify"]      # ok cell, missing one timing
+    _patch_provision_collect(monkeypatch, cell)
+    assert main(PROVISION_ARGS) == 1
+    assert "MISSING stage timings" in capsys.readouterr().out
+
+
+def test_bench_provision_failed_cell_exits_nonzero(monkeypatch,
+                                                   capsys):
+    _patch_provision_collect(
+        monkeypatch, _provision_cell(status="error", stages=False))
+    assert main(PROVISION_ARGS) == 1
+    assert "FAILED cells" in capsys.readouterr().out
+
+
+def test_bench_failed_cells_exit_nonzero(monkeypatch, capsys):
+    from repro.bench.harness import BenchResult, RunMatrix
+
+    def fake_collect(cls, workloads, **kwargs):
+        matrix = cls(executor="translate")
+        matrix["numeric_sort"] = {
+            "P1": BenchResult("numeric_sort", "P1", 40, steps=0,
+                              cycles=0.0, status="error",
+                              detail="injected")}
+        return matrix
+
+    monkeypatch.setattr(RunMatrix, "collect", classmethod(fake_collect))
+    assert main(["bench", "--workloads", "numeric_sort",
+                 "--settings", "P1", "--executor", "translate"]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED cells (1): numeric_sort/P1" in out
+
+
+def test_bench_checkpoint_resume_mismatch_exits_nonzero(monkeypatch,
+                                                        capsys):
+    from repro.bench.checkpointing import (
+        CheckpointCell, CheckpointMatrix, ResumePoint,
+    )
+
+    def fake_collect(cls, workloads, **kwargs):
+        cell = CheckpointCell(workload="numeric_sort", param=60,
+                              setting="P1-P6", steps=100,
+                              plain_wall_s=0.01)
+        cell.resumes.append(ResumePoint(
+            interrupt_step=50, resumed_at_step=40, chain_len=2,
+            identical=False, rollback_rejected=True))
+        return cls(cells=[cell], total_wall_s=0.01)
+
+    monkeypatch.setattr(CheckpointMatrix, "collect",
+                        classmethod(fake_collect))
+    assert main(["bench", "--checkpoint",
+                 "--workloads", "numeric_sort"]) == 1
+    assert "RESUME DIVERGENCE" in capsys.readouterr().out
