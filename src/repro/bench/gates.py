@@ -50,7 +50,8 @@ DEFAULT_WALL_BAND = 25.0
 #: checked by :func:`is_wall_metric`.  Everything else in the store is
 #: deterministic and gates with a zero band.
 _WALL_METRICS = {"wall_s", "plain_wall_s", "legacy_cold_ms",
-                 "new_cold_ms", "warm_ms"}
+                 "new_cold_ms", "warm_ms", "sec_per_session",
+                 "p50_s", "p99_s"}
 _WALL_PREFIXES = ("overhead_pct@",)
 
 

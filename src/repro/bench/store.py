@@ -324,12 +324,67 @@ def records_from_checkpoint_doc(doc: dict) -> List[Record]:
     return records
 
 
+def records_from_fleet_doc(doc: dict) -> List[Record]:
+    """Ingest a ``BENCH_fleet.json`` document.
+
+    One aggregate ``fleet`` cell (the campaign), plus one cell per
+    tenant.  Session counts, shed counts, scheduler counters,
+    tick-latency percentiles and the zero-lost / migrated booleans are
+    deterministic (the supervisor is virtual-time and seeded); total
+    wall time, ``sec_per_session`` and the wall-scaled latency
+    percentiles are host clock.  Throughput is stored as
+    ``sec_per_session`` (lower-is-better), not sessions/sec.
+    """
+    counters = doc.get("counters", {})
+    latency = doc.get("latency_ticks", {})
+    latency_s = doc.get("latency_s", {})
+    stats = doc.get("stats", {})
+    setting = f"d{doc.get('drones', 0)}"
+    status = doc.get("status", "ok")
+    key = CellKey(kind="fleet", executor="", tier=-1,
+                  workload="campaign", setting=setting,
+                  param=doc.get("sessions"))
+    metrics: Dict[str, Metric] = {
+        "zero_lost": bool(doc.get("zero_lost", False)),
+        "migrated": counters.get("migrations", 0) > 0,
+        "completed": counters.get("completed", 0),
+        "shed": counters.get("shed", 0),
+        "dispatches": counters.get("dispatches", 0),
+        "preemptions": counters.get("preemptions", 0),
+        "replacements": counters.get("replacements", 0),
+        "rollbacks_rejected": stats.get("rollbacks_rejected", 0),
+        "ticks": doc.get("ticks", 0),
+        "p50_ticks": latency.get("p50", 0.0),
+        "p99_ticks": latency.get("p99", 0.0),
+        "wall_s": doc.get("wall_s", 0.0),
+        "sec_per_session": doc.get("sec_per_session", 0.0),
+        "p50_s": latency_s.get("p50", 0.0),
+        "p99_s": latency_s.get("p99", 0.0),
+    }
+    records = [Record(key=key, metrics=metrics, status=status,
+                      detail=";".join(doc.get("corrupt", [])
+                                      + doc.get("lost", [])))]
+    for tenant, tstats in sorted(doc.get("tenants_stats", {}).items()):
+        tkey = CellKey(kind="fleet", executor="", tier=-1,
+                       workload="tenant", setting=tenant,
+                       param=doc.get("sessions"))
+        records.append(Record(key=tkey, metrics={
+            "attempts": tstats.get("attempts", 0),
+            "retries": tstats.get("retries", 0),
+            "fatal_errors": tstats.get("fatal_errors", 0),
+            "resumes": tstats.get("resumes", 0),
+            "rollbacks_rejected": tstats.get("rollbacks_rejected", 0),
+        }, status=status))
+    return records
+
+
 #: Document schema -> ingest builder (the multi-executor VM wrapper
 #: shares the RunMatrix schema tag, handled inside the builder).
 _INGESTERS = {
     "deflection-bench/1": records_from_vm_doc,
     "deflection-provision/1": records_from_provision_doc,
     "deflection-checkpoint-bench/1": records_from_checkpoint_doc,
+    "deflection-fleet/1": records_from_fleet_doc,
 }
 
 

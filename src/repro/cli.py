@@ -387,12 +387,54 @@ def _bench_checkpoint(args, workloads, settings) -> int:
     return 0
 
 
+def _bench_fleet(args) -> int:
+    """``repro bench --fleet``: seeded open-loop fleet campaign —
+    sessions/sec and p50/p99 session latency across a supervised drone
+    pool, with at least one scripted checkpoint migration verified
+    byte-for-byte."""
+    from .bench.fleet import (
+        format_fleet_table, run_fleet_bench, smoke_params,
+    )
+    params = smoke_params() if args.smoke else {}
+    doc = run_fleet_bench(seed=args.seed, **params)
+    if args.record or args.baseline:
+        _bench_store_hook(args, _sweep_records(args, doc))
+    if args.json:
+        out = Path(args.out or "BENCH_fleet.json")
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+    print(format_fleet_table(doc))
+    check = doc["migration_check"]
+    if check:
+        print(f"\nmigrated session {check['job_id']}: "
+              f"{' -> '.join(dict.fromkeys(check['einits']))} "
+              f"(resumed at step {check['resumed_at_step']}, outputs "
+              f"{'byte-identical' if check['outputs_match'] else 'DIVERGENT'})")
+    if doc["corrupt"]:
+        print(f"CORRUPT outputs ({len(doc['corrupt'])}): "
+              f"{', '.join(doc['corrupt'])}")
+        return 1
+    if doc["lost"]:
+        print(f"LOST sessions ({len(doc['lost'])}): "
+              f"{', '.join(doc['lost'])}")
+        return 1
+    if not check or not check["outputs_match"]:
+        print("NO verified checkpoint migration in this campaign")
+        return 1
+    print("every admitted session completed or was shed typed; "
+          "zero lost")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench.harness import PAPER_SETTINGS, RunMatrix, run_workload
     from .core.bootstrap import PROVISION_CACHE
     from .vm.costmodel import CostModel
     from .workloads import get_workload
     from .workloads.nbench import NBENCH_ORDER
+
+    if args.fleet:
+        return _bench_fleet(args)
 
     workloads = list(args.workloads or NBENCH_ORDER)
     settings = tuple(args.settings or PAPER_SETTINGS)
@@ -587,8 +629,41 @@ _NEVER_RETRY = ("PolicyViolation", "VerificationError",
                 "RollbackError", "DeadlineExceeded")
 
 
+def _chaos_fleet(args) -> int:
+    """``repro chaos --fleet``: seeded fleet-scoped fault campaign —
+    mid-fleet drone kills, heartbeat storms and a shared attestation
+    outage under load; fails on any lost session or divergent output."""
+    from .service.faults import run_fleet_campaign
+    report = run_fleet_campaign(seed=args.seed)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    print(text)
+    counters = report["counters"]
+    print(f"\nfleet chaos seed={args.seed}: "
+          f"{counters['completed']} completed, "
+          f"{counters['shed']} shed typed, "
+          f"{len(report['faults'])} faults injected | "
+          f"{counters['replacements']} replacements, "
+          f"{counters['quarantines']} quarantines, "
+          f"{counters['migrations']} migrations, "
+          f"{counters['preemptions']} preemptions, "
+          f"{report['stats']['rollbacks_rejected']} rollbacks rejected")
+    if report["lost"]:
+        print(f"LOST SESSIONS: {', '.join(report['lost'])}")
+        return 1
+    if report["corrupt"]:
+        print(f"CORRUPT OUTCOMES: {', '.join(report['corrupt'])}")
+        return 1
+    print("every admitted session completed or was shed typed under "
+          "fleet-scoped faults; all outputs byte-identical")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from .service.faults import run_campaign
+    if args.fleet:
+        return _chaos_fleet(args)
     report = run_campaign(seed=args.seed, trials=args.trials,
                           mid_run=args.mid_run)
     text = json.dumps(report, indent=2, sort_keys=True)
@@ -700,7 +775,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--out", default=None,
                    help="result file (default: BENCH_vm.json; "
                         "BENCH_provision.json with --provision; "
-                        "BENCH_checkpoint.json with --checkpoint)")
+                        "BENCH_checkpoint.json with --checkpoint; "
+                        "BENCH_fleet.json with --fleet)")
     p.add_argument("--checkpoint", action="store_true",
                    help="measure sealed checkpoint/restore instead of "
                         "raw execution: per workload, interrupt the "
@@ -716,6 +792,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "provisioning pipelines per stage (plus the "
                         "cache-warm path) and byte-compare their "
                         "rewritten images; exit nonzero on divergence")
+    p.add_argument("--fleet", action="store_true",
+                   help="measure fleet throughput/latency instead of "
+                        "raw execution: drive a supervised drone pool "
+                        "through a seeded open-loop arrival process "
+                        "(with a scripted mid-run kill so at least one "
+                        "session provably migrates across EINITs via "
+                        "its sealed checkpoint chain); exit nonzero on "
+                        "any lost session, divergent output or missing "
+                        "migration")
+    p.add_argument("--seed", type=int, default=2021,
+                   help="campaign seed for --fleet (arrival process, "
+                        "job mix, retry jitter)")
     p.add_argument("--repeats", type=int, default=3,
                    help="provisioning repetitions per cell; stage "
                         "timings are minima over the repeats")
@@ -785,7 +873,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="make wall-clock regressions beyond the band "
                         "blocking instead of advisory")
     g.add_argument("--kind", nargs="*", default=None,
-                   choices=["vm", "provision", "checkpoint"],
+                   choices=["vm", "provision", "checkpoint", "fleet"],
                    help="restrict the gate to these record kinds")
     g.add_argument("--synthetic-regression", type=float, default=None,
                    metavar="PCT",
@@ -807,6 +895,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "corruption and rollback replays; fails on any "
                         "non-identical resumed outcome or accepted "
                         "rollback")
+    p.add_argument("--fleet", action="store_true",
+                   help="run the fleet-scoped campaign instead: drone "
+                        "kills mid-fleet (idle and mid-session), "
+                        "heartbeat storms over a subset, and a shared "
+                        "attestation outage under load; fails on any "
+                        "lost session or divergent output")
     p.add_argument("-o", "--out", default=None,
                    help="also write the JSON report to this file")
     p.set_defaults(func=cmd_chaos)

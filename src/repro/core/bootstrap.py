@@ -293,12 +293,10 @@ class BootstrapEnclave:
         self.enclave.load_bootstrap_image(consumer_image())
         self.enclave.einit()
         self.loader = DynamicLoader(self.enclave)
-        self.enclave.register_ecall("ecall_receive_binary",
-                                    self.receive_binary)
-        self.enclave.register_ecall("ecall_receive_userdata",
-                                    self.receive_userdata)
-        self.enclave.register_ecall("ecall_run", self.run)
-        self.enclave.register_ecall("ecall_resume", self.resume)
+        for target in (self.receive_binary, self.receive_userdata,
+                       self.run, self.resume, self.ping):
+            self.enclave.register_ecall(
+                "ecall_" + target.__name__, target)
 
     def recover(self, reason: str = "teardown") -> bytes:
         """Rebuild the enclave after a platform teardown.
@@ -339,6 +337,20 @@ class BootstrapEnclave:
         """Quote whose report data pins the audit-chain head, so a
         remote party can check the claimed history is the real one."""
         return self.enclave.get_quote(self.audit.head)
+
+    def ping(self) -> Dict[str, object]:
+        """Cheap liveness ECall for fleet supervision.
+
+        Answers only if the enclave is alive (a torn-down instance
+        raises :class:`~repro.errors.EnclaveTeardown` at the ECall
+        gate) and reports just enough for a supervisor's health
+        verdict: the measured identity, whether a binary is currently
+        provisioned, and the audit head so a flapping-but-lying drone
+        cannot replay an old healthy answer.  Deliberately *not*
+        audited itself — heartbeats fire every supervision tick and
+        must not grow the evidence chain."""
+        return {"mrenclave": self.enclave.mrenclave.hex(), "provisioned":
+                self.verified is not None, "audit_head": self.audit.head.hex()}
 
     def attach_channel(self, channel: SecureChannel,
                        role: str = "owner") -> None:

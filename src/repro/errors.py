@@ -105,6 +105,22 @@ class RetryBudgetExceeded(ReproError):
     failures without completing the operation."""
 
 
+class AdmissionRejected(ReproError):
+    """The fleet scheduler shed a job at the door instead of queueing it
+    unboundedly.
+
+    Carries a machine-readable :attr:`reason` (``"queue_full"`` or
+    ``"tenant_quota"``) so callers — and the fleet report — can tell
+    load-shedding apart from losing a session.  A rejected job never
+    entered the queue; nothing about it is retried by the scheduler."""
+
+    def __init__(self, message: str, reason: str = "queue_full",
+                 tenant: str = ""):
+        self.reason = reason
+        self.tenant = tenant
+        super().__init__(message)
+
+
 class RollbackError(ReproError):
     """A sealed checkpoint failed authentication or freshness.
 
@@ -127,3 +143,15 @@ class DeadlineExceeded(ReproError):
     def __init__(self, message: str, checkpoint=None):
         self.checkpoint = list(checkpoint) if checkpoint else []
         super().__init__(message)
+
+
+class SessionPreempted(DeadlineExceeded):
+    """The fleet scheduler interrupted a run at a safe point to yield
+    the drone.
+
+    A :class:`DeadlineExceeded` subclass because the mechanics are the
+    same — the run stopped at a safe point and :attr:`checkpoint`
+    carries the sealed chain taken there — but the *intent* differs: a
+    deadline is a budget verdict, a preemption is a scheduling decision
+    and the job is expected to resume (possibly on another EINIT of the
+    same MRENCLAVE)."""

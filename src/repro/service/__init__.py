@@ -16,6 +16,8 @@ from .resilient import (
     ResilientSession, RetryPolicy, SessionStats, TwoPartyWorkflow,
     classify_error,
 )
+from .fleet import Drone, FleetHost, build_fleet
+from .scheduler import FleetScheduler, SessionJob
 
 __all__ = [
     "CCaaSHost", "establish_session",
@@ -24,4 +26,6 @@ __all__ = [
     "FaultPlan", "FaultyHost", "run_campaign",
     "ResilientSession", "RetryPolicy", "SessionStats",
     "TwoPartyWorkflow", "classify_error",
+    "Drone", "FleetHost", "build_fleet",
+    "FleetScheduler", "SessionJob",
 ]

@@ -301,6 +301,12 @@ class FaultyHost:
     def ensure_alive(self) -> bool:
         return self.host.ensure_alive()
 
+    def ecall_ping(self):
+        """Liveness probes pass through un-mangled: a heartbeat is not
+        a relayed message, and drawing plan randomness here would shift
+        the injection points of pre-existing campaign replays."""
+        return self.host.ecall_ping()
+
     def _gate(self, site: str) -> None:
         fault = self.plan.draw_ecall_fault(site)
         if fault == "teardown":
@@ -401,6 +407,28 @@ int main() {
 }
 """
 
+#: Long-running variant for fleet campaigns: same checksum, iterated
+#: ``FLEET_LONG_ROUNDS`` times, so the run spans many checkpoint safe
+#: points and can be preempted/killed mid-flight and resumed.  Expected
+#: report value: ``FLEET_LONG_ROUNDS * sum(data)``.
+FLEET_LONG_ROUNDS = 40
+FLEET_LONG_SRC = f"""
+char buf[64];
+int main() {{
+    int n = __recv(buf, 64);
+    int sum = 0;
+    int round;
+    int i;
+    for (round = 0; round < {FLEET_LONG_ROUNDS}; round++) {{
+        for (i = 0; i < n; i++) sum += buf[i];
+    }}
+    buf[0] = sum % 256;
+    __send(buf, 1);
+    __report(sum);
+    return sum;
+}}
+"""
+
 
 def run_campaign(seed: int = 2021, trials: int = 20,
                  data: bytes = bytes(range(16)),
@@ -432,7 +460,7 @@ def run_campaign(seed: int = 2021, trials: int = 20,
     * ``aborted:<Error>`` — a fatal classification or an exhausted
       retry budget surfaced to the caller.
     """
-    from .resilient import RetryPolicy, TwoPartyWorkflow
+    from .resilient import RetryPolicy, SessionStats, TwoPartyWorkflow
 
     expected_sum = sum(data)
     expected_plain = bytes([expected_sum % 256])
@@ -444,8 +472,7 @@ def run_campaign(seed: int = 2021, trials: int = 20,
               "recoveries": 0, "fatal_errors": 0, "faults_injected": 0,
               "audit_recoveries": 0, "resumes": 0,
               "rollbacks_rejected": 0, "smc_flushes": 0}
-    retried_kinds: dict = {}
-    fatal_kinds: dict = {}
+    campaign_stats = SessionStats()
     run_kwargs = {"checkpoint_every": checkpoint_every} if mid_run \
         else {}
 
@@ -475,15 +502,9 @@ def run_campaign(seed: int = 2021, trials: int = 20,
         except Exception as exc:  # fatal classes + exhausted budgets
             status = f"aborted:{type(exc).__name__}"
         stats = workflow.combined_stats()
+        campaign_stats.merge(stats)
         key = status.split(":", 1)[0]
         totals[key] = totals.get(key, 0) + 1
-        for field in ("retries", "reconnects", "recoveries",
-                      "fatal_errors", "resumes", "rollbacks_rejected"):
-            totals[field] += getattr(stats, field)
-        for kind, count in stats.retried_kinds.items():
-            retried_kinds[kind] = retried_kinds.get(kind, 0) + count
-        for kind, count in stats.fatal_kinds.items():
-            fatal_kinds[kind] = fatal_kinds.get(kind, 0) + count
         totals["faults_injected"] += len(plan.injected)
         totals["smc_flushes"] += sum(
             1 for label in plan.injected
@@ -502,6 +523,9 @@ def run_campaign(seed: int = 2021, trials: int = 20,
             "audit_recovered_events": boot.audit.count("recovered"),
         })
 
+    for field in ("retries", "reconnects", "recoveries",
+                  "fatal_errors", "resumes", "rollbacks_rejected"):
+        totals[field] = getattr(campaign_stats, field)
     totals["unrecovered"] = sum(
         1 for row in trial_rows
         if row["status"] == "aborted:RetryBudgetExceeded")
@@ -511,8 +535,148 @@ def run_campaign(seed: int = 2021, trials: int = 20,
         "trials": trials,
         "mid_run": mid_run,
         "totals": totals,
-        "retried_error_kinds": dict(sorted(retried_kinds.items())),
-        "fatal_error_kinds": dict(sorted(fatal_kinds.items())),
+        "retried_error_kinds": dict(
+            sorted(campaign_stats.retried_kinds.items())),
+        "fatal_error_kinds": dict(
+            sorted(campaign_stats.fatal_kinds.items())),
         "provision_cache": cache.stats(),
         "trials_detail": trial_rows,
     }
+
+
+# -- fleet-scoped chaos ---------------------------------------------------
+
+class FleetFaultPlan:
+    """Seeded, budgeted chaos against a whole fleet.
+
+    Where :class:`FaultPlan` attacks one host's boundaries,
+    this plan attacks the *fleet* between supervision ticks: kill a
+    drone (idle teardown, or an armed mid-run kill realized at the
+    victim's next checkpointed safe point), storm a subset of drones
+    (their next ``n`` heartbeats fail, driving the quarantine path),
+    or outage the shared attestation service under load (every
+    re-attesting session fleet-wide sees it).  One ``random.Random``
+    drawn in tick order plus an event budget keep campaigns
+    byte-identical per seed and provably convergent: once the budget
+    is spent the fleet heals and the scheduler drains the queue.
+    """
+
+    def __init__(self, seed: int, *,
+                 p_kill: float = 0.20,
+                 p_storm: float = 0.25,
+                 p_outage: float = 0.15,
+                 max_events: int = 10):
+        self.seed = seed
+        self.p_kill = p_kill
+        self.p_storm = p_storm
+        self.p_outage = p_outage
+        self.max_events = max_events
+        self.events_remaining = max_events
+        self.injected: List[str] = []
+        self._rng = random.Random(f"fleet:{seed}")
+
+    def _charge(self, label: str) -> None:
+        self.events_remaining -= 1
+        self.injected.append(label)
+
+    def _chance(self, p: float) -> bool:
+        return self.events_remaining > 0 and self._rng.random() < p
+
+    def apply_tick(self, scheduler) -> None:
+        """Draw this tick's events against ``scheduler``'s fleet."""
+        drones = sorted(scheduler.drones.values(),
+                        key=lambda d: d.drone_id)
+        if self._chance(self.p_kill):
+            victim = self._rng.choice(drones)
+            if self._rng.random() < 0.5:
+                if not victim.bootstrap.enclave.destroyed:
+                    victim.bootstrap.enclave.destroy()
+                self._charge(f"kill_idle@{victim.drone_id}")
+            else:
+                k = self._rng.randint(100, 800)
+                victim.host.arm_kill(k)
+                self._charge(f"kill_midrun@{victim.drone_id}(k={k})")
+        if self._chance(self.p_storm):
+            count = self._rng.randint(1, max(1, len(drones) // 2))
+            fails = self._rng.randint(2, 5)
+            subset = self._rng.sample(drones, count)
+            for drone in subset:
+                drone.host.fail_pings(fails)
+            names = ",".join(d.drone_id for d in subset)
+            self._charge(f"storm({names},n={fails})")
+        if self._chance(self.p_outage):
+            calls = self._rng.randint(1, 3)
+            drones[0].attestation.schedule_outage(calls)
+            self._charge(f"attestation_outage(calls={calls})")
+
+
+def run_fleet_campaign(seed: int = 2021, *,
+                       drones: int = 4,
+                       jobs: int = 12,
+                       long_every: int = 4,
+                       tenants: int = 3,
+                       max_events: int = 10,
+                       max_ticks: int = 300,
+                       checkpoint_every: int = 200,
+                       quantum_steps: int = 4000) -> dict:
+    """Drive a fleet through a seeded chaos campaign; JSON-ready report.
+
+    ``jobs`` sessions across ``tenants`` tenants are submitted up
+    front (every ``long_every``-th is a long checkpointed job, so the
+    kill/preempt/migrate machinery is actually exercised); a
+    :class:`FleetFaultPlan` fires between supervision ticks.  The
+    invariants the caller (``repro chaos --fleet``) asserts:
+
+    * zero lost sessions — every admitted job reached a terminal state
+      within ``max_ticks``;
+    * zero corrupt results — every completed job's plaintext and
+      report match the analytic expectation;
+    * no accepted rollbacks — chain rejections only ever show up as
+      ``rollbacks_rejected`` + a from-scratch rerun.
+    """
+    from .fleet import build_fleet
+    from .scheduler import FleetScheduler, SessionJob
+
+    fleet = build_fleet(drones)
+    scheduler = FleetScheduler(fleet, seed=seed)
+    plan = FleetFaultPlan(seed, max_events=max_events)
+    expected = {}
+    for index in range(jobs):
+        tenant = f"tenant-{index % tenants}"
+        data = bytes((seed + index + offset) % 251
+                     for offset in range(8 + index % 5))
+        long = index % long_every == long_every - 1
+        job = SessionJob(
+            f"job-{index}", tenant,
+            FLEET_LONG_SRC if long else CAMPAIGN_SRC, data,
+            priority=1 if long else 5,
+            checkpoint_every=checkpoint_every if long else None,
+            quantum_steps=quantum_steps if long else None)
+        rounds = FLEET_LONG_ROUNDS if long else 1
+        expected[job.job_id] = rounds * sum(data)
+        scheduler.submit(job)
+
+    ticks = 0
+    while scheduler.pending and ticks < max_ticks:
+        plan.apply_tick(scheduler)
+        scheduler.tick()
+        ticks += 1
+
+    corrupt = []
+    for job in scheduler.jobs.values():
+        if job.state != "done" or not job.outcome.ok:
+            continue
+        want = expected[job.job_id]
+        if job.outcome.reports != [want] or \
+                job.plaintexts != [bytes([want % 256])]:
+            corrupt.append(job.job_id)
+    report = scheduler.report()
+    report.update({
+        "schema": "deflection-fleet-chaos/1",
+        "seed": seed,
+        "faults": list(plan.injected),
+        "faults_injected": len(plan.injected),
+        "corrupt": corrupt,
+        "zero_lost": not report["lost"],
+    })
+    return report

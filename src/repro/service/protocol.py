@@ -58,6 +58,12 @@ class CCaaSHost:
         return self.bootstrap.enclave.ecall("ecall_resume", blobs,
                                             **kwargs)
 
+    def ecall_ping(self):
+        """Cheap liveness probe used by the fleet supervisor: answers
+        only when the enclave instance is alive (a torn-down one raises
+        at the ECall gate)."""
+        return self.bootstrap.enclave.ecall("ecall_ping")
+
     def ensure_alive(self) -> bool:
         """The operator's recovery path: restart a torn-down bootstrap
         (same platform, same measured image, so the MRENCLAVE pin still

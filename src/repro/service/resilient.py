@@ -18,6 +18,7 @@ provider + owner flow end to end under fault injection.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from dataclasses import dataclass, field
@@ -80,9 +81,24 @@ class RetryPolicy:
     seed: int = 2021
 
     def delay(self, retry_index: int) -> float:
-        """Backoff before retry number ``retry_index`` (0-based)."""
-        raw = min(self.max_delay_s,
-                  self.base_delay_s * self.backoff ** retry_index)
+        """Backoff before retry number ``retry_index`` (0-based).
+
+        The exponent is clamped at the point where the raw backoff
+        saturates ``max_delay_s``: ``backoff ** retry_index`` grows
+        fast enough that a misconfigured ``max_attempts`` (or a caller
+        probing large indexes directly) would otherwise overflow to
+        ``inf`` before the ``min`` clamp ever sees the value.
+        """
+        base, growth = self.base_delay_s, self.backoff
+        if base <= 0.0:
+            raw = 0.0
+        elif growth <= 1.0:
+            raw = min(self.max_delay_s, base * growth ** retry_index)
+        else:
+            saturation = math.log(max(self.max_delay_s, base) / base,
+                                  growth)
+            exponent = min(retry_index, math.ceil(saturation))
+            raw = min(self.max_delay_s, base * growth ** exponent)
         spread = random.Random(f"{self.seed}:{retry_index}").random()
         return raw * (1.0 + self.jitter * (2.0 * spread - 1.0))
 
@@ -104,6 +120,32 @@ class SessionStats:
     slept_s: float = 0.0
     retried_kinds: Dict[str, int] = field(default_factory=dict)
     fatal_kinds: Dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "SessionStats") -> "SessionStats":
+        """Fold ``other``'s counters into this one; returns ``self``.
+
+        The single way counters combine anywhere in the service layer —
+        two-party workflows merging their per-session stats, the chaos
+        report totalling a campaign, the fleet aggregating per tenant —
+        so a new counter added to the dataclass is aggregated
+        everywhere by construction instead of by remembering N call
+        sites.
+        """
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.reconnects += other.reconnects
+        self.recoveries += other.recoveries
+        self.fatal_errors += other.fatal_errors
+        self.resumes += other.resumes
+        self.rollbacks_rejected += other.rollbacks_rejected
+        self.slept_s += other.slept_s
+        for kind, count in other.retried_kinds.items():
+            self.retried_kinds[kind] = \
+                self.retried_kinds.get(kind, 0) + count
+        for kind, count in other.fatal_kinds.items():
+            self.fatal_kinds[kind] = \
+                self.fatal_kinds.get(kind, 0) + count
+        return self
 
     def note(self, exc: BaseException, outcome: str) -> None:
         kinds = self.retried_kinds if outcome == "transient" \
@@ -217,17 +259,30 @@ class TwoPartyWorkflow:
         self.provider = provider
         self.owner = owner
         self.retry = retry or RetryPolicy()
-        self.stats = SessionStats()
+        #: Run-level counters (re-provision retries, resumes...); the
+        #: per-party counters live on each session and the public
+        #: :attr:`stats` view merges all three.
+        self.run_stats = SessionStats()
+        #: Sealed chain of the latest (or in-flight) checkpointed run;
+        #: survives a raised :class:`DeadlineExceeded` /
+        #: :class:`SessionPreempted` so a scheduler can harvest it and
+        #: resume the job elsewhere.
+        self.checkpoints: List[bytes] = []
         mrenclave = host.bootstrap.mrenclave
         self.provider_session = ResilientSession(
-            provider, host, mrenclave, retry=self.retry, sleep=sleep,
-            stats=self.stats)
+            provider, host, mrenclave, retry=self.retry, sleep=sleep)
         self.owner_session = ResilientSession(
-            owner, host, mrenclave, retry=self.retry, sleep=sleep,
-            stats=self.stats)
+            owner, host, mrenclave, retry=self.retry, sleep=sleep)
+
+    @property
+    def stats(self) -> SessionStats:
+        """Merged view over run-level + both per-party counters."""
+        return self.combined_stats()
 
     def combined_stats(self) -> SessionStats:
-        return self.stats
+        return SessionStats().merge(self.run_stats) \
+            .merge(self.provider_session.stats) \
+            .merge(self.owner_session.stats)
 
     def provision(self) -> bytes:
         """Deliver + approve + upload; returns the approved measurement.
@@ -245,28 +300,35 @@ class TwoPartyWorkflow:
             "upload", lambda: self.owner.upload(self.host))
         return measurement
 
-    def execute(self, **run_kwargs) -> Tuple[object, List[bytes]]:
+    def execute(self, initial_checkpoints: Optional[List[bytes]] = None,
+                **run_kwargs) -> Tuple[object, List[bytes]]:
         """Run the whole flow; returns ``(outcome, plaintexts)``.
 
         ``plaintexts`` are the decrypted result records when the run
         completed (``outcome.ok``), else empty.
 
         With ``checkpoint_every=N`` in ``run_kwargs``, the workflow
-        stores every sealed checkpoint the enclave emits and switches
-        its teardown recovery from re-run-from-scratch to
-        resume-from-latest-checkpoint: after re-attesting and
-        re-provisioning, the stored chain goes back in through
-        ``ecall_resume`` and only the tail of the computation re-runs.
-        If the enclave rejects the chain (:class:`RollbackError` —
-        corrupted, stale, or replayed by the host), the chain is
-        *discarded* and that attempt falls back to a full re-run: the
-        trust decision stays fail-closed inside the enclave, while the
-        workflow keeps its availability by paying the from-scratch
-        cost.  Rejected chains are counted in
-        ``stats.rollbacks_rejected`` and are never blindly re-presented.
+        stores every sealed checkpoint the enclave emits (on
+        :attr:`checkpoints`, so the chain survives even when the run
+        raises) and switches its teardown recovery from
+        re-run-from-scratch to resume-from-latest-checkpoint: after
+        re-attesting and re-provisioning, the stored chain goes back
+        in through ``ecall_resume`` and only the tail of the
+        computation re-runs.  ``initial_checkpoints`` seeds that chain
+        before the first attempt — a scheduler migrating a preempted
+        job onto another EINIT of the same MRENCLAVE passes the chain
+        harvested from the previous drone here.  If the enclave
+        rejects the chain (:class:`RollbackError` — corrupted, stale,
+        or replayed by the host), the chain is *discarded* and that
+        attempt falls back to a full re-run: the trust decision stays
+        fail-closed inside the enclave, while the workflow keeps its
+        availability by paying the from-scratch cost.  Rejected chains
+        are counted in ``stats.rollbacks_rejected`` and are never
+        blindly re-presented.
         """
         self.provision()
-        checkpoints: List[bytes] = []
+        self.checkpoints = list(initial_checkpoints or [])
+        checkpoints = self.checkpoints
         if run_kwargs.get("checkpoint_every") is not None:
             run_kwargs = dict(run_kwargs)
             run_kwargs["checkpoint_sink"] = checkpoints.append
@@ -275,26 +337,26 @@ class TwoPartyWorkflow:
             if attempt:
                 self.owner_session.backoff(attempt - 1)
             try:
-                self.stats.attempts += 1
+                self.run_stats.attempts += 1
                 if checkpoints:
                     try:
                         outcome = self.host.ecall_resume(
                             list(checkpoints), **run_kwargs)
-                        self.stats.resumes += 1
+                        self.run_stats.resumes += 1
                     except RollbackError as exc:
-                        self.stats.note(exc, "fatal")
-                        self.stats.rollbacks_rejected += 1
+                        self.run_stats.note(exc, "fatal")
+                        self.run_stats.rollbacks_rejected += 1
                         checkpoints.clear()
                         outcome = self.host.ecall_run(**run_kwargs)
                 else:
                     outcome = self.host.ecall_run(**run_kwargs)
             except ReproError as exc:
                 verdict = classify_error(exc)
-                self.stats.note(exc, verdict)
+                self.run_stats.note(exc, verdict)
                 if verdict == "fatal":
-                    self.stats.fatal_errors += 1
+                    self.run_stats.fatal_errors += 1
                     raise
-                self.stats.retries += 1
+                self.run_stats.retries += 1
                 # Transient run failure: the enclave may have lost its
                 # provisioned state entirely.  Re-establish everything.
                 self.provider_session.invalidate()

@@ -141,8 +141,19 @@ def test_encrypted_paths_require_channels():
 def test_ecall_table_is_exactly_the_p0_interface():
     boot = BootstrapEnclave(policies=PolicySet.p1_only())
     assert boot.enclave.ecall_names == (
-        "ecall_receive_binary", "ecall_receive_userdata",
+        "ecall_ping", "ecall_receive_binary", "ecall_receive_userdata",
         "ecall_resume", "ecall_run")
+
+
+def test_ping_reports_identity_without_touching_the_audit_chain():
+    boot = BootstrapEnclave(policies=PolicySet.p1_only())
+    first = boot.ping()
+    second = boot.ping()
+    assert first["mrenclave"] == boot.enclave.mrenclave.hex()
+    assert not first["provisioned"]
+    # Heartbeats are supervision traffic, not protocol events: however
+    # often the fleet probes, the audit chain must not grow.
+    assert first["audit_head"] == second["audit_head"]
 
 
 def test_hw_aex_counter_accumulates():

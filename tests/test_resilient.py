@@ -57,6 +57,27 @@ def test_fatal_classes(exc):
     assert classify_error(exc) == "fatal"
 
 
+def test_admission_and_preemption_classes_are_fatal_to_sessions():
+    # Scheduler-level verdicts must never feed the session retry loop:
+    # a preempted run is the *supervisor's* decision to reclaim the
+    # drone, and a shed job was refused at the door.
+    from repro.errors import AdmissionRejected, SessionPreempted
+    assert classify_error(SessionPreempted("quantum expired")) == "fatal"
+    assert classify_error(
+        AdmissionRejected("shed", reason="queue_full")) == "fatal"
+
+
+def test_outage_transient_despite_fatal_parent():
+    # Most-specific first: AttestationOutage subclasses the fatal
+    # AttestationError, and budget exhaustion is fatal even though it
+    # wraps a transient cause.
+    assert issubclass(AttestationOutage, AttestationError)
+    assert classify_error(AttestationOutage("down")) == "transient"
+    budget = RetryBudgetExceeded("spent")
+    budget.__cause__ = AttestationOutage("down")
+    assert classify_error(budget) == "fatal"
+
+
 def test_retry_policy_delays_are_deterministic_and_capped():
     policy = RetryPolicy(seed=9, base_delay_s=0.01, max_delay_s=0.05,
                          jitter=0.25)
@@ -64,6 +85,49 @@ def test_retry_policy_delays_are_deterministic_and_capped():
     assert delays == [policy.delay(i) for i in range(8)]
     assert all(0 < d <= 0.05 * 1.25 for d in delays)
     assert delays[3] > delays[0]   # backoff grows
+
+
+def test_retry_policy_delay_huge_index_does_not_overflow():
+    policy = RetryPolicy(seed=9, base_delay_s=0.01, max_delay_s=5.0,
+                         backoff=2.0, jitter=0.1)
+    for index in (64, 1025, 10 ** 6):
+        delay = policy.delay(index)
+        assert 0 < delay <= 5.0 * 1.1
+    flat = RetryPolicy(base_delay_s=0.01, max_delay_s=5.0, backoff=1.0)
+    assert flat.delay(10 ** 6) <= 0.01 * (1 + flat.jitter)
+    assert RetryPolicy(base_delay_s=0.0).delay(10 ** 6) == 0.0
+
+
+def test_session_stats_merge_sums_counters_and_kinds():
+    from repro.service import SessionStats
+    a = SessionStats()
+    a.retries, a.reconnects, a.slept_s = 2, 1, 0.5
+    a.retried_kinds = {"EnclaveTeardown": 2}
+    a.fatal_kinds = {"PolicyViolation": 1}
+    b = SessionStats()
+    b.retries, b.resumes, b.rollbacks_rejected = 3, 1, 1
+    b.retried_kinds = {"EnclaveTeardown": 1, "AttestationOutage": 4}
+    merged = a.merge(b)
+    assert merged is a   # chainable, mutates the receiver
+    assert a.retries == 5
+    assert a.reconnects == 1
+    assert a.resumes == 1
+    assert a.rollbacks_rejected == 1
+    assert a.slept_s == 0.5
+    assert a.retried_kinds == {"EnclaveTeardown": 3,
+                               "AttestationOutage": 4}
+    assert a.fatal_kinds == {"PolicyViolation": 1}
+
+
+def test_workflow_stats_merge_run_and_session_counters():
+    wf = _workflow(_host())
+    wf.run_stats.retries = 1
+    wf.provider_session.stats.retries = 2
+    wf.owner_session.stats.retries = 4
+    wf.provider_session.stats.retried_kinds["ProtocolError"] = 2
+    wf.run_stats.retried_kinds["ProtocolError"] = 1
+    assert wf.stats.retries == 7
+    assert wf.stats.retried_kinds == {"ProtocolError": 3}
 
 
 # -- recovery paths -----------------------------------------------------------
