@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from .bench.tables import format_table
 from .compiler.objfile import ObjectFile, SEC_TEXT
+from .core.proofcheck import PROOF_KIND_NAMES
 from .core.rdd import recursive_descent
 from .core.verifier import PolicyVerifier
 from .isa.instructions import (
@@ -21,6 +22,7 @@ from .isa.instructions import (
     is_indirect_branch, is_store,
 )
 from .policy.policies import PolicySet
+from .staticproof import synthetic_image
 
 
 @dataclass
@@ -39,6 +41,10 @@ class BinaryReport:
     functions: Dict[str, int] = field(default_factory=dict)  # name->size
     annotation_counts: Dict[str, int] = field(default_factory=dict)
     annotation_bytes: int = 0
+    #: Annotation-light objects only: proof-kind name -> elided sites,
+    #: and the annotation bytes those elisions saved.
+    elided_counts: Dict[str, int] = field(default_factory=dict)
+    annotation_bytes_saved: int = 0
 
     @property
     def annotation_fraction(self) -> float:
@@ -62,6 +68,11 @@ class BinaryReport:
              f"{self.annotation_bytes} "
              f"({100 * self.annotation_fraction:.1f}%)"],
         ]
+        if self.elided_counts:
+            rows.append(["elided guard sites (proven)",
+                         sum(self.elided_counts.values())])
+            rows.append(["annotation bytes saved",
+                         self.annotation_bytes_saved])
         out = [format_table("binary statistics", ["metric", "value"],
                             rows)]
         top = Counter(self.opcode_histogram).most_common(10)
@@ -74,6 +85,21 @@ class BinaryReport:
             out.append(format_table(
                 "annotations", ["kind", "count"],
                 sorted(self.annotation_counts.items())))
+        if self.elided_counts:
+            from .policy.templates import AnnotationKind as K
+            counts = self.elided_counts
+            pairs = [
+                ("store (P1/P3/P4)", K.STORE_GUARD,
+                 counts.get("stack", 0) + counts.get("const_addr", 0)),
+                ("rsp (P2)", K.RSP_GUARD, counts.get("rsp_step", 0)),
+                ("indirect branch (P5)", K.INDIRECT,
+                 counts.get("cfi", 0)),
+            ]
+            out.append(format_table(
+                "guard elision (annotation-light)",
+                ["policy", "guarded", "elided"],
+                [[name, self.annotation_counts.get(kind, 0), elided]
+                 for name, kind, elided in pairs]))
         return "\n\n".join(out)
 
 
@@ -121,7 +147,21 @@ def analyze_object(obj: ObjectFile,
 
     if policies is not None:
         verifier = PolicyVerifier(policies, custom=custom)
-        verified = verifier.verify(obj.text, entry, targets)
+        if obj.proofs:
+            # Light objects only verify with their proof log, which in
+            # turn needs resolved constants and enclave bounds — run the
+            # real verifier over the synthetic relocation.
+            stext, bases, sentry, stargets = synthetic_image(obj)
+            scode = recursive_descent(stext, sentry, stargets)
+            verified = verifier.verify_code(scode, sentry, stargets,
+                                            proofs=obj.proofs,
+                                            values=bases)
+            report.elided_counts = dict(Counter(
+                PROOF_KIND_NAMES[kind] for _, kind, _ in obj.proofs))
+            report.annotation_bytes_saved = _elided_bytes(
+                report.elided_counts, policies)
+        else:
+            verified = verifier.verify(obj.text, entry, targets)
         report.annotation_counts = dict(verified.annotation_counts)
         report.annotation_bytes = _annotation_bytes(
             verified, policies, custom)
@@ -129,8 +169,9 @@ def analyze_object(obj: ObjectFile,
 
 
 def _annotation_bytes(verified, policies: PolicySet, custom) -> int:
+    from .policy.emit import pattern_length
     from .policy.templates import (
-        indirect_branch_pattern, p6_guard_pattern, pattern_length,
+        indirect_branch_pattern, p6_guard_pattern,
         rsp_guard_pattern, shadow_epilogue_pattern,
         shadow_prologue_pattern, store_guard_pattern,
     )
@@ -150,3 +191,19 @@ def _annotation_bytes(verified, policies: PolicySet, custom) -> int:
             policy.guard_pattern())
     return sum(sizes.get(kind, 0) * count
                for kind, count in verified.annotation_counts.items())
+
+
+def _elided_bytes(elided_counts: Dict[str, int],
+                  policies: PolicySet) -> int:
+    """Annotation bytes the static proofs saved: each elided site would
+    otherwise have carried its policy's full guard pattern."""
+    from .policy.emit import pattern_length
+    from .policy.templates import (
+        indirect_branch_pattern, rsp_guard_pattern, store_guard_pattern,
+    )
+    store = pattern_length(store_guard_pattern(policies))
+    sizes = {"stack": store, "const_addr": store,
+             "rsp_step": pattern_length(rsp_guard_pattern()),
+             "cfi": pattern_length(indirect_branch_pattern())}
+    return sum(sizes.get(kind, 0) * count
+               for kind, count in elided_counts.items())

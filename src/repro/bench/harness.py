@@ -124,8 +124,9 @@ class BenchResult:
 
 
 @functools.lru_cache(maxsize=256)
-def _compile_cached(source: str, label: str) -> bytes:
-    return compile_source(source, PolicySet.parse(label)).serialize()
+def _compile_cached(source: str, label: str, light: bool = False) -> bytes:
+    return compile_source(source, PolicySet.parse(label),
+                          light=light).serialize()
 
 
 def _chaos_plan_seed(chaos_seed: int, name: str, setting: str,
@@ -212,10 +213,11 @@ def restore_run_state(boot: BootstrapEnclave, snap) -> None:
 
 
 def compile_workload(workload: Union[str, Workload], setting: str,
-                     param: Optional[int] = None) -> bytes:
+                     param: Optional[int] = None,
+                     light: bool = False) -> bytes:
     if isinstance(workload, str):
         workload = get_workload(workload)
-    return _compile_cached(workload.source(param), setting)
+    return _compile_cached(workload.source(param), setting, light)
 
 
 def run_workload(workload: Union[str, Workload], setting: str,
@@ -228,7 +230,8 @@ def run_workload(workload: Union[str, Workload], setting: str,
                  strict: bool = True,
                  provision_cache: bool = True,
                  chaos_seed: Optional[int] = None,
-                 warmup: bool = False) -> BenchResult:
+                 warmup: bool = False,
+                 light: bool = False) -> BenchResult:
     """Full-pipeline execution of one workload under one setting.
 
     ``strict=True`` (the default) raises on any failure — violation,
@@ -258,7 +261,7 @@ def run_workload(workload: Union[str, Workload], setting: str,
         workload.default_param
     try:
         policies = PolicySet.parse(setting)
-        blob = compile_workload(workload, setting, param)
+        blob = compile_workload(workload, setting, param, light=light)
         boot = BootstrapEnclave(
             policies=policies, config=config,
             aex_threshold=aex_threshold,

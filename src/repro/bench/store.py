@@ -47,6 +47,11 @@ from ..errors import ReproError
 #: Store line schema tag.
 SCHEMA = "deflection-results/1"
 
+#: Every measurement kind the store accepts.  Checked at CellKey
+#: construction so a typo'd kind raises :class:`StoreError` instead of
+#: silently forking a fresh baseline family nothing ever gates.
+KINDS = frozenset({"vm", "provision", "checkpoint", "fleet", "static"})
+
 #: JIT tier per bench executor label (the label, not
 #: ``CostModel.executor`` — ``translate-t1`` resolves to the translate
 #: engine with chaining off, so only the label still knows the tier).
@@ -63,12 +68,18 @@ class StoreError(ReproError):
 class CellKey:
     """The measurement context a baseline is rolled over."""
 
-    kind: str                    # "vm" | "provision" | "checkpoint"
+    kind: str                    # one of KINDS
     executor: str                # bench executor label; "" when n/a
     tier: int                    # jit tier; -1 when n/a
     workload: str
     setting: str
     param: Optional[int]
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise StoreError(
+                f"unknown results-store kind {self.kind!r}; "
+                f"known: {sorted(KINDS)}")
 
     def label(self) -> str:
         """Human-oriented cell label for tables and error messages."""
@@ -378,6 +389,38 @@ def records_from_fleet_doc(doc: dict) -> List[Record]:
     return records
 
 
+def records_from_static_doc(doc: dict) -> List[Record]:
+    """Ingest a ``BENCH_static.json`` document (annotation-full vs
+    annotation-light ablation).  Everything is deterministic — cycle
+    accounts come from the simulated cost model, guard-site counts from
+    the static analyzer — so every metric gates with a zero band.
+    ``overhead_light_pct`` (not the cut) is stored: the store is
+    uniformly lower-is-better."""
+    records = []
+    for row in doc.get("workloads", {}).values():
+        for cell in row.values():
+            key = CellKey(kind="static", executor="", tier=-1,
+                          workload=cell["workload"],
+                          setting=cell["setting"],
+                          param=cell.get("param"))
+            metrics: Dict[str, Metric] = {
+                "cycles_light": cell.get("cycles_light", 0.0),
+                "overhead_light_pct": cell.get("overhead_light_pct",
+                                               0.0),
+                "residual_guard_sites": cell.get("guard_sites_light",
+                                                 0),
+                "text_bytes_light": cell.get("text_bytes_light", 0),
+                "outputs_identical": bool(cell.get("outputs_identical",
+                                                   False)),
+                "verified_light": bool(cell.get("verified_light",
+                                                False)),
+            }
+            records.append(Record(key=key, metrics=metrics,
+                                  status=cell.get("status", "ok"),
+                                  detail=cell.get("detail", "")))
+    return records
+
+
 #: Document schema -> ingest builder (the multi-executor VM wrapper
 #: shares the RunMatrix schema tag, handled inside the builder).
 _INGESTERS = {
@@ -385,6 +428,7 @@ _INGESTERS = {
     "deflection-provision/1": records_from_provision_doc,
     "deflection-checkpoint-bench/1": records_from_checkpoint_doc,
     "deflection-fleet/1": records_from_fleet_doc,
+    "deflection-static/1": records_from_static_doc,
 }
 
 

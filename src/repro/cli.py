@@ -189,7 +189,19 @@ def cmd_verify(args) -> int:
     entry = obj.symbols[obj.entry].offset
     targets = [obj.symbols[n].offset for n in obj.branch_targets]
     try:
-        verified = verifier.verify(obj.text, entry, targets)
+        if obj.proofs:
+            # Proof-carrying object: the log only re-derives against
+            # resolved constants and enclave bounds, so verify over the
+            # same synthetic relocation the link-time prover used.
+            from .core.rdd import recursive_descent
+            from .staticproof import synthetic_image
+            stext, bases, sentry, stargets = synthetic_image(obj)
+            scode = recursive_descent(stext, sentry, stargets)
+            verified = verifier.verify_code(scode, sentry, stargets,
+                                            proofs=obj.proofs,
+                                            values=bases)
+        else:
+            verified = verifier.verify(obj.text, entry, targets)
     except ReproError as exc:
         print(f"REJECTED: {exc}")
         return 1
@@ -199,6 +211,9 @@ def cmd_verify(args) -> int:
           f"{len(verified.magic_slots)} rewriter slots")
     for kind, count in sorted(verified.annotation_counts.items()):
         print(f"  {kind:18s} {count}")
+    if verified.proofs:
+        print(f"  static proofs      {len(verified.proofs)} "
+              f"(elided guards re-derived)")
     return 0
 
 
@@ -321,6 +336,62 @@ def _bench_provision(args, workloads, settings) -> int:
     if failed:
         return 1
     print("legacy and decode-once images byte-identical on every cell")
+    return 0
+
+
+def _bench_static(args, workloads, settings) -> int:
+    """``repro bench --static``: annotation-full vs annotation-light
+    ablation — same workloads compiled both ways, differential
+    verification and output checks, plus the overhead the proofs cut."""
+    from .bench.static import STATIC_SETTINGS, StaticMatrix
+
+    if args.settings is None:
+        # The paper matrix includes baseline (nothing to elide) and
+        # P1-P6 (AEX markers the proofs leave alone) — the ablation
+        # defaults to the guard-bearing columns instead.
+        settings = STATIC_SETTINGS
+    if args.smoke:
+        workloads = workloads[:3]
+    matrix = StaticMatrix.collect(workloads, settings=settings,
+                                  param=args.param, jobs=args.jobs,
+                                  strict=False)
+    doc = matrix.to_json()
+    if args.record or args.baseline:
+        _bench_store_hook(args, _sweep_records(args, doc))
+    if args.json:
+        out = Path(args.out or "BENCH_static.json")
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    rows = [[c.workload, c.setting,
+             f"{c.cycles_full:,.0f}", f"{c.cycles_light:,.0f}",
+             f"{c.overhead_full_pct:.1f}", f"{c.overhead_light_pct:.1f}",
+             f"{c.overhead_cut_pct:.1f}",
+             f"{c.guard_sites_full}->{c.guard_sites_light}",
+             c.proof_entries,
+             "yes" if c.verified_light else "NO",
+             "yes" if c.outputs_identical else "NO",
+             c.status]
+            for c in matrix.cells]
+    print(format_table(
+        f"static proof tier ablation (jobs={args.jobs})",
+        ["workload", "setting", "full cyc", "light cyc", "ovh full%",
+         "ovh light%", "cut %", "guards", "proofs", "verified",
+         "identical", "status"], rows))
+    totals = doc["totals"]
+    print(f"\nguard sites {totals['guard_sites_full']} -> "
+          f"{totals['guard_sites_light']} "
+          f"({totals['elided_sites']} proven elisions, "
+          f"{totals['annotation_bytes_saved']} annotation bytes "
+          f"saved); overhead cut mean "
+          f"{totals['mean_overhead_cut_pct']}%, min "
+          f"{totals['min_overhead_cut_pct']}%")
+    if matrix.failures:
+        print(f"FAILED cells ({len(matrix.failures)}): "
+              f"{', '.join(matrix.failures)}")
+        return 1
+    print("every annotation-light binary verified in-enclave with "
+          "outputs identical to annotation-full")
     return 0
 
 
@@ -453,6 +524,9 @@ def cmd_bench(args) -> int:
 
     if args.checkpoint:
         return _bench_checkpoint(args, workloads, settings)
+
+    if args.static:
+        return _bench_static(args, workloads, settings)
 
     if args.smoke:
         name = workloads[0]
@@ -776,7 +850,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result file (default: BENCH_vm.json; "
                         "BENCH_provision.json with --provision; "
                         "BENCH_checkpoint.json with --checkpoint; "
-                        "BENCH_fleet.json with --fleet)")
+                        "BENCH_fleet.json with --fleet; "
+                        "BENCH_static.json with --static)")
     p.add_argument("--checkpoint", action="store_true",
                    help="measure sealed checkpoint/restore instead of "
                         "raw execution: per workload, interrupt the "
@@ -792,6 +867,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "provisioning pipelines per stage (plus the "
                         "cache-warm path) and byte-compare their "
                         "rewritten images; exit nonzero on divergence")
+    p.add_argument("--static", action="store_true",
+                   help="measure the static proof tier instead of raw "
+                        "execution: compile every cell annotation-full "
+                        "and annotation-light (provable guards elided, "
+                        "proofs shipped), demand the light binary pass "
+                        "full in-enclave verification with outputs "
+                        "identical to full, and record the overhead "
+                        "the proofs cut; exit nonzero on any "
+                        "unverified, divergent or slower cell")
     p.add_argument("--fleet", action="store_true",
                    help="measure fleet throughput/latency instead of "
                         "raw execution: drive a supervised drone pool "
@@ -873,7 +957,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="make wall-clock regressions beyond the band "
                         "blocking instead of advisory")
     g.add_argument("--kind", nargs="*", default=None,
-                   choices=["vm", "provision", "checkpoint", "fleet"],
+                   choices=["vm", "provision", "checkpoint", "fleet",
+                            "static"],
                    help="restrict the gate to these record kinds")
     g.add_argument("--synthetic-regression", type=float, default=None,
                    metavar="PCT",

@@ -21,12 +21,15 @@ class CodeGenerator:
     """Compile-and-instrument pipeline (untrusted, outside the enclave)."""
 
     def __init__(self, policies: PolicySet = None,
-                 include_prelude: bool = True, custom=()):
+                 include_prelude: bool = True, custom=(),
+                 light: bool = False):
         self.policies = policies if policies is not None \
             else PolicySet.full()
         self.include_prelude = include_prelude
         #: developer-defined policies (repro.policy.custom, §V-A API)
         self.custom = tuple(custom)
+        #: annotation-light mode: elide provable guards, ship proofs
+        self.light = light
 
     def compile(self, source: str, entry: str = "main") -> ObjectFile:
         """Compile MiniC ``source`` into an instrumented relocatable
@@ -37,13 +40,13 @@ class CodeGenerator:
         sema = analyze(program)
         units = generate_functions(sema)
         return link(units, sema, self.policies, entry_fn=entry,
-                    custom=self.custom)
+                    custom=self.custom, light=self.light)
 
 
 def compile_source(source: str, policies: PolicySet = None,
                    entry: str = "main",
                    include_prelude: bool = True,
-                   custom=()) -> ObjectFile:
+                   custom=(), light: bool = False) -> ObjectFile:
     """One-shot convenience wrapper around :class:`CodeGenerator`."""
     return CodeGenerator(policies, include_prelude,
-                         custom=custom).compile(source, entry)
+                         custom=custom, light=light).compile(source, entry)

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..errors import AssemblerError
+from ..errors import AssemblerError, CompileError
 from ..isa.assembler import assemble
 from ..isa.instructions import Instruction, Label, LabelDef, Op
 from ..policy.magic import ALL_VIOLATION_CODES, trap_label
 from ..policy.policies import PolicySet
+from ..staticproof import frame_discipline_ok, prove_object
 from .codegen import FuncCode
 from .objfile import (
     KIND_FUNC, KIND_OBJECT, ObjectFile, ObjRelocation,
@@ -51,9 +52,14 @@ def _align8(value: int) -> int:
 
 def link(units: Dict[str, FuncCode], sema: SemaResult,
          policies: PolicySet, entry_fn: str = "main",
-         custom=()) -> ObjectFile:
+         custom=(), light: bool = False) -> ObjectFile:
     if entry_fn not in units:
         raise AssemblerError(f"entry function {entry_fn!r} not defined")
+    if light and custom:
+        # A custom guard anchored on an elided store would consume the
+        # site, orphaning its proof entry at verification time.
+        raise CompileError(
+            "annotation-light mode does not support custom policies")
     obj = ObjectFile(policies_label=policies.describe())
     obj.entry = ENTRY_SYMBOL
 
@@ -75,10 +81,16 @@ def link(units: Dict[str, FuncCode], sema: SemaResult,
     obj.bss_size = _align8(bss_cursor)
 
     # -- instrumentation ------------------------------------------------------
-    pipeline = PassPipeline(policies, custom=custom)
     custom_codes = [policy.violation_code for policy in custom]
     ordered = [_entry_stub(entry_fn), _trap_pads(custom_codes)] + \
         [units[name] for name in sorted(units)]
+    frame_ok = frame_discipline_ok(
+        [item for unit in ordered for item in unit.items]) if light \
+        else True
+    pipeline = PassPipeline(
+        policies, custom=custom, light=light, frame_ok=frame_ok,
+        data_symbols=frozenset(info.name for info in sema.globals),
+        func_symbols=frozenset(units))
     items: List[object] = []
     for unit in ordered:
         items.extend(pipeline.run(unit).items)
@@ -103,4 +115,17 @@ def link(units: Dict[str, FuncCode], sema: SemaResult,
         if obj.symbols[reloc.symbol].kind == KIND_FUNC:
             address_taken.add(reloc.symbol)
     obj.branch_targets = sorted(address_taken)
+
+    # -- static proof log -------------------------------------------------------
+    if pipeline.context.elisions:
+        instrs = [item for item in items if isinstance(item, Instruction)]
+        offsets = {id(item): off
+                   for item, off in zip(instrs, assembled.instr_offsets)}
+        obj.proofs = sorted(
+            (offsets[id(site)], kind,
+             offsets[id(def_item)] if def_item is not None else 0)
+            for site, kind, def_item in pipeline.context.elisions)
+        # Fail closed at build time: re-derive every proof exactly the
+        # way the enclave will, over a synthetic relocation.
+        prove_object(obj)
     return obj

@@ -18,6 +18,9 @@ from ..errors import ObjectFormatError
 
 MAGIC = b"DFOB"
 VERSION = 1
+#: Version 2 appends the static-proof log (annotation-light binaries).
+#: Proof-free objects keep serializing as version 1, byte-identically.
+PROOF_VERSION = 2
 
 SEC_TEXT = 0
 SEC_DATA = 1
@@ -103,6 +106,10 @@ class ObjectFile:
     relocations: List[ObjRelocation] = field(default_factory=list)
     branch_targets: List[str] = field(default_factory=list)
     policies_label: str = "baseline"
+    #: Static proof log: ``(site_off, kind, def_off)`` per elided guard
+    #: (see :mod:`repro.core.proofcheck` for the kind constants).  The
+    #: in-enclave verifier re-derives every entry; it never trusts them.
+    proofs: List[tuple] = field(default_factory=list)
 
     # -- convenience -----------------------------------------------------
 
@@ -128,7 +135,8 @@ class ObjectFile:
     def serialize(self) -> bytes:
         out = bytearray()
         out += MAGIC
-        out += struct.pack("<H", VERSION)
+        out += struct.pack(
+            "<H", PROOF_VERSION if self.proofs else VERSION)
         out += _pack_str(self.entry)
         out += _pack_str(self.policies_label)
         out += struct.pack("<IIQ", len(self.text), len(self.data),
@@ -147,6 +155,10 @@ class ObjectFile:
             out += struct.pack("<q", reloc.addend)
         for name in self.branch_targets:
             out += _pack_str(name)
+        if self.proofs:
+            out += struct.pack("<I", len(self.proofs))
+            for site, kind, def_off in self.proofs:
+                out += struct.pack("<QBq", site, kind, def_off)
         return bytes(out)
 
     @classmethod
@@ -155,7 +167,7 @@ class ObjectFile:
         if reader.take(4) != MAGIC:
             raise ObjectFormatError("bad magic (not a DFOB object)")
         version = reader.u16()
-        if version != VERSION:
+        if version not in (VERSION, PROOF_VERSION):
             raise ObjectFormatError(f"unsupported version {version}")
         obj = cls()
         obj.entry = reader.string()
@@ -183,6 +195,13 @@ class ObjectFile:
             obj.relocations.append(ObjRelocation(offset, symbol, addend))
         for _ in range(ntargets):
             obj.branch_targets.append(reader.string())
+        if version == PROOF_VERSION:
+            for _ in range(reader.u32()):
+                site, kind, def_off = struct.unpack("<QBq",
+                                                    reader.take(17))
+                if site >= len(obj.text):
+                    raise ObjectFormatError("proof site outside text")
+                obj.proofs.append((site, kind, def_off))
         if reader.pos != len(blob):
             raise ObjectFormatError("trailing bytes in object file")
         for name in obj.branch_targets:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ...isa.instructions import Instruction
 from ...policy.custom import CustomPolicy
-from ...policy.templates import emit_pattern
+from ...policy.emit import emit_pattern
 from ..codegen import FuncCode
 from .pipeline import InstrumentationContext
 

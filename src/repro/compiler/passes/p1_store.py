@@ -6,12 +6,25 @@ memory-store instruction of the program — the paper's
 ``MachineInstr::mayStore()`` walk (§IV-C, "Enforcing P1/P3/P4").
 Annotation-internal stores (shadow-stack pushes, SSA marker refreshes)
 are exempt: they are part of verified annotation code.
+
+In annotation-light mode the pass elides the guard at sites whose
+obligation is statically provable — RBP-frame stores under a canonical
+probing prologue, and stores through an unclobbered constant data/bss
+address — recording a proof entry instead.  Everything else (indexed
+addressing, computed bases, broken frame discipline) keeps the runtime
+guard unchanged.
 """
 
 from __future__ import annotations
 
-from ...isa.instructions import Instruction, is_store
-from ...policy.templates import emit_pattern, store_guard_pattern
+from ...core.proofcheck import PROOF_CONST, PROOF_STACK
+from ...isa.instructions import Instruction, Op, is_store
+from ...isa.registers import RBP, RSP
+from ...policy.emit import emit_pattern
+from ...policy.templates import store_guard_pattern
+from ...staticproof.eligibility import (
+    elidable_const_store, elidable_stack_store,
+)
 from ..codegen import FuncCode
 from .pipeline import InstrumentationContext
 
@@ -22,15 +35,49 @@ class StoreGuardPass:
         self.pattern = store_guard_pattern(context.policies)
 
     def run(self, unit: FuncCode) -> FuncCode:
+        ctx = self.context
+        items = unit.items
+        prologue = self._prologue_def(items) if ctx.light else None
+        guarded_ids = set()
         out = []
-        for item in unit.items:
+        for i, item in enumerate(items):
             if isinstance(item, Instruction) and is_store(item) and \
-                    not self.context.is_annotation(item):
+                    not ctx.is_annotation(item):
+                if ctx.light and \
+                        self._elide(items, i, prologue, guarded_ids):
+                    out.append(item)
+                    continue
+                guarded_ids.add(id(item))
                 mem = item.operands[0]
                 guard = emit_pattern(self.pattern,
-                                     self.context.label_alloc,
+                                     ctx.label_alloc,
                                      anchor_mem=mem)
-                out.extend(self.context.mark(guard))
+                out.extend(ctx.mark(guard))
             out.append(item)
         unit.items = out
         return unit
+
+    def _prologue_def(self, items):
+        """The unit's ``MOV RBP, RSP`` prologue instruction — the
+        dominating definition every stack-store proof names."""
+        for item in items:
+            if isinstance(item, Instruction) and item.op == Op.MOV_RR \
+                    and tuple(item.operands) == (RBP, RSP) and \
+                    not self.context.is_annotation(item):
+                return item
+        return None
+
+    def _elide(self, items, i, prologue, guarded_ids) -> bool:
+        ctx = self.context
+        item = items[i]
+        if ctx.frame_ok and prologue is not None and \
+                elidable_stack_store(item):
+            ctx.elide(item, PROOF_STACK, prologue)
+            return True
+        di = elidable_const_store(
+            items, i, ctx.data_symbols,
+            store_guarded=lambda it: id(it) in guarded_ids)
+        if di is not None:
+            ctx.elide(item, PROOF_CONST, items[di])
+            return True
+        return False

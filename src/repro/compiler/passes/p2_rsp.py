@@ -5,12 +5,21 @@ After every instruction that *explicitly* writes the stack pointer
 producer might emit), insert the range check of
 :func:`repro.policy.templates.rsp_guard_pattern`.  Implicit RSP motion
 (PUSH/POP/CALL/RET) is covered by the loader's guard pages, per §IV-C.
+
+In annotation-light mode, aligned sub-page SUB/ADD steps that sit right
+after a probing instruction (the prologue ``PUSH RBP; MOV RBP, RSP`` or
+a CALL) are elided with an ``rsp_step`` proof — the stack-probing
+argument bounds how far such steps can drift before faulting in a guard
+page.  ``MOV RSP, RBP`` restores and irregular steps keep the guard.
 """
 
 from __future__ import annotations
 
-from ...isa.instructions import Instruction, writes_rsp_explicitly
-from ...policy.templates import emit_pattern, rsp_guard_pattern
+from ...core.proofcheck import PROOF_RSP_STEP
+from ...isa.instructions import Instruction, Op, writes_rsp_explicitly
+from ...policy.emit import emit_pattern
+from ...policy.templates import rsp_guard_pattern
+from ...staticproof.eligibility import elidable_rsp_step
 from ..codegen import FuncCode
 from .pipeline import InstrumentationContext
 
@@ -21,14 +30,21 @@ class RspGuardPass:
         self.pattern = rsp_guard_pattern()
 
     def run(self, unit: FuncCode) -> FuncCode:
+        ctx = self.context
+        items = unit.items
         out = []
-        for item in unit.items:
+        for i, item in enumerate(items):
             out.append(item)
             if isinstance(item, Instruction) and \
                     writes_rsp_explicitly(item) and \
-                    not self.context.is_annotation(item):
+                    not ctx.is_annotation(item):
+                if ctx.light and ctx.frame_ok and \
+                        item.op in (Op.SUB_RI, Op.ADD_RI) and \
+                        elidable_rsp_step(items, i):
+                    ctx.elide(item, PROOF_RSP_STEP)
+                    continue
                 guard = emit_pattern(self.pattern,
-                                     self.context.label_alloc)
-                out.extend(self.context.mark(guard))
+                                     ctx.label_alloc)
+                out.extend(ctx.mark(guard))
         unit.items = out
         return unit

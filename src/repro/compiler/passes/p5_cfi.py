@@ -5,12 +5,21 @@ Before every indirect call/jump, insert the target check of
 target must fall inside the loaded code and be flagged in the loader's
 valid-target byte map (built from the object file's indirect-branch
 symbol list).
+
+In annotation-light mode, a branch whose target register provably still
+holds a ``MOV reg, function`` constant — a symbol on the trusted
+branch-target list — is elided with a ``cfi`` proof.  Targets loaded
+from memory (function-pointer parameters, tables) are not provable and
+keep the runtime check.
 """
 
 from __future__ import annotations
 
+from ...core.proofcheck import PROOF_CFI
 from ...isa.instructions import Instruction, is_indirect_branch
-from ...policy.templates import emit_pattern, indirect_branch_pattern
+from ...policy.emit import emit_pattern
+from ...policy.templates import indirect_branch_pattern
+from ...staticproof.eligibility import elidable_cfi_target
 from ..codegen import FuncCode
 from .pipeline import InstrumentationContext
 
@@ -21,14 +30,28 @@ class IndirectBranchPass:
         self.pattern = indirect_branch_pattern()
 
     def run(self, unit: FuncCode) -> FuncCode:
+        ctx = self.context
+        items = unit.items
+        # This pass runs before the store pass, so any store in a
+        # definition span must conservatively be assumed to grow a
+        # (span-breaking) guard whenever store guards are enabled.
+        store_guarded = (lambda it: True) \
+            if ctx.policies.any_store_guard else None
         out = []
-        for item in unit.items:
+        for i, item in enumerate(items):
             if isinstance(item, Instruction) and is_indirect_branch(item) \
-                    and not self.context.is_annotation(item):
+                    and not ctx.is_annotation(item):
+                if ctx.light:
+                    di = elidable_cfi_target(items, i, ctx.func_symbols,
+                                             store_guarded=store_guarded)
+                    if di is not None:
+                        ctx.elide(item, PROOF_CFI, items[di])
+                        out.append(item)
+                        continue
                 guard = emit_pattern(self.pattern,
-                                     self.context.label_alloc,
+                                     ctx.label_alloc,
                                      target_reg=item.operands[0])
-                out.extend(self.context.mark(guard))
+                out.extend(ctx.mark(guard))
             out.append(item)
         unit.items = out
         return unit

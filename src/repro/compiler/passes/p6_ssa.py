@@ -20,7 +20,8 @@ from typing import List, Set
 from ...isa.instructions import (
     Instruction, Label, LabelDef, Op, is_cond_jump,
 )
-from ...policy.templates import emit_pattern, p6_guard_pattern
+from ...policy.emit import emit_pattern
+from ...policy.templates import p6_guard_pattern
 from ..codegen import FuncCode
 from .pipeline import InstrumentationContext
 

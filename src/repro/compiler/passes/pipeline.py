@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List, Optional, Set, Tuple
 
 from ...isa.assembler import local_label_allocator
+from ...isa.instructions import Instruction
 from ...policy.policies import PolicySet
 from ..codegen import FuncCode
 
@@ -16,12 +17,33 @@ class InstrumentationContext:
     by an instrumentation pass; passes use it to skip annotation code when
     scanning for program anchors, and the P6 pass uses it to exclude
     annotation-internal jumps from the basic-block leader analysis.
+
+    In annotation-light mode (``light=True``) passes may *elide* a guard
+    whose obligation is statically provable, recording the site and its
+    proof via :meth:`elide`; the linker resolves the recorded instruction
+    objects to text offsets and attaches them to the object file as the
+    static proof log.  ``frame_ok`` caches the whole-program
+    frame-discipline prescan; when False, stack-dependent elisions are
+    disabled (the in-enclave checker would reject them anyway).
     """
 
-    def __init__(self, policies: PolicySet):
+    def __init__(self, policies: PolicySet, light: bool = False,
+                 frame_ok: bool = True, data_symbols=frozenset(),
+                 func_symbols=frozenset()):
         self.policies = policies
+        self.light = light
+        self.frame_ok = frame_ok
+        self.data_symbols = frozenset(data_symbols)
+        self.func_symbols = frozenset(func_symbols)
+        #: ``(site_instr, proof_kind, def_instr_or_None)`` per elision.
+        self.elisions: List[Tuple[Instruction, int,
+                                  Optional[Instruction]]] = []
         self.annotation_ids: Set[int] = set()
         self._alloc = local_label_allocator("A")
+
+    def elide(self, site: Instruction, kind: int,
+              def_item: Optional[Instruction] = None) -> None:
+        self.elisions.append((site, kind, def_item))
 
     def label_alloc(self, tag: str = "") -> str:
         return self._alloc(tag)
@@ -48,10 +70,14 @@ class PassPipeline:
     passes' anchors — is final.
     """
 
-    def __init__(self, policies: PolicySet, custom=()):
+    def __init__(self, policies: PolicySet, custom=(), light: bool = False,
+                 frame_ok: bool = True, data_symbols=frozenset(),
+                 func_symbols=frozenset()):
         self.policies = policies
         self.custom = tuple(custom)
-        self.context = InstrumentationContext(policies)
+        self.context = InstrumentationContext(
+            policies, light=light, frame_ok=frame_ok,
+            data_symbols=data_symbols, func_symbols=func_symbols)
 
     def run(self, unit: FuncCode) -> FuncCode:
         from .shadow_stack import ShadowStackPass

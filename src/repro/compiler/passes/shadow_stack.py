@@ -13,8 +13,9 @@ inserted directly before RET, after frame teardown, for the same reason.
 from __future__ import annotations
 
 from ...isa.instructions import Instruction, LabelDef, Op
+from ...policy.emit import emit_pattern
 from ...policy.templates import (
-    emit_pattern, shadow_epilogue_pattern, shadow_prologue_pattern,
+    shadow_epilogue_pattern, shadow_prologue_pattern,
 )
 from ..codegen import FuncCode
 from .pipeline import InstrumentationContext

@@ -19,8 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
 from typing import Dict, List, Optional
@@ -28,12 +27,10 @@ from typing import Dict, List, Optional
 from ..compiler.objfile import ObjectFile
 from ..crypto.channel import SecureChannel
 from ..errors import (
-    CpuFault, DeadlineExceeded, EnclaveError, MemoryFault,
-    PolicyViolation, ProtocolError, RollbackError, VerificationError,
+    CpuFault, EnclaveError, MemoryFault, PolicyViolation,
+    ProtocolError, RollbackError, VerificationError,
 )
-from ..isa.disassembler import format_instruction
-from ..isa.encoding import decode_instruction
-from ..policy.magic import MARKER_VALUE, VIOL_P0, VIOLATION_NAMES
+from ..policy.magic import MARKER_VALUE, VIOL_P0
 from ..policy.policies import PolicySet
 from ..sgx.enclave import Enclave
 from ..sgx.layout import EnclaveConfig
@@ -43,11 +40,13 @@ from ..vm.costmodel import CostModel
 from ..vm.cpu import CPU, ExecResult
 from ..vm.interrupts import AexSchedule
 from .audit import AuditLog
+from .cache import PROVISION_CACHE, ProvisionCache  # noqa: F401 (re-export)
 from .checkpoint import (
-    COUNTER_LABEL, CheckpointPayload, Watchdog, derive_seal_key,
-    seal_checkpoint, verify_chain,
+    COUNTER_LABEL, CheckpointChain, Watchdog, checkpointed_loop,
+    derive_seal_key, verify_chain,
 )
 from .loader import DynamicLoader, LoadedBinary, ProvisionedImage
+from .outcome import RunOutcome, _ThreadIO  # noqa: F401 (re-export)
 from .rdd import recursive_descent
 from .rewriter import ImmRewriter, build_value_map
 from .verifier import DEFAULT_ALLOWED_SVCS, PolicyVerifier, VerifiedBinary
@@ -57,95 +56,6 @@ SVC_RECV = 2
 SVC_REPORT = 3
 
 _RDI, _RSI = 7, 6
-
-
-class ProvisionCache:
-    """LRU of verified + rewritten images, keyed on the provision triple.
-
-    The key is ``(sha256(blob), policy fingerprint, config fingerprint,
-    aex_threshold)`` — every input of the parse → load → RDD → verify →
-    rewrite pipeline.  A hit replays the captured memory images through
-    :meth:`DynamicLoader.install_image`, skipping disassembly,
-    annotation verification and imm rewriting entirely (the dominant
-    one-time cost the paper measures in §VI-B).  Only *accepted*
-    binaries are ever stored: a rejected blob re-verifies (and
-    re-fails) on every attempt, and any mutated blob changes the digest
-    and therefore misses.
-    """
-
-    def __init__(self, maxsize: int = 64):
-        self.maxsize = maxsize
-        self._entries: "OrderedDict[tuple, ProvisionedImage]" = \
-            OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def lookup(self, key: tuple) -> Optional[ProvisionedImage]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
-
-    def store(self, key: tuple, image: ProvisionedImage) -> None:
-        self._entries[key] = image
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-
-    def invalidate(self, blob: Optional[bytes] = None,
-                   digest: Optional[bytes] = None) -> int:
-        """Drop entries for one blob (under every policy/config), or —
-        with no argument — every entry.  Returns the eviction count."""
-        if blob is not None:
-            digest = hashlib.sha256(blob).digest()
-        if digest is None:
-            count = len(self._entries)
-            self._entries.clear()
-            return count
-        stale = [key for key in self._entries if key[0] == digest]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
-
-    def clear(self) -> None:
-        """Invalidate everything and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-
-    # -- cross-process harvest (the bench worker pool) -------------------
-
-    def keys(self) -> frozenset:
-        return frozenset(self._entries)
-
-    def export_since(self, keys: frozenset) -> dict:
-        """Entries added after a :meth:`keys` snapshot — what a pool
-        worker ships back to the parent process."""
-        return {key: image for key, image in self._entries.items()
-                if key not in keys}
-
-    def absorb(self, entries: dict) -> None:
-        """Merge entries harvested from a worker process."""
-        for key, image in entries.items():
-            if key not in self._entries:
-                self.store(key, image)
-
-    def stats(self) -> dict:
-        return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses}
-
-
-#: Process-wide default cache.  Opt-in: a ``BootstrapEnclave`` only
-#: consults it when constructed with ``provision_cache=PROVISION_CACHE``
-#: (the bench harness and the HTTPS simulator do; ad-hoc enclaves keep
-#: the always-verify behaviour).
-PROVISION_CACHE = ProvisionCache()
 
 
 def consumer_image() -> bytes:
@@ -177,65 +87,6 @@ class P0Config:
     #: observes a cycle count rounded up to a multiple of this quantum,
     #: closing the processing-time covert channel.  0 disables padding.
     pad_cycles_quantum: int = 0
-
-
-@dataclass
-class RunOutcome:
-    """Result of executing the provisioned target binary."""
-
-    status: str                        # 'ok' | 'violation' | 'fault'
-    result: Optional[ExecResult] = None
-    reports: List[int] = field(default_factory=list)
-    sent_plaintext: List[bytes] = field(default_factory=list)
-    sent_wire: List[bytes] = field(default_factory=list)
-    violation_code: int = 0
-    detail: str = ""
-    #: Cycle count as observed by the untrusted host: the true count
-    #: rounded up to the padding quantum when time blurring is on.
-    observable_cycles: float = 0.0
-    #: Sealed checkpoints taken during this call (0 when checkpointing
-    #: is off), and — for a resumed run — the step count the restored
-    #: snapshot started from (None for a from-scratch run).
-    checkpoints_taken: int = 0
-    resumed_at_step: Optional[int] = None
-    #: How many provisionings of this enclave were served from the
-    #: provision cache (0 when the cache is off or every load verified).
-    provision_cache_hits: int = 0
-    #: Per-stage wall-clock seconds of the provisioning that produced
-    #: the executed binary: ``parse``/``load``/``rdd``/``verify``/
-    #: ``rewrite`` for a cold provision, ``install`` for a cache hit.
-    provision_stages: Dict[str, float] = field(default_factory=dict)
-    #: Translating-executor counters for this run (compile, dispatch,
-    #: chain-hop, inline-cache and invalidation counts — see
-    #: :meth:`repro.vm.cpu.CPU.jit_stats`); None under the step engine.
-    jit_stats: Optional[Dict] = None
-
-    @property
-    def ok(self) -> bool:
-        return self.status == "ok"
-
-    @property
-    def violation_name(self) -> str:
-        return VIOLATION_NAMES.get(self.violation_code, "")
-
-
-@dataclass
-class _ThreadIO:
-    """Per-thread OCall-wrapper state: staged input and the outcome
-    record the wrappers write into."""
-
-    input: bytes
-    cursor: int
-    outcome: RunOutcome
-
-
-@dataclass
-class _CheckpointChain:
-    """In-flight sealing state of one checkpoint chain."""
-
-    key: bytes
-    prev_mac: bytes
-    blobs: List[bytes]
 
 
 class BootstrapEnclave:
@@ -412,16 +263,18 @@ class BootstrapEnclave:
             t2 = perf_counter()
             code = recursive_descent(text, entry_off, target_offs)
             t3 = perf_counter()
-            verified = self.verifier.verify_code(code, entry_off,
-                                                 target_offs)
+            values = build_value_map(self.enclave.layout, loaded,
+                                     self.aex_threshold,
+                                     policies=self.policies)
+            verified = self.verifier.verify_code(
+                code, entry_off, target_offs,
+                proofs=obj.proofs, values=values)
             t4 = perf_counter()
         except Exception as exc:
             self.audit.record("binary_rejected", hash=blob_hash,
                               reason=str(exc))
             raise
-        rewriter = ImmRewriter(build_value_map(
-            self.enclave.layout, loaded, self.aex_threshold,
-            policies=self.policies))
+        rewriter = ImmRewriter(values)
         rewriter.apply(self.enclave.space, loaded.code_base,
                        verified.magic_slots)
         t5 = perf_counter()
@@ -596,10 +449,10 @@ class BootstrapEnclave:
         io = _ThreadIO(self._input, 0, outcome)
         self._budget = self.p0.max_output_bytes
         cpu = self._make_cpu(0, io, aex_schedule, cost_model)
-        chain = _CheckpointChain(key=self._seal_key(),
-                                 prev_mac=b"\x00" * 32, blobs=[])
-        return self._checkpointed_loop(
-            cpu, io, outcome, chain, max_steps, checkpoint_every,
+        chain = CheckpointChain(key=self._seal_key(),
+                                prev_mac=b"\x00" * 32, blobs=[])
+        return checkpointed_loop(
+            self, cpu, io, outcome, chain, max_steps, checkpoint_every,
             watchdog, checkpoint_sink, interrupt)
 
     def resume(self, blobs,
@@ -662,10 +515,10 @@ class BootstrapEnclave:
         cpu.restore(last.cpu)
         self.audit.record("resumed", steps=last.cpu.steps,
                           counter=head, chain=len(blobs))
-        chain = _CheckpointChain(key=key, prev_mac=blobs[-1][-32:],
-                                 blobs=blobs)
-        return self._checkpointed_loop(
-            cpu, io, outcome, chain, max_steps, checkpoint_every,
+        chain = CheckpointChain(key=key, prev_mac=blobs[-1][-32:],
+                                blobs=blobs)
+        return checkpointed_loop(
+            self, cpu, io, outcome, chain, max_steps, checkpoint_every,
             watchdog, checkpoint_sink, interrupt)
 
     def _seal_key(self) -> bytes:
@@ -679,80 +532,6 @@ class BootstrapEnclave:
     #: Safe-point poll granularity when only a watchdog (no
     #: ``checkpoint_every``) asks for cooperative pauses.
     _WATCHDOG_SLICE = 10_000
-
-    def _checkpointed_loop(self, cpu: CPU, io: "_ThreadIO",
-                           outcome: RunOutcome,
-                           chain: "_CheckpointChain", max_steps: int,
-                           checkpoint_every: Optional[int],
-                           watchdog: Optional[Watchdog],
-                           checkpoint_sink, interrupt) -> RunOutcome:
-        """Slice-execute to safe points, checkpointing between slices."""
-        slice_n = checkpoint_every or self._WATCHDOG_SLICE
-        try:
-            while True:
-                if interrupt is not None:
-                    interrupt(cpu)
-                if watchdog is not None:
-                    reason = watchdog.exceeded(cpu)
-                    if reason is not None:
-                        if checkpoint_every is not None:
-                            self._take_checkpoint(cpu, io, outcome,
-                                                  chain, checkpoint_sink)
-                        self.audit.record("watchdog_expired",
-                                          reason=reason, steps=cpu.steps)
-                        raise DeadlineExceeded(reason, chain.blobs)
-                result = cpu.run(max_steps=max_steps,
-                                 slice_steps=slice_n)
-                if cpu.halted:
-                    outcome.result = result
-                    self.enclave.hw_aex_count += cpu.aex_events
-                    break
-                if checkpoint_every is not None:
-                    self._take_checkpoint(cpu, io, outcome, chain,
-                                          checkpoint_sink)
-        except PolicyViolation as exc:
-            outcome.status = "violation"
-            outcome.violation_code = exc.code
-            outcome.detail = str(exc)
-            outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
-                                        cpu.aex_events, cpu.regs[0])
-        except (MemoryFault, CpuFault) as exc:
-            outcome.status = "fault"
-            outcome.detail = str(exc)
-            outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
-                                        cpu.aex_events, cpu.regs[0])
-        outcome.jit_stats = cpu.jit_stats()
-        return self._finish_run(outcome)
-
-    def _take_checkpoint(self, cpu: CPU, io: "_ThreadIO",
-                         outcome: RunOutcome,
-                         chain: "_CheckpointChain",
-                         checkpoint_sink) -> None:
-        """Seal one incremental checkpoint at the current safe point."""
-        space = self.enclave.space
-        dirty, outside = space.drain_dirty()
-        base = space.enclave_base
-        payload = CheckpointPayload(
-            cpu=cpu.snapshot(),
-            io_cursor=io.cursor,
-            budget=self._budget,
-            input_digest=hashlib.sha256(io.input).digest(),
-            reports=tuple(outcome.reports),
-            sent_plaintext=tuple(outcome.sent_plaintext),
-            enclave_pages=tuple(
-                (index, space.read_page(base + (index << PAGE_SHIFT)))
-                for index in sorted(dirty)),
-            outside_pages=tuple(
-                (addr, space.read_page(addr))
-                for addr in sorted(outside)))
-        counter = self.enclave.platform.counter_bump(COUNTER_LABEL)
-        blob = seal_checkpoint(chain.key, counter, chain.prev_mac,
-                               payload)
-        chain.prev_mac = blob[-32:]
-        chain.blobs.append(blob)
-        outcome.checkpoints_taken += 1
-        if checkpoint_sink is not None:
-            checkpoint_sink(blob)
 
     def _finish_run(self, outcome: RunOutcome) -> RunOutcome:
         """Shared run epilogue: time blurring + the audit record."""
@@ -769,113 +548,16 @@ class BootstrapEnclave:
 
     def run_traced(self, max_instructions: int = 200,
                    cost_model: Optional[CostModel] = None):
-        """Single-step the target, returning ``(outcome, trace)``.
-
-        ``trace`` is a list of disassembly lines (``addr: mnemonic``)
-        for the first ``max_instructions`` executed — a developer aid
-        (the hot path has no tracing hooks; this uses slice stepping).
-        Lines come from the decode-once provisioning stream, so magic
-        annotation immediates appear as their pre-rewrite placeholder
-        constants; addresses outside the stream fall back to decoding
-        live memory.
-        """
-        if self.loaded is None or self.verified is None:
-            raise EnclaveError("no verified binary provisioned")
-        self._reset_runtime_cells()
-        outcome = RunOutcome(status="ok")
-        io = _ThreadIO(self._input, 0, outcome)
-        self._budget = self.p0.max_output_bytes
-        cpu = self._make_cpu(0, io, None, cost_model)
-        trace: List[str] = []
-        space = self.enclave.space
-        code = self.verified.code
-        code_base = self.loaded.code_base
-        try:
-            while len(trace) < max_instructions and not cpu.halted:
-                ins = None
-                if code is not None:
-                    idx = code.index_of.get(cpu.rip - code_base)
-                    if idx is not None:
-                        ins = code.stream[idx][1]
-                if ins is None:
-                    try:
-                        ins, _ = decode_instruction(
-                            space.enclave_view(),
-                            cpu.rip - space.enclave_base)
-                    except Exception:
-                        ins = None
-                if ins is not None:
-                    trace.append(f"{cpu.rip:#x}: "
-                                 f"{format_instruction(ins)}")
-                else:
-                    trace.append(f"{cpu.rip:#x}: <undecodable>")
-                cpu.run(slice_steps=1)
-            if not cpu.halted:
-                trace.append("... (truncated)")
-                outcome.status = "truncated"
-        except PolicyViolation as exc:
-            outcome.status = "violation"
-            outcome.violation_code = exc.code
-            outcome.detail = str(exc)
-        except (MemoryFault, CpuFault) as exc:
-            outcome.status = "fault"
-            outcome.detail = str(exc)
-        outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
-                                    cpu.aex_events, cpu.regs[0])
-        return outcome, trace
+        """Single-step the target; see :func:`repro.core.tracing.run_traced`."""
+        from .tracing import run_traced
+        return run_traced(self, max_instructions, cost_model)
 
     def run_threads(self, inputs, quantum: int = 500,
                     cost_model: Optional[CostModel] = None,
                     max_steps: int = 50_000_000) -> List[RunOutcome]:
-        """``ecall_run`` over N TCS slots (§VII multi-threading).
-
-        Every thread executes the verified entry with its own stack
-        slice, SSA frame and staged input; threads interleave in
-        deterministic instruction quanta over the shared address space.
-        Requires the layout to have enough TCS slots and — when P5 is
-        on — the MT-safe contract (register-held shadow-stack pointer):
-        the memory-cell variant would race across threads, the exact
-        TOCTOU hazard the paper warns about.
-        """
-        from ..vm.smt import RoundRobinScheduler
-        if self.loaded is None or self.verified is None:
-            raise EnclaveError("no verified binary provisioned")
-        layout = self.enclave.layout
-        if len(inputs) > layout.num_threads:
-            raise EnclaveError(
-                f"{len(inputs)} threads but only {layout.num_threads} "
-                f"TCS slots")
-        if self.policies.p5 and not self.policies.mt_safe and \
-                len(inputs) > 1:
-            raise EnclaveError(
-                "P5's memory-held shadow stack is not thread-safe; "
-                "use the MT-safe policy variant (PolicySet.multithreaded)")
-        self._reset_runtime_cells()
-        self._budget = self.p0.max_output_bytes
-        outcomes = []
-        cpus = []
-        for tid, data in enumerate(inputs):
-            outcome = RunOutcome(status="ok")
-            io = _ThreadIO(bytes(data), 0, outcome)
-            cpus.append(self._make_cpu(tid, io, None, cost_model))
-            outcomes.append(outcome)
-        threads = RoundRobinScheduler(cpus, quantum=quantum).run(
-            max_steps_per_thread=max_steps)
-        for thread, outcome in zip(threads, outcomes):
-            cpu = thread.cpu
-            outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
-                                        cpu.aex_events, cpu.regs[0])
-            if thread.status != "halted":
-                outcome.status = thread.status
-                outcome.detail = thread.detail
-                outcome.violation_code = getattr(thread,
-                                                 "violation_code", 0)
-            outcome.observable_cycles = self._pad_time(
-                outcome.result.cycles)
-        self.audit.record(
-            "threads_completed", threads=len(outcomes),
-            statuses=",".join(o.status for o in outcomes))
-        return outcomes
+        """Run over N TCS slots; see :func:`repro.core.threads.run_threads`."""
+        from .threads import run_threads
+        return run_threads(self, inputs, quantum, cost_model, max_steps)
 
     def _pad_time(self, cycles: float) -> float:
         """§VII time blurring: the host only ever observes quantum-

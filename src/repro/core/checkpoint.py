@@ -379,3 +379,88 @@ class Watchdog:
             return (f"watchdog: wall deadline exceeded "
                     f"({self.max_wall_seconds}s)")
         return None
+
+
+@dataclass
+class CheckpointChain:
+    """In-flight sealing state of one checkpoint chain."""
+
+    key: bytes
+    prev_mac: bytes
+    blobs: List[bytes]
+
+
+def take_checkpoint(boot, cpu: CPU, io, outcome,
+                    chain: CheckpointChain, checkpoint_sink) -> None:
+    """Seal one incremental checkpoint at the current safe point."""
+    from ..sgx.memory import PAGE_SHIFT
+    space = boot.enclave.space
+    dirty, outside = space.drain_dirty()
+    base = space.enclave_base
+    payload = CheckpointPayload(
+        cpu=cpu.snapshot(),
+        io_cursor=io.cursor,
+        budget=boot._budget,
+        input_digest=hashlib.sha256(io.input).digest(),
+        reports=tuple(outcome.reports),
+        sent_plaintext=tuple(outcome.sent_plaintext),
+        enclave_pages=tuple(
+            (index, space.read_page(base + (index << PAGE_SHIFT)))
+            for index in sorted(dirty)),
+        outside_pages=tuple(
+            (addr, space.read_page(addr))
+            for addr in sorted(outside)))
+    counter = boot.enclave.platform.counter_bump(COUNTER_LABEL)
+    blob = seal_checkpoint(chain.key, counter, chain.prev_mac, payload)
+    chain.prev_mac = blob[-32:]
+    chain.blobs.append(blob)
+    outcome.checkpoints_taken += 1
+    if checkpoint_sink is not None:
+        checkpoint_sink(blob)
+
+
+def checkpointed_loop(boot, cpu: CPU, io, outcome,
+                      chain: CheckpointChain, max_steps: int,
+                      checkpoint_every: Optional[int],
+                      watchdog: Optional[Watchdog],
+                      checkpoint_sink, interrupt):
+    """Slice-execute to safe points, checkpointing between slices."""
+    from ..errors import (
+        CpuFault, DeadlineExceeded, MemoryFault, PolicyViolation,
+    )
+    from ..vm.cpu import ExecResult
+    slice_n = checkpoint_every or boot._WATCHDOG_SLICE
+    try:
+        while True:
+            if interrupt is not None:
+                interrupt(cpu)
+            if watchdog is not None:
+                reason = watchdog.exceeded(cpu)
+                if reason is not None:
+                    if checkpoint_every is not None:
+                        take_checkpoint(boot, cpu, io, outcome, chain,
+                                        checkpoint_sink)
+                    boot.audit.record("watchdog_expired",
+                                      reason=reason, steps=cpu.steps)
+                    raise DeadlineExceeded(reason, chain.blobs)
+            result = cpu.run(max_steps=max_steps, slice_steps=slice_n)
+            if cpu.halted:
+                outcome.result = result
+                boot.enclave.hw_aex_count += cpu.aex_events
+                break
+            if checkpoint_every is not None:
+                take_checkpoint(boot, cpu, io, outcome, chain,
+                                checkpoint_sink)
+    except PolicyViolation as exc:
+        outcome.status = "violation"
+        outcome.violation_code = exc.code
+        outcome.detail = str(exc)
+        outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
+                                    cpu.aex_events, cpu.regs[0])
+    except (MemoryFault, CpuFault) as exc:
+        outcome.status = "fault"
+        outcome.detail = str(exc)
+        outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
+                                    cpu.aex_events, cpu.regs[0])
+    outcome.jit_stats = cpu.jit_stats()
+    return boot._finish_run(outcome)

@@ -29,7 +29,8 @@ from ..isa.instructions import (
 )
 from ..isa.registers import RESERVED_REGS
 from ..policy.magic import MAGIC
-from ..policy.templates import AnnotationKind, MatchResult, match_pattern
+from ..policy.reference import match_pattern
+from ..policy.templates import AnnotationKind, MatchResult
 from .rdd import DisassembledCode
 from .verifier import PolicyVerifier, VerifiedBinary
 

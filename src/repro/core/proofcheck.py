@@ -1,0 +1,351 @@
+"""In-enclave checker for the static proof tier (fail-closed).
+
+The untrusted producer may ship a binary with some P1–P5 guards elided,
+each elision accompanied by a proof entry ``(site, kind, def)``.  This
+module *re-derives* every claimed proof from the delivered bytes — the
+producer's analysis is never trusted, only its hints about where to
+look.  Any proof that does not re-derive raises
+:class:`~repro.errors.VerificationError`, and the verifier then demands
+the runtime guard as usual, so a hostile or buggy proof log can never
+weaken enforcement below the annotation-full contract.
+
+Soundness arguments per kind:
+
+* ``stack`` — the store goes through RBP with ``|disp|`` under one
+  page, and RBP was set by a dominating ``PUSH RBP; MOV RBP, RSP``
+  prologue.  The PUSH *touches* the slot RBP then names, so the store
+  lands within one page of a successfully written stack address; the
+  layout's whole guard pages on both sides of the stack band (inside
+  ``[store_lo, store_hi)``) make it impossible to reach past the band
+  without faulting first.
+* ``const_addr`` — the base register is a compile-time constant
+  (post-relocation ``MOV r, imm64``) unclobbered on the straight-line
+  path to the store, so the target range is known exactly.
+* ``rsp_step`` — the explicit RSP write moves the pointer by less than
+  a page *and* sits right after a probing instruction (the ``PUSH RBP``
+  of a prologue, or a CALL whose return-address push probed the stack).
+  Successive probes are therefore never more than one page apart, so a
+  runaway chain of steps must write into a guard page before it can
+  escape the band — the classic stack-probing argument.  ``MOV RSP,
+  RBP`` and oversized or unaligned steps keep their runtime P2 guard.
+* ``cfi`` — the branch-target register is a constant that resolves to
+  an offset on the trusted branch-target list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import VerificationError
+from ..isa.instructions import (
+    INDIRECT_BRANCH_OPS, Mem, NO_FALLTHROUGH_OPS, Op, STORE_OPS,
+    _REG_DST_OPS,
+)
+from ..isa.registers import RBP, RSP
+from ..policy.magic import is_magic
+from ..sgx.memory import PAGE_SIZE
+
+PROOF_STACK = 1
+PROOF_CONST = 2
+PROOF_RSP_STEP = 3
+PROOF_CFI = 4
+
+PROOF_KIND_NAMES = {PROOF_STACK: "stack", PROOF_CONST: "const_addr",
+                    PROOF_RSP_STEP: "rsp_step", PROOF_CFI: "cfi"}
+
+#: Largest provable frame step / stack displacement: one page minus a
+#: slot, so a step from anywhere inside the stack band cannot jump over
+#: the layout's one-page guard bands.
+MAX_STEP = PAGE_SIZE - 8
+
+#: Ops allowed between a constant definition and its use site: register
+#: writes to *other* registers, stores, pushes and flag ops.  Anything
+#: that can transfer control, escape, or pop is disqualifying.
+_SPAN_SAFE_OPS = frozenset({Op.PUSH_R, Op.PUSH_I, Op.CMP_RR, Op.CMP_RI,
+                            Op.TEST_RR, Op.NOP}) | STORE_OPS
+
+
+class ProofChecker:
+    """Re-derives per-site proofs from one verified instruction stream."""
+
+    def __init__(self, code, values: Dict[str, int], target_offs,
+                 entry: int):
+        self.code = code
+        self.values = values
+        self.cfi_targets = frozenset(target_offs)
+        # Function entries: addresses control can enter without falling
+        # through — the program entry, direct call targets, and every
+        # trusted indirect-branch target.
+        entries = {entry} | self.cfi_targets
+        # Sources of each direct branch, for the dominance argument.
+        sources: Dict[int, list] = {}
+        stream = code.stream
+        for i in range(len(stream)):
+            t = code.targets[i]
+            if t is None:
+                continue
+            if stream[i][1].op == Op.CALL:
+                entries.add(t)
+            else:
+                sources.setdefault(t, []).append(stream[i][0])
+        self.entries = entries
+        self._sources = sources
+        self._frame_fault: Optional[str] = "unchecked"
+
+    def check(self, site_off: int, kind: int, def_off: int) -> None:
+        """Re-derive one proof; raises ``VerificationError`` on failure."""
+        if kind == PROOF_STACK:
+            self._check_stack(site_off, def_off)
+        elif kind == PROOF_CONST:
+            self._check_const(site_off, def_off)
+        elif kind == PROOF_RSP_STEP:
+            self._check_rsp_step(site_off)
+        elif kind == PROOF_CFI:
+            self._check_cfi(site_off, def_off)
+        else:
+            raise VerificationError(
+                f"static proof at {site_off:#x}: unknown kind {kind}")
+
+    def _fail(self, off: int, kind: int, why: str) -> None:
+        raise VerificationError(
+            f"static proof rejected at {off:#x} "
+            f"({PROOF_KIND_NAMES[kind]}): {why}")
+
+    def _at(self, off: int, kind: int):
+        idx = self.code.index_of.get(off)
+        if idx is None:
+            self._fail(off, kind, "offset is not an instruction")
+        return self.code.stream[idx][1]
+
+    # -- global frame-discipline invariant --------------------------------
+
+    def _frame_discipline(self, off: int, kind: int) -> None:
+        if self._frame_fault == "unchecked":
+            self._frame_fault = self._derive_frame_fault()
+        if self._frame_fault is not None:
+            self._fail(off, kind,
+                       f"frame discipline violated: {self._frame_fault}")
+
+    def _derive_frame_fault(self) -> Optional[str]:
+        v = self.values
+        if v["stack_lo"] - PAGE_SIZE < v["store_lo"] or \
+                v["stack_hi"] + PAGE_SIZE > v["store_hi"]:
+            return "stack band lacks in-range guard pages"
+        stream = self.code.stream
+        for i, (off, ins) in enumerate(stream):
+            if ins.op not in _REG_DST_OPS:
+                continue
+            dst = ins.operands[0]
+            if dst == RBP:
+                if ins.op == Op.MOV_RR and ins.operands[1] == RSP:
+                    continue
+                if ins.op == Op.POP_R and self._epilogue_shape(i):
+                    continue
+                return f"untracked RBP write at {off:#x}"
+            if dst == RSP:
+                if ins.op == Op.MOV_RR and ins.operands[1] == RBP:
+                    continue
+                if ins.op in (Op.SUB_RI, Op.ADD_RI) and \
+                        0 <= ins.operands[1] <= MAX_STEP:
+                    continue
+                return f"oversized or irregular RSP write at {off:#x}"
+        return None
+
+    def _epilogue_shape(self, i: int) -> bool:
+        """``POP RBP`` at stream index ``i`` is epilogue-only: the
+        nearest stack-pointer writer before it is the canonical
+        ``MOV RSP, RBP`` restore (so it pops the prologue slot, not an
+        attacker-pushed value), and control falls through to RET before
+        RBP or RSP is written again.  Annotation code (shadow-stack
+        epilogue, P2 guards) may sit in between."""
+        stream, code = self.code.stream, self.code
+        j = i - 1
+        while j >= 0 and code.end_of(j) == stream[j + 1][0]:
+            # Control must not enter between the restore and the POP.
+            if stream[j + 1][0] in self.entries or \
+                    stream[j + 1][0] in self._sources:
+                return False
+            ins = stream[j][1]
+            if ins.op in _REG_DST_OPS and ins.operands[0] in (RBP, RSP):
+                if ins.op == Op.MOV_RR and \
+                        tuple(ins.operands) == (RSP, RBP):
+                    break
+                return False
+            j -= 1
+        else:
+            return False
+        j = i + 1
+        while j < len(stream):
+            ins = stream[j][1]
+            if ins.op == Op.RET:
+                return True
+            if (ins.op in _REG_DST_OPS and
+                    ins.operands[0] in (RBP, RSP)) or \
+                    ins.op in NO_FALLTHROUGH_OPS or \
+                    code.end_of(j) != (stream[j + 1][0]
+                                       if j + 1 < len(stream) else -1):
+                return False
+            j += 1
+        return False
+
+    # -- straight-line definition spans -----------------------------------
+
+    def _check_span(self, def_off: int, site_off: int, reg: int,
+                    kind: int) -> None:
+        """``reg`` holds the value set at ``def_off`` when control
+        reaches ``site_off``: the span is straight-line, never entered
+        from outside, and never rewrites ``reg``."""
+        if def_off >= site_off:
+            self._fail(site_off, kind, "definition does not precede site")
+        code = self.code
+        idx = code.index_of.get(def_off)
+        if idx is None:
+            self._fail(site_off, kind, "definition is not an instruction")
+        off = code.end_of(idx)
+        while off < site_off:
+            i = code.index_of.get(off)
+            if i is None:
+                self._fail(site_off, kind,
+                           f"hole in definition span at {off:#x}")
+            if off in self.entries or off in self._sources:
+                self._fail(site_off, kind,
+                           f"control can enter span at {off:#x}")
+            ins = code.stream[i][1]
+            if ins.op in _REG_DST_OPS:
+                if ins.operands[0] == reg:
+                    self._fail(site_off, kind,
+                               f"register clobbered at {off:#x}")
+            elif ins.op not in _SPAN_SAFE_OPS:
+                self._fail(site_off, kind,
+                           f"unsafe instruction in span at {off:#x}")
+            off = code.end_of(i)
+
+    def _dominating_rbp_def(self, def_off: int, site_off: int) -> None:
+        """``PUSH RBP; MOV RBP, RSP`` at ``def_off`` reaches
+        ``site_off`` on every path: no fresh entry point in between,
+        every branch into the region originates after the definition,
+        and RBP is not rewritten (an epilogue ``POP RBP`` must be
+        immediately consumed by RET).  The PUSH is required — it probes
+        the very address RBP takes — and control must not be able to
+        jump straight to the MOV with an unprobed stack pointer."""
+        kind = PROOF_STACK
+        d = self._at(def_off, kind)
+        if d.op != Op.MOV_RR or d.operands[0] != RBP or \
+                d.operands[1] != RSP:
+            self._fail(site_off, kind, "definition is not MOV RBP, RSP")
+        if def_off in self.entries or def_off in self._sources:
+            self._fail(site_off, kind,
+                       "control can reach the definition unprobed")
+        di = self.code.index_of[def_off]
+        prev = self.code.stream[di - 1][1] \
+            if di > 0 and self.code.end_of(di - 1) == def_off else None
+        if prev is None or prev.op != Op.PUSH_R or prev.operands[0] != RBP:
+            self._fail(site_off, kind,
+                       "definition lacks its probing PUSH RBP")
+        if def_off >= site_off:
+            self._fail(site_off, kind, "definition does not precede site")
+        span_end = min((e for e in self.entries if e > def_off),
+                       default=len(self.code.text))
+        if site_off >= span_end:
+            self._fail(site_off, kind, "site outside defining function")
+        stream, code = self.code.stream, self.code
+        i = code.index_of[def_off] + 1
+        while i < len(stream) and stream[i][0] <= site_off:
+            off, ins = stream[i]
+            if off in self._sources and off <= site_off:
+                for src in self._sources[off]:
+                    if not def_off < src < span_end:
+                        self._fail(site_off, kind,
+                                   f"branch into span from {src:#x}")
+            if off < site_off and ins.op in _REG_DST_OPS and \
+                    ins.operands[0] == RBP:
+                if not (ins.op == Op.POP_R and i + 1 < len(stream) and
+                        stream[i + 1][1].op == Op.RET):
+                    self._fail(site_off, kind,
+                               f"RBP redefined at {off:#x}")
+            i += 1
+
+    # -- per-kind derivations ---------------------------------------------
+
+    def _store_geometry(self, site_off: int, kind: int):
+        ins = self._at(site_off, kind)
+        if ins.op not in STORE_OPS:
+            self._fail(site_off, kind, "site is not a store")
+        mem = ins.operands[0]
+        if not isinstance(mem, Mem) or mem.index is not None:
+            self._fail(site_off, kind, "store address is not base+disp")
+        return mem, (1 if ins.op == Op.STB else 8)
+
+    def _check_stack(self, site_off: int, def_off: int) -> None:
+        mem, _ = self._store_geometry(site_off, PROOF_STACK)
+        if mem.base != RBP:
+            self._fail(site_off, PROOF_STACK,
+                       "store base is not the frame pointer")
+        if abs(mem.disp) > MAX_STEP:
+            self._fail(site_off, PROOF_STACK,
+                       "displacement exceeds the guard band")
+        self._frame_discipline(site_off, PROOF_STACK)
+        self._dominating_rbp_def(def_off, site_off)
+
+    def _check_const(self, site_off: int, def_off: int) -> None:
+        mem, width = self._store_geometry(site_off, PROOF_CONST)
+        d = self._at(def_off, PROOF_CONST)
+        if d.op != Op.MOV_RI or d.operands[0] != mem.base:
+            self._fail(site_off, PROOF_CONST,
+                       "definition does not set the store base")
+        imm = d.operands[1]
+        if not isinstance(imm, int) or is_magic(imm):
+            self._fail(site_off, PROOF_CONST,
+                       "base register is not a resolved constant")
+        addr = imm + mem.disp
+        if not (self.values["store_lo"] <= addr and
+                addr + width <= self.values["store_hi"]):
+            self._fail(site_off, PROOF_CONST,
+                       f"constant target {addr:#x} out of range")
+        self._check_span(def_off, site_off, mem.base, PROOF_CONST)
+
+    def _check_rsp_step(self, site_off: int) -> None:
+        kind = PROOF_RSP_STEP
+        ins = self._at(site_off, kind)
+        if ins.op not in (Op.SUB_RI, Op.ADD_RI) or \
+                ins.operands[0] != RSP or \
+                not 0 <= ins.operands[1] <= MAX_STEP or \
+                ins.operands[1] % 8:
+            self._fail(site_off, kind, "site is not a one-page RSP step")
+        if site_off in self.entries or site_off in self._sources:
+            self._fail(site_off, kind, "step is a control-flow target")
+        i = self.code.index_of[site_off]
+        prev = self.code.stream[i - 1][1] \
+            if i > 0 and self.code.end_of(i - 1) == site_off else None
+        if ins.op == Op.ADD_RI:
+            # The CALL's return-address push probed the stack just below.
+            if prev is None or prev.op not in (Op.CALL, Op.CALL_R):
+                self._fail(site_off, kind, "step lacks a probing call")
+        else:
+            # Canonical prologue: PUSH RBP probes, MOV RBP, RSP is inert.
+            prev_off = self.code.stream[i - 1][0] if i > 0 else None
+            p2 = self.code.stream[i - 2][1] \
+                if i > 1 and self.code.end_of(i - 2) == prev_off else None
+            if prev is None or p2 is None or prev.op != Op.MOV_RR or \
+                    tuple(prev.operands) != (RBP, RSP) or \
+                    p2.op != Op.PUSH_R or p2.operands[0] != RBP or \
+                    prev_off in self.entries or prev_off in self._sources:
+                self._fail(site_off, kind,
+                           "step lacks a probing prologue")
+        self._frame_discipline(site_off, kind)
+
+    def _check_cfi(self, site_off: int, def_off: int) -> None:
+        ins = self._at(site_off, PROOF_CFI)
+        if ins.op not in INDIRECT_BRANCH_OPS:
+            self._fail(site_off, PROOF_CFI, "site is not an indirect branch")
+        reg = ins.operands[0]
+        d = self._at(def_off, PROOF_CFI)
+        if d.op != Op.MOV_RI or d.operands[0] != reg:
+            self._fail(site_off, PROOF_CFI,
+                       "definition does not set the target register")
+        imm = d.operands[1]
+        if not isinstance(imm, int) or \
+                imm - self.values["code_base"] not in self.cfi_targets:
+            self._fail(site_off, PROOF_CFI,
+                       "constant target is not on the trusted list")
+        self._check_span(def_off, site_off, reg, PROOF_CFI)

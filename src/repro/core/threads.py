@@ -1,0 +1,73 @@
+"""Multi-threaded execution of a provisioned binary (§VII).
+
+Lives outside the bootstrap module for the same reason as
+:mod:`repro.core.tracing`: the scheduling loop drives the VM-layer
+round-robin scheduler and copies results out — no enforcement decision
+is made here.  The policy gate (MT-safe shadow stack required for P5
+with multiple threads) stays in this function but fails closed before
+any thread runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import EnclaveError
+from ..vm.costmodel import CostModel
+from ..vm.cpu import ExecResult
+
+
+def run_threads(boot, inputs, quantum: int = 500,
+                cost_model: Optional[CostModel] = None,
+                max_steps: int = 50_000_000) -> List["RunOutcome"]:
+    """``ecall_run`` over N TCS slots (§VII multi-threading).
+
+    Every thread executes the verified entry with its own stack
+    slice, SSA frame and staged input; threads interleave in
+    deterministic instruction quanta over the shared address space.
+    Requires the layout to have enough TCS slots and — when P5 is
+    on — the MT-safe contract (register-held shadow-stack pointer):
+    the memory-cell variant would race across threads, the exact
+    TOCTOU hazard the paper warns about.
+    """
+    from ..vm.smt import RoundRobinScheduler
+    from .outcome import RunOutcome, _ThreadIO
+
+    if boot.loaded is None or boot.verified is None:
+        raise EnclaveError("no verified binary provisioned")
+    layout = boot.enclave.layout
+    if len(inputs) > layout.num_threads:
+        raise EnclaveError(
+            f"{len(inputs)} threads but only {layout.num_threads} "
+            f"TCS slots")
+    if boot.policies.p5 and not boot.policies.mt_safe and \
+            len(inputs) > 1:
+        raise EnclaveError(
+            "P5's memory-held shadow stack is not thread-safe; "
+            "use the MT-safe policy variant (PolicySet.multithreaded)")
+    boot._reset_runtime_cells()
+    boot._budget = boot.p0.max_output_bytes
+    outcomes = []
+    cpus = []
+    for tid, data in enumerate(inputs):
+        outcome = RunOutcome(status="ok")
+        io = _ThreadIO(bytes(data), 0, outcome)
+        cpus.append(boot._make_cpu(tid, io, None, cost_model))
+        outcomes.append(outcome)
+    threads = RoundRobinScheduler(cpus, quantum=quantum).run(
+        max_steps_per_thread=max_steps)
+    for thread, outcome in zip(threads, outcomes):
+        cpu = thread.cpu
+        outcome.result = ExecResult(cpu.steps, cpu.cycles, cpu.rip,
+                                    cpu.aex_events, cpu.regs[0])
+        if thread.status != "halted":
+            outcome.status = thread.status
+            outcome.detail = thread.detail
+            outcome.violation_code = getattr(thread,
+                                             "violation_code", 0)
+        outcome.observable_cycles = boot._pad_time(
+            outcome.result.cycles)
+    boot.audit.record(
+        "threads_completed", threads=len(outcomes),
+        statuses=",".join(o.status for o in outcomes))
+    return outcomes

@@ -45,10 +45,14 @@ from ..policy.templates import (
     indirect_branch_pattern, p6_guard_pattern, rsp_guard_pattern,
     shadow_epilogue_pattern, shadow_prologue_pattern, store_guard_pattern,
 )
+from ..vm.flowinfo import flag_liveness
+from .proofcheck import (
+    PROOF_CFI, PROOF_CONST, PROOF_RSP_STEP, PROOF_STACK, ProofChecker,
+)
 from .rdd import (
     CAT_HEAD_LEA, CAT_HEAD_MARKER, CAT_HEAD_MOVRR, CAT_HEAD_SUBRI,
     CAT_INDIRECT, CAT_PLAIN, CAT_RET, CAT_RSP_WRITE, CAT_STORE, CAT_SVC,
-    CAT_TRAP, DisassembledCode, HEAD_CAT_MIN, flag_liveness, recursive_descent,
+    CAT_TRAP, DisassembledCode, HEAD_CAT_MIN, recursive_descent,
 )
 
 #: SVC numbers admissible under P0 (send / recv / report).
@@ -69,13 +73,17 @@ class VerifiedBinary:
     code: Optional[DisassembledCode] = field(default=None, compare=False,
                                              repr=False)
     #: Text offsets whose incoming flag state is provably dead (see
-    #: :func:`~repro.core.rdd.flag_liveness`).  Computed once on the
+    #: :func:`~repro.vm.flowinfo.flag_liveness`).  Computed once on the
     #: verified stream; the tier-2 translator uses it as a whole-program
     #: veto when eliding flag materialization across chain edges.
     #: Rewriting only patches MOV_RI immediates (flag-neutral), so the
     #: set stays valid for the rewritten image.
     flag_kill_offsets: FrozenSet[int] = field(default=frozenset(),
                                               compare=False, repr=False)
+    #: Accepted static-proof log: ``(site_off, kind, def_off)`` per
+    #: elided guard, re-derived from the delivered bytes (empty for
+    #: annotation-full binaries).  Part of the evidence verdict.
+    proofs: Tuple = ()
 
 
 class PolicyVerifier:
@@ -171,7 +179,8 @@ class PolicyVerifier:
         return (self.policies.describe(),
                 tuple(sorted(self.allowed_svcs)),
                 tuple(sorted(policy.marker for policy in self.custom)),
-                self._dispatch_digest())
+                self._dispatch_digest(),
+                ("static-proof-tier", 1))
 
     # -- public API --------------------------------------------------------
 
@@ -184,20 +193,34 @@ class PolicyVerifier:
         return self.verify_code(code, entry, branch_targets)
 
     def verify_code(self, code: DisassembledCode, entry: int,
-                    branch_targets: Iterable[int] = ()) -> VerifiedBinary:
+                    branch_targets: Iterable[int] = (),
+                    proofs: Iterable[Tuple[int, int, int]] = (),
+                    values: Optional[Dict[str, int]] = None) \
+            -> VerifiedBinary:
         """Verify an already-disassembled stream (decode-once path).
 
         ``code`` must come from :func:`~repro.core.rdd.recursive_descent`
         over the same text/entry/targets; the returned evidence carries
         it in ``.code`` so later stages can reuse the stream.
+
+        ``proofs`` is the producer's static-proof log (one
+        ``(site_off, kind, def_off)`` entry per elided guard) and
+        ``values`` the concrete enclave bounds from
+        :func:`~repro.core.rewriter.build_value_map`; every claimed
+        proof is re-derived from the delivered bytes and any failure
+        rejects the binary (fail closed).
         """
         branch_targets = sorted(set(branch_targets))
-        return self._verify_stream(code, entry, branch_targets)
+        return self._verify_stream(code, entry, branch_targets,
+                                   tuple(proofs), values)
 
     # -- main verification -----------------------------------------------------
 
     def _verify_stream(self, code: DisassembledCode, entry: int,
-                       branch_targets: List[int]) -> VerifiedBinary:
+                       branch_targets: List[int],
+                       proofs: Tuple = (),
+                       values: Optional[Dict[str, int]] = None) \
+            -> VerifiedBinary:
         stream = code.stream
         cats = code.cats
         reserved = code.reserved
@@ -215,6 +238,31 @@ class PolicyVerifier:
                          if ins.op == Op.TRAP}
         result = VerifiedBinary(instruction_count=n, code=code)
         counts = result.annotation_counts
+
+        checker: Optional[ProofChecker] = None
+        proof_map: Dict[int, Tuple[int, int, int]] = {}
+        if proofs:
+            if values is None:
+                raise VerificationError(
+                    "proof-carrying binary verified without enclave "
+                    "bounds", 0)
+            checker = ProofChecker(
+                code, {"store_lo": values["p1_lo"],
+                       "store_hi": values["p1_hi"],
+                       "stack_lo": values["stack_lo"],
+                       "stack_hi": values["stack_hi"],
+                       "code_base": values["code_base"]},
+                branch_targets, entry)
+            proof_map = {p[0]: p for p in proofs}
+        accepted: List[Tuple[int, int, int]] = []
+
+        def prove(off: int, kinds: tuple, label: str) -> None:
+            """Fail closed: an elided guard needs a re-derivable proof."""
+            p = proof_map.get(off)
+            if p is None or p[1] not in kinds:
+                raise VerificationError(label, off)
+            checker.check(p[0], p[1], p[2])
+            accepted.append(p)
 
         interior: Set[int] = set()       # annotation offsets (minus starts)
         anchors: Set[int] = set()        # guarded anchor offsets
@@ -325,9 +373,10 @@ class PolicyVerifier:
                     "program code touches annotation-reserved registers",
                     off)
             if cat == CAT_STORE and policies.any_store_guard:
-                raise VerificationError("unguarded memory store", off)
+                prove(off, (PROOF_STACK, PROOF_CONST),
+                      "unguarded memory store")
             if cat == CAT_INDIRECT and policies.p5:
-                raise VerificationError("unguarded indirect branch", off)
+                prove(off, (PROOF_CFI,), "unguarded indirect branch")
             if cat == CAT_RET and policies.p5:
                 raise VerificationError(
                     "RET without shadow-stack epilogue", off)
@@ -348,9 +397,11 @@ class PolicyVerifier:
                     match = match_compiled(self._rsp_compiled, stream,
                                            i + 1, trap_pads)
                 if not match.matched:
-                    raise VerificationError(
-                        f"stack-pointer write without RSP guard: "
-                        f"{match.reason}", off)
+                    prove(off, (PROOF_RSP_STEP,),
+                          f"stack-pointer write without RSP guard: "
+                          f"{match.reason}")
+                    i += 1
+                    continue
                 counts[AnnotationKind.RSP_GUARD] = \
                     counts.get(AnnotationKind.RSP_GUARD, 0) + 1
                 result.magic_slots.extend(match.magic_slots)
@@ -359,6 +410,11 @@ class PolicyVerifier:
                 continue
             i += 1
 
+        if len(accepted) != len(proof_map):
+            stale = sorted(set(proof_map) - {p[0] for p in accepted})
+            raise VerificationError(
+                "static proof references no elided site", stale[0])
+        result.proofs = tuple(accepted)
         self._check_control_flow(code, entry, branch_targets, interior,
                                  anchors, p6_guards, ann_at, trap_pads,
                                  result)

@@ -23,8 +23,10 @@ from .templates import (
     AnnotationKind, Pattern,
     store_guard_pattern, rsp_guard_pattern, indirect_branch_pattern,
     shadow_prologue_pattern, shadow_epilogue_pattern, p6_guard_pattern,
-    emit_pattern, match_pattern, MatchResult,
+    MatchResult,
 )
+from .emit import emit_pattern, pattern_length
+from .reference import match_pattern
 
 __all__ = [
     "PolicySet",
@@ -35,5 +37,6 @@ __all__ = [
     "AnnotationKind", "Pattern",
     "store_guard_pattern", "rsp_guard_pattern", "indirect_branch_pattern",
     "shadow_prologue_pattern", "shadow_epilogue_pattern",
-    "p6_guard_pattern", "emit_pattern", "match_pattern", "MatchResult",
+    "p6_guard_pattern", "emit_pattern", "pattern_length",
+    "match_pattern", "MatchResult",
 ]

@@ -1,0 +1,71 @@
+"""Producer-side template instantiation.
+
+Untrusted: this module runs in the compiler's instrumentation passes,
+outside the enclave.  Splitting it out of :mod:`repro.policy.templates`
+keeps the emission machinery off the consumer's TCB accounting — the
+verifier only ever matches templates, it never emits them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa.instructions import Instruction, Label, LabelDef, Mem, SPECS
+from .magic import MAGIC, trap_label
+from .templates import (
+    AnchorMem, AnchorReg, ImmAtom, LocalTo, Mag, Pattern, TargetReg, TrapTo,
+)
+
+
+def emit_pattern(pattern: Pattern, label_alloc,
+                 anchor_mem: Optional[Mem] = None,
+                 target_reg: Optional[int] = None,
+                 anchor_instr: Optional[Instruction] = None) -> list:
+    """Instantiate ``pattern`` into assembler items.
+
+    ``label_alloc(tag)`` must return fresh local label names.  TrapTo
+    atoms become references to the program-wide trap pads (emitted by
+    the linker); LocalTo atoms become fresh local labels.
+    """
+    local_labels: Dict[int, str] = {}
+    for pinstr in pattern:
+        for atom in pinstr.atoms:
+            if isinstance(atom, LocalTo) and atom.index not in local_labels:
+                local_labels[atom.index] = label_alloc("ann")
+    items = []
+    for idx, pinstr in enumerate(pattern):
+        if idx in local_labels:
+            items.append(LabelDef(local_labels[idx]))
+        operands = []
+        for atom in pinstr.atoms:
+            if isinstance(atom, Mag):
+                operands.append(MAGIC[atom.name])
+            elif isinstance(atom, ImmAtom):
+                operands.append(atom.value)
+            elif isinstance(atom, TrapTo):
+                operands.append(Label(trap_label(atom.code)))
+            elif isinstance(atom, LocalTo):
+                operands.append(Label(local_labels[atom.index]))
+            elif isinstance(atom, TargetReg):
+                if target_reg is None:
+                    raise ValueError("pattern needs target_reg")
+                operands.append(target_reg)
+            elif isinstance(atom, AnchorMem):
+                if anchor_mem is None:
+                    raise ValueError("pattern needs anchor_mem")
+                operands.append(anchor_mem)
+            elif isinstance(atom, AnchorReg):
+                if anchor_instr is None:
+                    raise ValueError("pattern needs anchor_instr")
+                operands.append(anchor_instr.operands[atom.index])
+            else:
+                operands.append(atom)
+        items.append(Instruction(pinstr.op, *operands))
+    if len(pattern) in local_labels:
+        items.append(LabelDef(local_labels[len(pattern)]))
+    return items
+
+
+def pattern_length(pattern: Pattern) -> int:
+    """Encoded byte length of an instantiated pattern."""
+    return sum(SPECS[pinstr.op].length for pinstr in pattern)

@@ -31,12 +31,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..isa.encoding import MOV_RI_IMM_OFFSET, encode_instruction
-from ..isa.instructions import (
-    Instruction, Label, LabelDef, Mem, Op, SPECS,
-)
+from ..isa.instructions import Instruction, Mem, Op, SPECS
 from ..isa.registers import R13, R14, R15, RSP, RESERVED_REGS
 from .magic import (
-    MAGIC, MARKER_VALUE, trap_label,
+    MAGIC, MARKER_VALUE,
     VIOL_P1, VIOL_P2, VIOL_P3, VIOL_P4,
     VIOL_P5_TARGET, VIOL_P5_RET, VIOL_P5_SHADOW, VIOL_P6,
 )
@@ -253,64 +251,6 @@ def p6_guard_pattern() -> Pattern:
         _p(Op.MOV_RI, R14, Mag("ssa_marker")),          # 11 reload
         _p(Op.MOV_MI, Mem(R14), ImmAtom(MARKER_VALUE)),  # 12 refresh
     ]
-
-
-# ---------------------------------------------------------------------------
-# Emission (producer side)
-# ---------------------------------------------------------------------------
-
-def emit_pattern(pattern: Pattern, label_alloc,
-                 anchor_mem: Optional[Mem] = None,
-                 target_reg: Optional[int] = None,
-                 anchor_instr: Optional[Instruction] = None) -> list:
-    """Instantiate ``pattern`` into assembler items.
-
-    ``label_alloc(tag)`` must return fresh local label names.  TrapTo
-    atoms become references to the program-wide trap pads (emitted by
-    the linker); LocalTo atoms become fresh local labels.
-    """
-    local_labels: Dict[int, str] = {}
-    for pinstr in pattern:
-        for atom in pinstr.atoms:
-            if isinstance(atom, LocalTo) and atom.index not in local_labels:
-                local_labels[atom.index] = label_alloc("ann")
-    items = []
-    for idx, pinstr in enumerate(pattern):
-        if idx in local_labels:
-            items.append(LabelDef(local_labels[idx]))
-        operands = []
-        for atom in pinstr.atoms:
-            if isinstance(atom, Mag):
-                operands.append(MAGIC[atom.name])
-            elif isinstance(atom, ImmAtom):
-                operands.append(atom.value)
-            elif isinstance(atom, TrapTo):
-                operands.append(Label(trap_label(atom.code)))
-            elif isinstance(atom, LocalTo):
-                operands.append(Label(local_labels[atom.index]))
-            elif isinstance(atom, TargetReg):
-                if target_reg is None:
-                    raise ValueError("pattern needs target_reg")
-                operands.append(target_reg)
-            elif isinstance(atom, AnchorMem):
-                if anchor_mem is None:
-                    raise ValueError("pattern needs anchor_mem")
-                operands.append(anchor_mem)
-            elif isinstance(atom, AnchorReg):
-                if anchor_instr is None:
-                    raise ValueError("pattern needs anchor_instr")
-                operands.append(anchor_instr.operands[atom.index])
-            else:
-                operands.append(atom)
-        items.append(Instruction(pinstr.op, *operands))
-    if len(pattern) in local_labels:
-        items.append(LabelDef(local_labels[len(pattern)]))
-    return items
-
-
-def pattern_length(pattern: Pattern) -> int:
-    """Encoded byte length of an instantiated pattern."""
-    return sum(SPECS[pinstr.op].length for pinstr in pattern)
 
 
 # ---------------------------------------------------------------------------
@@ -645,94 +585,6 @@ def match_fast(fast: FastPattern, text: bytes, stream, index: int,
         anchor_regs=anchor_regs)
 
 
-def match_pattern(pattern: Pattern, stream, index: int,
-                  trap_pads: Dict[int, int]) -> MatchResult:
-    """Match ``pattern`` against ``stream[index:]``.
-
-    ``stream`` is a list of ``(offset, Instruction)`` in address order
-    (as produced by the recursive-descent disassembler);``trap_pads``
-    maps text offsets of TRAP pads to their violation codes.
-    """
-    result = MatchResult(matched=False)
-    captured_reg: Optional[int] = None
-    captured_mem: Optional[Mem] = None
-    if index + len(pattern) > len(stream):
-        result.reason = "stream too short for annotation"
-        return result
-    for k, pinstr in enumerate(pattern):
-        offset, instr = stream[index + k]
-        if instr.op != pinstr.op:
-            result.reason = (f"annotation[{k}] opcode mismatch at "
-                             f"{offset:#x}")
-            return result
-        for pos, atom in enumerate(pinstr.atoms):
-            operand = instr.operands[pos]
-            if isinstance(atom, Mag):
-                if operand != MAGIC[atom.name]:
-                    result.reason = (f"annotation[{k}] expected magic "
-                                     f"{atom.name} at {offset:#x}")
-                    return result
-                result.magic_slots.append(
-                    (offset + MOV_RI_IMM_OFFSET, atom.name))
-            elif isinstance(atom, ImmAtom):
-                if operand != atom.value:
-                    result.reason = (f"annotation[{k}] bad immediate at "
-                                     f"{offset:#x}")
-                    return result
-            elif isinstance(atom, TrapTo):
-                target = offset + instr.length + operand
-                if trap_pads.get(target) != atom.code:
-                    result.reason = (f"annotation[{k}] does not trap to "
-                                     f"pad {atom.code} at {offset:#x}")
-                    return result
-            elif isinstance(atom, LocalTo):
-                want_index = index + atom.index
-                if want_index >= len(stream):
-                    result.reason = (f"annotation[{k}] local target past "
-                                     f"stream end")
-                    return result
-                target = offset + instr.length + operand
-                if target != stream[want_index][0]:
-                    result.reason = (f"annotation[{k}] bad local target at "
-                                     f"{offset:#x}")
-                    return result
-            elif isinstance(atom, TargetReg):
-                if not isinstance(operand, int) or \
-                        operand in RESERVED_REGS or operand == RSP:
-                    result.reason = (f"annotation[{k}] illegal target "
-                                     f"register at {offset:#x}")
-                    return result
-                if captured_reg is None:
-                    captured_reg = operand
-                elif captured_reg != operand:
-                    result.reason = (f"annotation[{k}] inconsistent target "
-                                     f"register at {offset:#x}")
-                    return result
-            elif isinstance(atom, AnchorMem):
-                if not isinstance(operand, Mem):
-                    result.reason = (f"annotation[{k}] expected memory "
-                                     f"operand at {offset:#x}")
-                    return result
-                captured_mem = operand
-            elif isinstance(atom, AnchorReg):
-                if not isinstance(operand, int):
-                    result.reason = (f"annotation[{k}] expected register "
-                                     f"at {offset:#x}")
-                    return result
-                if atom.index in result.anchor_regs and \
-                        result.anchor_regs[atom.index] != operand:
-                    result.reason = (f"annotation[{k}] inconsistent "
-                                     f"anchor register at {offset:#x}")
-                    return result
-                result.anchor_regs[atom.index] = operand
-            else:
-                if operand != atom:
-                    result.reason = (f"annotation[{k}] operand mismatch at "
-                                     f"{offset:#x}")
-                    return result
-        result.interior_offsets.append(offset)
-    result.matched = True
-    result.end_index = index + len(pattern)
-    result.target_reg = captured_reg
-    result.anchor_mem = captured_mem
-    return result
+# The interpretive reference matcher lives in repro.policy.reference;
+# the production verifier dispatches only through the compiled and fast
+# matchers above.

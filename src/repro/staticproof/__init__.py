@@ -1,0 +1,27 @@
+"""Static proof tier: prove P1–P5 obligations offline, elide guards.
+
+The untrusted producer's side of the proof-carrying-binary contract:
+
+* :mod:`.eligibility` — IR-level predicates the instrumentation passes
+  use in annotation-light mode to pick guard sites whose obligation is
+  statically provable (RBP-frame stores, prologue/post-call RSP steps,
+  constant-address global stores, constant indirect-branch targets);
+* :mod:`.prover` — link-time re-derivation of every emitted proof with
+  the *in-enclave* checker over a synthetic relocation of the object,
+  so an unprovable elision breaks the build instead of the provisioning.
+
+The consumer half lives in :mod:`repro.core.proofcheck`, inside the
+TCB; nothing in this package is trusted by the enclave.
+"""
+
+from .eligibility import (
+    constant_def, elidable_cfi_target, elidable_const_store,
+    elidable_rsp_step, elidable_stack_store, frame_discipline_ok,
+)
+from .prover import prove_object, synthetic_bases, synthetic_image
+
+__all__ = [
+    "constant_def", "elidable_cfi_target", "elidable_const_store",
+    "elidable_rsp_step", "elidable_stack_store", "frame_discipline_ok",
+    "prove_object", "synthetic_bases", "synthetic_image",
+]

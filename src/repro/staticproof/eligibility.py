@@ -1,0 +1,173 @@
+"""IR-level elision eligibility for the annotation-light mode.
+
+These predicates run inside the instrumentation passes, over the
+pre-assembly item streams, and decide which guard sites the producer
+*attempts* to elide.  They deliberately mirror the in-enclave rules of
+:mod:`repro.core.proofcheck` — being conservative here only costs a
+runtime guard; being optimistic costs a :class:`CompileError` when the
+link-time prover re-derives the proofs and one fails.  Nothing here is
+trusted: the enclave re-checks every elision from delivered bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.proofcheck import MAX_STEP
+from ..isa.instructions import (
+    COND_JUMPS, Instruction, Mem, Op, SymbolRef, _REG_DST_OPS,
+    INDIRECT_BRANCH_OPS, NO_FALLTHROUGH_OPS, STORE_OPS,
+)
+from ..isa.registers import RBP, RSP
+
+#: Ops the checker's straight-line span walk tolerates between a
+#: constant definition and its use (plus register writes to other
+#: registers, which are checked separately).
+_SPAN_SAFE = frozenset({Op.PUSH_R, Op.PUSH_I, Op.CMP_RR, Op.CMP_RI,
+                        Op.TEST_RR, Op.NOP})
+
+_BRANCH_OPS = frozenset(COND_JUMPS) | NO_FALLTHROUGH_OPS | \
+    INDIRECT_BRANCH_OPS | frozenset({Op.CALL, Op.CALL_R})
+
+
+def frame_discipline_ok(all_items) -> bool:
+    """Whole-program mirror of the checker's frame-discipline scan.
+
+    When False, stack-store and RSP-step elision is disabled outright
+    (the in-enclave checker would reject every such proof), but
+    const-address and CFI elision — which do not rely on the stack
+    invariant — stay available.
+    """
+    instrs = [it for it in all_items if isinstance(it, Instruction)]
+    for i, ins in enumerate(instrs):
+        if ins.op not in _REG_DST_OPS:
+            continue
+        dst = ins.operands[0]
+        if dst == RBP:
+            if ins.op == Op.MOV_RR and ins.operands[1] == RSP:
+                continue
+            if ins.op == Op.POP_R and i + 1 < len(instrs) and \
+                    instrs[i + 1].op == Op.RET:
+                continue
+            return False
+        if dst == RSP:
+            if ins.op == Op.MOV_RR and ins.operands[1] == RBP:
+                continue
+            if ins.op in (Op.SUB_RI, Op.ADD_RI) and \
+                    0 <= ins.operands[1] <= MAX_STEP:
+                continue
+            return False
+    return True
+
+
+def elidable_stack_store(item: Instruction) -> bool:
+    """RBP-relative store within the guard band: provable as K_STACK
+    whenever the function has the canonical probing prologue (checked
+    structurally by the prover; MiniC codegen always emits it)."""
+    mem = item.operands[0]
+    return isinstance(mem, Mem) and mem.base == RBP and \
+        mem.index is None and abs(mem.disp) <= MAX_STEP
+
+
+def elidable_rsp_step(items: List, index: int) -> bool:
+    """SUB/ADD RSP by an aligned sub-page constant, in a position the
+    checker accepts: a prologue ``PUSH RBP; MOV RBP, RSP; SUB`` or a
+    post-call ``CALL; ADD`` (both probe the stack just before the
+    step).  ``items`` is the unit's current item list."""
+    ins = items[index]
+    k = ins.operands[1]
+    if not (isinstance(k, int) and 0 <= k <= MAX_STEP and k % 8 == 0):
+        return False
+    prev = _prev_instrs(items, index, 2)
+    if ins.op == Op.ADD_RI:
+        return len(prev) >= 1 and prev[0].op in (Op.CALL, Op.CALL_R)
+    return (len(prev) == 2 and
+            prev[0].op == Op.MOV_RR and
+            tuple(prev[0].operands) == (RBP, RSP) and
+            prev[1].op == Op.PUSH_R and prev[1].operands[0] == RBP)
+
+
+def _prev_instrs(items: List, index: int, count: int) -> List:
+    """The ``count`` instructions preceding ``items[index]``, nearest
+    first; stops early at a label definition (a potential branch-in
+    point breaks the probing-adjacency argument)."""
+    out = []
+    j = index - 1
+    while j >= 0 and len(out) < count:
+        if not isinstance(items[j], Instruction):
+            break
+        out.append(items[j])
+        j -= 1
+    return out
+
+
+def constant_def(items: List, index: int, reg: int,
+                 store_guarded=None) -> Optional[int]:
+    """Index of a ``MOV reg, SymbolRef`` that provably still defines
+    ``reg`` at ``items[index]``, or None.
+
+    The backward walk enforces the checker's straight-line span rule:
+    no label (branch-in point), no control transfer, no clobber of
+    ``reg``, and every other instruction either writes a different
+    register or is span-safe.  ``store_guarded`` — when given — is a
+    predicate telling whether an intervening store will carry a runtime
+    guard (guard code contains labels and jumps, which would break the
+    span at assembly time)."""
+    j = index - 1
+    while j >= 0:
+        item = items[j]
+        if not isinstance(item, Instruction):
+            return None                     # label: control can enter
+        if item.op in _BRANCH_OPS:
+            return None
+        if item.op in _REG_DST_OPS and item.operands[0] == reg:
+            if item.op == Op.MOV_RI and \
+                    isinstance(item.operands[1], SymbolRef):
+                return j
+            return None                     # clobbered by non-constant
+        if item.op in _REG_DST_OPS and item.operands[0] == RSP:
+            return None                     # would grow a P2 guard mid-span
+        if item.op in STORE_OPS:
+            if store_guarded is not None and store_guarded(item):
+                return None
+        elif item.op not in _SPAN_SAFE and item.op not in _REG_DST_OPS:
+            return None
+        j -= 1
+    return None
+
+
+def elidable_const_store(items: List, index: int, data_symbols,
+                         store_guarded=None) -> Optional[int]:
+    """Index of the defining ``MOV reg, SymbolRef(global)`` when the
+    store at ``index`` targets a compile-time-constant in-enclave
+    address, else None.  Only direct ``[reg + disp]`` stores to data/bss
+    symbols qualify; indexed addressing stays guarded."""
+    mem = items[index].operands[0]
+    if not isinstance(mem, Mem) or mem.index is not None or \
+            mem.base in (RBP, RSP) or not 0 <= mem.disp <= MAX_STEP:
+        return None
+    di = constant_def(items, index, mem.base, store_guarded)
+    if di is None:
+        return None
+    ref = items[di].operands[1]
+    if ref.name not in data_symbols or ref.addend != 0:
+        return None
+    return di
+
+
+def elidable_cfi_target(items: List, index: int, func_symbols,
+                        store_guarded=None) -> Optional[int]:
+    """Index of the defining ``MOV reg, SymbolRef(function)`` for the
+    indirect branch at ``index``, else None.  The symbol lands on the
+    trusted branch-target list precisely because this MOV makes it
+    address-taken.  ``store_guarded`` is conservative here: the CFI pass
+    runs before the store pass, so when store guards are enabled any
+    store in the span must be assumed guarded (span-breaking)."""
+    reg = items[index].operands[0]
+    di = constant_def(items, index, reg, store_guarded)
+    if di is None:
+        return None
+    ref = items[di].operands[1]
+    if ref.name not in func_symbols or ref.addend != 0:
+        return None
+    return di

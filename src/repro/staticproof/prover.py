@@ -1,0 +1,98 @@
+"""Link-time re-derivation of the static proof log.
+
+The producer never ships a proof it has not already checked the way the
+enclave will: this module builds a *synthetic* enclave image (the text
+patched with synthetic-but-layout-faithful relocation addresses), runs
+the same recursive-descent disassembly, and feeds every proof entry
+through the very :class:`repro.core.proofcheck.ProofChecker` the
+in-enclave verifier uses.  A proof that fails here raises
+:class:`~repro.errors.CompileError` — better a build break on the
+producer's machine than a provisioning rejection in the enclave.
+
+The synthetic layout preserves every property the checker consumes:
+the stack band has whole guard pages on both sides inside
+``[store_lo, store_hi)``, data/bss sit above the code pages (as the
+real loader places them on the heap), and code offsets translate to
+addresses by the same ``code_base`` rebase.  Because the checker's
+verdict depends only on those relations — never on absolute numbers —
+passing here implies passing in the enclave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.proofcheck import ProofChecker
+from ..core.rdd import recursive_descent
+from ..errors import CompileError, VerificationError
+from ..sgx.memory import PAGE_SIZE
+
+
+def _page_round(n: int) -> int:
+    return (n + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def synthetic_bases(obj) -> Dict[str, int]:
+    """Section base addresses + checker value map for a fake enclave
+    shaped like the real layout: code, guard, stack, guard, data."""
+    store_lo = PAGE_SIZE
+    code_base = 16 * PAGE_SIZE
+    stack_lo = code_base + _page_round(len(obj.text)) + PAGE_SIZE
+    stack_hi = stack_lo + 16 * PAGE_SIZE
+    data_base = stack_hi + PAGE_SIZE
+    bss_base = data_base + _page_round(len(obj.data) + 8)
+    store_hi = bss_base + _page_round(obj.bss_size + 8) + 64 * PAGE_SIZE
+    return {"store_lo": store_lo, "store_hi": store_hi,
+            # build_value_map aliases, so the dict slots straight into
+            # PolicyVerifier.verify_code(values=...) as enclave bounds
+            "p1_lo": store_lo, "p1_hi": store_hi,
+            "stack_lo": stack_lo, "stack_hi": stack_hi,
+            "code_base": code_base, "data_base": data_base,
+            "bss_base": bss_base}
+
+
+def synthetic_image(obj):
+    """``(patched_text, bases, entry_off, target_offs)`` — the object's
+    text with every relocation resolved against the synthetic layout.
+    Lets offline consumers (the link-time prover, ``objdump --stats``)
+    run the real verifier/checker without an enclave."""
+    from ..compiler.objfile import SEC_BSS, SEC_DATA, SEC_TEXT
+
+    bases = synthetic_bases(obj)
+    section_base = {SEC_TEXT: bases["code_base"],
+                    SEC_DATA: bases["data_base"],
+                    SEC_BSS: bases["bss_base"]}
+    text = bytearray(obj.text)
+    for reloc in obj.relocations:
+        sym = obj.symbol(reloc.symbol)
+        addr = section_base[sym.section] + sym.offset + reloc.addend
+        text[reloc.offset:reloc.offset + 8] = addr.to_bytes(8, "little")
+    entry_off = obj.symbol(obj.entry).offset
+    target_offs = sorted(obj.symbol(name).offset
+                         for name in obj.branch_targets)
+    return bytes(text), bases, entry_off, target_offs
+
+
+def prove_object(obj) -> None:
+    """Re-derive every entry of ``obj.proofs``; raise ``CompileError``
+    on the first one the in-enclave checker would reject.
+
+    Sites the recursive descent never reaches (elided stores in dead
+    prelude functions) are *pruned* from the log rather than checked:
+    the in-enclave verifier only walks discovered instructions, so it
+    neither demands a guard there nor accepts a proof naming them (a
+    stale entry fails verification)."""
+    if not obj.proofs:
+        return
+    text, bases, entry_off, target_offs = synthetic_image(obj)
+    code = recursive_descent(text, entry_off, target_offs)
+    obj.proofs = [entry for entry in obj.proofs
+                  if entry[0] in code.index_of]
+    checker = ProofChecker(code, bases, target_offs, entry_off)
+    for site, kind, def_off in obj.proofs:
+        try:
+            checker.check(site, kind, def_off)
+        except VerificationError as exc:
+            raise CompileError(
+                f"annotation-light elision is not provable: {exc}; "
+                f"recompile annotation-full or keep the guard") from exc

@@ -64,7 +64,7 @@ def consumer_inventory() -> Dict[str, TcbComponentMeasurement]:
     groups = {
         "Loader/Verifier": _files(
             "core/loader.py", "core/rewriter.py", "core/verifier.py",
-            "core/rdd.py", "core/bootstrap.py",
+            "core/rdd.py", "core/bootstrap.py", "core/proofcheck.py",
             "policy/templates.py", "policy/magic.py",
             "policy/policies.py"),
         "RA/Encryption": _files(

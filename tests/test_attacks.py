@@ -23,7 +23,8 @@ from repro.policy.magic import (
     ALL_VIOLATION_CODES, VIOL_P0, VIOL_P1, VIOL_P2, VIOL_P5_RET,
     VIOL_P5_TARGET, VIOL_P6,
 )
-from repro.policy.templates import emit_pattern, rsp_guard_pattern
+from repro.policy.emit import emit_pattern
+from repro.policy.templates import rsp_guard_pattern
 from repro.vm.interrupts import AexSchedule
 from tests.conftest import build_and_run
 

@@ -1,0 +1,298 @@
+"""Static proof tier (DESIGN.md §3j).
+
+Producer side: eligibility + link-time prover must only elide guards
+whose obligation the in-enclave checker re-derives.  Consumer side:
+every way the proof log can lie — a claimed-safe site that is not,
+an elision with no proof, a proof naming a site that was never
+elided — must be rejected fail-closed before execution, and sites the
+prover cannot discharge must keep their runtime guard and still trap.
+"""
+
+import pytest
+
+from repro.bench.static import measure_static_cell
+from repro.bench.store import CellKey, StoreError
+from repro.compiler import compile_source
+from repro.compiler.objfile import ObjectFile
+from repro.core import BootstrapEnclave
+from repro.core.legacy import LegacyPolicyVerifier
+from repro.core.proofcheck import (
+    PROOF_CFI, PROOF_CONST, PROOF_RSP_STEP, PROOF_STACK,
+)
+from repro.core.rdd import recursive_descent
+from repro.core.verifier import PolicyVerifier
+from repro.errors import CompileError, VerificationError
+from repro.isa.instructions import Instruction, Op
+from repro.isa.registers import RAX, RBP, RSP
+from repro.policy import PolicySet
+from repro.policy.custom import div_by_zero_guard
+from repro.policy.magic import VIOL_P1
+from repro.staticproof import frame_discipline_ok, prove_object
+from repro.staticproof.prover import synthetic_image
+from repro.analysis import analyze_object
+
+_SRC = """
+int total;
+int scale(int x) { return x * 3 + 1; }
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 40; i++) acc = acc + scale(i);
+    total = acc;
+    __report(acc);
+    return 0;
+}
+"""
+
+
+def _objects(setting="P1-P5", source=_SRC):
+    policies = PolicySet.parse(setting)
+    full = compile_source(source, policies)
+    light = compile_source(source, policies, light=True)
+    return policies, full, light
+
+
+def _boot_run(obj, policies):
+    boot = BootstrapEnclave(policies=policies)
+    boot.receive_binary(obj.serialize())
+    return boot, boot.run()
+
+
+# -- the happy path: light == full, minus the guards --------------------------
+
+def test_light_binary_verifies_and_matches_full():
+    policies, full, light = _objects()
+    assert not full.proofs
+    assert light.proofs                      # guards were elided
+    assert len(light.text) < len(full.text)  # and the bytes are gone
+    _, out_full = _boot_run(full, policies)
+    _, out_light = _boot_run(light, policies)
+    assert out_full.ok and out_light.ok
+    assert out_light.reports == out_full.reports
+
+
+@pytest.mark.parametrize("setting", ["P1", "P1+P2", "P1-P5"])
+def test_light_verifies_under_every_guard_setting(setting):
+    policies, _, light = _objects(setting)
+    _, outcome = _boot_run(light, policies)
+    assert outcome.ok
+
+
+# -- tampered proof log: out-of-ELRANGE store claimed safe --------------------
+
+def test_const_store_outside_elrange_rejected():
+    # Shrink the store range under the proof's feet: the global `total`
+    # now resolves outside [store_lo, store_hi), so the const-addr
+    # proof claims an out-of-ELRANGE store is safe.  Reject.
+    policies, _, light = _objects("P1")
+    assert any(kind == PROOF_CONST for _, kind, _ in light.proofs)
+    text, bases, entry, targets = synthetic_image(light)
+    code = recursive_descent(text, entry, targets)
+    bases = dict(bases, p1_hi=bases["data_base"],
+                 store_hi=bases["data_base"])
+    with pytest.raises(VerificationError, match="static proof rejected"):
+        PolicyVerifier(policies).verify_code(
+            code, entry, targets, proofs=light.proofs, values=bases)
+
+
+def test_proof_kind_swap_rejected_by_link_prover():
+    # Flip a stack proof to a CFI claim: the producer's own link-time
+    # re-derivation must break the build before anything ships.
+    _, _, light = _objects()
+    site, kind, def_off = next(p for p in light.proofs
+                               if p[1] == PROOF_STACK)
+    light.proofs = [(site, PROOF_CFI, def_off) if p[0] == site else p
+                    for p in light.proofs]
+    with pytest.raises(CompileError, match="not provable"):
+        prove_object(light)
+
+
+def test_proof_kind_swap_rejected_in_enclave():
+    policies, _, light = _objects()
+    site, kind, def_off = next(p for p in light.proofs
+                               if p[1] == PROOF_STACK)
+    light.proofs = [(site, PROOF_RSP_STEP, def_off) if p[0] == site
+                    else p for p in light.proofs]
+    boot = BootstrapEnclave(policies=policies)
+    with pytest.raises(VerificationError, match="unguarded memory store"):
+        boot.receive_binary(light.serialize())
+
+
+# -- guard elided with no proof entry -----------------------------------------
+
+def test_elided_store_without_proof_entry_rejected():
+    policies, _, light = _objects()
+    victim = next(p for p in light.proofs if p[1] == PROOF_STACK)
+    light.proofs = [p for p in light.proofs if p != victim]
+    boot = BootstrapEnclave(policies=policies)
+    with pytest.raises(VerificationError, match="unguarded memory store"):
+        boot.receive_binary(light.serialize())
+
+
+def test_elided_rsp_step_without_proof_entry_rejected():
+    policies, _, light = _objects("P1+P2")
+    victim = next(p for p in light.proofs if p[1] == PROOF_RSP_STEP)
+    light.proofs = [p for p in light.proofs if p != victim]
+    boot = BootstrapEnclave(policies=policies)
+    with pytest.raises(VerificationError,
+                       match="without RSP guard"):
+        boot.receive_binary(light.serialize())
+
+
+# -- proof log referencing a site that was never elided -----------------------
+
+def test_proof_for_nonexistent_site_rejected():
+    policies, _, light = _objects()
+    light.proofs = sorted(light.proofs + [(0, PROOF_STACK, 0)])
+    boot = BootstrapEnclave(policies=policies)
+    with pytest.raises(VerificationError,
+                       match="references no elided site"):
+        boot.receive_binary(light.serialize())
+
+
+def test_annotation_full_binary_with_forged_proof_rejected():
+    # A full binary carries no elisions at all: any proof entry is a
+    # forgery and the whole log must be refused, not ignored.
+    policies, full, light = _objects()
+    full.proofs = [light.proofs[0]]
+    boot = BootstrapEnclave(policies=policies)
+    with pytest.raises(VerificationError,
+                       match="references no elided site"):
+        boot.receive_binary(full.serialize())
+
+
+# -- unprovable sites keep their guard and still trap -------------------------
+
+_UNPROVABLE_ATTACK = """
+int main() {
+    int *p = 0x100000;      // computed pointer, far outside ELRANGE
+    *p = 0xBEEF;
+    return 0;
+}
+"""
+
+
+def test_unprovable_store_keeps_guard_and_traps():
+    policies = PolicySet.parse("P1")
+    light = compile_source(_UNPROVABLE_ATTACK, policies, light=True)
+    # the attack store is not RBP-framed and not a known data symbol:
+    # no proof covers it, so the guard stays in and fires at runtime
+    boot, outcome = _boot_run(light, policies)
+    assert outcome.status == "violation"
+    assert outcome.violation_code == VIOL_P1
+    assert boot.enclave.space.untrusted_writes == []
+
+
+def test_function_pointer_param_not_cfi_provable():
+    # A target loaded from memory is not a constant definition; the
+    # indirect branch must keep its runtime CFI guard.
+    src = """
+    int id(int x) { return x; }
+    int apply(int f, int x) {
+        int (*g)(int) = f;
+        return g(x);
+    }
+    int main() { return apply(&id, 7); }
+    """
+    policies = PolicySet.parse("P1-P5")
+    light = compile_source(src, policies, light=True)
+    assert all(kind != PROOF_CFI for _, kind, _ in light.proofs)
+    rep = analyze_object(light, policies)
+    assert rep.annotation_counts.get("indirect_branch", 0) >= 1
+    _, outcome = _boot_run(light, policies)
+    assert outcome.ok
+
+
+# -- producer-side guard rails ------------------------------------------------
+
+def test_light_mode_rejects_custom_policies():
+    with pytest.raises(CompileError, match="custom"):
+        compile_source(_SRC, PolicySet.parse("P1"), light=True,
+                       custom=[div_by_zero_guard()])
+
+
+def test_frame_discipline_mirror():
+    good = [Instruction(Op.PUSH_R, RBP),
+            Instruction(Op.MOV_RR, RBP, RSP),
+            Instruction(Op.SUB_RI, RSP, 16),
+            Instruction(Op.ADD_RI, RSP, 16),
+            Instruction(Op.POP_R, RBP),
+            Instruction(Op.RET)]
+    assert frame_discipline_ok(good)
+    pivot = [Instruction(Op.MOV_RI, RBP, 0x200000),
+             Instruction(Op.RET)]
+    assert not frame_discipline_ok(pivot)
+    wild_rsp = [Instruction(Op.MOV_RR, RSP, RAX)]
+    assert not frame_discipline_ok(wild_rsp)
+
+
+def test_proof_free_object_format_unchanged():
+    # Annotation-full objects carry no proof section: serialize/parse
+    # round-trips to the pre-proof (v1) byte format.
+    _, full, light = _objects()
+    blob = full.serialize()
+    again = ObjectFile.parse(blob)
+    assert again.proofs == []
+    assert again.serialize() == blob
+    round_light = ObjectFile.parse(light.serialize())
+    assert sorted(round_light.proofs) == sorted(light.proofs)
+
+
+# -- legacy oracle agreement (annotation-full binaries) -----------------------
+
+def test_legacy_oracle_agrees_on_full_binaries():
+    policies, full, _ = _objects()
+    entry = full.symbols[full.entry].offset
+    targets = sorted(full.symbols[n].offset for n in full.branch_targets)
+    new = PolicyVerifier(policies).verify(full.text, entry, targets)
+    old = LegacyPolicyVerifier(policies).verify(full.text, entry,
+                                                targets)
+    assert new == old
+    stripped = compile_source(_SRC, PolicySet.none())
+    sentry = stripped.symbols[stripped.entry].offset
+    stargets = sorted(stripped.symbols[n].offset
+                      for n in stripped.branch_targets)
+    for verifier in (PolicyVerifier(policies),
+                     LegacyPolicyVerifier(policies)):
+        with pytest.raises(VerificationError):
+            verifier.verify(stripped.text, sentry, stargets)
+
+
+# -- bench + store integration ------------------------------------------------
+
+def test_store_rejects_unknown_kind():
+    CellKey(kind="static", executor="", tier=-1,
+            workload="w", setting="P1", param=None)   # accepted
+    with pytest.raises(StoreError, match="unknown results-store kind"):
+        CellKey(kind="sttaic", executor="", tier=-1,
+                workload="w", setting="P1", param=None)
+
+
+def test_analysis_reports_elision_columns():
+    policies, _, light = _objects()
+    rep = analyze_object(light, policies)
+    assert sum(rep.elided_counts.values()) == len(light.proofs)
+    assert rep.annotation_bytes_saved > 0
+    assert "guard elision" in rep.render()
+
+
+def test_cli_verify_accepts_proof_carrying_object(tmp_path, capsys):
+    from repro.cli import main
+    _, _, light = _objects()
+    path = tmp_path / "light.dfob"
+    path.write_bytes(light.serialize())
+    assert main(["verify", str(path), "--policies", "P1-P5"]) == 0
+    out = capsys.readouterr().out
+    assert "static proofs" in out
+    # and a tampered log still rejects through the same surface
+    light.proofs = sorted(light.proofs + [(0, PROOF_STACK, 0)])
+    path.write_bytes(light.serialize())
+    assert main(["verify", str(path), "--policies", "P1-P5"]) == 1
+
+
+def test_static_cell_meets_overhead_cut_bar():
+    cell = measure_static_cell("numeric_sort", "P1-P5")
+    assert cell.ok
+    assert cell.verified_light and cell.outputs_identical
+    assert cell.overhead_cut_pct >= 20.0
+    assert cell.guard_sites_light < cell.guard_sites_full

@@ -14,8 +14,9 @@ from repro.isa.assembler import local_label_allocator
 from repro.isa.instructions import Op
 from repro.policy import PolicySet, trap_label
 from repro.policy.magic import ALL_VIOLATION_CODES
+from repro.policy.emit import emit_pattern
 from repro.policy.templates import (
-    emit_pattern, indirect_branch_pattern, p6_guard_pattern,
+    indirect_branch_pattern, p6_guard_pattern,
     rsp_guard_pattern, shadow_epilogue_pattern, shadow_prologue_pattern,
     store_guard_pattern,
 )
