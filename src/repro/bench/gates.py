@@ -51,8 +51,15 @@ DEFAULT_WALL_BAND = 25.0
 #: deterministic and gates with a zero band.
 _WALL_METRICS = {"wall_s", "plain_wall_s", "legacy_cold_ms",
                  "new_cold_ms", "warm_ms", "sec_per_session",
-                 "p50_s", "p99_s"}
+                 "p50_s", "p99_s", "records_per_s", "chunk_p99_s"}
 _WALL_PREFIXES = ("overhead_pct@",)
+
+#: The store's numeric contract is lower-is-better, and every producer
+#: so far honoured it by storing reciprocals (``sec_per_session``).
+#: The pipeline bench stores throughput directly, so the gate inverts
+#: the comparison sense for exactly these metrics: *dropping* below
+#: the baseline band is the regression.
+_HIGHER_IS_BETTER = {"records_per_s"}
 
 
 def is_wall_metric(name: str) -> bool:
@@ -167,7 +174,9 @@ def classify(metric: str, current, baseline,
              wall_band_pct: float = DEFAULT_WALL_BAND) -> Delta:
     """Classify one metric value against its baseline.
 
-    All numeric store metrics are lower-is-better; booleans are
+    Numeric store metrics are lower-is-better (except the explicit
+    :data:`_HIGHER_IS_BETTER` set, where the sense inverts but the
+    reported ``delta_pct`` stays the raw signed change); booleans are
     good-is-true.  The baseline of a boolean series is its median as
     0/1, so one historical flake does not flip the expectation.
     """
@@ -185,17 +194,21 @@ def classify(metric: str, current, baseline,
         return Delta(key=None, metric=metric, current=current,
                      baseline=expected, classification=cls,
                      gating=True)
+    inverted = metric in _HIGHER_IS_BETTER
     if baseline == 0:
         if current == 0:
             cls, pct = "flat", 0.0
         else:
-            cls, pct = ("regressed" if current > 0 else "improved"), None
+            worse = current > 0
+            if inverted:
+                worse = not worse
+            cls, pct = ("regressed" if worse else "improved"), None
     else:
         pct = 100.0 * (current - baseline) / baseline
         if pct > band:
-            cls = "regressed"
+            cls = "improved" if inverted else "regressed"
         elif pct < -band:
-            cls = "improved"
+            cls = "regressed" if inverted else "improved"
         else:
             cls = "flat"
     return Delta(key=None, metric=metric, current=current,

@@ -50,7 +50,8 @@ SCHEMA = "deflection-results/1"
 #: Every measurement kind the store accepts.  Checked at CellKey
 #: construction so a typo'd kind raises :class:`StoreError` instead of
 #: silently forking a fresh baseline family nothing ever gates.
-KINDS = frozenset({"vm", "provision", "checkpoint", "fleet", "static"})
+KINDS = frozenset({"vm", "provision", "checkpoint", "fleet", "static",
+                   "pipeline"})
 
 #: JIT tier per bench executor label (the label, not
 #: ``CostModel.executor`` — ``translate-t1`` resolves to the translate
@@ -421,6 +422,56 @@ def records_from_static_doc(doc: dict) -> List[Record]:
     return records
 
 
+def records_from_pipeline_doc(doc: dict) -> List[Record]:
+    """Ingest a ``BENCH_pipeline.json`` document — one record per
+    matrix cell, keyed ``(pipeline, topology, mode-faults)``.
+
+    Link/hop/chunk counts, resume/retry/rejection counters and the
+    chain-verified / output-identical booleans are deterministic (pure
+    functions of the seed); ``wall_s``, ``records_per_s`` and
+    ``chunk_p99_s`` are host clock.  A cell that completed ``ok`` but
+    is not both chain-verified and byte-identical to the serial oracle
+    is downgraded to ``divergent`` so it never feeds a baseline —
+    mirroring the checkpoint ingester's stance that identity failures
+    are not acceptable observations."""
+    records = []
+    for cell in doc.get("cells", []):
+        status = cell.get("status", "ok")
+        if status == "ok" and not (cell.get("chain_verified")
+                                   and cell.get("output_identical")):
+            status = "divergent"
+        key = CellKey(kind="pipeline", executor="", tier=-1,
+                      workload=cell["topology"],
+                      setting=f"{cell['mode']}-{cell['faults']}",
+                      param=cell.get("chunks"))
+        metrics: Dict[str, Metric] = {
+            "chain_verified": bool(cell.get("chain_verified", False)),
+            "output_identical": bool(cell.get("output_identical",
+                                              False)),
+            "links": cell.get("links", 0),
+            "chunks": cell.get("chunks", 0),
+            "stages": cell.get("stages", 0),
+            "resumes": cell.get("resumes", 0),
+            "retries": cell.get("retries", 0),
+            "recoveries": cell.get("recoveries", 0),
+            "rollbacks_rejected": cell.get("rollbacks_rejected", 0),
+            "handoffs_rejected": cell.get("handoffs_rejected", 0),
+            "chain_attacks_rejected": cell.get("chain_attacks_rejected",
+                                               0),
+            "attacks_accepted": cell.get("attacks_accepted", 0),
+            "discard_reruns": cell.get("discard_reruns", 0),
+            "migrations": cell.get("migrations", 0),
+            "stalls": cell.get("stalls", 0),
+            "upstream_excess": cell.get("upstream_excess", 0),
+            "wall_s": cell.get("wall_s", 0.0),
+            "records_per_s": cell.get("records_per_s", 0.0),
+            "chunk_p99_s": cell.get("chunk_p99_s", 0.0),
+        }
+        records.append(Record(key=key, metrics=metrics, status=status,
+                              detail=cell.get("detail", "")))
+    return records
+
+
 #: Document schema -> ingest builder (the multi-executor VM wrapper
 #: shares the RunMatrix schema tag, handled inside the builder).
 _INGESTERS = {
@@ -429,6 +480,7 @@ _INGESTERS = {
     "deflection-checkpoint-bench/1": records_from_checkpoint_doc,
     "deflection-fleet/1": records_from_fleet_doc,
     "deflection-static/1": records_from_static_doc,
+    "deflection-pipeline/1": records_from_pipeline_doc,
 }
 
 

@@ -497,6 +497,39 @@ def _bench_fleet(args) -> int:
     return 0
 
 
+def _bench_pipeline(args) -> int:
+    """``repro bench --pipeline``: multi-enclave provenance pipeline
+    matrix — topologies x batch/stream x clean/chaos, every cell
+    chain-verified and byte-compared against the unfaulted serial
+    oracle."""
+    from .bench.pipeline import (
+        format_pipeline_table, run_pipeline_bench, smoke_params,
+    )
+    params = smoke_params() if args.smoke else {}
+    doc = run_pipeline_bench(seed=args.seed, **params)
+    if args.record or args.baseline:
+        _bench_store_hook(args, _sweep_records(args, doc))
+    if args.json:
+        out = Path(args.out or "BENCH_pipeline.json")
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+    print(format_pipeline_table(doc))
+    bad = [c for c in doc["cells"] if c["status"] != "ok"]
+    if bad:
+        print(f"FAILED cells ({len(bad)}): "
+              + ", ".join(f"{c['topology']}/{c['mode']}/{c['faults']}"
+                          f"={c['status']}" for c in bad))
+        return 1
+    accepted = sum(c["attacks_accepted"] for c in doc["cells"])
+    if accepted:
+        print(f"ATTACKS ACCEPTED: {accepted} doctored handoffs passed "
+              f"chain verification")
+        return 1
+    print("every cell chain-verified and byte-identical to the "
+          "unfaulted serial oracle")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench.harness import PAPER_SETTINGS, RunMatrix, run_workload
     from .core.bootstrap import PROVISION_CACHE
@@ -506,6 +539,9 @@ def cmd_bench(args) -> int:
 
     if args.fleet:
         return _bench_fleet(args)
+
+    if args.pipeline:
+        return _bench_pipeline(args)
 
     workloads = list(args.workloads or NBENCH_ORDER)
     settings = tuple(args.settings or PAPER_SETTINGS)
@@ -700,7 +736,8 @@ def cmd_bench(args) -> int:
 #: campaign that retried one of these has broken the fail-closed rule.
 _NEVER_RETRY = ("PolicyViolation", "VerificationError",
                 "AttestationError", "RetryBudgetExceeded",
-                "RollbackError", "DeadlineExceeded")
+                "RollbackError", "DeadlineExceeded",
+                "ProvenanceError")
 
 
 def _chaos_fleet(args) -> int:
@@ -734,11 +771,75 @@ def _chaos_fleet(args) -> int:
     return 0
 
 
+def _chaos_pipeline(args) -> int:
+    """``repro chaos --pipeline``: seeded pipeline fault campaign —
+    mid-hop kills, handoff corruption, chain splice/replay, stalled
+    stages and quarantines across alternating topologies and
+    batch/stream modes; fails on any lost pipeline, accepted attack,
+    divergent output, upstream re-execution, or non-replayable
+    report."""
+    from .service.faults import run_pipeline_campaign
+    trials = args.trials if args.trials is not None else 6
+    report = run_pipeline_campaign(seed=args.seed, trials=trials)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    print(text)
+    totals = report["totals"]
+    badly_retried = sorted(
+        kind for kind in report["retried_error_kinds"]
+        if kind in _NEVER_RETRY)
+    print(f"\npipeline chaos seed={args.seed} trials={trials}: "
+          f"{totals['ok']} ok | "
+          f"{totals['faults_injected']} faults injected, "
+          f"{totals['midrun_teardowns']} mid-hop teardowns, "
+          f"{totals['resumes']} checkpoint resumes, "
+          f"{totals['handoffs_rejected']} corrupt handoffs rejected, "
+          f"{totals['chain_attacks_rejected']} chain attacks rejected, "
+          f"{totals['discard_reruns']} discard-reruns, "
+          f"{totals['migrations']} migrations, "
+          f"{totals['stalls']} stalls requeued")
+    failed = False
+    if not report["zero_lost"]:
+        print(f"LOST PIPELINES: {totals['lost']}")
+        failed = True
+    if not report["zero_attacks_accepted"]:
+        print(f"ATTACKS ACCEPTED: {totals['attacks_accepted']} "
+              f"doctored handoffs passed chain verification")
+        failed = True
+    if not report["all_identical"]:
+        print(f"DIVERGENT OUTPUTS: "
+              f"{trials - totals['identical']} of {trials} trials "
+              f"differ from the unfaulted serial oracle")
+        failed = True
+    if not report["zero_upstream_excess"]:
+        print(f"UPSTREAM RE-EXECUTION: {totals['upstream_excess']} "
+              f"completed runs beyond one per hop per chunk")
+        failed = True
+    if not report["replay_identical"]:
+        print("REPLAY DIVERGENCE: re-running trial 0 from the same "
+              "seed produced a different report")
+        failed = True
+    if badly_retried:
+        print(f"FATAL CLASSES RETRIED: {', '.join(badly_retried)}")
+        failed = True
+    if failed:
+        return 1
+    print("zero lost pipelines; every attack rejected; every mid-hop "
+          "teardown recovered by resume at that hop; all outputs "
+          "byte-identical to the serial oracle; replay byte-identical")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from .service.faults import run_campaign
     if args.fleet:
         return _chaos_fleet(args)
-    report = run_campaign(seed=args.seed, trials=args.trials,
+    if args.pipeline:
+        return _chaos_pipeline(args)
+    trials = args.trials if args.trials is not None else 20
+    args.trials = trials
+    report = run_campaign(seed=args.seed, trials=trials,
                           mid_run=args.mid_run)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
@@ -851,6 +952,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "BENCH_provision.json with --provision; "
                         "BENCH_checkpoint.json with --checkpoint; "
                         "BENCH_fleet.json with --fleet; "
+                        "BENCH_pipeline.json with --pipeline; "
                         "BENCH_static.json with --static)")
     p.add_argument("--checkpoint", action="store_true",
                    help="measure sealed checkpoint/restore instead of "
@@ -885,9 +987,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "its sealed checkpoint chain); exit nonzero on "
                         "any lost session, divergent output or missing "
                         "migration")
+    p.add_argument("--pipeline", action="store_true",
+                   help="measure the multi-enclave provenance pipeline "
+                        "instead of raw execution: sweep topologies x "
+                        "batch/stream x clean/chaos, verify every "
+                        "cell's full cross-enclave provenance chain "
+                        "and byte-compare its output against the "
+                        "unfaulted serial oracle; exit nonzero on any "
+                        "broken chain, accepted attack or divergent "
+                        "output (throughput is stored as records_per_s, "
+                        "latency as chunk_p99_s)")
     p.add_argument("--seed", type=int, default=2021,
-                   help="campaign seed for --fleet (arrival process, "
-                        "job mix, retry jitter)")
+                   help="campaign seed for --fleet / --pipeline "
+                        "(arrival process, job mix, fault plans, retry "
+                        "jitter)")
     p.add_argument("--repeats", type=int, default=3,
                    help="provisioning repetitions per cell; stage "
                         "timings are minima over the repeats")
@@ -958,7 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "blocking instead of advisory")
     g.add_argument("--kind", nargs="*", default=None,
                    choices=["vm", "provision", "checkpoint", "fleet",
-                            "static"],
+                            "static", "pipeline"],
                    help="restrict the gate to these record kinds")
     g.add_argument("--synthetic-regression", type=float, default=None,
                    metavar="PCT",
@@ -973,7 +1086,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("chaos", help="seeded fault-injection campaign")
     p.add_argument("--seed", type=int, default=2021)
-    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--trials", type=int, default=None,
+                   help="campaign trials (default: 20; 6 with "
+                        "--pipeline)")
     p.add_argument("--mid-run", action="store_true",
                    help="checkpoint the runs and additionally inject "
                         "mid-execution teardowns, checkpoint-chain "
@@ -986,6 +1101,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "heartbeat storms over a subset, and a shared "
                         "attestation outage under load; fails on any "
                         "lost session or divergent output")
+    p.add_argument("--pipeline", action="store_true",
+                   help="run the multi-enclave pipeline campaign "
+                        "instead: mid-hop kills, handoff corruption, "
+                        "provenance-chain splice/replay, stalled "
+                        "stages and platform quarantines across "
+                        "alternating topologies and batch/stream "
+                        "modes; fails on any lost pipeline, accepted "
+                        "attack, divergent output, upstream "
+                        "re-execution or non-replayable report")
     p.add_argument("-o", "--out", default=None,
                    help="also write the JSON report to this file")
     p.set_defaults(func=cmd_chaos)

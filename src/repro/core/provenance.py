@@ -1,0 +1,243 @@
+"""Cross-enclave provenance chains for multi-enclave pipelines.
+
+When one verified enclave's sealed output feeds another enclave as
+input, the consumer must be able to check *where those bytes came
+from* before trusting them: which measured enclave produced them
+(MRENCLAVE), under which verifier configuration (the policy
+fingerprint, including the static-proof tier), at which point of that
+enclave's tamper-evident history (audit head), and from which exact
+input (digest continuity hop to hop).  This module provides the
+tamper-evident carrier for that evidence:
+
+* :class:`ProvenanceLink` — one hop's worth of evidence, bound into an
+  HMAC chain: every link's MAC covers the previous link's MAC plus the
+  canonical encoding of its own fields, so a break, splice or reorder
+  anywhere upstream invalidates everything downstream.
+* :class:`ProvenanceChain` — the producer-side builder.  It also keeps
+  the links discarded by a stale-chain rerun (``truncate_from``) so
+  fault-injection can *replay* them — the epoch counter embedded in
+  every link is what makes such a replay detectable even though the
+  stale link's MAC still verifies at its old position.
+* :func:`verify_links` — the consumer-side check, fail closed on any
+  of: MAC mismatch, hop-order violation, chunk mismatch, stale epoch,
+  input/output digest discontinuity, or a truncated chain.
+
+The chain key is derived per pipeline from a shared session secret —
+what the RA-TLS session between the orchestrator and each verified
+stage would establish — so a host relaying handoffs can neither forge
+nor re-MAC links ("Designing a Provenance Analysis for SGX Enclaves",
+PAPERS.md, motivates binding measured identity per hop; Guardian's
+orderliness validation motivates the strict hop-order rule).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..crypto.hkdf import hkdf
+from ..errors import ProvenanceError
+
+#: Domain-separation label for chain keys and genesis heads.
+_DOMAIN = b"deflection-provenance-v1"
+
+#: Link kinds: a completed hop, or an explicit migration splice (the
+#: stage was re-provisioned on a healthy platform before running).
+LINK_KINDS = ("hop", "migrated")
+
+
+def chain_key(secret: bytes, pipeline_id: str) -> bytes:
+    """Per-pipeline HMAC key from the shared session secret."""
+    return hkdf(secret, hashlib.sha256(pipeline_id.encode()).digest(),
+                _DOMAIN + b"-key", 32)
+
+
+def genesis_head(pipeline_id: str) -> bytes:
+    """The ``prev_mac`` of the first link of a chain."""
+    return hashlib.sha256(_DOMAIN + b":" + pipeline_id.encode()).digest()
+
+
+@dataclass(frozen=True)
+class ProvenanceLink:
+    """One hop's evidence, MAC-bound into the pipeline chain."""
+
+    pipeline_id: str
+    hop: int
+    stage: str
+    kind: str                 # "hop" | "migrated"
+    mrenclave: str            # hex MRENCLAVE of the producing enclave
+    verifier: str             # sha256 hex of the verifier fingerprint
+    audit_head: str           # hex audit-chain head at link time
+    input_digest: str         # sha256 hex of the hop's input bytes
+    output_digest: str        # sha256 hex of the hop's output bytes
+    chunk: int = -1           # streaming chunk index; -1 for batch
+    epoch: int = 0            # bumped by every discard-and-rerun
+    detail: str = ""          # e.g. "platform-a -> platform-b"
+    mac: str = ""             # hex HMAC over prev_mac + canonical()
+
+    def canonical(self) -> bytes:
+        """Deterministic MAC input: every field except the MAC."""
+        doc = {k: v for k, v in self.__dict__.items() if k != "mac"}
+        return json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode()
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ProvenanceLink":
+        return cls(**doc)
+
+
+def _link_mac(key: bytes, prev_mac: bytes,
+              link: ProvenanceLink) -> bytes:
+    return hmac.new(key, prev_mac + link.canonical(),
+                    hashlib.sha256).digest()
+
+
+@dataclass
+class ProvenanceChain:
+    """Producer-side chain builder for one pipeline work item."""
+
+    key: bytes
+    pipeline_id: str
+    links: List[ProvenanceLink] = field(default_factory=list)
+    #: Links removed by :meth:`truncate_from` — kept so the chaos
+    #: harness can replay a rolled-back hop output; the epoch counter
+    #: is what must make that replay detectable.
+    discarded: List[ProvenanceLink] = field(default_factory=list)
+
+    @property
+    def head(self) -> bytes:
+        if self.links:
+            return bytes.fromhex(self.links[-1].mac)
+        return genesis_head(self.pipeline_id)
+
+    def append(self, **fields) -> ProvenanceLink:
+        """MAC and append a new link; returns the completed link."""
+        link = ProvenanceLink(pipeline_id=self.pipeline_id, **fields)
+        if link.kind not in LINK_KINDS:
+            raise ProvenanceError(f"unknown link kind {link.kind!r}")
+        mac = _link_mac(self.key, self.head, link)
+        link = replace(link, mac=mac.hex())
+        self.links.append(link)
+        return link
+
+    def truncate_from(self, hop: int) -> List[ProvenanceLink]:
+        """Discard every link of ``hop`` and later (stale-chain
+        discard-and-rerun).  The removed links move to
+        :attr:`discarded`; the chain head rolls back so the rerun's
+        replacement link occupies the exact same MAC position — which
+        is why the *epoch*, not the MAC, is what invalidates the old
+        link."""
+        keep = [l for l in self.links if l.hop < hop]
+        dropped = [l for l in self.links if l.hop >= hop]
+        self.links = keep
+        self.discarded.extend(dropped)
+        return dropped
+
+
+def remac_links(key: bytes, pipeline_id: str,
+                links: List[ProvenanceLink]) -> List[ProvenanceLink]:
+    """Re-MAC a link stream under ``key`` — the *splice* attack: a host
+    grafting one pipeline's history onto another can rebuild a fully
+    self-consistent chain, but only under a key it knows.  Verification
+    under the real chain key must reject the graft at the first link.
+    Also used by tests to build known-good chains from raw links."""
+    out: List[ProvenanceLink] = []
+    prev = genesis_head(pipeline_id)
+    for link in links:
+        candidate = replace(link, mac="")
+        mac = _link_mac(key, prev, candidate)
+        candidate = replace(candidate, mac=mac.hex())
+        out.append(candidate)
+        prev = mac
+    return out
+
+
+def verify_links(key: bytes, pipeline_id: str,
+                 links: List[ProvenanceLink], *,
+                 expect_hops: Optional[int] = None,
+                 expect_chunk: Optional[int] = None,
+                 expect_epochs: Optional[Dict[int, int]] = None,
+                 input_digest: Optional[str] = None,
+                 final_digest: Optional[str] = None) -> None:
+    """Consumer-side verification of a presented link stream.
+
+    Raises :class:`ProvenanceError` (fail closed) on:
+
+    * a MAC mismatch anywhere — corruption, a splice under a foreign
+      key, or any reordering (every MAC covers its predecessor's);
+    * a hop-order violation — ``hop`` links must arrive 0,1,2,...;
+      a ``migrated`` link must sit immediately before its own hop's
+      link (the stage was re-provisioned, then ran);
+    * a chunk mismatch (``expect_chunk``) — a link from another
+      streaming chunk presented for this one;
+    * a stale epoch (``expect_epochs``) — a rolled-back hop output
+      re-presented after a discard-and-rerun;
+    * an input/output digest discontinuity — hop ``k``'s claimed input
+      must be exactly hop ``k-1``'s output (and hop 0's the pipeline
+      input when ``input_digest`` is given);
+    * a truncated chain — fewer than ``expect_hops`` completed hops;
+    * ``final_digest`` not matching the last hop's output — the
+      presented payload bytes are not the bytes the chain vouches for.
+    """
+    prev = genesis_head(pipeline_id)
+    expected_hop = 0
+    prev_output = input_digest
+    hop_links = 0
+    for index, link in enumerate(links):
+        if link.pipeline_id != pipeline_id:
+            raise ProvenanceError(
+                f"link {index}: pipeline id {link.pipeline_id!r} does "
+                f"not match {pipeline_id!r}")
+        want = _link_mac(key, prev, link)
+        if not hmac.compare_digest(want.hex(), link.mac):
+            raise ProvenanceError(
+                f"link {index} (hop {link.hop}): MAC mismatch — "
+                f"corrupted, spliced or reordered chain")
+        prev = bytes.fromhex(link.mac)
+        if expect_chunk is not None and link.chunk != expect_chunk:
+            raise ProvenanceError(
+                f"link {index}: chunk {link.chunk} presented for "
+                f"chunk {expect_chunk}")
+        if expect_epochs is not None and \
+                link.epoch != expect_epochs.get(link.hop, 0):
+            raise ProvenanceError(
+                f"link {index} (hop {link.hop}): stale epoch "
+                f"{link.epoch}, expected "
+                f"{expect_epochs.get(link.hop, 0)} — rolled-back hop "
+                f"output re-presented")
+        if link.kind == "migrated":
+            if link.hop != expected_hop:
+                raise ProvenanceError(
+                    f"link {index}: migrated link for hop {link.hop} "
+                    f"out of order (expected hop {expected_hop})")
+            continue
+        if link.kind != "hop":
+            raise ProvenanceError(
+                f"link {index}: unknown kind {link.kind!r}")
+        if link.hop != expected_hop:
+            raise ProvenanceError(
+                f"link {index}: hop {link.hop} out of order "
+                f"(expected hop {expected_hop})")
+        if prev_output is not None and \
+                link.input_digest != prev_output:
+            raise ProvenanceError(
+                f"link {index} (hop {link.hop}): input digest does "
+                f"not continue the upstream output — handoff bytes "
+                f"substituted")
+        prev_output = link.output_digest
+        expected_hop += 1
+        hop_links += 1
+    if expect_hops is not None and hop_links != expect_hops:
+        raise ProvenanceError(
+            f"truncated chain: {hop_links} completed hops presented, "
+            f"expected {expect_hops}")
+    if final_digest is not None and prev_output != final_digest:
+        raise ProvenanceError(
+            "presented payload does not match the chain's final "
+            "output digest")

@@ -51,7 +51,8 @@ class SecureChannel:
 
     def __init__(self, send_key: bytes, send_mac: bytes,
                  recv_key: bytes, recv_mac: bytes,
-                 record_size: int = 1024):
+                 record_size: int = 1024,
+                 rekey_after: int = None):
         if record_size <= _LEN_HDR:
             raise ProtocolError(
                 f"record_size must exceed the {_LEN_HDR}-byte length "
@@ -63,6 +64,15 @@ class SecureChannel:
         self._send_seq = 0
         self._recv_seq = 0
         self.record_size = record_size
+        #: Records per direction before the keys auto-ratchet.  ``None``
+        #: disables the ratchet (one static key for the session — fine
+        #: for request/response, not for long-lived streaming sessions
+        #: where ``_send_seq`` would otherwise grow unbounded over one
+        #: key).  Both endpoints see the same record stream, so the
+        #: per-direction ratchets fire in lockstep.
+        self.rekey_after = rekey_after
+        #: Completed key ratchets (both auto and explicit).
+        self.rekeys = 0
         #: Set when :meth:`open` failed mid-stream.  The receive sequence
         #: number can no longer be trusted to mirror the peer's, so the
         #: endpoint fails closed: every further seal/open raises until
@@ -94,6 +104,48 @@ class SecureChannel:
                 "channel desynced by an earlier record failure; "
                 "re-establish the session")
 
+    # -- key ratcheting --------------------------------------------------
+
+    @staticmethod
+    def _ratchet(key: bytes, mac: bytes) -> Tuple[bytes, bytes]:
+        """One-way HKDF step: the old (key, mac) pair derives the new
+        one and is then discarded — a record forged under the old keys
+        can never authenticate again."""
+        okm = hkdf(key, mac, b"deflection-channel-rekey-v1", 64)
+        return okm[:32], okm[32:64]
+
+    def _maybe_ratchet_send(self) -> None:
+        if self.rekey_after is not None and \
+                self._send_seq >= self.rekey_after:
+            self._send_key, self._send_mac = self._ratchet(
+                self._send_key, self._send_mac)
+            self._send_seq = 0
+            self.rekeys += 1
+
+    def _maybe_ratchet_recv(self) -> None:
+        if self.rekey_after is not None and \
+                self._recv_seq >= self.rekey_after:
+            self._recv_key, self._recv_mac = self._ratchet(
+                self._recv_key, self._recv_mac)
+            self._recv_seq = 0
+            self.rekeys += 1
+
+    def rekey(self) -> None:
+        """Explicitly ratchet both directions and reset the sequence
+        counters.  Both endpoints must rekey at the same stream
+        position (e.g. a protocol-level rekey message, or the
+        ``rekey_after`` threshold doing it implicitly); a desynced
+        channel refuses — rekeying would only mask the earlier
+        failure."""
+        self._check_usable()
+        self._send_key, self._send_mac = self._ratchet(
+            self._send_key, self._send_mac)
+        self._recv_key, self._recv_mac = self._ratchet(
+            self._recv_key, self._recv_mac)
+        self._send_seq = 0
+        self._recv_seq = 0
+        self.rekeys += 1
+
     def seal(self, plaintext: bytes) -> bytes:
         """Encrypt ``plaintext`` into one or more fixed-size records."""
         self._check_usable()
@@ -102,6 +154,7 @@ class SecureChannel:
                   for i in range(0, len(plaintext),
                                  self.record_size - _LEN_HDR)] or [b""]
         for chunk in chunks:
+            self._maybe_ratchet_send()
             body = struct.pack("<I", len(chunk)) + chunk
             body += b"\x00" * (self.record_size - len(body))
             seq = self._send_seq
@@ -130,6 +183,7 @@ class SecureChannel:
             self._desync("truncated record stream")
         out = bytearray()
         for off in range(0, len(wire), record_len):
+            self._maybe_ratchet_recv()
             ct = wire[off:off + self.record_size]
             tag = wire[off + self.record_size:off + record_len]
             seq = self._recv_seq

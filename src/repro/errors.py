@@ -133,6 +133,53 @@ class RollbackError(ReproError):
     the host a rollback channel, so this is never retried."""
 
 
+class ProvenanceError(ReproError):
+    """A cross-enclave provenance chain failed verification.
+
+    Raised when a hop handoff presents a link stream whose MAC chain is
+    broken (corruption, splice, reorder), whose hop indices are out of
+    protocol order, whose epoch is stale (a rolled-back hop output
+    re-presented after a discard-and-rerun), or whose digests do not
+    bind the presented bytes.  Always a trust verdict — the consumer
+    enclave refuses the input; it is never retried with the same
+    evidence."""
+
+
+class HopFailed(ReproError):
+    """A pipeline stage reached a terminal non-transient failure.
+
+    Carries the hop index, the stage name and a :attr:`triage` verdict
+    mirroring the fleet scheduler's decisions: ``"blame"`` (the stage
+    itself misbehaved — a policy violation or fault outcome; the
+    pipeline fails closed at that hop) or ``"abort"`` (recovery options
+    exhausted, e.g. a re-provisioned drone also failed)."""
+
+    def __init__(self, message: str, hop: int = -1, stage: str = "",
+                 triage: str = "abort"):
+        self.hop = hop
+        self.stage = stage
+        self.triage = triage
+        super().__init__(message)
+
+
+class PipelineStalled(ReproError):
+    """A pipeline stage blew its per-hop watchdog deadline repeatedly.
+
+    Each individual :class:`DeadlineExceeded` is a *requeue* (the hop
+    resumes from its sealed chain under a larger budget); this error is
+    the triage escalation after ``max_stalls`` requeues.  Carries the
+    sealed checkpoint chain harvested at the last safe point in
+    :attr:`checkpoints` so a caller can still migrate or resume the
+    work elsewhere."""
+
+    def __init__(self, message: str, hop: int = -1, stage: str = "",
+                 checkpoints=None):
+        self.hop = hop
+        self.stage = stage
+        self.checkpoints = list(checkpoints) if checkpoints else []
+        super().__init__(message)
+
+
 class DeadlineExceeded(ReproError):
     """A watchdog budget (cycles or steps) ran out at a safe point.
 

@@ -680,3 +680,260 @@ def run_fleet_campaign(seed: int = 2021, *,
         "zero_lost": not report["lost"],
     })
     return report
+
+
+# -- pipeline chaos ------------------------------------------------------
+
+#: Handoff attacks a malicious relay can mount between two stages.
+#: ``lose`` drops the sealed handoff entirely (forcing a stale-chain
+#: discard-and-rerun of the producer); the rest present doctored bytes
+#: or doctored provenance links that chain verification must reject.
+HANDOFF_FAULTS = ("corrupt", "lose", "reorder", "truncate",
+                  "splice", "replay")
+
+
+class PipelineFaultPlan:
+    """Seeded, budgeted chaos schedule for a multi-enclave pipeline.
+
+    Two layers share one budget discipline:
+
+    * *per-hop host faults* — each stage's :class:`FaultyHost` runs
+      under its own derived :class:`FaultPlan` (wire mangling,
+      transient ECall failures, teardowns including **mid-run** ones,
+      attestation outages).  Storms and checkpoint-chain attacks are
+      excluded on purpose: a storm is trapped as a violation (a
+      correct outcome, but not a *lost-work recovery* scenario) and a
+      doctored chain forces a from-scratch fallback — both would break
+      the campaign's "every mid-hop teardown is recovered by resume at
+      that hop" invariant that this plan exists to exercise.
+    * *pipeline-level events* — drawn from this plan's own RNG:
+      handoff attacks between stages (:data:`HANDOFF_FAULTS`), stalled
+      stages (a tiny watchdog budget, so the hop blows its deadline
+      and must requeue from its sealed chain), and platform
+      quarantines (the stage is re-provisioned on a healthy drone and
+      the provenance chain spliced with a ``migrated`` link; at most
+      one per hop so recovery options are never exhausted by the plan
+      itself).
+    """
+
+    def __init__(self, seed: int, *,
+                 p_handoff: float = 0.45,
+                 p_stall: float = 0.25,
+                 p_quarantine: float = 0.15,
+                 max_events: int = 6,
+                 hop_max_faults: int = 4,
+                 hop_mid_run: bool = True):
+        self.seed = seed
+        self.p_handoff = p_handoff
+        self.p_stall = p_stall
+        self.p_quarantine = p_quarantine
+        self.max_events = max_events
+        self.events_remaining = max_events
+        self.hop_max_faults = hop_max_faults
+        self.hop_mid_run = hop_mid_run
+        #: Ordered log of every pipeline-level event (replay evidence).
+        self.injected: List[str] = []
+        self._rng = random.Random(f"pipeline:{seed}")
+        self._hop_plans = {}
+        self._quarantined_hops = set()
+
+    def _charge(self, label: str) -> None:
+        self.events_remaining -= 1
+        self.injected.append(label)
+
+    def _chance(self, p: float) -> bool:
+        return self.events_remaining > 0 and self._rng.random() < p
+
+    def hop_plan(self, hop: int) -> FaultPlan:
+        """The derived per-hop host fault plan (cached per hop)."""
+        plan = self._hop_plans.get(hop)
+        if plan is None:
+            plan = FaultPlan(self.seed * 1_000_003 + hop * 31 + 7,
+                             mid_run=self.hop_mid_run,
+                             p_storm=0.0,
+                             p_chain_corrupt=0.0,
+                             p_rollback=0.0,
+                             max_faults=self.hop_max_faults)
+            self._hop_plans[hop] = plan
+        return plan
+
+    def draw_handoff(self, hop: int) -> Optional[str]:
+        """One stage handoff: maybe attack it (see
+        :data:`HANDOFF_FAULTS`)."""
+        if self._chance(self.p_handoff):
+            kind = self._rng.choice(HANDOFF_FAULTS)
+            self._charge(f"handoff_{kind}@hop{hop}")
+            return kind
+        return None
+
+    def draw_stall(self, hop: int) -> Optional[int]:
+        """One hop execution: maybe a tiny watchdog budget, so the hop
+        stalls mid-run and must requeue from its sealed chain."""
+        if self._chance(self.p_stall):
+            budget = self._rng.randint(40, 120)
+            self._charge(f"stall(budget={budget})@hop{hop}")
+            return budget
+        return None
+
+    def draw_quarantine(self, hop: int) -> bool:
+        """One hop execution: maybe quarantine the stage's platform
+        (at most once per hop for the whole plan)."""
+        if hop in self._quarantined_hops:
+            return False
+        if self._chance(self.p_quarantine):
+            self._quarantined_hops.add(hop)
+            self._charge(f"quarantine@hop{hop}")
+            return True
+        return False
+
+    def all_injected(self) -> List[str]:
+        """Pipeline-level events plus every hop plan's host faults."""
+        out = list(self.injected)
+        for hop in sorted(self._hop_plans):
+            out.extend(f"hop{hop}:{label}"
+                       for label in self._hop_plans[hop].injected)
+        return out
+
+
+def _pipeline_data(trial: int, length: int = 72) -> bytes:
+    """Deterministic per-trial input with uppercase bytes interleaved
+    throughout, so the genomics filter stage never emits an empty
+    chunk."""
+    rng = random.Random(f"pipeline-data:{trial}")
+    out = bytearray()
+    while len(out) < length:
+        out.append(rng.randrange(65, 91))
+        out.append(rng.randrange(0, 256))
+    return bytes(out[:length])
+
+
+def _pipeline_trial(seed: int, trial: int, cache: ProvisionCache, *,
+                    chunk_size: int, window: int,
+                    checkpoint_every: int) -> Tuple[dict, object]:
+    """One faulted pipeline flow; returns ``(row, run)``.
+
+    The row contains only deterministic fields (no wall-clock, no
+    cache state), so re-running the same trial must serialize
+    byte-identically — the campaign's replay invariant.
+    """
+    from .pipeline import (PipelineOrchestrator, serial_oracle,
+                           topology_stages, TOPOLOGIES)
+    topology = TOPOLOGIES[trial % len(TOPOLOGIES)]
+    mode = "stream" if (trial // len(TOPOLOGIES)) % 2 else "batch"
+    stages = topology_stages(topology)
+    data = _pipeline_data(trial)
+    plan = PipelineFaultPlan(seed * 1_000_003 + trial)
+    orch = PipelineOrchestrator(
+        stages, pipeline_id=f"chaos-{seed}-t{trial}",
+        topology=topology, seed=seed + trial, fault_plan=plan,
+        provision_cache=cache, checkpoint_every=checkpoint_every,
+        sleep=None)
+    if mode == "stream":
+        run = orch.run_streaming(data, chunk_size=chunk_size,
+                                 window=window)
+        oracle, _ = serial_oracle(stages, data, chunk_size=chunk_size,
+                                  provision_cache=cache)
+    else:
+        run = orch.run(data)
+        oracle, _ = serial_oracle(stages, data,
+                                  provision_cache=cache)
+    identical = bool(run.ok and run.output == oracle)
+    midrun = sum(1 for label in plan.all_injected()
+                 if "midrun_teardown" in label)
+    row = {
+        "trial": trial,
+        "topology": topology,
+        "mode": mode,
+        "status": run.status,
+        "identical": identical,
+        "chain_verified": bool(run.chain_verified),
+        "chunks": run.chunks,
+        "upstream_excess": run.upstream_reruns,
+        "output_sha256": hashlib.sha256(run.output).hexdigest(),
+        "counters": {k: v for k, v in sorted(run.counters.items())},
+        "stats": run.stats.as_dict(),
+        "midrun_teardowns": midrun,
+        "faults": plan.all_injected(),
+    }
+    return row, run
+
+
+def run_pipeline_campaign(seed: int = 2021, trials: int = 6, *,
+                          chunk_size: int = 24, window: int = 2,
+                          checkpoint_every: int = 25) -> dict:
+    """Drive ``trials`` faulted pipelines (alternating topology and
+    batch/stream mode) and return a deterministic JSON-ready report.
+
+    Invariants the report asserts (and ``repro chaos --pipeline``
+    enforces):
+
+    * **zero lost** — every pipeline completes ``ok`` despite wire
+      faults, transient ECall failures, mid-hop teardowns, outages,
+      handoff attacks, stalls and quarantines;
+    * **zero accepted attacks** — no doctored handoff (corrupt bytes,
+      spliced / reordered / truncated / replayed chain) is ever
+      accepted by chain verification;
+    * **byte-identical** — every chain-verified output equals the
+      unfaulted serial oracle's, per trial;
+    * **resume-at-hop** — every mid-hop teardown is recovered by
+      checkpoint resume at that hop: ``upstream_excess`` (completed
+      runs beyond one per hop per chunk, net of explicit
+      discard-reruns) is zero everywhere;
+    * **byte-identical replay** — re-running trial 0 from the same
+      seed serializes to the exact same row.
+    """
+    from .resilient import SessionStats
+    cache = ProvisionCache()
+    campaign_stats = SessionStats()
+    rows = []
+    totals = {
+        "ok": 0, "lost": 0, "identical": 0,
+        "handoffs_rejected": 0, "chain_attacks_rejected": 0,
+        "attacks_accepted": 0, "discard_reruns": 0,
+        "migrations": 0, "stalls": 0, "midrun_teardowns": 0,
+        "resumes": 0, "upstream_excess": 0, "faults_injected": 0,
+    }
+    for trial in range(trials):
+        row, run = _pipeline_trial(
+            seed, trial, cache, chunk_size=chunk_size, window=window,
+            checkpoint_every=checkpoint_every)
+        rows.append(row)
+        campaign_stats.merge(run.stats)
+        totals["ok"] += int(run.ok)
+        totals["lost"] += int(not run.ok)
+        totals["identical"] += int(row["identical"])
+        totals["handoffs_rejected"] += \
+            run.counters["handoffs_rejected"]
+        totals["chain_attacks_rejected"] += \
+            run.counters["chain_attacks_rejected"]
+        totals["attacks_accepted"] += run.counters["attacks_accepted"]
+        totals["discard_reruns"] += run.counters["discard_reruns"]
+        totals["migrations"] += run.counters["migrations"]
+        totals["stalls"] += run.counters["stalls"]
+        totals["midrun_teardowns"] += row["midrun_teardowns"]
+        totals["resumes"] += run.stats.resumes
+        totals["upstream_excess"] += row["upstream_excess"]
+        totals["faults_injected"] += len(row["faults"])
+    replay_row, _ = _pipeline_trial(
+        seed, 0, ProvisionCache(), chunk_size=chunk_size,
+        window=window, checkpoint_every=checkpoint_every)
+    import json as _json
+    replay_identical = _json.dumps(replay_row, sort_keys=True) == \
+        _json.dumps(rows[0], sort_keys=True)
+    return {
+        "schema": "deflection-pipeline-chaos/1",
+        "seed": seed,
+        "trials": trials,
+        "totals": totals,
+        "zero_lost": totals["lost"] == 0,
+        "all_identical": totals["identical"] == trials,
+        "zero_attacks_accepted": totals["attacks_accepted"] == 0,
+        "zero_upstream_excess": totals["upstream_excess"] == 0,
+        "replay_identical": replay_identical,
+        "retried_error_kinds": dict(
+            sorted(campaign_stats.retried_kinds.items())),
+        "fatal_error_kinds": dict(
+            sorted(campaign_stats.fatal_kinds.items())),
+        "provision_cache": cache.stats(),
+        "trials_detail": rows,
+    }

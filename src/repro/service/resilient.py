@@ -26,8 +26,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import (
     AttestationError, AttestationOutage, DeadlineExceeded, EnclaveError,
-    PolicyViolation, ProtocolError, ReproError, RetryBudgetExceeded,
-    RollbackError, VerificationError,
+    PolicyViolation, ProtocolError, ProvenanceError, ReproError,
+    RetryBudgetExceeded, RollbackError, VerificationError,
 )
 
 #: Error classes a resilient session retries after re-establishing the
@@ -43,8 +43,12 @@ TRANSIENT = (AttestationOutage, ProtocolError, EnclaveError)
 #: from scratch (what :class:`TwoPartyWorkflow` does explicitly).
 #: :class:`DeadlineExceeded` is a budget verdict: only resuming with a
 #: larger budget can make progress, so the retry loop must not spin.
+#: :class:`ProvenanceError` is the pipeline layer's trust verdict: a
+#: handoff whose chain failed verification must be re-presented with
+#: *different* evidence (or the producing hop rerun), never retried
+#: blindly with the same rejected chain.
 FATAL = (PolicyViolation, VerificationError, AttestationError,
-         RollbackError, DeadlineExceeded)
+         RollbackError, DeadlineExceeded, ProvenanceError)
 
 
 def classify_error(exc: BaseException) -> str:
@@ -117,6 +121,8 @@ class SessionStats:
     #: Checkpoint chains the enclave refused (corrupt / stale / replay);
     #: each one forced a discard-and-restart, never a blind retry.
     rollbacks_rejected: int = 0
+    #: Streaming chunks completed (pipeline sessions; 0 elsewhere).
+    chunks: int = 0
     slept_s: float = 0.0
     retried_kinds: Dict[str, int] = field(default_factory=dict)
     fatal_kinds: Dict[str, int] = field(default_factory=dict)
@@ -138,6 +144,7 @@ class SessionStats:
         self.fatal_errors += other.fatal_errors
         self.resumes += other.resumes
         self.rollbacks_rejected += other.rollbacks_rejected
+        self.chunks += other.chunks
         self.slept_s += other.slept_s
         for kind, count in other.retried_kinds.items():
             self.retried_kinds[kind] = \
@@ -162,6 +169,7 @@ class SessionStats:
             "fatal_errors": self.fatal_errors,
             "resumes": self.resumes,
             "rollbacks_rejected": self.rollbacks_rejected,
+            "chunks": self.chunks,
             "retried_kinds": dict(sorted(self.retried_kinds.items())),
             "fatal_kinds": dict(sorted(self.fatal_kinds.items())),
         }

@@ -1,0 +1,211 @@
+"""Cross-enclave provenance chains: build, verify, and every
+fail-closed rejection path (tamper, splice, reorder, truncation,
+stale-epoch replay, digest binding, migrated-link ordering)."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+
+from repro.core.provenance import (
+    ProvenanceChain, chain_key, genesis_head, remac_links, verify_links,
+)
+from repro.errors import ProvenanceError
+
+SECRET = b"test-session-secret"
+PIPE = "test-pipe"
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def build_chain(hops: int = 3, pipeline_id: str = PIPE,
+                chunk: int = -1):
+    """An honest chain of ``hops`` links with digest continuity;
+    returns (chain, payloads) where payloads[0] is the pipeline input
+    and payloads[-1] the final output."""
+    chain = ProvenanceChain(key=chain_key(SECRET, pipeline_id),
+                            pipeline_id=pipeline_id)
+    payloads = [b"pipeline-input"]
+    for hop in range(hops):
+        out = payloads[-1] + bytes([hop + 1])
+        chain.append(hop=hop, stage=f"stage{hop}", kind="hop",
+                     mrenclave="ab" * 32, verifier="cd" * 32,
+                     audit_head="ef" * 32,
+                     input_digest=_digest(payloads[-1]),
+                     output_digest=_digest(out), chunk=chunk)
+        payloads.append(out)
+    return chain, payloads
+
+
+def _verify(chain, payloads, links=None, **overrides):
+    kwargs = dict(expect_hops=len(chain.links),
+                  expect_chunk=chain.links[0].chunk if chain.links
+                  else -1,
+                  input_digest=_digest(payloads[0]),
+                  final_digest=_digest(payloads[-1]))
+    kwargs.update(overrides)
+    verify_links(chain.key, chain.pipeline_id,
+                 list(chain.links) if links is None else links,
+                 **kwargs)
+
+
+def test_honest_chain_verifies():
+    chain, payloads = build_chain(3)
+    _verify(chain, payloads)
+    assert chain.head == bytes.fromhex(chain.links[-1].mac)
+
+
+def test_genesis_head_is_pipeline_bound():
+    assert genesis_head("a") != genesis_head("b")
+    assert chain_key(SECRET, "a") != chain_key(SECRET, "b")
+
+
+def test_field_tamper_breaks_mac():
+    chain, payloads = build_chain(3)
+    doctored = list(chain.links)
+    doctored[1] = replace(doctored[1], output_digest="00" * 32)
+    with pytest.raises(ProvenanceError, match="MAC mismatch"):
+        _verify(chain, payloads, links=doctored)
+
+
+def test_reorder_breaks_mac():
+    chain, payloads = build_chain(3)
+    doctored = list(chain.links)
+    doctored[0], doctored[1] = doctored[1], doctored[0]
+    with pytest.raises(ProvenanceError, match="MAC mismatch"):
+        _verify(chain, payloads, links=doctored)
+
+
+def test_splice_under_foreign_key_rejected():
+    """A host that re-MACs the whole stream under a key it knows builds
+    a self-consistent chain — but not under the real chain key."""
+    chain, payloads = build_chain(3)
+    foreign = hashlib.sha256(b"foreign-key").digest()
+    spliced = remac_links(foreign, PIPE, chain.links)
+    with pytest.raises(ProvenanceError, match="MAC mismatch"):
+        _verify(chain, payloads, links=spliced)
+
+
+def test_remac_under_real_key_reproduces_chain():
+    chain, payloads = build_chain(3)
+    rebuilt = remac_links(chain.key, PIPE, chain.links)
+    assert [l.mac for l in rebuilt] == [l.mac for l in chain.links]
+    _verify(chain, payloads, links=rebuilt)
+
+
+def test_truncated_chain_rejected():
+    chain, payloads = build_chain(3)
+    with pytest.raises(ProvenanceError, match="truncated"):
+        _verify(chain, payloads, links=chain.links[:-1])
+
+
+def test_wrong_pipeline_id_rejected():
+    chain, payloads = build_chain(2)
+    with pytest.raises(ProvenanceError):
+        verify_links(chain.key, "other-pipe", list(chain.links),
+                     expect_hops=2)
+
+
+def test_chunk_binding():
+    chain, payloads = build_chain(2, chunk=4)
+    _verify(chain, payloads, expect_chunk=4)
+    with pytest.raises(ProvenanceError, match="chunk 4 presented"):
+        _verify(chain, payloads, expect_chunk=5)
+
+
+def test_final_digest_binds_payload_bytes():
+    chain, payloads = build_chain(2)
+    with pytest.raises(ProvenanceError, match="final output digest"):
+        _verify(chain, payloads,
+                final_digest=_digest(b"substituted-bytes"))
+
+
+def test_input_digest_discontinuity_rejected():
+    """Hop k's claimed input must be exactly hop k-1's output, even
+    when every MAC is valid (re-MACed under the real key)."""
+    chain, payloads = build_chain(3)
+    doctored = list(chain.links)
+    doctored[1] = replace(doctored[1], input_digest=_digest(b"other"),
+                          mac="")
+    doctored = remac_links(chain.key, PIPE, doctored)
+    with pytest.raises(ProvenanceError, match="digest does not"):
+        _verify(chain, payloads, links=doctored,
+                final_digest=None)
+
+
+def test_replay_after_truncate_rejected_by_epoch():
+    """After a discard-and-rerun, the stale link still MAC-verifies at
+    its old position — only the epoch counter can reject it."""
+    chain, payloads = build_chain(3)
+    dropped = chain.truncate_from(2)
+    assert len(dropped) == 1 and chain.discarded == dropped
+    # Rerun hop 2 at epoch 1 with a different output.
+    rerun_out = payloads[2] + b"\xff"
+    chain.append(hop=2, stage="stage2", kind="hop",
+                 mrenclave="ab" * 32, verifier="cd" * 32,
+                 audit_head="ef" * 32,
+                 input_digest=_digest(payloads[2]),
+                 output_digest=_digest(rerun_out), chunk=-1, epoch=1)
+    epochs = {0: 0, 1: 0, 2: 1}
+    verify_links(chain.key, PIPE, list(chain.links), expect_hops=3,
+                 expect_epochs=epochs,
+                 final_digest=_digest(rerun_out))
+    # The host replays the rolled-back link in place of the rerun.
+    stale = chain.links[:-1] + [dropped[0]]
+    with pytest.raises(ProvenanceError, match="stale epoch"):
+        verify_links(chain.key, PIPE, stale, expect_hops=3,
+                     expect_epochs=epochs)
+
+
+def test_migrated_link_sits_before_its_hop():
+    chain, payloads = build_chain(1)
+    chain.append(hop=1, stage="stage1", kind="migrated",
+                 mrenclave="ab" * 32, verifier="cd" * 32,
+                 audit_head="ef" * 32,
+                 input_digest=_digest(payloads[-1]),
+                 output_digest="", chunk=-1,
+                 detail="drone-a -> drone-b")
+    out = payloads[-1] + b"\x02"
+    chain.append(hop=1, stage="stage1", kind="hop",
+                 mrenclave="ab" * 32, verifier="cd" * 32,
+                 audit_head="ef" * 32,
+                 input_digest=_digest(payloads[-1]),
+                 output_digest=_digest(out), chunk=-1)
+    payloads.append(out)
+    verify_links(chain.key, PIPE, list(chain.links), expect_hops=2,
+                 input_digest=_digest(payloads[0]),
+                 final_digest=_digest(out))
+
+
+def test_migrated_link_out_of_order_rejected():
+    chain, payloads = build_chain(2)
+    # A migrated link for hop 0 after hop 0 already completed.
+    raw = replace(chain.links[0], kind="migrated", output_digest="",
+                  mac="")
+    doctored = remac_links(chain.key, PIPE, list(chain.links) + [raw])
+    with pytest.raises(ProvenanceError, match="out of order"):
+        verify_links(chain.key, PIPE, doctored, expect_hops=2)
+
+
+def test_unknown_kind_rejected_both_sides():
+    chain, payloads = build_chain(1)
+    with pytest.raises(ProvenanceError, match="unknown link kind"):
+        chain.append(hop=1, stage="s", kind="weird",
+                     mrenclave="", verifier="", audit_head="",
+                     input_digest="", output_digest="")
+    raw = replace(chain.links[0], kind="weird", mac="")
+    doctored = remac_links(chain.key, PIPE, [raw])
+    with pytest.raises(ProvenanceError):
+        verify_links(chain.key, PIPE, doctored, expect_hops=1)
+
+
+def test_truncate_from_rolls_head_back():
+    chain, _ = build_chain(3)
+    head_after_one = chain.links[0].mac
+    chain.truncate_from(1)
+    assert chain.head == bytes.fromhex(head_after_one)
+    assert len(chain.links) == 1 and len(chain.discarded) == 2
